@@ -1,0 +1,98 @@
+// bench_ablation_kernels — kernel-flavour ablation for the paper's §III
+// argument: loop kernels vs compiler-style tiling vs recursive r-way R-DP.
+//
+//   * tiling recovers I/O efficiency when (and only when) the tile size is
+//     right for the machine — it is cache-aware;
+//   * recursive kernels are cache-OBLIVIOUS (no per-machine knob) and
+//     cache-ADAPTIVE (they keep their speed when co-running tasks shrink
+//     the effective cache) [41][44];
+//   * the end-to-end gap shows up exactly where the paper says: blocks too
+//     large for the L2 (≥ 1024).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using gepspark::Strategy;
+using gs::KernelConfig;
+using simtime::GepJobParams;
+
+void end_to_end() {
+  simtime::MachineModel model(sparklet::ClusterConfig::skylake_cluster());
+  const std::vector<std::size_t> blocks{512, 1024, 2048, 4096};
+  gs::TextTable table({"kernel \\ block", "b=512", "b=1024", "b=2048",
+                       "b=4096"});
+  struct Flavour {
+    std::string name;
+    KernelConfig cfg;
+  };
+  const std::vector<Flavour> flavours{
+      {"iterative", KernelConfig::iterative()},
+      {"tiled t=64 (fits L2)", KernelConfig::tiled(64, 8)},
+      {"tiled t=512 (leans on L3)", KernelConfig::tiled(512, 8)},
+      {"tiled t=2048 (mis-sized)", KernelConfig::tiled(2048, 8)},
+      {"recursive 8-way", KernelConfig::recursive(8, 8)},
+  };
+  for (const auto& f : flavours) {
+    std::vector<std::string> row{f.name};
+    for (auto b : blocks) {
+      if (f.cfg.impl == gs::KernelImpl::kTiled && f.cfg.base_size > b) {
+        row.push_back("n/a");  // inner tile larger than the block
+        continue;
+      }
+      auto p = GepJobParams::fw_apsp(32768, b);
+      p.strategy = Strategy::kInMemory;
+      p.kernel = f.cfg;
+      row.push_back(simulate_gep_job(model, p).display());
+    }
+    table.add_row(std::move(row));
+  }
+  benchutil::print_table(
+      "Kernel ablation — FW-APSP 32K IM, iterative vs tiled vs recursive "
+      "(simulated seconds)",
+      table, "ablation_kernels_e2e.csv");
+}
+
+void adaptivity() {
+  // Per-task throughput as co-running tasks shrink the cache share.
+  simtime::MachineModel m(sparklet::ClusterConfig::skylake_cluster());
+  gs::TextTable table({"kernel", "speedup a=1", "a=4", "a=16", "a=32",
+                       "retained a=32/a=1"});
+  struct Row {
+    std::string name;
+    KernelConfig cfg;
+  };
+  for (const auto& r :
+       {Row{"recursive 4-way (adaptive)", KernelConfig::recursive(4, 1)},
+        Row{"tiled t=512 (not adaptive)", KernelConfig::tiled(512, 1)},
+        Row{"iterative", KernelConfig::iterative()}}) {
+    std::vector<std::string> row{r.name};
+    double first = 0, last = 0;
+    for (int a : {1, 4, 16, 32}) {
+      const double s =
+          m.task_speedup(r.cfg, gs::KernelKind::D, a, 1024, 8);
+      row.push_back(gs::strfmt("%.2f", s));
+      if (a == 1) first = s;
+      last = s;
+    }
+    row.push_back(gs::strfmt("%.0f%%", 100.0 * last / first));
+    table.add_row(std::move(row));
+  }
+  benchutil::print_table(
+      "Kernel ablation — cache adaptivity: per-task speedup vs co-running "
+      "tasks (b=1024 tiles)",
+      table, "ablation_kernels_adaptivity.csv");
+}
+
+}  // namespace
+
+int main() {
+  end_to_end();
+  adaptivity();
+  std::printf(
+      "\ntakeaway (paper §III): tiling matches recursion only when its tile "
+      "parameter is retuned per machine and per co-schedule; the recursive "
+      "kernels get both for free (cache-oblivious + cache-adaptive).\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// bench_ablation_partitioner — ablation for the paper's §VI future work:
+//
+//   "the dependency structure among the kernels provides an opportunity to
+//    design and implement highly-efficient custom partitioners"
+//
+// We implemented that future work (GridPartitioner: block-cyclic placement
+// by tile coordinate) and measure it against Spark's default hash
+// partitioner in two ways:
+//   1. placement balance — the busiest executor's tile count per D stage
+//      (straggler bound), analytically over the real partitioners;
+//   2. paper-scale simulated end-to-end times, hash vs grid.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gepspark/copy_plan.hpp"
+#include "sparklet/partitioner.hpp"
+
+namespace {
+
+using gepspark::GridRanges;
+using simtime::GepJobParams;
+
+int busiest_executor(const std::vector<gs::TileKey>& keys,
+                     const sparklet::Partitioner& part, int executors) {
+  std::vector<int> per(static_cast<std::size_t>(executors), 0);
+  int best = 0;
+  for (const auto& key : keys) {
+    const int e = part.partition_of(sparklet::key_hash(key)) % executors;
+    best = std::max(best, ++per[static_cast<std::size_t>(e)]);
+  }
+  return best;
+}
+
+void balance_study() {
+  const int r = 32, executors = 16, partitions = 1024;
+  GridRanges g(r, /*strict=*/false);
+  sparklet::HashPartitioner hash(partitions);
+  sparklet::GridPartitioner grid(partitions, r);
+
+  gs::TextTable table({"iteration k", "D tiles", "ideal max/exec",
+                       "hash max/exec", "grid max/exec"});
+  for (int k : {0, 8, 16, 24, 31}) {
+    const auto keys = g.d_keys(k);
+    const int ideal =
+        static_cast<int>((keys.size() + executors - 1) / executors);
+    table.add_row({std::to_string(k), std::to_string(keys.size()),
+                   std::to_string(ideal),
+                   std::to_string(busiest_executor(keys, hash, executors)),
+                   std::to_string(busiest_executor(keys, grid, executors))});
+  }
+  benchutil::print_table(
+      "Partitioner ablation — D-stage placement balance (r=32, 16 executors, "
+      "1024 partitions)",
+      table, "ablation_partitioner_balance.csv");
+}
+
+void end_to_end_study() {
+  simtime::MachineModel model(sparklet::ClusterConfig::skylake_cluster());
+  gs::TextTable table({"benchmark/config", "hash (s)", "grid (s)", "speedup"});
+  struct Row {
+    const char* name;
+    bool ge;
+    gepspark::Strategy strategy;
+    gs::KernelConfig kernel;
+    std::size_t block;
+  };
+  const Row rows[] = {
+      {"FW IM rec16 b=1024", false, gepspark::Strategy::kInMemory,
+       gs::KernelConfig::recursive(16, 8), 1024},
+      {"FW IM iter b=512", false, gepspark::Strategy::kInMemory,
+       gs::KernelConfig::iterative(), 512},
+      {"GE CB rec4 b=2048", true, gepspark::Strategy::kCollectBroadcast,
+       gs::KernelConfig::recursive(4, 16), 2048},
+  };
+  for (const auto& row : rows) {
+    auto p = row.ge ? GepJobParams::ge(32768, row.block)
+                    : GepJobParams::fw_apsp(32768, row.block);
+    p.strategy = row.strategy;
+    p.kernel = row.kernel;
+    p.use_grid_partitioner = false;
+    const double hash_s = simulate_gep_job(model, p).seconds;
+    p.use_grid_partitioner = true;
+    const double grid_s = simulate_gep_job(model, p).seconds;
+    table.add_row({row.name, gs::strfmt("%.0f", hash_s),
+                   gs::strfmt("%.0f", grid_s),
+                   gs::strfmt("%.2fx", hash_s / grid_s)});
+  }
+  benchutil::print_table(
+      "Partitioner ablation — end-to-end (simulated, 32K, 16 nodes)", table,
+      "ablation_partitioner_e2e.csv");
+}
+
+}  // namespace
+
+int main() {
+  balance_study();
+  end_to_end_study();
+  std::printf(
+      "\ntakeaway: block-cyclic grid placement removes the balls-into-bins "
+      "straggler of the default hash partitioner (paper §V-B notes its "
+      "'probabilistic nature'), which tightens D-stage makespans.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// bench_align_extension — measured benchmark for the sequence-alignment
+// wavefront (the bioinformatics DP family from the paper's related work):
+// block-size sweep and scaling, plus the communication contrast with GEP
+// (boundary exchange is O(b) per tile instead of O(b²) tile shipping).
+#include <cstdio>
+
+#include "align/align_driver.hpp"
+#include "bench_util.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+std::string random_dna(std::size_t n, std::uint64_t seed) {
+  static const char* kAlphabet = "ACGT";
+  gs::Rng rng(seed);
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(kAlphabet[rng.uniform_u64(4)]);
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(4, 1));
+
+  {
+    const std::size_t n = 4096;
+    const auto a = random_dna(n, 1), b = random_dna(n, 2);
+    gs::TextTable table({"block", "grid", "waves", "wall", "broadcast",
+                         "bytes/cell"});
+    for (std::size_t bs : {256u, 512u, 1024u, 2048u}) {
+      auto res = align::spark_align(sc, a, b, {}, align::AlignMode::kGlobal,
+                                    {.block_size = bs});
+      const double per_cell =
+          double(res.broadcast_bytes) / (double(n) * double(n));
+      table.add_row({std::to_string(bs),
+                     gs::strfmt("%zux%zu", (n + bs - 1) / bs, (n + bs - 1) / bs),
+                     std::to_string(res.waves),
+                     gs::human_seconds(res.wall_seconds),
+                     gs::human_bytes(double(res.broadcast_bytes)),
+                     gs::strfmt("%.4f", per_cell)});
+    }
+    benchutil::print_table(
+        "Alignment extension — NW 4096x4096, block sweep (measured; note "
+        "the O(b)-per-tile boundary traffic)",
+        table, "align_block_sweep.csv");
+  }
+
+  {
+    gs::TextTable table({"n", "cells", "wall", "cells/s"});
+    for (std::size_t n : {1024u, 2048u, 4096u, 8192u}) {
+      const auto a = random_dna(n, 3), b = random_dna(n, 4);
+      auto res = align::spark_align(sc, a, b, {}, align::AlignMode::kLocal,
+                                    {.block_size = 1024});
+      const double cells = double(n) * double(n);
+      table.add_row({std::to_string(n), gs::strfmt("%.1e", cells),
+                     gs::human_seconds(res.wall_seconds),
+                     gs::strfmt("%.2e", cells / res.wall_seconds)});
+    }
+    benchutil::print_table(
+        "Alignment extension — SW scaling at block 1024 (measured)", table,
+        "align_scaling.csv");
+  }
+
+  std::printf(
+      "\ncontext: third DP communication pattern on the same substrate — "
+      "GEP ships O(b^2) tiles per consumer, the parenthesis wavefront "
+      "broadcasts whole tiles per wave, alignment exchanges only O(b) "
+      "boundaries.\n");
+  return 0;
+}

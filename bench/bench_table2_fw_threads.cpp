@@ -1,0 +1,35 @@
+// bench_table2_fw_threads — reproduces paper Table II:
+//
+//   "Comparing performance of FW-APSP benchmark (in seconds) for different
+//    combinations of executor-cores and OMP_NUM_THREADS"
+//
+// Setup (paper §V-C): FW-APSP, 32K×32K, 16-node Skylake cluster, IM
+// strategy, recursive 16-way R-DP kernels, block size 1K (r = 32).
+//
+// Paper's qualitative shape (Table II):
+//   * best cell 302s at ec=8/omp=32; worst 2233s at ec=2/omp=1 (7.4×);
+//   * every row improves with more OMP threads up to oversubscription.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  const auto cluster = sparklet::ClusterConfig::skylake_cluster();
+
+  auto job = simtime::GepJobParams::fw_apsp(32768, 1024);
+  job.strategy = gepspark::Strategy::kInMemory;
+  job.kernel = gs::KernelConfig::recursive(/*r_shared=*/16, /*omp=*/1);
+
+  auto table = benchutil::thread_grid_table(
+      cluster, job, /*executor_cores=*/{2, 4, 8, 16, 32},
+      /*omp_threads=*/{32, 16, 8, 4, 2, 1});
+  benchutil::print_table(
+      "Table II — FW-APSP 32K, IM + recursive 16-way kernels, block 1K "
+      "(seconds)",
+      table, "table2_fw_threads.csv");
+
+  std::printf(
+      "\npaper reference (Table II): best 302s at ec=8/omp=32; worst 2233s at "
+      "ec=2/omp=1 (7.4x).\n");
+  return 0;
+}

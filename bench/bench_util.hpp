@@ -1,0 +1,69 @@
+// Shared helpers for the paper-reproduction benches: grid sweeps through
+// the simtime model and paper-style table rendering.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "simtime/gep_job_sim.hpp"
+#include "support/table.hpp"
+
+namespace benchutil {
+
+/// Run the (executor-cores × OMP_NUM_THREADS) grid of Tables I/II for one
+/// fixed job configuration and return it as a printable table.
+inline gs::TextTable thread_grid_table(const sparklet::ClusterConfig& base,
+                                       const simtime::GepJobParams& job,
+                                       const std::vector<int>& executor_cores,
+                                       const std::vector<int>& omp_threads) {
+  std::vector<std::string> header{"executor-cores \\ OMP"};
+  for (int omp : omp_threads) header.push_back(std::to_string(omp));
+  gs::TextTable table(std::move(header));
+
+  for (int ec : executor_cores) {
+    std::vector<std::string> row{std::to_string(ec)};
+    for (int omp : omp_threads) {
+      sparklet::ClusterConfig cfg = base;
+      cfg.executor_cores = ec;
+      simtime::MachineModel model(cfg);
+      simtime::GepJobParams p = job;
+      p.kernel.omp_threads = omp;
+      row.push_back(simulate_gep_job(model, p).display());
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+/// One Fig. 6-style sweep cell: best-over-OMP execution time for a
+/// (strategy, kernel, block) combination — mirroring the paper's "we report
+/// the best OMP_NUM_THREADS" methodology (§V-C).
+inline simtime::SimResult best_over_omp(const simtime::MachineModel& model,
+                                        simtime::GepJobParams p,
+                                        const std::vector<int>& omp_choices) {
+  simtime::SimResult best;
+  bool have = false;
+  if (p.kernel.impl == gs::KernelImpl::kIterative) {
+    return simulate_gep_job(model, p);  // OMP does not apply
+  }
+  for (int omp : omp_choices) {
+    p.kernel.omp_threads = omp;
+    auto r = simulate_gep_job(model, p);
+    if (!have || (r.ok() && (!best.ok() || r.seconds < best.seconds))) {
+      best = r;
+      have = true;
+    }
+  }
+  return best;
+}
+
+inline void print_table(const std::string& title, gs::TextTable& table,
+                        const std::string& csv_name) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  table.write_csv(csv_name);
+  std::cout << "(csv: " << csv_name << ")\n";
+}
+
+}  // namespace benchutil

@@ -1,0 +1,205 @@
+// gepspark_cli — command-line runner in the spirit of the paper's DPSpark
+// scripts: pick a benchmark, problem size, strategy, and kernel from flags,
+// run it for real on the in-process engine, and print the execution
+// metrics (optionally exporting a Chrome trace of the virtual schedule).
+//
+//   $ ./gepspark_cli --benchmark fw --n 512 --block 128 --strategy im
+//                     --kernel rec4 --omp 2 --trace fw.json
+//   $ ./gepspark_cli --benchmark align --n 2048 --block 512
+//   $ ./gepspark_cli --help
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "align/align_driver.hpp"
+#include "baseline/reference.hpp"
+#include "gepspark/solver.hpp"
+#include "gepspark/workload.hpp"
+#include "paren/paren_driver.hpp"
+
+namespace {
+
+struct CliArgs {
+  std::string benchmark = "fw";  // fw | ge | tc | paren | align
+  std::size_t n = 256;
+  std::size_t block = 64;
+  std::string strategy = "im";   // im | cb
+  std::string kernel = "rec4";   // iter | tiled<T> | rec<R>
+  int omp = 1;
+  int nodes = 4;
+  int cores = 2;
+  std::string trace;             // chrome-trace output path
+  bool verify = true;
+};
+
+void usage() {
+  std::printf(
+      "gepspark_cli — run a DP benchmark on the in-process Spark-style "
+      "engine\n\n"
+      "  --benchmark fw|ge|tc|paren|align   (default fw)\n"
+      "  --n <size>                          problem size (default 256)\n"
+      "  --block <b>                         tile side (default 64)\n"
+      "  --strategy im|cb                    GEP distribution (default im)\n"
+      "  --kernel iter|tiled<T>|rec<R>       e.g. rec16, tiled64 (default rec4)\n"
+      "  --omp <t>                           OMP_NUM_THREADS (default 1)\n"
+      "  --nodes <n> --cores <c>             virtual cluster (default 4x2)\n"
+      "  --trace <file.json>                 export Chrome trace\n"
+      "  --no-verify                         skip reference validation\n");
+}
+
+bool parse(int argc, char** argv, CliArgs& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (flag == "--help" || flag == "-h") return false;
+    if (flag == "--no-verify") {
+      a.verify = false;
+    } else if (const char* v = nullptr;
+               (flag == "--benchmark" && (v = next())) != 0) {
+      a.benchmark = v;
+    } else if (flag == "--n" && (i + 1) < argc) {
+      a.n = std::stoul(argv[++i]);
+    } else if (flag == "--block" && (i + 1) < argc) {
+      a.block = std::stoul(argv[++i]);
+    } else if (flag == "--strategy" && (i + 1) < argc) {
+      a.strategy = argv[++i];
+    } else if (flag == "--kernel" && (i + 1) < argc) {
+      a.kernel = argv[++i];
+    } else if (flag == "--omp" && (i + 1) < argc) {
+      a.omp = std::stoi(argv[++i]);
+    } else if (flag == "--nodes" && (i + 1) < argc) {
+      a.nodes = std::stoi(argv[++i]);
+    } else if (flag == "--cores" && (i + 1) < argc) {
+      a.cores = std::stoi(argv[++i]);
+    } else if (flag == "--trace" && (i + 1) < argc) {
+      a.trace = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+gs::KernelConfig parse_kernel(const CliArgs& a) {
+  if (a.kernel == "iter") return gs::KernelConfig::iterative();
+  if (a.kernel.rfind("tiled", 0) == 0) {
+    return gs::KernelConfig::tiled(std::stoul(a.kernel.substr(5)), a.omp);
+  }
+  if (a.kernel.rfind("rec", 0) == 0) {
+    return gs::KernelConfig::recursive(std::stoul(a.kernel.substr(3)), a.omp);
+  }
+  throw gs::ConfigError("unknown kernel spec: " + a.kernel);
+}
+
+int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
+  gepspark::SolverOptions opt;
+  opt.block_size = a.block;
+  opt.strategy = a.strategy == "cb" ? gepspark::Strategy::kCollectBroadcast
+                                    : gepspark::Strategy::kInMemory;
+  opt.kernel = parse_kernel(a);
+
+  gepspark::SolveStats st;
+  double diff = 0.0;
+  if (a.benchmark == "fw") {
+    auto input = gs::workload::random_digraph({.n = a.n, .seed = 1});
+    auto out = gepspark::spark_floyd_warshall(sc, input, opt, &st);
+    if (a.verify) {
+      auto ref = input;
+      gs::baseline::reference_floyd_warshall(ref);
+      diff = gs::max_abs_diff(out, ref);
+    }
+  } else if (a.benchmark == "ge") {
+    auto input = gs::workload::diagonally_dominant_matrix(a.n, 1);
+    auto out = gepspark::spark_gaussian_elimination(sc, input, opt, &st);
+    if (a.verify) diff = gs::baseline::lu_residual(input, out);
+  } else {  // tc
+    auto input = gs::workload::random_bool_digraph(a.n, 0.05, 1);
+    auto out = gepspark::spark_transitive_closure(sc, input, opt, &st);
+    if (a.verify) {
+      auto ref = input;
+      gs::baseline::reference_transitive_closure(ref);
+      diff = gs::max_abs_diff(out, ref);
+    }
+  }
+
+  std::printf(
+      "%s n=%zu %s: wall %.3fs | grid %dx%d | %d stages / %d tasks\n"
+      "  shuffle %s, collect %s, broadcast %s%s\n",
+      a.benchmark.c_str(), a.n, opt.describe().c_str(), st.wall_seconds,
+      st.grid_r, st.grid_r, st.stages, st.tasks,
+      gs::human_bytes(double(st.shuffle_bytes)).c_str(),
+      gs::human_bytes(double(st.collect_bytes)).c_str(),
+      gs::human_bytes(double(st.broadcast_bytes)).c_str(),
+      a.verify ? gs::strfmt(" | verified (max err %.2e)", diff).c_str() : "");
+  return a.verify && diff > 1e-8 ? 1 : 0;
+}
+
+int run_paren(sparklet::SparkContext& sc, const CliArgs& a) {
+  std::vector<double> dims(a.n + 1);
+  gs::Rng rng(1);
+  for (auto& d : dims) d = std::floor(rng.uniform(2.0, 80.0));
+  paren::MatrixChainSpec spec(dims);
+  paren::ParenStats st;
+  auto table = paren::paren_solve(sc, spec, std::vector<double>(a.n, 0.0),
+                                  {.block_size = a.block}, &st);
+  std::printf("paren (matrix chain, %zu matrices) b=%zu: wall %.3fs | "
+              "%d wavefronts | optimum %.3e scalar mults\n",
+              a.n, a.block, st.wall_seconds, st.waves, table(0, a.n));
+  return 0;
+}
+
+int run_align(sparklet::SparkContext& sc, const CliArgs& a) {
+  static const char* kAlphabet = "ACGT";
+  gs::Rng rng(1);
+  std::string x, y;
+  for (std::size_t i = 0; i < a.n; ++i) {
+    x.push_back(kAlphabet[rng.uniform_u64(4)]);
+    y.push_back(kAlphabet[rng.uniform_u64(4)]);
+  }
+  auto res = align::spark_align(sc, x, y, {}, align::AlignMode::kLocal,
+                                {.block_size = a.block});
+  std::printf("align (SW, %zu bp vs %zu bp) b=%zu: wall %.3fs | "
+              "%d wavefronts | best score %.0f at (%zu, %zu)\n",
+              a.n, a.n, a.block, res.wall_seconds, res.waves, res.score,
+              res.end_i, res.end_j);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!parse(argc, argv, args)) {
+    usage();
+    return 2;
+  }
+  try {
+    sparklet::SparkContext sc(
+        sparklet::ClusterConfig::local(args.nodes, args.cores));
+    int rc;
+    if (args.benchmark == "paren") {
+      rc = run_paren(sc, args);
+    } else if (args.benchmark == "align") {
+      rc = run_align(sc, args);
+    } else if (args.benchmark == "fw" || args.benchmark == "ge" ||
+               args.benchmark == "tc") {
+      rc = run_gep(sc, args);
+    } else {
+      std::fprintf(stderr, "unknown benchmark: %s\n", args.benchmark.c_str());
+      usage();
+      return 2;
+    }
+    if (!args.trace.empty()) {
+      sc.timeline().write_chrome_trace(args.trace);
+      std::printf("  virtual-schedule trace written to %s\n",
+                  args.trace.c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,167 @@
+// align_driver.hpp — distributed pairwise alignment: an anti-diagonal
+// wavefront of tiles on sparklet, exchanging only O(b) boundaries per tile.
+//
+// Wave d holds every tile (bi, bj) with bi + bj = d; all its dependencies
+// (tiles above, left, and upper-left) finished in waves d−1 and d−2. The
+// driver collects each wave's boundaries (not the tiles' O(b²) interiors!)
+// and broadcasts them to the next wave — the communication-light cousin of
+// the GEP drivers' tile traffic.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "align/align_kernels.hpp"
+#include "grid/tile.hpp"
+#include "sparklet/rdd.hpp"
+#include "support/stopwatch.hpp"
+
+namespace align {
+
+struct AlignOptions {
+  std::size_t block_size = 512;
+  int num_partitions = 0;
+
+  void validate() const {
+    GS_THROW_IF(block_size == 0, gs::ConfigError, "block_size must be > 0");
+  }
+};
+
+struct AlignResult {
+  double score = 0.0;
+  std::size_t end_i = 0;  ///< 1-based end position in a (local mode)
+  std::size_t end_j = 0;  ///< 1-based end position in b
+  int waves = 0;
+  int stages = 0;
+  double wall_seconds = 0.0;
+  std::size_t broadcast_bytes = 0;
+};
+
+/// Serialized size of a boundary for sparklet's accounting (found by ADL).
+inline std::size_t item_bytes(const TileBoundary& b) {
+  return (b.bottom.size() + b.right.size()) * sizeof(double) + 48;
+}
+
+/// Align `a` against `b`. Global mode returns the Needleman–Wunsch score of
+/// the full sequences; local mode the best Smith–Waterman segment score and
+/// its end coordinates.
+inline AlignResult spark_align(sparklet::SparkContext& sc, std::string a,
+                               std::string b, const ScoringScheme& scheme,
+                               AlignMode mode, const AlignOptions& opt = {}) {
+  opt.validate();
+  scheme.validate();
+  GS_THROW_IF(a.empty() || b.empty(), gs::ConfigError,
+              "cannot align empty sequences");
+
+  const std::size_t bs = opt.block_size;
+  const int rbi = static_cast<int>((a.size() + bs - 1) / bs);
+  const int rbj = static_cast<int>((b.size() + bs - 1) / bs);
+
+  gs::Stopwatch wall;
+  const int stages0 = sc.metrics().num_stages();
+  const std::size_t bcast0 = sc.metrics().total_broadcast_bytes();
+
+  auto a_bc = sc.broadcast(std::move(a));
+  auto b_bc = sc.broadcast(std::move(b));
+  const std::size_t m = a_bc.value().size();
+  const std::size_t n = b_bc.value().size();
+
+  const int np = opt.num_partitions > 0
+                     ? opt.num_partitions
+                     : static_cast<int>(sc.config().effective_partitions());
+  auto part = std::make_shared<sparklet::HashPartitioner>(np);
+
+  using BoundaryMap =
+      std::unordered_map<gs::TileKey, TileBoundary, gs::TileKeyHash>;
+  BoundaryMap done;
+
+  AlignResult result;
+  result.score = mode == AlignMode::kGlobal
+                     ? -std::numeric_limits<double>::infinity()
+                     : 0.0;
+
+  const double border_gap = mode == AlignMode::kGlobal ? scheme.gap : 0.0;
+
+  for (int d = 0; d <= (rbi - 1) + (rbj - 1); ++d) {
+    std::vector<std::pair<gs::TileKey, int>> wave;  // value unused
+    for (int bi = std::max(0, d - (rbj - 1)); bi <= std::min(d, rbi - 1);
+         ++bi) {
+      wave.push_back({gs::TileKey{bi, d - bi}, 0});
+    }
+    auto done_bc = sc.broadcast(done);
+    auto computed =
+        sparklet::parallelize_pairs(sc, wave, part, "alignWave")
+            .map(
+                [a_bc, b_bc, done_bc, scheme, mode, bs, border_gap, m,
+                 n](const std::pair<gs::TileKey, int>& kv) {
+                  const int bi = kv.first.i, bj = kv.first.j;
+                  const std::size_t r0 = std::size_t(bi) * bs;  // rows before
+                  const std::size_t c0 = std::size_t(bj) * bs;
+                  const std::size_t rows = std::min(bs, m - r0);
+                  const std::size_t cols = std::min(bs, n - c0);
+                  const BoundaryMap& prev = done_bc.value();
+
+                  // Assemble the top boundary (corner + row above).
+                  std::vector<double> top(cols + 1);
+                  if (bi == 0) {
+                    for (std::size_t j = 0; j <= cols; ++j) {
+                      top[j] = double(c0 + j) * border_gap;
+                    }
+                  } else {
+                    const auto& above = prev.at(gs::TileKey{bi - 1, bj});
+                    top[0] = bj == 0
+                                 ? double(r0) * border_gap
+                                 : prev.at(gs::TileKey{bi - 1, bj - 1})
+                                       .right.back();
+                    for (std::size_t j = 0; j < cols; ++j) {
+                      top[j + 1] = above.bottom[j];
+                    }
+                  }
+                  // Left boundary column.
+                  std::vector<double> left(rows);
+                  if (bj == 0) {
+                    for (std::size_t i = 0; i < rows; ++i) {
+                      left[i] = double(r0 + i + 1) * border_gap;
+                    }
+                  } else {
+                    const auto& lhs = prev.at(gs::TileKey{bi, bj - 1});
+                    for (std::size_t i = 0; i < rows; ++i) {
+                      left[i] = lhs.right[i];
+                    }
+                  }
+
+                  auto boundary = align_tile(
+                      std::string_view(a_bc.value()).substr(r0, rows),
+                      std::string_view(b_bc.value()).substr(c0, cols), top,
+                      left, scheme, mode, r0 + 1, c0 + 1);
+                  return std::pair<gs::TileKey, TileBoundary>(kv.first,
+                                                              std::move(boundary));
+                },
+                "alignTileKernel")
+            .collect("alignCollectWave");
+
+    for (auto& [key, boundary] : computed) {
+      if (mode == AlignMode::kLocal && boundary.best > result.score) {
+        result.score = boundary.best;
+        result.end_i = boundary.best_i;
+        result.end_j = boundary.best_j;
+      }
+      done.emplace(key, std::move(boundary));
+    }
+    ++result.waves;
+  }
+
+  if (mode == AlignMode::kGlobal) {
+    result.score = done.at(gs::TileKey{rbi - 1, rbj - 1}).right.back();
+    result.end_i = m;
+    result.end_j = n;
+  }
+  result.stages = sc.metrics().num_stages() - stages0;
+  result.broadcast_bytes = sc.metrics().total_broadcast_bytes() - bcast0;
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace align

@@ -1,0 +1,164 @@
+// align_kernels.hpp — tile kernel and reference solver for the alignment DP.
+//
+// The blocked table is never materialized whole: each tile consumes its top
+// boundary row (with the diagonal corner) and left boundary column, and
+// produces its bottom row and right column — O(b) bytes in and out for O(b²)
+// work, which is what makes the wavefront cheap to distribute.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "align/align_spec.hpp"
+#include "grid/matrix.hpp"
+
+namespace align {
+
+/// Boundary a finished tile hands to its right and bottom neighbours.
+/// bottom[j] = H[last row][c0 + 1 + j], right[i] = H[r0 + 1 + i][last col];
+/// corner = H[r0][c0] of the NEXT diagonal tile = bottom.back() == right.back().
+struct TileBoundary {
+  std::vector<double> bottom;
+  std::vector<double> right;
+  double best = 0.0;        ///< tile-local maximum (Smith–Waterman)
+  std::size_t best_i = 0;   ///< global coordinates of the maximum
+  std::size_t best_j = 0;
+};
+
+/// Compute one rows×cols tile. `top` has cols+1 entries (corner first),
+/// `left` has rows entries; a_slice/b_slice are the sequence chunks this
+/// tile aligns; (r0, c0) are the global 1-based offsets of the tile's first
+/// row/column (for best-cell reporting).
+inline TileBoundary align_tile(std::string_view a_slice,
+                               std::string_view b_slice,
+                               const std::vector<double>& top,
+                               const std::vector<double>& left,
+                               const ScoringScheme& scheme, AlignMode mode,
+                               std::size_t r0, std::size_t c0) {
+  const std::size_t rows = a_slice.size();
+  const std::size_t cols = b_slice.size();
+  GS_CHECK_MSG(top.size() == cols + 1, "top boundary must have cols+1 cells");
+  GS_CHECK_MSG(left.size() == rows, "left boundary must have rows cells");
+
+  TileBoundary out;
+  out.right.resize(rows);
+  out.best = -std::numeric_limits<double>::infinity();
+
+  // Rolling previous row: prev[0] is the left-of-row cell's diagonal source.
+  std::vector<double> prev = top;  // prev[j+1] = H[row-1][c0+j]
+  std::vector<double> cur(cols + 1);
+  for (std::size_t i = 0; i < rows; ++i) {
+    cur[0] = left[i];
+    const double diag_seed = i == 0 ? top[0] : left[i - 1];
+    // prev[0] must be H[r-1][c0-1]: top corner for the first row, then the
+    // left column supplies it.
+    prev[0] = diag_seed;
+    for (std::size_t j = 0; j < cols; ++j) {
+      double h = std::max(prev[j] + scheme.score(a_slice[i], b_slice[j]),
+                          std::max(prev[j + 1], cur[j]) + scheme.gap);
+      if (mode == AlignMode::kLocal && h < 0.0) h = 0.0;
+      cur[j + 1] = h;
+      if (h > out.best) {
+        out.best = h;
+        out.best_i = r0 + i;
+        out.best_j = c0 + j;
+      }
+    }
+    out.right[i] = cur[cols];
+    std::swap(prev, cur);
+  }
+  out.bottom.assign(prev.begin() + 1, prev.end());
+  return out;
+}
+
+/// Reference: the full table, plus traceback support. O(m·n) memory — test
+/// and example scale only.
+struct ReferenceAlignment {
+  gs::Matrix<double> h;  ///< (m+1)×(n+1) table
+  double score = 0.0;
+  std::size_t end_i = 0;
+  std::size_t end_j = 0;
+};
+
+inline ReferenceAlignment reference_align(std::string_view a,
+                                          std::string_view b,
+                                          const ScoringScheme& scheme,
+                                          AlignMode mode) {
+  const std::size_t m = a.size(), n = b.size();
+  ReferenceAlignment ref;
+  ref.h = gs::Matrix<double>(m + 1, n + 1, 0.0);
+  if (mode == AlignMode::kGlobal) {
+    for (std::size_t i = 1; i <= m; ++i) ref.h(i, 0) = double(i) * scheme.gap;
+    for (std::size_t j = 1; j <= n; ++j) ref.h(0, j) = double(j) * scheme.gap;
+  }
+  ref.score = mode == AlignMode::kGlobal
+                  ? -std::numeric_limits<double>::infinity()
+                  : 0.0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      double h = std::max(
+          ref.h(i - 1, j - 1) + scheme.score(a[i - 1], b[j - 1]),
+          std::max(ref.h(i - 1, j), ref.h(i, j - 1)) + scheme.gap);
+      if (mode == AlignMode::kLocal && h < 0.0) h = 0.0;
+      ref.h(i, j) = h;
+      if (mode == AlignMode::kLocal && h > ref.score) {
+        ref.score = h;
+        ref.end_i = i;
+        ref.end_j = j;
+      }
+    }
+  }
+  if (mode == AlignMode::kGlobal) {
+    ref.score = ref.h(m, n);
+    ref.end_i = m;
+    ref.end_j = n;
+  }
+  return ref;
+}
+
+/// Traceback from the reference table: returns the aligned pair with '-'
+/// gaps (global mode: full sequences; local: best segment).
+struct AlignedPair {
+  std::string a;
+  std::string b;
+};
+
+inline AlignedPair traceback(const ReferenceAlignment& ref, std::string_view a,
+                             std::string_view b, const ScoringScheme& scheme,
+                             AlignMode mode) {
+  AlignedPair out;
+  std::size_t i = ref.end_i, j = ref.end_j;
+  auto stop = [&] {
+    if (mode == AlignMode::kLocal) return ref.h(i, j) == 0.0;
+    return i == 0 && j == 0;
+  };
+  while (!stop()) {
+    if (i > 0 && j > 0 &&
+        ref.h(i, j) ==
+            ref.h(i - 1, j - 1) + scheme.score(a[i - 1], b[j - 1])) {
+      out.a.push_back(a[i - 1]);
+      out.b.push_back(b[j - 1]);
+      --i;
+      --j;
+    } else if (i > 0 && ref.h(i, j) == ref.h(i - 1, j) + scheme.gap) {
+      out.a.push_back(a[i - 1]);
+      out.b.push_back('-');
+      --i;
+    } else if (j > 0) {
+      out.a.push_back('-');
+      out.b.push_back(b[j - 1]);
+      --j;
+    } else {  // global mode: leading gaps in b
+      out.a.push_back(a[i - 1]);
+      out.b.push_back('-');
+      --i;
+    }
+  }
+  std::reverse(out.a.begin(), out.a.end());
+  std::reverse(out.b.begin(), out.b.end());
+  return out;
+}
+
+}  // namespace align

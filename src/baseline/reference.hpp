@@ -1,0 +1,133 @@
+// reference.hpp — sequential reference solvers, written as literally as
+// possible from the paper's figures (Fig. 2, Fig. 5) plus one independent
+// algorithm (Dijkstra APSP) that shares no code with the GEP kernels.
+// Everything else in the repository is validated against these.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "grid/matrix.hpp"
+#include "semiring/gep_spec.hpp"
+#include "support/check.hpp"
+
+namespace gs::baseline {
+
+/// Paper Fig. 5 — iterative FW-APSP, verbatim triple loop.
+inline void reference_floyd_warshall(Matrix<double>& d) {
+  const std::size_t n = d.rows();
+  GS_CHECK(d.cols() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double via = d(i, k) + d(k, j);
+        if (via < d(i, j)) d(i, j) = via;
+      }
+    }
+  }
+}
+
+/// Paper Fig. 2 — iterative Gaussian elimination without pivoting, verbatim.
+/// Leaves U in the upper triangle; the strict lower triangle holds the
+/// pre-elimination column values (multiplier m(i,k) = x(i,k)/x(k,k)).
+inline void reference_gaussian_elimination(Matrix<double>& x) {
+  const std::size_t n = x.rows();
+  GS_CHECK(x.cols() == n);
+  if (n < 2) return;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j < n; ++j) {
+        x(i, j) -= x(i, k) * x(k, j) / x(k, k);
+      }
+    }
+  }
+}
+
+/// Warshall's transitive closure, verbatim.
+inline void reference_transitive_closure(Matrix<std::uint8_t>& t) {
+  const std::size_t n = t.rows();
+  GS_CHECK(t.cols() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!t(i, k)) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (t(k, j)) t(i, j) = 1;
+      }
+    }
+  }
+}
+
+/// Independent APSP: one Dijkstra per source over the adjacency matrix.
+/// Requires non-negative weights. O(n^2 log n) with a binary heap — used as
+/// an algorithm-diverse cross-check for FW results in property tests.
+inline Matrix<double> dijkstra_apsp(const Matrix<double>& adj) {
+  const std::size_t n = adj.rows();
+  GS_CHECK(adj.cols() == n);
+  const double inf = std::numeric_limits<double>::infinity();
+  Matrix<double> dist(n, n, inf);
+
+  using QEntry = std::pair<double, std::size_t>;  // (distance, vertex)
+  for (std::size_t s = 0; s < n; ++s) {
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    dist(s, s) = 0.0;
+    pq.push({0.0, s});
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist(s, u)) continue;  // stale entry
+      for (std::size_t v = 0; v < n; ++v) {
+        const double w = adj(u, v);
+        if (w == inf || u == v) continue;
+        GS_DCHECK(w >= 0.0);
+        const double nd = d + w;
+        if (nd < dist(s, v)) {
+          dist(s, v) = nd;
+          pq.push({nd, v});
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+/// Bottleneck (widest-path) APSP reference: straight FW recurrence over
+/// (max, min) — for validating the WidestPathSpec extension.
+inline void reference_widest_path(Matrix<double>& c) {
+  const std::size_t n = c.rows();
+  GS_CHECK(c.cols() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double via = std::min(c(i, k), c(k, j));
+        if (via > c(i, j)) c(i, j) = via;
+      }
+    }
+  }
+}
+
+/// Extract L and U from a GEP-eliminated matrix (see
+/// reference_gaussian_elimination docs) and return max |L·U − A| over cells.
+inline double lu_residual(const Matrix<double>& original,
+                          const Matrix<double>& eliminated) {
+  const std::size_t n = original.rows();
+  GS_CHECK(eliminated.rows() == n && eliminated.cols() == n);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // L(i,k) = elim(i,k)/elim(k,k) for k<i; L(i,i)=1. U(k,j) = elim(k,j) k<=j.
+      double sum = 0.0;
+      const std::size_t kmax = std::min(i, j);
+      for (std::size_t k = 0; k < kmax; ++k) {
+        sum += eliminated(i, k) / eliminated(k, k) * eliminated(k, j);
+      }
+      // k = min(i,j): both the i<=j and i>j cases reduce to elim(i,j)
+      // (L(i,j)·U(j,j) = elim(i,j)/elim(j,j)·elim(j,j)).
+      sum += eliminated(i, j);
+      const double d = std::abs(sum - original(i, j));
+      if (d > worst) worst = d;
+    }
+  }
+  return worst;
+}
+
+}  // namespace gs::baseline

@@ -1,0 +1,101 @@
+// adaptive.hpp — on-the-fly runtime configuration selection (paper §IV-C:
+// the decomposition parameter and kernels can be tuned "on-the-fly by using
+// adaptive runtime configuration selection or using estimates from
+// hardware/software parameters using analytical models").
+//
+// tuning.hpp is the analytical-model path; this is the measured path: before
+// committing to a kernel flavour for a long job, race the candidates on one
+// representative tile-sized workload *on the actual machine* and keep the
+// winner. The micro-trial costs a few kernel invocations — noise next to an
+// r-iteration job — and adapts automatically to whatever cache hierarchy
+// the executor really has.
+#pragma once
+
+#include <vector>
+
+#include "gepspark/options.hpp"
+#include "gepspark/workload.hpp"
+#include "kernels/dispatch.hpp"
+#include "semiring/gep_spec.hpp"
+#include "support/stopwatch.hpp"
+
+namespace gepspark {
+
+struct AdaptiveTrialResult {
+  gs::KernelConfig config;
+  double seconds = 0.0;  ///< best-of-trials wall time of one D kernel
+};
+
+/// The default candidate slate: the baseline loops, the paper's r_shared
+/// sweep, and a machine-tuned tiling.
+inline std::vector<gs::KernelConfig> default_kernel_candidates(
+    int omp_threads) {
+  return {gs::KernelConfig::iterative(),
+          gs::KernelConfig::tiled(64, omp_threads),
+          gs::KernelConfig::recursive(2, omp_threads),
+          gs::KernelConfig::recursive(4, omp_threads),
+          gs::KernelConfig::recursive(8, omp_threads),
+          gs::KernelConfig::recursive(16, omp_threads)};
+}
+
+/// Race `candidates` on a synthetic b×b D-kernel application (the dominant
+/// kernel of every GEP job) and return them ranked fastest-first. Each
+/// candidate gets `trials` runs; the best run counts (first-run JIT/page
+/// faults shouldn't decide a long job's configuration).
+template <gs::GepSpecType Spec>
+std::vector<AdaptiveTrialResult> race_kernels(
+    std::size_t block_size, std::vector<gs::KernelConfig> candidates,
+    int trials = 3, std::uint64_t seed = 12345) {
+  GS_THROW_IF(candidates.empty(), gs::ConfigError,
+              "need at least one kernel candidate");
+  GS_THROW_IF(trials < 1, gs::ConfigError, "need at least one trial");
+  using T = typename Spec::value_type;
+
+  // One representative tile set. Kernel D mutates x, so every run gets a
+  // fresh copy; u/v/w are shared read-only.
+  gs::Matrix<T> x0(block_size, block_size), u(block_size, block_size),
+      v(block_size, block_size), w(block_size, block_size);
+  gs::Rng rng(seed);
+  for (auto* m : {&x0, &u, &v, &w}) {
+    for (std::size_t i = 0; i < block_size; ++i) {
+      for (std::size_t j = 0; j < block_size; ++j) {
+        (*m)(i, j) = static_cast<T>(rng.uniform(1.0, 100.0));
+      }
+    }
+  }
+
+  std::vector<AdaptiveTrialResult> results;
+  results.reserve(candidates.size());
+  for (auto& cand : candidates) {
+    gs::GepKernels<Spec> kern(cand);
+    double best = std::numeric_limits<double>::infinity();
+    for (int t = 0; t < trials; ++t) {
+      auto x = x0;
+      gs::Stopwatch sw;
+      kern.d(x.span(), u.span(), v.span(), w.span());
+      best = std::min(best, sw.seconds());
+    }
+    results.push_back({std::move(cand), best});
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const AdaptiveTrialResult& a,
+                      const AdaptiveTrialResult& b) {
+                     return a.seconds < b.seconds;
+                   });
+  return results;
+}
+
+/// Convenience: fill in opt.kernel with the measured winner for opt's block
+/// size. Returns the full ranking for logging.
+template <gs::GepSpecType Spec>
+std::vector<AdaptiveTrialResult> adapt_kernel(SolverOptions& opt,
+                                              int omp_threads = 1,
+                                              int trials = 3) {
+  auto ranked = race_kernels<Spec>(opt.block_size,
+                                   default_kernel_candidates(omp_threads),
+                                   trials);
+  opt.kernel = ranked.front().config;
+  return ranked;
+}
+
+}  // namespace gepspark

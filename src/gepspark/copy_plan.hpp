@@ -1,0 +1,118 @@
+// copy_plan.hpp — which tiles play which role in iteration k, and how many
+// copies the IM strategy fans out (paper §IV-C and Fig. 7).
+//
+// For a grid of side r at outer iteration k:
+//   A tile:   (k,k)
+//   B tiles:  (k,j) — pivot row;    j > k (strict Σ) or j ≠ k (full Σ)
+//   C tiles:  (i,k) — pivot column; i > k (strict)   or i ≠ k
+//   D tiles:  (i,j) — trailing;     i,j > k (strict) or i,j ≠ k
+//
+// IM fan-out (the paper's In-Memory copy counts):
+//   diag →  every B and C tile, plus every D tile iff the spec's f reads
+//           c[k,k] (kUsesW). For GE this is 2(r−k−1) + (r−k−1)² copies —
+//           the "kernel A has to copy the block it just updated to almost
+//           all other kernels" bottleneck; for FW only 2(r−1).
+//   row tile (k,j) → every D tile in column j;
+//   col tile (i,k) → every D tile in row i.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "grid/tile.hpp"
+#include "support/check.hpp"
+
+namespace gepspark {
+
+class GridRanges {
+ public:
+  GridRanges(int r, bool strict_sigma) : r_(r), strict_(strict_sigma) {
+    GS_CHECK(r >= 1);
+  }
+
+  int r() const { return r_; }
+  bool strict() const { return strict_; }
+
+  bool in_trailing(int idx, int k) const {
+    return strict_ ? idx > k : idx != k;
+  }
+
+  bool is_a(const gs::TileKey& key, int k) const {
+    return key.i == k && key.j == k;
+  }
+  bool is_b(const gs::TileKey& key, int k) const {
+    return key.i == k && in_trailing(key.j, k);
+  }
+  bool is_c(const gs::TileKey& key, int k) const {
+    return key.j == k && in_trailing(key.i, k);
+  }
+  bool is_d(const gs::TileKey& key, int k) const {
+    return in_trailing(key.i, k) && in_trailing(key.j, k);
+  }
+  bool is_touched(const gs::TileKey& key, int k) const {
+    return is_a(key, k) || is_b(key, k) || is_c(key, k) || is_d(key, k);
+  }
+
+  /// Number of tiles updated by each kernel kind in iteration k.
+  int num_b(int k) const { return strict_ ? r_ - k - 1 : r_ - 1; }
+  int num_c(int k) const { return num_b(k); }
+  int num_d(int k) const { return num_b(k) * num_b(k); }
+
+  std::vector<int> trailing_indices(int k) const {
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(num_b(k)));
+    for (int idx = strict_ ? k + 1 : 0; idx < r_; ++idx) {
+      if (idx == k) continue;
+      out.push_back(idx);
+    }
+    return out;
+  }
+
+  std::vector<gs::TileKey> b_keys(int k) const {
+    std::vector<gs::TileKey> out;
+    for (int j : trailing_indices(k)) out.push_back({k, j});
+    return out;
+  }
+  std::vector<gs::TileKey> c_keys(int k) const {
+    std::vector<gs::TileKey> out;
+    for (int i : trailing_indices(k)) out.push_back({i, k});
+    return out;
+  }
+  std::vector<gs::TileKey> d_keys(int k) const {
+    std::vector<gs::TileKey> out;
+    for (int i : trailing_indices(k)) {
+      for (int j : trailing_indices(k)) out.push_back({i, j});
+    }
+    return out;
+  }
+
+  /// IM copies of the freshly-updated diagonal tile in iteration k.
+  std::size_t diag_copy_count(int k, bool uses_w) const {
+    const auto b = static_cast<std::size_t>(num_b(k));
+    return 2 * b + (uses_w ? b * b : 0);
+  }
+
+  /// IM copies of pivot-row + pivot-column tiles feeding the D stage.
+  std::size_t rowcol_copy_count(int k) const {
+    const auto b = static_cast<std::size_t>(num_b(k));
+    return 2 * b * b;
+  }
+
+  /// All IM tile copies in iteration k (excluding pass-through self tiles).
+  std::size_t total_copy_count(int k, bool uses_w) const {
+    return diag_copy_count(k, uses_w) + rowcol_copy_count(k);
+  }
+
+  /// Tiles updated in iteration k (= tiles that also flow through the
+  /// stages as "self" entries).
+  std::size_t touched_count(int k) const {
+    const auto b = static_cast<std::size_t>(num_b(k));
+    return 1 + 2 * b + b * b;
+  }
+
+ private:
+  int r_;
+  bool strict_;
+};
+
+}  // namespace gepspark

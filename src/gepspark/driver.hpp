@@ -1,0 +1,395 @@
+// driver.hpp — the paper's contribution: GEP-class DP algorithms driven as
+// Spark jobs over an r×r tile grid, with two distribution strategies.
+//
+// In-Memory (IM) — paper Listing 1. Each iteration k runs three shuffled
+// phases: A on the pivot tile, whose flatMap also fans out copies of the
+// updated tile to every consumer; B/C on pivot row/column, assembled with
+// combineByKey and fanning their outputs to the D tiles; and D on the
+// trailing submatrix via mapPartitions. Every phase repartitions with the
+// job partitioner, so the data paths are wide (shuffles) throughout.
+//
+// Collect-Broadcast (CB) — paper Listing 2. Instead of shuffling copies,
+// each phase's results are collect()ed to the driver and redistributed to
+// executors through shared persistent storage (broadcast). Only the final
+// per-iteration union is repartitioned.
+//
+// Both drivers apply per-tile kernels through kernels/tile_ops.hpp, so the
+// kernel flavour (iterative vs r_shared-way recursive with OpenMP) is a
+// plug-in — the paper's central comparison.
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gepspark/copy_plan.hpp"
+#include "gepspark/options.hpp"
+#include "grid/tile_grid.hpp"
+#include "kernels/tile_ops.hpp"
+#include "semiring/gep_spec.hpp"
+#include "sparklet/rdd.hpp"
+#include "support/stopwatch.hpp"
+
+namespace gepspark {
+
+/// Role a tile copy plays when it reaches a consumer kernel.
+enum class Role : std::uint8_t {
+  kSelf = 0,    ///< the tile being updated
+  kDiag = 1,    ///< copy of the pivot tile (u/w for B, v/w for C, w for D)
+  kRowPiv = 2,  ///< copy of pivot-row tile (k,j) — D's v input
+  kColPiv = 3,  ///< copy of pivot-column tile (i,k) — D's u input
+};
+
+template <typename T>
+struct TaggedTile {
+  Role role = Role::kSelf;
+  gs::TileRef<T> tile;
+};
+
+/// Serialized size for shuffle accounting (found by ADL from sparklet).
+template <typename T>
+std::size_t item_bytes(const TaggedTile<T>& t) {
+  return (t.tile ? t.tile->bytes() : std::size_t{8}) + 1;
+}
+
+template <gs::GepSpecType Spec>
+class GepDriver {
+ public:
+  using T = typename Spec::value_type;
+  using TileR = gs::TileRef<T>;
+  using DPPair = std::pair<gs::TileKey, TileR>;
+  using Tagged = std::pair<gs::TileKey, TaggedTile<T>>;
+  using DpRdd = sparklet::RDD<DPPair>;
+  using TaggedRdd = sparklet::RDD<Tagged>;
+
+  GepDriver(sparklet::SparkContext& sc, SolverOptions opt)
+      : sc_(sc), opt_(std::move(opt)),
+        kernels_(std::make_shared<const gs::GepKernels<Spec>>(opt_.kernel)) {
+    opt_.validate();
+  }
+
+  /// Run the full GEP computation on `input`, returning the processed table.
+  gs::Matrix<T> solve(const gs::Matrix<T>& input, SolveStats* stats = nullptr) {
+    const gs::BlockLayout layout =
+        gs::BlockLayout::for_problem(input.rows(), opt_.block_size);
+    gs::TileGrid<T> grid(input, opt_.block_size, Spec::pad_diag(),
+                         Spec::pad_off());
+
+    const int num_parts = opt_.num_partitions > 0
+                              ? opt_.num_partitions
+                              : static_cast<int>(
+                                    sc_.config().effective_partitions());
+    if (opt_.use_grid_partitioner) {
+      part_ = std::make_shared<sparklet::GridPartitioner>(
+          num_parts, static_cast<int>(layout.r));
+    } else {
+      part_ = std::make_shared<sparklet::HashPartitioner>(num_parts);
+    }
+
+    const double t0 = sc_.timeline().now();
+    const int stages0 = sc_.metrics().num_stages();
+    const int tasks0 = sc_.metrics().total_stage_tasks();
+    const std::size_t shuffle0 = sc_.metrics().total_shuffle_write();
+    const std::size_t collect0 = sc_.metrics().total_collect_bytes();
+    const std::size_t bcast0 = sc_.metrics().total_broadcast_bytes();
+    gs::Stopwatch wall;
+
+    DpRdd dp = sparklet::parallelize_pairs(sc_, grid.entries(), part_, "DP");
+    dp = (opt_.strategy == Strategy::kInMemory) ? solve_im(dp, layout)
+                                                : solve_cb(dp, layout);
+    auto entries = dp.collect("gatherResult");
+
+    if (stats != nullptr) {
+      stats->wall_seconds = wall.seconds();
+      stats->virtual_seconds = sc_.timeline().now() - t0;
+      stats->stages = sc_.metrics().num_stages() - stages0;
+      stats->tasks = sc_.metrics().total_stage_tasks() - tasks0;
+      stats->shuffle_bytes = sc_.metrics().total_shuffle_write() - shuffle0;
+      stats->collect_bytes = sc_.metrics().total_collect_bytes() - collect0;
+      stats->broadcast_bytes = sc_.metrics().total_broadcast_bytes() - bcast0;
+      stats->grid_r = static_cast<int>(layout.r);
+    }
+    return gs::TileGrid<T>::from_entries(layout, entries).gather();
+  }
+
+ private:
+  static constexpr bool kUsesW = Spec::kUsesW;
+
+  // ------------------------- In-Memory (Listing 1) -------------------------
+
+  DpRdd solve_im(DpRdd dp, const gs::BlockLayout& layout) {
+    const int r = static_cast<int>(layout.r);
+    const GridRanges ranges(r, Spec::kStrictSigma);
+    auto kern = kernels_;
+
+    for (int k = 0; k < r; ++k) {
+      // ---- Stage 1: kernel A on the pivot tile + IM copy fan-out ----
+      auto a_out =
+          dp.filter([k](const DPPair& kv) { return kv.first == gs::TileKey{k, k}; },
+                    "FilterA")
+              .flat_map(
+                  [kern, ranges, k](const DPPair& kv) {
+                    TileR updated = gs::apply_tile_kernel<Spec>(
+                        *kern, gs::KernelKind::A, kv.second, nullptr, nullptr,
+                        nullptr);
+                    std::vector<Tagged> out;
+                    out.push_back({kv.first, {Role::kSelf, updated}});
+                    for (const auto& key : ranges.b_keys(k)) {
+                      out.push_back({key, {Role::kDiag, updated}});
+                    }
+                    for (const auto& key : ranges.c_keys(k)) {
+                      out.push_back({key, {Role::kDiag, updated}});
+                    }
+                    if (kUsesW) {
+                      for (const auto& key : ranges.d_keys(k)) {
+                        out.push_back({key, {Role::kDiag, updated}});
+                      }
+                    }
+                    return out;
+                  },
+                  "ARecGE")
+              .partition_by(part_, "partitionByA");
+
+      auto a_self = untag(a_out.filter(
+          [](const Tagged& kv) { return kv.second.role == Role::kSelf; },
+          "selfA"));
+
+      if (ranges.num_b(k) == 0) {
+        // Last strict iteration (or r == 1): nothing but A runs.
+        dp = sparklet::union_all<DPPair>(
+                 {dp.filter([ranges, k](const DPPair& kv) {
+                    return !ranges.is_touched(kv.first, k);
+                  },
+                  "FilterPrev"),
+                  a_self},
+                 "unionIter")
+                 .partition_by(part_, "repartition");
+        dp.checkpoint();
+        continue;
+      }
+
+      // ---- Stage 2: kernels B and C on pivot row/column ----
+      auto bc_old = tag_self(dp.filter(
+          [ranges, k](const DPPair& kv) {
+            return ranges.is_b(kv.first, k) || ranges.is_c(kv.first, k);
+          },
+          "FilterBC"));
+      auto bc_copies = a_out.filter(
+          [ranges, k](const Tagged& kv) {
+            return kv.second.role == Role::kDiag &&
+                   (ranges.is_b(kv.first, k) || ranges.is_c(kv.first, k));
+          },
+          "diagForBC");
+      auto bc_out =
+          bc_old.union_with(bc_copies)
+              .group_by_key(part_, "combineByKeyBC")
+              .flat_map(
+                  [kern, ranges, k](
+                      const std::pair<gs::TileKey, std::vector<TaggedTile<T>>>&
+                          kv) {
+                    TileR self, diag;
+                    for (const auto& tt : kv.second) {
+                      (tt.role == Role::kSelf ? self : diag) = tt.tile;
+                    }
+                    GS_CHECK_MSG(self && diag,
+                                 "B/C group missing self tile or pivot copy");
+                    const bool is_row = kv.first.i == k;  // (k,j) → kernel B
+                    TileR updated = gs::apply_tile_kernel<Spec>(
+                        *kern, is_row ? gs::KernelKind::B : gs::KernelKind::C,
+                        self, is_row ? diag : nullptr,
+                        is_row ? nullptr : diag, kUsesW ? diag : nullptr);
+                    std::vector<Tagged> out;
+                    out.push_back({kv.first, {Role::kSelf, updated}});
+                    if (is_row) {
+                      for (int i : ranges.trailing_indices(k)) {
+                        out.push_back(
+                            {gs::TileKey{i, kv.first.j}, {Role::kRowPiv, updated}});
+                      }
+                    } else {
+                      for (int j : ranges.trailing_indices(k)) {
+                        out.push_back(
+                            {gs::TileKey{kv.first.i, j}, {Role::kColPiv, updated}});
+                      }
+                    }
+                    return out;
+                  },
+                  "BCRecGE")
+              .partition_by(part_, "partitionByBC");
+
+      auto bc_self = untag(bc_out.filter(
+          [](const Tagged& kv) { return kv.second.role == Role::kSelf; },
+          "selfBC"));
+
+      // ---- Stage 3: kernel D on the trailing submatrix ----
+      auto d_old = tag_self(dp.filter(
+          [ranges, k](const DPPair& kv) { return ranges.is_d(kv.first, k); },
+          "FilterD"));
+      auto d_rowcol = bc_out.filter(
+          [](const Tagged& kv) {
+            return kv.second.role == Role::kRowPiv ||
+                   kv.second.role == Role::kColPiv;
+          },
+          "pivForD");
+      std::vector<TaggedRdd> d_inputs{d_old, d_rowcol};
+      if (kUsesW) {
+        d_inputs.push_back(a_out.filter(
+            [ranges, k](const Tagged& kv) {
+              return kv.second.role == Role::kDiag && ranges.is_d(kv.first, k);
+            },
+            "diagForD"));
+      }
+      auto d_out =
+          sparklet::union_all<Tagged>(d_inputs, "unionD")
+              .group_by_key(part_, "combineByKeyD")
+              .map_partitions(
+                  [kern](int /*p*/,
+                         const std::vector<std::pair<
+                             gs::TileKey, std::vector<TaggedTile<T>>>>& items) {
+                    std::vector<DPPair> out;
+                    out.reserve(items.size());
+                    for (const auto& [key, group] : items) {
+                      TileR self, diag, row, col;
+                      for (const auto& tt : group) {
+                        switch (tt.role) {
+                          case Role::kSelf: self = tt.tile; break;
+                          case Role::kDiag: diag = tt.tile; break;
+                          case Role::kRowPiv: row = tt.tile; break;
+                          case Role::kColPiv: col = tt.tile; break;
+                        }
+                      }
+                      GS_CHECK_MSG(self && row && col && (!kUsesW || diag),
+                                   "D group missing an input tile");
+                      out.push_back({key, gs::apply_tile_kernel<Spec>(
+                                              *kern, gs::KernelKind::D, self,
+                                              col, row,
+                                              kUsesW ? diag : nullptr)});
+                    }
+                    return out;
+                  },
+                  /*preserves_partitioning=*/true, "DRecGE")
+              .partition_by(part_, "partitionByD");
+
+      // ---- Preparation for the next iteration (Listing 1 lines 16-23) ----
+      auto prev = dp.filter(
+          [ranges, k](const DPPair& kv) {
+            return !ranges.is_touched(kv.first, k);
+          },
+          "FilterPrev");
+      dp = sparklet::union_all<DPPair>({prev, a_self, bc_self, d_out},
+                                       "unionIter")
+               .partition_by(part_, "repartition");
+      dp.checkpoint();
+    }
+    return dp;
+  }
+
+  // --------------------- Collect-Broadcast (Listing 2) ---------------------
+
+  DpRdd solve_cb(DpRdd dp, const gs::BlockLayout& layout) {
+    const int r = static_cast<int>(layout.r);
+    const GridRanges ranges(r, Spec::kStrictSigma);
+    auto kern = kernels_;
+
+    for (int k = 0; k < r; ++k) {
+      // ---- Stage 1: kernel A, collect to driver, broadcast via storage ----
+      auto a_rdd =
+          dp.filter([k](const DPPair& kv) { return kv.first == gs::TileKey{k, k}; },
+                    "FilterA")
+              .map(
+                  [kern](const DPPair& kv) {
+                    return DPPair{kv.first,
+                                  gs::apply_tile_kernel<Spec>(
+                                      *kern, gs::KernelKind::A, kv.second,
+                                      nullptr, nullptr, nullptr)};
+                  },
+                  "ARecGE");
+      auto a_collected = a_rdd.collect("collectA");
+      GS_CHECK_MSG(a_collected.size() == 1, "expected exactly one pivot tile");
+      auto diag_bc = sc_.broadcast(a_collected.front().second);  // "tofile()"
+
+      auto prev = dp.filter(
+          [ranges, k](const DPPair& kv) {
+            return !ranges.is_touched(kv.first, k);
+          },
+          "FilterPrev");
+
+      if (ranges.num_b(k) == 0) {
+        dp = sparklet::union_all<DPPair>({prev, a_rdd}, "unionIter")
+                 .partition_by(part_, "repartition");
+        dp.checkpoint();
+        continue;
+      }
+
+      // ---- Stage 2: kernels B/C against the broadcast pivot ----
+      auto bc_rdd =
+          dp.filter(
+                [ranges, k](const DPPair& kv) {
+                  return ranges.is_b(kv.first, k) || ranges.is_c(kv.first, k);
+                },
+                "FilterBC")
+              .map(
+                  [kern, diag_bc, k](const DPPair& kv) {
+                    const bool is_row = kv.first.i == k;
+                    const TileR& diag = diag_bc.value();
+                    return DPPair{
+                        kv.first,
+                        gs::apply_tile_kernel<Spec>(
+                            *kern, is_row ? gs::KernelKind::B : gs::KernelKind::C,
+                            kv.second, is_row ? diag : nullptr,
+                            is_row ? nullptr : diag,
+                            kUsesW ? diag : nullptr)};
+                  },
+                  "BCRecGE");
+      auto bc_collected = bc_rdd.collect("collectBC");
+      std::unordered_map<gs::TileKey, TileR, gs::TileKeyHash> pivot_map;
+      for (const auto& [key, tile] : bc_collected) pivot_map.emplace(key, tile);
+      auto pivots_bc = sc_.broadcast(std::move(pivot_map));  // "tofile()"
+
+      // ---- Stage 3: kernel D against broadcast pivot row/column ----
+      auto d_rdd =
+          dp.filter(
+                [ranges, k](const DPPair& kv) { return ranges.is_d(kv.first, k); },
+                "FilterD")
+              .map(
+                  [kern, pivots_bc, diag_bc, k](const DPPair& kv) {
+                    const auto& pivots = pivots_bc.value();
+                    const TileR& col = pivots.at(gs::TileKey{kv.first.i, k});
+                    const TileR& row = pivots.at(gs::TileKey{k, kv.first.j});
+                    return DPPair{kv.first,
+                                  gs::apply_tile_kernel<Spec>(
+                                      *kern, gs::KernelKind::D, kv.second, col,
+                                      row, kUsesW ? diag_bc.value() : nullptr)};
+                  },
+                  "DRecGE");
+
+      // ---- Listing 2 lines 13-19: reassemble and repartition once ----
+      dp = sparklet::union_all<DPPair>({prev, a_rdd, bc_rdd, d_rdd},
+                                       "unionIter")
+               .partition_by(part_, "repartition");
+      dp.checkpoint();
+    }
+    return dp;
+  }
+
+  // ------------------------------ helpers ------------------------------
+
+  // mapValues keeps keys (and therefore the partitioner) intact, so these
+  // wrappers never break the shuffle-elision chain.
+  TaggedRdd tag_self(const DpRdd& rdd) const {
+    return rdd.map_values(
+        [](const TileR& t) { return TaggedTile<T>{Role::kSelf, t}; },
+        "tagSelf");
+  }
+
+  DpRdd untag(const TaggedRdd& rdd) const {
+    return rdd.map_values([](const TaggedTile<T>& tt) { return tt.tile; },
+                          "untag");
+  }
+
+  sparklet::SparkContext& sc_;
+  SolverOptions opt_;
+  std::shared_ptr<const gs::GepKernels<Spec>> kernels_;
+  sparklet::PartitionerPtr part_;
+};
+
+}  // namespace gepspark

@@ -1,0 +1,67 @@
+// options.hpp — user-facing configuration of the GEP-on-Spark solver:
+// the paper's tunables (block decomposition r via block size, IM vs CB
+// strategy, kernel flavour, r_shared, OMP threads) plus the future-work
+// grid partitioner toggle.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "kernels/kernel_config.hpp"
+#include "support/format.hpp"
+
+namespace gepspark {
+
+enum class Strategy : int {
+  kInMemory = 0,          ///< Listing 1: combineByKey fan-out (shuffles)
+  kCollectBroadcast = 1,  ///< Listing 2: collect() + shared-storage broadcast
+};
+
+inline const char* strategy_name(Strategy s) {
+  return s == Strategy::kInMemory ? "IM" : "CB";
+}
+
+struct SolverOptions {
+  /// Tile side b; the grid side r = ceil(n / b) is the paper's top-level
+  /// decomposition parameter.
+  std::size_t block_size = 256;
+
+  Strategy strategy = Strategy::kInMemory;
+
+  /// Per-tile kernel configuration (iterative vs r_shared-way recursive).
+  gs::KernelConfig kernel = gs::KernelConfig::iterative();
+
+  /// Number of RDD partitions (0 → cluster default of 2 × total cores).
+  int num_partitions = 0;
+
+  /// Use the grid-aware partitioner (paper §VI future work) instead of
+  /// Spark's default hash partitioner.
+  bool use_grid_partitioner = false;
+
+  void validate() const {
+    GS_THROW_IF(block_size == 0, gs::ConfigError, "block_size must be > 0");
+    GS_THROW_IF(num_partitions < 0, gs::ConfigError,
+                "num_partitions must be >= 0");
+    kernel.validate();
+  }
+
+  std::string describe() const {
+    return gs::strfmt("%s b=%zu %s%s", strategy_name(strategy), block_size,
+                      kernel.describe().c_str(),
+                      use_grid_partitioner ? " grid-partitioner" : "");
+  }
+};
+
+/// Execution statistics for one solve, in both time domains.
+struct SolveStats {
+  double wall_seconds = 0.0;     ///< real elapsed time on the host
+  double virtual_seconds = 0.0;  ///< virtual-cluster makespan (timeline delta)
+  std::size_t shuffle_bytes = 0;
+  std::size_t collect_bytes = 0;
+  std::size_t broadcast_bytes = 0;
+  int stages = 0;
+  int tasks = 0;
+  int grid_r = 0;
+};
+
+}  // namespace gepspark

@@ -1,0 +1,67 @@
+// solver.hpp — the library's public entry points.
+//
+// Quickstart:
+//   sparklet::SparkContext sc(sparklet::ClusterConfig::local(4, 2));
+//   gepspark::SolverOptions opt;
+//   opt.block_size = 64;
+//   opt.strategy = gepspark::Strategy::kInMemory;
+//   opt.kernel = gs::KernelConfig::recursive(/*r_shared=*/4, /*omp=*/2);
+//   auto dist = gepspark::spark_floyd_warshall(sc, adjacency, opt);
+//
+// The generic solve_gep<Spec>() runs any GepSpec; the named helpers bind the
+// paper's benchmarks (FW-APSP, GE) plus transitive closure and widest-path.
+#pragma once
+
+#include "gepspark/driver.hpp"
+#include "gepspark/options.hpp"
+
+namespace gepspark {
+
+/// Run the GEP computation for `Spec` on `input` over the given Spark
+/// context. Returns the fully-processed DP table (padding stripped).
+template <gs::GepSpecType Spec>
+gs::Matrix<typename Spec::value_type> solve_gep(
+    sparklet::SparkContext& sc, const gs::Matrix<typename Spec::value_type>& input,
+    const SolverOptions& opt, SolveStats* stats = nullptr) {
+  GepDriver<Spec> driver(sc, opt);
+  return driver.solve(input, stats);
+}
+
+/// All-pairs shortest paths (min-plus semiring). `adjacency(i,j)` is the
+/// edge weight, +∞ for "no edge", and 0 on the diagonal. Requires no
+/// negative cycles.
+inline gs::Matrix<double> spark_floyd_warshall(sparklet::SparkContext& sc,
+                                               const gs::Matrix<double>& adjacency,
+                                               const SolverOptions& opt,
+                                               SolveStats* stats = nullptr) {
+  return solve_gep<gs::FloydWarshallSpec>(sc, adjacency, opt, stats);
+}
+
+/// Gaussian elimination without pivoting. Returns the eliminated table:
+/// U in the upper triangle; the strict lower triangle holds pre-elimination
+/// column values (multiplier L(i,k) = out(i,k)/out(k,k)). Numerically safe
+/// for diagonally dominant or symmetric positive-definite inputs.
+inline gs::Matrix<double> spark_gaussian_elimination(
+    sparklet::SparkContext& sc, const gs::Matrix<double>& system,
+    const SolverOptions& opt, SolveStats* stats = nullptr) {
+  return solve_gep<gs::GaussianEliminationSpec>(sc, system, opt, stats);
+}
+
+/// Transitive closure (boolean semiring). `adjacency(i,j)` ∈ {0,1}; set the
+/// diagonal to 1 for reflexive reachability.
+inline gs::Matrix<std::uint8_t> spark_transitive_closure(
+    sparklet::SparkContext& sc, const gs::Matrix<std::uint8_t>& adjacency,
+    const SolverOptions& opt, SolveStats* stats = nullptr) {
+  return solve_gep<gs::TransitiveClosureSpec>(sc, adjacency, opt, stats);
+}
+
+/// Widest (maximum-bottleneck) paths over the (max, min) semiring.
+/// `capacity(i,j)` is the link capacity, 0 for "no link", +∞ on the diagonal.
+inline gs::Matrix<double> spark_widest_path(sparklet::SparkContext& sc,
+                                            const gs::Matrix<double>& capacity,
+                                            const SolverOptions& opt,
+                                            SolveStats* stats = nullptr) {
+  return solve_gep<gs::WidestPathSpec>(sc, capacity, opt, stats);
+}
+
+}  // namespace gepspark

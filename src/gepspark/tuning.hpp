@@ -1,0 +1,89 @@
+// tuning.hpp — offline configuration search (paper §I: "Tunability enables
+// the programmer to find an optimal point in the trade-off spectrum").
+//
+// Sweeps the paper's knobs — block size (hence grid r), IM vs CB,
+// iterative vs r_shared-way recursive kernels, OMP_NUM_THREADS — through the
+// simtime cost model for a described cluster, and ranks configurations.
+// This is the "estimates from hardware/software parameters using analytical
+// models" path the paper describes (§IV-C); the examples use it to pick a
+// configuration before running for real.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "gepspark/options.hpp"
+#include "simtime/gep_job_sim.hpp"
+
+namespace gepspark {
+
+struct TuningSpace {
+  std::vector<std::size_t> block_sizes = {256, 512, 1024, 2048, 4096};
+  std::vector<Strategy> strategies = {Strategy::kInMemory,
+                                      Strategy::kCollectBroadcast};
+  std::vector<std::size_t> r_shared_values = {2, 4, 8, 16};
+  std::vector<int> omp_threads = {1, 2, 4, 8, 16, 32};
+  bool include_iterative = true;
+};
+
+struct TuningCandidate {
+  SolverOptions options;
+  simtime::SimResult predicted;
+
+  bool ok() const { return predicted.ok(); }
+};
+
+struct TuningReport {
+  std::vector<TuningCandidate> ranked;  ///< feasible candidates, fastest first
+
+  const TuningCandidate& best() const {
+    GS_CHECK_MSG(!ranked.empty(), "no feasible configuration found");
+    return ranked.front();
+  }
+};
+
+/// Rank every configuration in `space` for the job described by `base`
+/// (block/strategy/kernel fields of `base` are overwritten per candidate).
+inline TuningReport tune(const simtime::MachineModel& model,
+                         simtime::GepJobParams base,
+                         const TuningSpace& space = {}) {
+  TuningReport report;
+  auto consider = [&](std::size_t block, Strategy strategy,
+                      const gs::KernelConfig& kernel) {
+    if (block >= base.n) return;  // degenerate single-tile "cluster" runs
+    simtime::GepJobParams p = base;
+    p.block = block;
+    p.strategy = strategy;
+    p.kernel = kernel;
+    auto sim = simulate_gep_job(model, p);
+    if (!sim.ok()) return;
+
+    TuningCandidate cand;
+    cand.options.block_size = block;
+    cand.options.strategy = strategy;
+    cand.options.kernel = kernel;
+    cand.predicted = sim;
+    report.ranked.push_back(std::move(cand));
+  };
+
+  for (std::size_t block : space.block_sizes) {
+    for (Strategy strategy : space.strategies) {
+      if (space.include_iterative) {
+        consider(block, strategy, gs::KernelConfig::iterative());
+      }
+      for (std::size_t rs : space.r_shared_values) {
+        for (int omp : space.omp_threads) {
+          consider(block, strategy, gs::KernelConfig::recursive(rs, omp));
+        }
+      }
+    }
+  }
+
+  std::stable_sort(report.ranked.begin(), report.ranked.end(),
+                   [](const TuningCandidate& a, const TuningCandidate& b) {
+                     return a.predicted.seconds < b.predicted.seconds;
+                   });
+  return report;
+}
+
+}  // namespace gepspark

@@ -1,0 +1,185 @@
+// workload.hpp — synthetic input generators for the benchmarks.
+//
+// The paper evaluates on dense 32K×32K tables; inputs are synthetic (random
+// directed graphs for FW-APSP / transitive closure, diagonally dominant
+// systems for GE so elimination without pivoting is numerically safe).
+// Generation is deterministic and scheduling-independent: every cell is
+// drawn from an RNG stream derived from (seed, i, j).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "support/check.hpp"
+
+#include "grid/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace gs::workload {
+
+struct GraphParams {
+  std::size_t n = 64;        ///< number of vertices
+  double edge_prob = 0.30;   ///< density of directed edges
+  double min_weight = 1.0;
+  double max_weight = 100.0;
+  std::uint64_t seed = 42;
+};
+
+/// Dense adjacency matrix of a random directed weighted graph:
+/// d(i,i) = 0, d(i,j) = weight with probability edge_prob, else +∞.
+inline Matrix<double> random_digraph(const GraphParams& p) {
+  Matrix<double> m(p.n, p.n);
+  const double inf = std::numeric_limits<double>::infinity();
+  Rng root(p.seed);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    Rng row = root.split(i);
+    for (std::size_t j = 0; j < p.n; ++j) {
+      if (i == j) {
+        m(i, j) = 0.0;
+        row.uniform();  // keep the stream position independent of the branch
+        row.uniform();
+      } else if (row.bernoulli(p.edge_prob)) {
+        m(i, j) = row.uniform(p.min_weight, p.max_weight);
+      } else {
+        row.uniform();
+        m(i, j) = inf;
+      }
+    }
+  }
+  return m;
+}
+
+/// Boolean adjacency matrix (diagonal = reachable-from-self).
+inline Matrix<std::uint8_t> random_bool_digraph(std::size_t n, double edge_prob,
+                                                std::uint64_t seed = 42) {
+  Matrix<std::uint8_t> m(n, n, std::uint8_t{0});
+  Rng root(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng row = root.split(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = (i == j) ? std::uint8_t{1}
+                         : static_cast<std::uint8_t>(row.bernoulli(edge_prob));
+    }
+  }
+  return m;
+}
+
+/// Strictly diagonally dominant random matrix — the classical sufficient
+/// condition for GE without pivoting to be well-posed (paper §IV).
+inline Matrix<double> diagonally_dominant_matrix(std::size_t n,
+                                                 std::uint64_t seed = 42) {
+  Matrix<double> m(n, n);
+  Rng root(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng row = root.split(i);
+    double off_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      m(i, j) = row.uniform(-1.0, 1.0);
+      off_sum += std::abs(m(i, j));
+    }
+    m(i, i) = off_sum + row.uniform(1.0, 2.0);  // strict dominance margin
+  }
+  return m;
+}
+
+/// Capacity graph for the widest-path extension: c(i,i)=+∞,
+/// c(i,j) = capacity > 0 with probability edge_prob, else 0 (no link).
+inline Matrix<double> random_capacity_graph(std::size_t n, double edge_prob,
+                                            std::uint64_t seed = 42) {
+  Matrix<double> m(n, n, 0.0);
+  Rng root(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng row = root.split(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        m(i, j) = std::numeric_limits<double>::infinity();
+      } else if (row.bernoulli(edge_prob)) {
+        m(i, j) = row.uniform(1.0, 1000.0);
+      }
+    }
+  }
+  return m;
+}
+
+/// w×h 4-neighbour grid "road network" with congestion-perturbed travel
+/// times — the motivating transportation workload for the APSP example.
+inline Matrix<double> grid_road_network(std::size_t width, std::size_t height,
+                                        std::uint64_t seed = 42) {
+  const std::size_t n = width * height;
+  const double inf = std::numeric_limits<double>::infinity();
+  Matrix<double> m(n, n, inf);
+  Rng rng(seed);
+  auto id = [width](std::size_t x, std::size_t y) { return y * width + x; };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      m(id(x, y), id(x, y)) = 0.0;
+      // bidirectional but asymmetric travel times (rush-hour directionality)
+      if (x + 1 < width) {
+        m(id(x, y), id(x + 1, y)) = rng.uniform(1.0, 5.0);
+        m(id(x + 1, y), id(x, y)) = rng.uniform(1.0, 5.0);
+      }
+      if (y + 1 < height) {
+        m(id(x, y), id(x, y + 1)) = rng.uniform(1.0, 5.0);
+        m(id(x, y + 1), id(x, y)) = rng.uniform(1.0, 5.0);
+      }
+    }
+  }
+  return m;
+}
+
+/// Scale-free directed graph (Barabási–Albert-style preferential
+/// attachment): a handful of hubs dominate the degree distribution — the
+/// "big data" graph family (social/web graphs) the paper's motivation cites.
+inline Matrix<double> scale_free_digraph(std::size_t n, std::size_t edges_per_node,
+                                         std::uint64_t seed = 42) {
+  GS_CHECK(n >= 2);
+  const double inf = std::numeric_limits<double>::infinity();
+  Matrix<double> m(n, n, inf);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 0.0;
+  Rng rng(seed);
+  std::vector<std::size_t> endpoint_pool;  // nodes repeated ∝ degree
+  endpoint_pool.push_back(0);
+  for (std::size_t v = 1; v < n; ++v) {
+    for (std::size_t e = 0; e < edges_per_node; ++e) {
+      const std::size_t target =
+          endpoint_pool[rng.uniform_u64(endpoint_pool.size())];
+      if (target == v) continue;
+      const double w = rng.uniform(1.0, 10.0);
+      // attach in a random direction so the digraph is not a DAG
+      if (rng.bernoulli(0.5)) {
+        m(v, target) = std::min(m(v, target), w);
+      } else {
+        m(target, v) = std::min(m(target, v), w);
+      }
+      endpoint_pool.push_back(target);
+    }
+    endpoint_pool.push_back(v);
+  }
+  return m;
+}
+
+/// Banded diagonally dominant matrix (bandwidth 2k+1): the sparse-ish
+/// systems that arise from 1-D discretizations; still safe for GE without
+/// pivoting.
+inline Matrix<double> banded_dominant_matrix(std::size_t n, std::size_t half_band,
+                                             std::uint64_t seed = 42) {
+  Matrix<double> m(n, n, 0.0);
+  Rng root(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Rng row = root.split(i);
+    double off_sum = 0.0;
+    const std::size_t lo = i > half_band ? i - half_band : 0;
+    const std::size_t hi = std::min(n - 1, i + half_band);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      if (i == j) continue;
+      m(i, j) = row.uniform(-1.0, 1.0);
+      off_sum += std::abs(m(i, j));
+    }
+    m(i, i) = off_sum + row.uniform(1.0, 2.0);
+  }
+  return m;
+}
+
+}  // namespace gs::workload

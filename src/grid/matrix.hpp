@@ -1,0 +1,78 @@
+// matrix.hpp — simple dense row-major matrix used by reference solvers,
+// workload generators, and as the gather target for TileGrid.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "support/buffer.hpp"
+#include "support/span2d.hpp"
+
+namespace gs {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), storage_(rows * cols) {}
+
+  Matrix(std::size_t rows, std::size_t cols, const T& fill)
+      : Matrix(rows, cols) {
+    fill_span(span(), fill);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    GS_DCHECK(i < rows_ && j < cols_);
+    return storage_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    GS_DCHECK(i < rows_ && j < cols_);
+    return storage_[i * cols_ + j];
+  }
+
+  T* data() { return storage_.data(); }
+  const T* data() const { return storage_.data(); }
+
+  Span2D<T> span() { return Span2D<T>(storage_.data(), rows_, cols_); }
+  Span2D<const T> span() const {
+    return Span2D<const T>(storage_.data(), rows_, cols_);
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    if (a.rows_ != b.rows_ || a.cols_ != b.cols_) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      if (a.storage_[i] != b.storage_[i]) return false;
+    return true;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  AlignedBuffer<T> storage_;
+};
+
+/// Max |a-b| over all cells — used by tests comparing against references.
+template <typename T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  GS_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double da = static_cast<double>(a(i, j));
+      const double db = static_cast<double>(b(i, j));
+      if (da == db) continue;  // handles matching infinities
+      const double d = da > db ? da - db : db - da;
+      if (d > worst) worst = d;
+    }
+  }
+  return worst;
+}
+
+}  // namespace gs

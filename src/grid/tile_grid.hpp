@@ -1,0 +1,155 @@
+// tile_grid.hpp — blocked decomposition of the DP table.
+//
+// The solvers decompose the n×n table into an r×r grid of b×b tiles
+// (n' = r·b with virtual padding when r ∤ n, paper §IV-A). TileGrid is the
+// driver-side representation used to scatter a matrix into the RDD and to
+// gather the result back.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "grid/matrix.hpp"
+#include "grid/tile.hpp"
+#include "support/check.hpp"
+
+namespace gs {
+
+struct BlockLayout {
+  std::size_t n = 0;        ///< logical problem size (n×n table)
+  std::size_t block = 0;    ///< tile side b
+  std::size_t r = 0;        ///< grid side: r = ceil(n / b)
+  std::size_t padded_n = 0; ///< r * b
+
+  static BlockLayout for_problem(std::size_t n, std::size_t block) {
+    GS_THROW_IF(n == 0 || block == 0, ConfigError,
+                "problem size and block size must be positive");
+    BlockLayout l;
+    l.n = n;
+    l.block = block;
+    l.r = (n + block - 1) / block;
+    l.padded_n = l.r * block;
+    return l;
+  }
+
+  /// Layout from a requested grid side r (paper's tuning knob): b = ceil(n/r).
+  static BlockLayout for_grid(std::size_t n, std::size_t r) {
+    GS_THROW_IF(n == 0 || r == 0, ConfigError,
+                "problem size and grid side must be positive");
+    return for_problem(n, (n + r - 1) / r);
+  }
+
+  std::size_t num_tiles() const { return r * r; }
+  bool padded() const { return padded_n != n; }
+
+  friend bool operator==(const BlockLayout&, const BlockLayout&) = default;
+};
+
+template <typename T>
+class TileGrid {
+ public:
+  TileGrid() = default;
+
+  /// Scatter: cut `m` (n×n) into tiles, padding the bottom/right margin with
+  /// `pad_off` everywhere and `pad_diag` on the global diagonal. The neutral
+  /// values come from the GepSpec so padded cells never perturb real cells.
+  TileGrid(const Matrix<T>& m, std::size_t block, T pad_diag, T pad_off)
+      : layout_(BlockLayout::for_problem(m.rows(), block)) {
+    GS_THROW_IF(m.rows() != m.cols(), ConfigError, "DP table must be square");
+    tiles_.resize(layout_.num_tiles());
+    const std::size_t b = layout_.block;
+    for (std::size_t bi = 0; bi < layout_.r; ++bi) {
+      for (std::size_t bj = 0; bj < layout_.r; ++bj) {
+        Tile<T> t(b, b);
+        for (std::size_t i = 0; i < b; ++i) {
+          for (std::size_t j = 0; j < b; ++j) {
+            const std::size_t gi = bi * b + i;
+            const std::size_t gj = bj * b + j;
+            if (gi < layout_.n && gj < layout_.n) {
+              t(i, j) = m(gi, gj);
+            } else {
+              t(i, j) = (gi == gj) ? pad_diag : pad_off;
+            }
+          }
+        }
+        tiles_[bi * layout_.r + bj] = make_tile<T>(std::move(t));
+      }
+    }
+  }
+
+  const BlockLayout& layout() const { return layout_; }
+
+  TileRef<T> at(std::size_t bi, std::size_t bj) const {
+    GS_DCHECK(bi < layout_.r && bj < layout_.r);
+    return tiles_[bi * layout_.r + bj];
+  }
+
+  void set(std::size_t bi, std::size_t bj, TileRef<T> tile) {
+    GS_DCHECK(bi < layout_.r && bj < layout_.r);
+    GS_CHECK_MSG(tile && tile->rows() == layout_.block &&
+                     tile->cols() == layout_.block,
+                 "tile shape does not match layout");
+    tiles_[bi * layout_.r + bj] = std::move(tile);
+  }
+
+  /// All (key, tile) pairs in row-major order — the RDD seed.
+  std::vector<std::pair<TileKey, TileRef<T>>> entries() const {
+    std::vector<std::pair<TileKey, TileRef<T>>> out;
+    out.reserve(tiles_.size());
+    for (std::size_t bi = 0; bi < layout_.r; ++bi)
+      for (std::size_t bj = 0; bj < layout_.r; ++bj)
+        out.push_back({TileKey{static_cast<std::int32_t>(bi),
+                               static_cast<std::int32_t>(bj)},
+                       at(bi, bj)});
+    return out;
+  }
+
+  /// Rebuild a grid from RDD output.
+  static TileGrid from_entries(
+      const BlockLayout& layout,
+      const std::vector<std::pair<TileKey, TileRef<T>>>& entries) {
+    TileGrid g;
+    g.layout_ = layout;
+    g.tiles_.resize(layout.num_tiles());
+    for (const auto& [key, tile] : entries) {
+      GS_CHECK_MSG(key.i >= 0 && key.j >= 0 &&
+                       static_cast<std::size_t>(key.i) < layout.r &&
+                       static_cast<std::size_t>(key.j) < layout.r,
+                   "tile key out of range");
+      auto& slot = g.tiles_[static_cast<std::size_t>(key.i) * layout.r +
+                            static_cast<std::size_t>(key.j)];
+      GS_CHECK_MSG(slot == nullptr, "duplicate tile key in entries");
+      slot = tile;
+    }
+    for (const auto& t : g.tiles_) GS_CHECK_MSG(t != nullptr, "missing tile");
+    return g;
+  }
+
+  /// Gather: reassemble the logical n×n matrix (drops padding).
+  Matrix<T> gather() const {
+    Matrix<T> m(layout_.n, layout_.n);
+    const std::size_t b = layout_.block;
+    for (std::size_t bi = 0; bi < layout_.r; ++bi) {
+      for (std::size_t bj = 0; bj < layout_.r; ++bj) {
+        const Tile<T>& t = *at(bi, bj);
+        for (std::size_t i = 0; i < b; ++i) {
+          const std::size_t gi = bi * b + i;
+          if (gi >= layout_.n) break;
+          for (std::size_t j = 0; j < b; ++j) {
+            const std::size_t gj = bj * b + j;
+            if (gj >= layout_.n) break;
+            m(gi, gj) = t(i, j);
+          }
+        }
+      }
+    }
+    return m;
+  }
+
+ private:
+  BlockLayout layout_;
+  std::vector<TileRef<T>> tiles_;
+};
+
+}  // namespace gs

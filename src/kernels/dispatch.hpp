@@ -1,0 +1,70 @@
+// dispatch.hpp — kernel facade: selects iterative vs recursive implementation
+// from a KernelConfig and exposes uniform A/B/C/D entry points on spans.
+#pragma once
+
+#include "kernels/iterative.hpp"
+#include "kernels/kernel_config.hpp"
+#include "kernels/kernel_kind.hpp"
+#include "kernels/recursive.hpp"
+
+namespace gs {
+
+template <GepSpecType Spec>
+class GepKernels {
+ public:
+  using T = typename Spec::value_type;
+  using Span = Span2D<T>;
+  using CSpan = Span2D<const T>;
+
+  explicit GepKernels(KernelConfig cfg) : cfg_(cfg), rec_(sanitized(cfg)) {
+    cfg_.validate();
+  }
+
+  const KernelConfig& config() const { return cfg_; }
+
+  // kRecursive and kTiled both route through RecursiveKernels; the tiled
+  // flavour is constructed in one-level-full-split mode (see recursive.hpp).
+  void a(Span x) const {
+    if (cfg_.impl == KernelImpl::kIterative) {
+      iter_a<Spec>(x);
+    } else {
+      rec_.run_a(x, cfg_.omp_threads);
+    }
+  }
+
+  void b(Span x, CSpan u, CSpan w) const {
+    if (cfg_.impl == KernelImpl::kIterative) {
+      iter_b<Spec>(x, u, w);
+    } else {
+      rec_.run_b(x, u, w, cfg_.omp_threads);
+    }
+  }
+
+  void c(Span x, CSpan v, CSpan w) const {
+    if (cfg_.impl == KernelImpl::kIterative) {
+      iter_c<Spec>(x, v, w);
+    } else {
+      rec_.run_c(x, v, w, cfg_.omp_threads);
+    }
+  }
+
+  void d(Span x, CSpan u, CSpan v, CSpan w) const {
+    if (cfg_.impl == KernelImpl::kIterative) {
+      iter_d<Spec>(x, u, v, w);
+    } else {
+      rec_.run_d(x, u, v, w, cfg_.omp_threads);
+    }
+  }
+
+ private:
+  // RecursiveKernels rejects r_shared < 2 even when unused; normalize.
+  static KernelConfig sanitized(KernelConfig cfg) {
+    if (cfg.impl == KernelImpl::kIterative && cfg.r_shared < 2) cfg.r_shared = 2;
+    return cfg;
+  }
+
+  KernelConfig cfg_;
+  RecursiveKernels<Spec> rec_;
+};
+
+}  // namespace gs

@@ -1,0 +1,133 @@
+// iterative.hpp — loop-based GEP kernels (the paper's "iterative kernel"
+// baseline, i.e. what Schoeneman–Zola run inside each Spark task).
+//
+// Loop order is k–i–j with j innermost: good spatial locality, poor temporal
+// locality once the tile exceeds L2 — exactly the behaviour the paper
+// contrasts against recursive kernels (§III, §V-C).
+//
+// Hoisting note: for the non-strict specs (FW/TC/widest-path) the kernels
+// hoist u = x(i,k) and w = x(k,k) out of the j loop. This is exact whenever
+// the diagonal holds the semiring's ⊙-identity (d[k,k] = 1̄), which all our
+// non-strict specs guarantee via their init/padding; the strict spec (GE)
+// never touches row/column k so hoisting is trivially exact there. Tests
+// cross-validate every kernel against the literal Fig.-1 reference.
+#pragma once
+
+#include "semiring/gep_spec.hpp"
+#include "support/span2d.hpp"
+
+namespace gs {
+
+/// Literal Fig.-1 GEP loop on a full matrix — the executable specification
+/// every optimized kernel is validated against. No hoisting: reads always
+/// see the current table, matching the paper's pseudocode exactly.
+template <GepSpecType Spec>
+void reference_gep(Span2D<typename Spec::value_type> c) {
+  const std::size_t n = c.rows();
+  GS_DCHECK(c.cols() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const bool in_sigma = !Spec::kStrictSigma || (i > k && j > k);
+        if (in_sigma) {
+          c(i, j) = Spec::update(c(i, j), c(i, k), c(k, j), c(k, k));
+        }
+      }
+    }
+  }
+}
+
+/// Kernel A: in-place GEP on the pivot tile. x is b×b.
+template <GepSpecType Spec>
+void iter_a(Span2D<typename Spec::value_type> x) {
+  using T = typename Spec::value_type;
+  const std::size_t n = x.rows();
+  GS_DCHECK(x.cols() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const T w = x(k, k);
+    const T* xk = x.row(k);
+    const std::size_t lo = Spec::kStrictSigma ? k + 1 : 0;
+    for (std::size_t i = lo; i < n; ++i) {
+      const T u = x(i, k);
+      T* xi = x.row(i);
+      for (std::size_t j = lo; j < n; ++j) {
+        xi[j] = Spec::update(xi[j], u, xk[j], w);
+      }
+    }
+  }
+}
+
+/// Kernel B: x in the pivot block-row. u supplies x's "column" reads
+/// (u(i,k) ↔ c[i,K]), w supplies the pivot values; x's own row k supplies
+/// the "row" reads. At the top level u == w == the diagonal tile; in the
+/// recursion they are distinct sub-tiles (Fig. 4, B_GE).
+template <GepSpecType Spec>
+void iter_b(Span2D<typename Spec::value_type> x,
+            Span2D<const typename Spec::value_type> u,
+            Span2D<const typename Spec::value_type> w) {
+  using T = typename Spec::value_type;
+  const std::size_t n = x.rows();
+  GS_DCHECK(x.cols() == n && u.rows() == n && u.cols() == n && w.rows() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const T wkk = w(k, k);
+    const T* xk = x.row(k);
+    const std::size_t ilo = Spec::kStrictSigma ? k + 1 : 0;
+    for (std::size_t i = ilo; i < n; ++i) {
+      if (!Spec::kStrictSigma && i == k) continue;  // row k is the source row
+      const T uik = u(i, k);
+      T* xi = x.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        xi[j] = Spec::update(xi[j], uik, xk[j], wkk);
+      }
+    }
+  }
+}
+
+/// Kernel C: x in the pivot block-column. v supplies the "row" reads
+/// (v(k,j) ↔ c[K,j]); x's own column k supplies the "column" reads.
+template <GepSpecType Spec>
+void iter_c(Span2D<typename Spec::value_type> x,
+            Span2D<const typename Spec::value_type> v,
+            Span2D<const typename Spec::value_type> w) {
+  using T = typename Spec::value_type;
+  const std::size_t n = x.rows();
+  GS_DCHECK(x.cols() == n && v.rows() == n && v.cols() == n && w.rows() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const T wkk = w(k, k);
+    const T* vk = v.row(k);
+    const std::size_t jlo = Spec::kStrictSigma ? k + 1 : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const T uik = x(i, k);
+      T* xi = x.row(i);
+      for (std::size_t j = jlo; j < n; ++j) {
+        if (!Spec::kStrictSigma && j == k) continue;  // column k is the source
+        xi[j] = Spec::update(xi[j], uik, vk[j], wkk);
+      }
+    }
+  }
+}
+
+/// Kernel D: x disjoint from pivot row/column; pure data-parallel update.
+/// This is the (semiring) matrix-multiply-accumulate shape.
+template <GepSpecType Spec>
+void iter_d(Span2D<typename Spec::value_type> x,
+            Span2D<const typename Spec::value_type> u,
+            Span2D<const typename Spec::value_type> v,
+            Span2D<const typename Spec::value_type> w) {
+  using T = typename Spec::value_type;
+  const std::size_t n = x.rows();
+  GS_DCHECK(x.cols() == n && u.rows() == n && v.rows() == n && w.rows() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const T wkk = w(k, k);
+    const T* vk = v.row(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const T uik = u(i, k);
+      T* xi = x.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        xi[j] = Spec::update(xi[j], uik, vk[j], wkk);
+      }
+    }
+  }
+}
+
+}  // namespace gs

@@ -1,0 +1,80 @@
+// kernel_config.hpp — tunables for the per-tile kernels, mirroring the
+// paper's knobs: kernel flavour, r_shared (recursive fan-out inside an
+// executor) and OMP_NUM_THREADS.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace gs {
+
+enum class KernelImpl : int {
+  kIterative = 0,  ///< loop-based kernel (the Schoeneman–Zola baseline style)
+  kRecursive = 1,  ///< parametric r_shared-way R-DP kernel, OpenMP-parallel
+  kTiled = 2,      ///< loop tiling (paper §III's compiler-transformation
+                   ///< route): ONE level of blocking at a fixed, cache-AWARE
+                   ///< tile size, then loop kernels. I/O-efficient when the
+                   ///< tile is sized right for this machine, but neither
+                   ///< cache-oblivious nor cache-adaptive — the ablation
+                   ///< bench contrasts it with the recursive kernels.
+};
+
+struct KernelConfig {
+  KernelImpl impl = KernelImpl::kIterative;
+
+  /// Recursive fan-out per level (the paper's r_shared ∈ {2,4,8,16}).
+  std::size_t r_shared = 2;
+
+  /// Tile side at/below which recursion bottoms out into the iterative
+  /// kernel. 64 doubles ≈ 32 KiB working set — comfortably inside L1/L2.
+  std::size_t base_size = 64;
+
+  /// OMP_NUM_THREADS for the recursive kernel's parallel stages.
+  /// 1 disables the OpenMP parallel region entirely.
+  int omp_threads = 1;
+
+  static KernelConfig iterative() { return KernelConfig{}; }
+
+  static KernelConfig recursive(std::size_t r_shared, int omp_threads = 1,
+                                std::size_t base_size = 64) {
+    KernelConfig cfg;
+    cfg.impl = KernelImpl::kRecursive;
+    cfg.r_shared = r_shared;
+    cfg.omp_threads = omp_threads;
+    cfg.base_size = base_size;
+    return cfg;
+  }
+
+  /// Loop-tiled kernel with inner tile side `tile_size` (the cache-aware
+  /// knob a compiler like Pluto would pick per machine).
+  static KernelConfig tiled(std::size_t tile_size, int omp_threads = 1) {
+    KernelConfig cfg;
+    cfg.impl = KernelImpl::kTiled;
+    cfg.base_size = tile_size;
+    cfg.omp_threads = omp_threads;
+    return cfg;
+  }
+
+  void validate() const {
+    GS_THROW_IF(impl == KernelImpl::kRecursive && r_shared < 2, ConfigError,
+                "r_shared must be >= 2 for recursive kernels");
+    GS_THROW_IF(base_size == 0, ConfigError, "base_size must be positive");
+    GS_THROW_IF(omp_threads < 1, ConfigError, "omp_threads must be >= 1");
+  }
+
+  std::string describe() const {
+    if (impl == KernelImpl::kIterative) return "iterative";
+    if (impl == KernelImpl::kTiled) {
+      return strfmt("tiled(tile=%zu, omp=%d)", base_size, omp_threads);
+    }
+    return strfmt("recursive(r_shared=%zu, base=%zu, omp=%d)", r_shared,
+                  base_size, omp_threads);
+  }
+
+  friend bool operator==(const KernelConfig&, const KernelConfig&) = default;
+};
+
+}  // namespace gs

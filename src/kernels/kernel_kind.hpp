@@ -1,0 +1,50 @@
+// kernel_kind.hpp — the four GEP kernel flavours and their metadata.
+//
+// Chowdhury–Ramachandran GEP decomposition (paper Fig. 4):
+//   A — X is the pivot (diagonal) tile; reads and writes itself.
+//   B — X sits in the pivot block-row;  u comes from the tile to its left
+//       column-wise (the diagonal at top level), v is X's own pivot row.
+//   C — X sits in the pivot block-column; v comes from above, u is X's own
+//       pivot column.
+//   D — X is disjoint from pivot row/column; u, v, w all external.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gs {
+
+enum class KernelKind : std::uint8_t { A = 0, B = 1, C = 2, D = 3 };
+
+inline const char* kernel_kind_name(KernelKind k) {
+  switch (k) {
+    case KernelKind::A: return "A";
+    case KernelKind::B: return "B";
+    case KernelKind::C: return "C";
+    case KernelKind::D: return "D";
+  }
+  return "?";
+}
+
+/// Exact number of (i,j,k) update triples a kernel of the given kind executes
+/// on a b×b tile. `strict` selects Σ_G = {i>k ∧ j>k} (GE) vs all triples
+/// (FW/TC). The cost models in simtime are built on these counts.
+inline double kernel_update_count(KernelKind kind, std::size_t b, bool strict) {
+  const double n = static_cast<double>(b);
+  if (!strict) return n * n * n;  // every kernel runs the full cube
+  switch (kind) {
+    case KernelKind::A:
+      // sum_{k=0}^{n-1} (n-k-1)^2 = n(n-1)(2n-1)/6
+      return n * (n - 1.0) * (2.0 * n - 1.0) / 6.0;
+    case KernelKind::B:
+      // rows restricted (i>k), columns free: sum_k (n-k-1)*n = n^2(n-1)/2
+      return n * n * (n - 1.0) / 2.0;
+    case KernelKind::C:
+      return n * n * (n - 1.0) / 2.0;
+    case KernelKind::D:
+      return n * n * n;
+  }
+  return 0.0;
+}
+
+}  // namespace gs

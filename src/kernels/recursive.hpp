@@ -1,0 +1,247 @@
+// recursive.hpp — parametric multi-way recursive divide-&-conquer GEP
+// kernels (the paper's r-way R-DP, Fig. 4), OpenMP-parallel.
+//
+// Each function splits its b×b operand(s) into an nb×nb grid of sub-tiles
+// (nb = r_shared when it divides b, otherwise the largest divisor ≤ r_shared)
+// and recurses, bottoming out into the iterative kernels at base_size. The
+// per-k stages follow Fig. 4 exactly:
+//
+//   A(X):       for k { A(X_kk); par: B(X_kj), C(X_ik); par: D(X_ij) }
+//   B(X,U,W):   for k { par j: B(X_kj, U_kk, W_kk);
+//                       par i≷k, j: D(X_ij, U_ik, X_kj, W_kk) }
+//   C(X,V,W):   for k { par i: C(X_ik, V_kk, W_kk);
+//                       par j≷k, i: D(X_ij, X_ik, V_kj, W_kk) }
+//   D(X,U,V,W): for k { par i,j: D(X_ij, U_ik, V_kj, W_kk) }
+//
+// The "trailing" ranges are i,j > k for strict-Σ specs (GE) and i,j ≠ k for
+// full-Σ specs (FW/TC), matching the blocked-FW phase structure.
+//
+// Parallelism: independent calls within a stage become OpenMP tasks;
+// taskgroups provide the stage barriers. The public entry points open one
+// parallel region sized by KernelConfig::omp_threads — the paper's
+// OMP_NUM_THREADS knob — so executors calling concurrently oversubscribe the
+// machine exactly the way Spark + OpenMP does.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/iterative.hpp"
+#include "kernels/kernel_config.hpp"
+#include "semiring/gep_spec.hpp"
+#include "support/span2d.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace gs {
+
+template <GepSpecType Spec>
+class RecursiveKernels {
+ public:
+  using T = typename Spec::value_type;
+  using Span = Span2D<T>;
+  using CSpan = Span2D<const T>;
+
+  /// kParametric — the r-way R-DP recursion (the paper's contribution).
+  /// kOneLevelFullSplit — classic loop tiling: one level of blocking at
+  /// base_size, then loop kernels (paper §III's compiler-tiling route).
+  enum class Mode { kParametric, kOneLevelFullSplit };
+
+  RecursiveKernels(std::size_t r_shared, std::size_t base_size,
+                   Mode mode = Mode::kParametric)
+      : r_shared_(r_shared), base_size_(base_size), mode_(mode) {
+    GS_THROW_IF(mode_ == Mode::kParametric && r_shared_ < 2, ConfigError,
+                "r_shared must be >= 2");
+    GS_THROW_IF(base_size_ == 0, ConfigError, "base_size must be positive");
+  }
+
+  explicit RecursiveKernels(const KernelConfig& cfg)
+      : RecursiveKernels(cfg.r_shared, cfg.base_size,
+                         cfg.impl == KernelImpl::kTiled
+                             ? Mode::kOneLevelFullSplit
+                             : Mode::kParametric) {}
+
+  void run_a(Span x, int omp_threads) const {
+    in_parallel(omp_threads, [&] { a_rec(x); });
+  }
+  void run_b(Span x, CSpan u, CSpan w, int omp_threads) const {
+    in_parallel(omp_threads, [&] { b_rec(x, u, w); });
+  }
+  void run_c(Span x, CSpan v, CSpan w, int omp_threads) const {
+    in_parallel(omp_threads, [&] { c_rec(x, v, w); });
+  }
+  void run_d(Span x, CSpan u, CSpan v, CSpan w, int omp_threads) const {
+    in_parallel(omp_threads, [&] { d_rec(x, u, v, w); });
+  }
+
+  /// The nb actually used for an operand of side n (0 = base case).
+  std::size_t fanout(std::size_t n) const {
+    if (n <= base_size_) return 0;
+    if (mode_ == Mode::kOneLevelFullSplit) {
+      // Smallest divisor of n that brings sub-tiles down to <= base_size —
+      // the whole split in one level (then every child is a base case).
+      for (std::size_t nb = (n + base_size_ - 1) / base_size_; nb <= n; ++nb) {
+        if (n % nb == 0) return nb;
+      }
+      return 0;  // unreachable: nb == n always divides
+    }
+    for (std::size_t nb = std::min(r_shared_, n); nb >= 2; --nb) {
+      if (n % nb == 0) return nb;
+    }
+    return 0;  // prime side larger than base: fall back to the loop kernel
+  }
+
+ private:
+  template <typename Body>
+  void in_parallel(int omp_threads, Body&& body) const {
+    if (omp_threads <= 1) {
+      body();  // orphaned tasks execute immediately — serial recursion
+      return;
+    }
+#if defined(_OPENMP)
+#pragma omp parallel num_threads(omp_threads)
+#pragma omp single
+    { body(); }
+#else
+    body();
+#endif
+  }
+
+  static constexpr std::size_t trailing_lo(std::size_t k) {
+    return Spec::kStrictSigma ? k + 1 : 0;
+  }
+
+  void a_rec(Span x) const {
+    const std::size_t nb = fanout(x.rows());
+    if (nb == 0) {
+      iter_a<Spec>(x);
+      return;
+    }
+    for (std::size_t k = 0; k < nb; ++k) {
+      a_rec(x.block(k, k, nb));
+      CSpan piv = x.block(k, k, nb);
+#pragma omp taskgroup
+      {
+        for (std::size_t i = trailing_lo(k); i < nb; ++i) {
+          if (i == k) continue;
+          Span row_tile = x.block(k, i, nb);
+          Span col_tile = x.block(i, k, nb);
+#pragma omp task firstprivate(row_tile, piv)
+          b_rec(row_tile, piv, piv);
+#pragma omp task firstprivate(col_tile, piv)
+          c_rec(col_tile, piv, piv);
+        }
+      }
+#pragma omp taskgroup
+      {
+        for (std::size_t l = trailing_lo(k); l < nb; ++l) {
+          if (l == k) continue;
+          for (std::size_t m = trailing_lo(k); m < nb; ++m) {
+            if (m == k) continue;
+            Span xb = x.block(l, m, nb);
+            CSpan ub = x.block(l, k, nb);
+            CSpan vb = x.block(k, m, nb);
+#pragma omp task firstprivate(xb, ub, vb, piv)
+            d_rec(xb, ub, vb, piv);
+          }
+        }
+      }
+    }
+  }
+
+  void b_rec(Span x, CSpan u, CSpan w) const {
+    const std::size_t nb = fanout(x.rows());
+    if (nb == 0) {
+      iter_b<Spec>(x, u, w);
+      return;
+    }
+    for (std::size_t k = 0; k < nb; ++k) {
+      CSpan ukk = u.block(k, k, nb);
+      CSpan wkk = w.block(k, k, nb);
+#pragma omp taskgroup
+      {
+        for (std::size_t j = 0; j < nb; ++j) {
+          Span xb = x.block(k, j, nb);
+#pragma omp task firstprivate(xb, ukk, wkk)
+          b_rec(xb, ukk, wkk);
+        }
+      }
+#pragma omp taskgroup
+      {
+        for (std::size_t i = trailing_lo(k); i < nb; ++i) {
+          if (i == k) continue;
+          CSpan uik = u.block(i, k, nb);
+          for (std::size_t j = 0; j < nb; ++j) {
+            Span xb = x.block(i, j, nb);
+            CSpan vb = x.block(k, j, nb);
+#pragma omp task firstprivate(xb, uik, vb, wkk)
+            d_rec(xb, uik, vb, wkk);
+          }
+        }
+      }
+    }
+  }
+
+  void c_rec(Span x, CSpan v, CSpan w) const {
+    const std::size_t nb = fanout(x.rows());
+    if (nb == 0) {
+      iter_c<Spec>(x, v, w);
+      return;
+    }
+    for (std::size_t k = 0; k < nb; ++k) {
+      CSpan vkk = v.block(k, k, nb);
+      CSpan wkk = w.block(k, k, nb);
+#pragma omp taskgroup
+      {
+        for (std::size_t i = 0; i < nb; ++i) {
+          Span xb = x.block(i, k, nb);
+#pragma omp task firstprivate(xb, vkk, wkk)
+          c_rec(xb, vkk, wkk);
+        }
+      }
+#pragma omp taskgroup
+      {
+        for (std::size_t j = trailing_lo(k); j < nb; ++j) {
+          if (j == k) continue;
+          CSpan vkj = v.block(k, j, nb);
+          for (std::size_t i = 0; i < nb; ++i) {
+            Span xb = x.block(i, j, nb);
+            CSpan ub = x.block(i, k, nb);
+#pragma omp task firstprivate(xb, ub, vkj, wkk)
+            d_rec(xb, ub, vkj, wkk);
+          }
+        }
+      }
+    }
+  }
+
+  void d_rec(Span x, CSpan u, CSpan v, CSpan w) const {
+    const std::size_t nb = fanout(x.rows());
+    if (nb == 0) {
+      iter_d<Spec>(x, u, v, w);
+      return;
+    }
+    for (std::size_t k = 0; k < nb; ++k) {
+      CSpan wkk = w.block(k, k, nb);
+#pragma omp taskgroup
+      {
+        for (std::size_t i = 0; i < nb; ++i) {
+          CSpan uik = u.block(i, k, nb);
+          for (std::size_t j = 0; j < nb; ++j) {
+            Span xb = x.block(i, j, nb);
+            CSpan vkj = v.block(k, j, nb);
+#pragma omp task firstprivate(xb, uik, vkj, wkk)
+            d_rec(xb, uik, vkj, wkk);
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t r_shared_;
+  std::size_t base_size_;
+  Mode mode_;
+};
+
+}  // namespace gs

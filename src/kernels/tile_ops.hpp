@@ -1,0 +1,56 @@
+// tile_ops.hpp — whole-tile kernel application: copy-on-write update of one
+// DP tile. This is the unit of work a Spark task executes in the drivers.
+#pragma once
+
+#include "grid/tile.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/kernel_kind.hpp"
+
+namespace gs {
+
+/// Apply kernel `kind` to tile x with inputs u/v/w, returning the updated
+/// tile. Inputs irrelevant to the kind must be null; `w` may additionally be
+/// null for specs whose f ignores c[k,k] (kUsesW == false, e.g. FW-APSP) —
+/// the paper's drivers exploit exactly that to ship fewer tile copies.
+template <GepSpecType Spec>
+TileRef<typename Spec::value_type> apply_tile_kernel(
+    const GepKernels<Spec>& kernels, KernelKind kind,
+    const TileRef<typename Spec::value_type>& x,
+    const TileRef<typename Spec::value_type>& u,
+    const TileRef<typename Spec::value_type>& v,
+    const TileRef<typename Spec::value_type>& w) {
+  using T = typename Spec::value_type;
+  GS_CHECK_MSG(x != nullptr, "kernel input tile x missing");
+
+  auto out = std::make_shared<Tile<T>>(*x);  // copy-on-write
+  Span2D<T> xs = out->span();
+
+  // Stand-in for w when the spec never reads it: any well-shaped span works.
+  auto w_span = [&]() -> Span2D<const T> {
+    if (w != nullptr) return w->span();
+    GS_CHECK_MSG(!Spec::kUsesW, "spec reads c[k,k] but w tile missing");
+    return x->span();
+  };
+
+  switch (kind) {
+    case KernelKind::A:
+      GS_CHECK_MSG(!u && !v && !w, "kernel A takes no external inputs");
+      kernels.a(xs);
+      break;
+    case KernelKind::B:
+      GS_CHECK_MSG(u != nullptr && !v, "kernel B needs u (and optionally w)");
+      kernels.b(xs, u->span(), w_span());
+      break;
+    case KernelKind::C:
+      GS_CHECK_MSG(v != nullptr && !u, "kernel C needs v (and optionally w)");
+      kernels.c(xs, v->span(), w_span());
+      break;
+    case KernelKind::D:
+      GS_CHECK_MSG(u != nullptr && v != nullptr, "kernel D needs u and v");
+      kernels.d(xs, u->span(), v->span(), w_span());
+      break;
+  }
+  return TileRef<T>(std::move(out));
+}
+
+}  // namespace gs

@@ -1,0 +1,191 @@
+// paren_driver.hpp — the parenthesis family on sparklet: a wavefront of
+// block super-diagonals, Collect-Broadcast style.
+//
+// Schedule (r×r upper-triangular tile grid):
+//   wave 0:   all r diagonal tiles solve independently (paren diag kernel);
+//   wave d:   every tile (bi, bi+d) accumulates its d−1 middle-block
+//             (min,+) products, then closes with the flank kernel against
+//             the two diagonal tiles. All r−d tiles of a wave are
+//             independent → one Spark stage per wave.
+//
+// Finished tiles are collected to the driver and re-broadcast each wave —
+// the CB strategy is the natural fit here because every wave-d tile reads
+// *all* earlier tiles of its row and column (an IM fan-out would copy each
+// finished tile Θ(r) times per wave).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "grid/tile_grid.hpp"
+#include "paren/paren_kernels.hpp"
+#include "sparklet/rdd.hpp"
+#include "support/stopwatch.hpp"
+
+namespace paren {
+
+struct ParenOptions {
+  std::size_t block_size = 128;
+  int num_partitions = 0;  ///< 0 → cluster default
+
+  void validate() const {
+    GS_THROW_IF(block_size == 0, gs::ConfigError, "block_size must be > 0");
+    GS_THROW_IF(num_partitions < 0, gs::ConfigError,
+                "num_partitions must be >= 0");
+  }
+};
+
+struct ParenStats {
+  double wall_seconds = 0.0;
+  int waves = 0;
+  int stages = 0;
+  std::size_t collect_bytes = 0;
+  std::size_t broadcast_bytes = 0;
+  int grid_r = 0;
+};
+
+/// Solve the parenthesis recurrence for `spec` with the given leaf costs
+/// (leaf_costs[t] = C[t][t+1], size num_posts()−1). Returns the full DP
+/// table restricted to real posts; the optimum is table(0, n−1).
+template <ParenSpecType Spec>
+gs::Matrix<typename Spec::value_type> paren_solve(
+    sparklet::SparkContext& sc, const Spec& spec,
+    const std::vector<typename Spec::value_type>& leaf_costs,
+    const ParenOptions& opt = {}, ParenStats* stats = nullptr) {
+  using T = typename Spec::value_type;
+  using TileR = gs::TileRef<T>;
+  using KV = std::pair<gs::TileKey, TileR>;
+
+  opt.validate();
+  const std::size_t n = spec.num_posts();
+  GS_THROW_IF(leaf_costs.size() + 1 != n, gs::ConfigError,
+              "need exactly num_posts()-1 leaf costs");
+
+  // Seed table: +∞ everywhere, 0 on the diagonal, leaves on (t, t+1).
+  gs::Matrix<T> seed(n, n, std::numeric_limits<T>::infinity());
+  for (std::size_t t = 0; t < n; ++t) seed(t, t) = T{};
+  for (std::size_t t = 0; t + 1 < n; ++t) seed(t, t + 1) = leaf_costs[t];
+
+  gs::TileGrid<T> grid(seed, opt.block_size, /*pad_diag=*/T{},
+                       /*pad_off=*/std::numeric_limits<T>::infinity());
+  const auto layout = grid.layout();
+  const int r = static_cast<int>(layout.r);
+  const std::size_t b = layout.block;
+
+  const int np = opt.num_partitions > 0
+                     ? opt.num_partitions
+                     : static_cast<int>(sc.config().effective_partitions());
+  auto part = std::make_shared<sparklet::HashPartitioner>(np);
+  auto kern = std::make_shared<const ParenKernels<Spec>>(spec);
+
+  gs::Stopwatch wall;
+  const int stages0 = sc.metrics().num_stages();
+  const std::size_t collect0 = sc.metrics().total_collect_bytes();
+  const std::size_t bcast0 = sc.metrics().total_broadcast_bytes();
+
+  // Only the upper triangle participates.
+  std::vector<KV> upper;
+  for (int bi = 0; bi < r; ++bi) {
+    for (int bj = bi; bj < r; ++bj) {
+      upper.push_back({gs::TileKey{bi, bj},
+                       grid.at(std::size_t(bi), std::size_t(bj))});
+    }
+  }
+  auto dp = sparklet::parallelize_pairs(sc, upper, part, "parenDP");
+
+  using DoneMap = std::unordered_map<gs::TileKey, TileR, gs::TileKeyHash>;
+  DoneMap done;
+
+  // Wave 0: diagonal tiles.
+  auto diag_entries =
+      dp.filter([](const KV& kv) { return kv.first.i == kv.first.j; },
+                "parenDiag")
+          .map(
+              [kern, b](const KV& kv) {
+                auto out = std::make_shared<gs::Tile<T>>(*kv.second);
+                kern->diag(out->span(), std::size_t(kv.first.i) * b);
+                return KV{kv.first, TileR(std::move(out))};
+              },
+              "parenDiagKernel")
+          .collect("parenCollectDiag");
+  for (auto& [key, tile] : diag_entries) done.emplace(key, tile);
+  int waves = 1;
+
+  // Waves d = 1 .. r-1.
+  for (int d = 1; d < r; ++d) {
+    auto done_bc = sc.broadcast(done);  // all finished tiles so far
+    auto wave_entries =
+        dp.filter([d](const KV& kv) { return kv.first.j - kv.first.i == d; },
+                  "parenWaveFilter")
+            .map(
+                [kern, done_bc, b](const KV& kv) {
+                  const int bi = kv.first.i, bj = kv.first.j;
+                  const DoneMap& prev = done_bc.value();
+                  auto out = std::make_shared<gs::Tile<T>>(*kv.second);
+                  const std::size_t row0 = std::size_t(bi) * b;
+                  const std::size_t col0 = std::size_t(bj) * b;
+                  for (int bk = bi + 1; bk < bj; ++bk) {
+                    kern->accumulate(out->span(),
+                                     prev.at(gs::TileKey{bi, bk})->span(),
+                                     prev.at(gs::TileKey{bk, bj})->span(),
+                                     row0, std::size_t(bk) * b, col0);
+                  }
+                  kern->flank(out->span(),
+                              prev.at(gs::TileKey{bi, bi})->span(),
+                              prev.at(gs::TileKey{bj, bj})->span(), row0,
+                              col0);
+                  return KV{kv.first, TileR(std::move(out))};
+                },
+                "parenWaveKernel")
+            .collect("parenCollectWave");
+    for (auto& [key, tile] : wave_entries) done.emplace(key, tile);
+    ++waves;
+  }
+
+  // Assemble the result table from the finished tiles.
+  gs::Matrix<T> result(n, n, std::numeric_limits<T>::infinity());
+  for (std::size_t t = 0; t < n; ++t) result(t, t) = T{};
+  for (const auto& [key, tile] : done) {
+    for (std::size_t i = 0; i < b; ++i) {
+      const std::size_t gi = std::size_t(key.i) * b + i;
+      if (gi >= n) continue;
+      for (std::size_t j = 0; j < b; ++j) {
+        const std::size_t gj = std::size_t(key.j) * b + j;
+        if (gj >= n || gj < gi) continue;
+        result(gi, gj) = (*tile)(i, j);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->wall_seconds = wall.seconds();
+    stats->waves = waves;
+    stats->stages = sc.metrics().num_stages() - stages0;
+    stats->collect_bytes = sc.metrics().total_collect_bytes() - collect0;
+    stats->broadcast_bytes = sc.metrics().total_broadcast_bytes() - bcast0;
+    stats->grid_r = r;
+  }
+  return result;
+}
+
+/// Reconstruct one optimal split tree from a finished table: returns, for
+/// every interval examined, the chosen split point; entry point (0, n−1).
+template <ParenSpecType Spec>
+std::size_t best_split(const Spec& spec,
+                       const gs::Matrix<typename Spec::value_type>& table,
+                       std::size_t i, std::size_t j) {
+  GS_CHECK(j > i + 1);
+  std::size_t best_k = i + 1;
+  auto best = table(i, best_k) + table(best_k, j) +
+              spec.weight(i, best_k, j);
+  for (std::size_t k = i + 2; k < j; ++k) {
+    const auto cand = table(i, k) + table(k, j) + spec.weight(i, k, j);
+    if (cand < best) {
+      best = cand;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace paren

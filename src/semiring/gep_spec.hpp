@@ -1,0 +1,131 @@
+// gep_spec.hpp — policies binding a concrete DP problem to the GEP form.
+//
+// The GEP form (paper Fig. 1):
+//     for k, i, j:  if (i,j,k) ∈ Σ_G:  c[i,j] = f(c[i,j], c[i,k], c[k,j], c[k,k])
+//
+// A GepSpec supplies:
+//   * value_type              — DP table element type
+//   * update(x, u, v, w)      — the function f
+//   * kStrictSigma            — true when Σ_G = {(i,j,k) : i>k ∧ j>k} (GE),
+//                               false when Σ_G is all triples (FW, TC)
+//   * kUsesW                  — whether f reads c[k,k]; drives the IM copy
+//                               plan (FW's D kernel does NOT need the pivot
+//                               tile, GE's does — the paper's explanation for
+//                               IM-vs-CB winners, §V-C)
+//   * pad_diag() / pad_off()  — neutral values for virtual padding so a
+//                               padded (n→n') table computes the same answer
+//                               on the original n×n window
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "semiring/semiring.hpp"
+
+namespace gs {
+
+template <typename S>
+concept GepSpecType = requires(typename S::value_type x) {
+  { S::update(x, x, x, x) } -> std::convertible_to<typename S::value_type>;
+  { S::kStrictSigma } -> std::convertible_to<bool>;
+  { S::kUsesW } -> std::convertible_to<bool>;
+  { S::pad_diag() } -> std::convertible_to<typename S::value_type>;
+  { S::pad_off() } -> std::convertible_to<typename S::value_type>;
+  { S::name() } -> std::convertible_to<const char*>;
+};
+
+/// Floyd–Warshall all-pairs shortest paths over the min-plus semiring.
+/// f(x,u,v,·) = x ⊕ (u ⊙ v) = min(x, u+v); Σ_G = all triples.
+struct FloydWarshallSpec {
+  using semiring = MinPlusSemiring;
+  using value_type = double;
+
+  static constexpr bool kStrictSigma = false;
+  static constexpr bool kUsesW = false;
+
+  static value_type update(value_type x, value_type u, value_type v,
+                           value_type /*w*/) {
+    return semiring::plus(x, semiring::times(u, v));
+  }
+
+  /// Padding: an isolated virtual vertex — 0 to itself, +∞ elsewhere. It can
+  /// never shorten a real path, so the n×n window is unchanged.
+  static constexpr value_type pad_diag() { return 0.0; }
+  static constexpr value_type pad_off() {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  static constexpr const char* name() { return "fw-apsp"; }
+};
+
+/// Gaussian elimination without pivoting on the real field.
+/// f(x,u,v,w) = x − u·v/w; Σ_G = {i>k ∧ j>k} (paper Fig. 2 updates only the
+/// trailing submatrix below/right of the pivot).
+struct GaussianEliminationSpec {
+  using value_type = double;
+
+  static constexpr bool kStrictSigma = true;
+  static constexpr bool kUsesW = true;
+
+  static value_type update(value_type x, value_type u, value_type v,
+                           value_type w) {
+    return x - u * v / w;
+  }
+
+  /// Padding: extend with identity rows/columns. The padded pivot w = 1 and
+  /// padded u = 0 make every padded update a no-op on real cells.
+  static constexpr value_type pad_diag() { return 1.0; }
+  static constexpr value_type pad_off() { return 0.0; }
+
+  static constexpr const char* name() { return "gaussian-elim"; }
+};
+
+/// Warshall's transitive closure over the boolean semiring.
+/// f(x,u,v,·) = x ∨ (u ∧ v); Σ_G = all triples.
+struct TransitiveClosureSpec {
+  using semiring = BoolSemiring;
+  using value_type = std::uint8_t;
+
+  static constexpr bool kStrictSigma = false;
+  static constexpr bool kUsesW = false;
+
+  static value_type update(value_type x, value_type u, value_type v,
+                           value_type /*w*/) {
+    return semiring::plus(x, semiring::times(u, v));
+  }
+
+  static constexpr value_type pad_diag() { return 1; }
+  static constexpr value_type pad_off() { return 0; }
+
+  static constexpr const char* name() { return "transitive-closure"; }
+};
+
+/// Widest-path (maximum bottleneck capacity) — an extra GEP instance beyond
+/// the paper's two benchmarks, exercising the max-min semiring.
+struct WidestPathSpec {
+  using semiring = MaxMinSemiring;
+  using value_type = double;
+
+  static constexpr bool kStrictSigma = false;
+  static constexpr bool kUsesW = false;
+
+  static value_type update(value_type x, value_type u, value_type v,
+                           value_type /*w*/) {
+    return semiring::plus(x, semiring::times(u, v));
+  }
+
+  static constexpr value_type pad_diag() {
+    return std::numeric_limits<double>::infinity();
+  }
+  static constexpr value_type pad_off() { return 0.0; }
+
+  static constexpr const char* name() { return "widest-path"; }
+};
+
+static_assert(GepSpecType<FloydWarshallSpec>);
+static_assert(GepSpecType<GaussianEliminationSpec>);
+static_assert(GepSpecType<TransitiveClosureSpec>);
+static_assert(GepSpecType<WidestPathSpec>);
+
+}  // namespace gs

@@ -1,0 +1,88 @@
+// semiring.hpp — closed-semiring algebra underlying the GEP benchmarks.
+//
+// The paper (Section V-A) frames FW-APSP via Aho et al.'s closed semirings:
+// a directed-graph path problem is computed over (S, ⊕, ⊙, 0̄, 1̄). We model
+// the three instances the GEP framework exercises:
+//   * min-plus  (ℝ∪{+∞}, min, +, +∞, 0)  — all-pairs shortest paths
+//   * or-and    ({0,1},   ∨,   ∧, 0, 1)   — transitive closure
+//   * the real field used by Gaussian elimination (not a closed semiring;
+//     GE participates in GEP through its update function, see gep_spec.hpp)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace gs {
+
+/// Requirements on a closed semiring policy:
+///   value_type, zero(), one(), plus(a,b) = a⊕b, times(a,b) = a⊙b,
+///   closure(a) = a* (= 1̄ ⊕ a ⊕ a⊙a ⊕ ...).
+template <typename S>
+concept ClosedSemiring = requires(typename S::value_type a, typename S::value_type b) {
+  { S::zero() } -> std::convertible_to<typename S::value_type>;
+  { S::one() } -> std::convertible_to<typename S::value_type>;
+  { S::plus(a, b) } -> std::convertible_to<typename S::value_type>;
+  { S::times(a, b) } -> std::convertible_to<typename S::value_type>;
+  { S::closure(a) } -> std::convertible_to<typename S::value_type>;
+};
+
+/// (ℝ∪{+∞}, min, +, +∞, 0). ⊕ picks the shorter path, ⊙ concatenates paths.
+struct MinPlusSemiring {
+  using value_type = double;
+
+  static constexpr value_type zero() {
+    return std::numeric_limits<double>::infinity();
+  }
+  static constexpr value_type one() { return 0.0; }
+
+  static value_type plus(value_type a, value_type b) { return std::min(a, b); }
+
+  static value_type times(value_type a, value_type b) {
+    // +∞ is absorbing even against -∞ (no path beats "no path").
+    if (a == zero() || b == zero()) return zero();
+    return a + b;
+  }
+
+  /// a* = min(0, a, 2a, ...) = 0 for a >= 0, -∞ for a < 0 (negative cycle).
+  static value_type closure(value_type a) {
+    if (a < 0.0) return -std::numeric_limits<double>::infinity();
+    return 0.0;
+  }
+};
+
+/// ({0,1}, ∨, ∧, 0, 1) — boolean reachability.
+struct BoolSemiring {
+  using value_type = std::uint8_t;
+
+  static constexpr value_type zero() { return 0; }
+  static constexpr value_type one() { return 1; }
+  static value_type plus(value_type a, value_type b) {
+    return static_cast<value_type>(a | b);
+  }
+  static value_type times(value_type a, value_type b) {
+    return static_cast<value_type>(a & b);
+  }
+  static value_type closure(value_type) { return one(); }
+};
+
+/// (ℝ∪{+∞}, max, min, +∞ as identity for min? no —) — the bottleneck
+/// (max-capacity) path semiring: ⊕ = max, ⊙ = min, 0̄ = 0 capacity,
+/// 1̄ = +∞ capacity. Used by the widest-path extension benchmark.
+struct MaxMinSemiring {
+  using value_type = double;
+
+  static constexpr value_type zero() { return 0.0; }
+  static constexpr value_type one() {
+    return std::numeric_limits<double>::infinity();
+  }
+  static value_type plus(value_type a, value_type b) { return std::max(a, b); }
+  static value_type times(value_type a, value_type b) { return std::min(a, b); }
+  static value_type closure(value_type) { return one(); }
+};
+
+static_assert(ClosedSemiring<MinPlusSemiring>);
+static_assert(ClosedSemiring<BoolSemiring>);
+static_assert(ClosedSemiring<MaxMinSemiring>);
+
+}  // namespace gs

@@ -1,0 +1,200 @@
+#include "simtime/gep_job_sim.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "grid/tile_grid.hpp"
+#include "sparklet/partitioner.hpp"
+#include "support/format.hpp"
+
+namespace simtime {
+
+using gepspark::GridRanges;
+
+ImMoveCounts im_tile_moves(const GridRanges& g, int k, bool uses_w) {
+  ImMoveCounts c;
+  const auto m = static_cast<std::size_t>(g.num_b(k));
+  c.partition_by_a = 1 + g.diag_copy_count(k, uses_w);
+  if (m > 0) {
+    c.partition_by_bc = 2 * m /*selves*/ + g.rowcol_copy_count(k);
+  }
+  // combine_bc / combine_d / partition_by_d / repartition: elided (see .hpp).
+  return c;
+}
+
+CbMoveCounts cb_tile_moves(const GridRanges& g, int k) {
+  CbMoveCounts c;
+  const auto m = static_cast<std::size_t>(g.num_b(k));
+  const auto r = static_cast<std::size_t>(g.r());
+  c.collect_tiles = 1 + 2 * m;
+  c.broadcast_tiles = 1 + 2 * m;
+  c.repartition = r * r;
+  return c;
+}
+
+std::string SimResult::display() const {
+  if (disk_overflow) return "fail";
+  if (timeout) return "-";
+  return gs::strfmt("%.0f", seconds);
+}
+
+namespace {
+
+/// Busiest-executor tile count for a stage updating `keys`, using the real
+/// partitioner → partition → executor mapping.
+int max_tiles_per_executor(const std::vector<gs::TileKey>& keys,
+                           const sparklet::Partitioner& part,
+                           int num_executors) {
+  std::vector<int> per_exec(static_cast<std::size_t>(num_executors), 0);
+  int best = 1;
+  for (const auto& key : keys) {
+    const int p = part.partition_of(sparklet::key_hash(key));
+    const int e = p % num_executors;
+    best = std::max(best, ++per_exec[static_cast<std::size_t>(e)]);
+  }
+  return best;
+}
+
+}  // namespace
+
+SimResult simulate_gep_job(const MachineModel& model,
+                           const GepJobParams& params) {
+  const auto& cluster = model.cluster();
+  const auto layout = gs::BlockLayout::for_problem(params.n, params.block);
+  const int r = static_cast<int>(layout.r);
+  const GridRanges ranges(r, params.strict_sigma);
+
+  const int p = params.rdd_partitions > 0
+                    ? params.rdd_partitions
+                    : static_cast<int>(cluster.effective_partitions());
+  sparklet::PartitionerPtr part;
+  if (params.use_grid_partitioner) {
+    part = std::make_shared<sparklet::GridPartitioner>(p, r);
+  } else {
+    part = std::make_shared<sparklet::HashPartitioner>(p);
+  }
+  const int E = cluster.num_executors();
+
+  // Serialized size of one tile record on a shuffle wire (payload + tile
+  // header + key + role tag — matches sparklet's item accounting).
+  const double tile_bytes =
+      static_cast<double>(params.block) * static_cast<double>(params.block) *
+          static_cast<double>(params.value_bytes) +
+      73.0;
+
+  SimResult res;
+  res.grid_r = r;
+
+  auto add_compute = [&](gs::KernelKind kind, int tiles, int max_per_exec) {
+    if (tiles <= 0) return;
+    const double s = model.stage_seconds(kind, params.block,
+                                         params.strict_sigma, params.kernel,
+                                         params.value_bytes, tiles,
+                                         max_per_exec, p,
+                                         params.update_cost_for(params.kernel));
+    // Split out the overhead share for the breakdown.
+    const double ovh = model.params().dispatch_s * p + cluster.stage_overhead_s;
+    res.compute_s += s - ovh;
+    res.overhead_s += ovh;
+    res.seconds += s;
+    res.stages += 1;
+  };
+  // A stage whose tasks only repartition data (partitionBy / union).
+  auto add_aux_stage = [&] {
+    const double ovh = model.params().dispatch_s * p + cluster.stage_overhead_s;
+    res.overhead_s += ovh;
+    res.seconds += ovh;
+    res.stages += 1;
+  };
+  auto add_shuffle = [&](std::size_t tiles, int source_spread) -> bool {
+    if (tiles == 0) return true;
+    const double bytes = static_cast<double>(tiles) * tile_bytes;
+    if (model.shuffle_staged_per_node(bytes, source_spread) >
+        cluster.local_disk.capacity_bytes) {
+      res.disk_overflow = true;
+      return false;
+    }
+    const double s = model.shuffle_seconds(bytes, source_spread);
+    res.shuffle_s += s;
+    res.shuffle_bytes += bytes;
+    res.seconds += s;
+    return true;
+  };
+  auto add_collect = [&](std::size_t tiles) {
+    const double bytes = static_cast<double>(tiles) * tile_bytes;
+    const double s = model.collect_seconds(bytes);
+    res.collect_s += s;
+    res.collect_bytes += bytes;
+    res.seconds += s;
+  };
+  auto add_broadcast = [&](std::size_t tiles) {
+    const double bytes = static_cast<double>(tiles) * tile_bytes;
+    const double s = model.broadcast_seconds(bytes);
+    res.broadcast_s += s;
+    res.broadcast_bytes += bytes * E;  // every executor pulls a copy
+    res.seconds += s;
+  };
+
+  for (int k = 0; k < r; ++k) {
+    const int m = ranges.num_b(k);
+    const auto bc_keys = [&] {
+      auto keys = ranges.b_keys(k);
+      const auto cs = ranges.c_keys(k);
+      keys.insert(keys.end(), cs.begin(), cs.end());
+      return keys;
+    }();
+    const auto d_keys = ranges.d_keys(k);
+
+    if (params.strategy == gepspark::Strategy::kInMemory) {
+      const ImMoveCounts moves = im_tile_moves(ranges, k, params.uses_w);
+
+      // Stage 1: A kernel + its fan-out repartition (single source task —
+      // the GE diag fan-out leaves through one node's NIC and pickler).
+      add_compute(gs::KernelKind::A, 1, 1);
+      if (!add_shuffle(moves.partition_by_a, /*source_spread=*/1)) break;
+
+      if (m > 0) {
+        // Stage 2: B/C kernels (co-partitioned combine elided) + row/col
+        // fan-out repartition from the nodes that ran the 2m B/C tasks.
+        add_compute(gs::KernelKind::B, 2 * m,
+                    max_tiles_per_executor(bc_keys, *part, E));
+        if (!add_shuffle(moves.partition_by_bc, std::min(2 * m, E))) break;
+
+        // Stage 3: D kernels; combine, mapPartitions, and the iteration-end
+        // union/repartition are all partitioner-preserving → no shuffle.
+        add_compute(gs::KernelKind::D, m * m,
+                    max_tiles_per_executor(d_keys, *part, E));
+      }
+    } else {
+      const CbMoveCounts moves = cb_tile_moves(ranges, k);
+
+      add_compute(gs::KernelKind::A, 1, 1);
+      add_collect(1);
+      add_broadcast(1);
+
+      if (m > 0) {
+        add_compute(gs::KernelKind::B, 2 * m,
+                    max_tiles_per_executor(bc_keys, *part, E));
+        add_collect(2 * static_cast<std::size_t>(m));
+        add_broadcast(2 * static_cast<std::size_t>(m));
+
+        add_compute(gs::KernelKind::D, m * m,
+                    max_tiles_per_executor(d_keys, *part, E));
+      }
+
+      // Listing 2's maps drop the partitioner, so the end-of-iteration
+      // union + partitionBy physically reshuffles the whole grid.
+      if (!add_shuffle(moves.repartition, E)) break;
+      add_aux_stage();  // repartition
+    }
+
+    if (res.seconds > params.timeout_s) {
+      res.timeout = true;
+      break;
+    }
+  }
+
+  return res;
+}
+
+}  // namespace simtime

@@ -1,0 +1,205 @@
+#include "simtime/machine_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace simtime {
+
+MachineModel::MachineModel(sparklet::ClusterConfig cluster, ModelParams params)
+    : cluster_(std::move(cluster)), params_(params) {
+  cluster_.validate();
+}
+
+double MachineModel::cache_share_bytes() const {
+  const auto& node = cluster_.node;
+  return node.l2_bytes + node.l3_bytes / node.physical_cores;
+}
+
+double MachineModel::kernel_seconds_1t(gs::KernelKind kind, std::size_t block,
+                                       bool strict_sigma,
+                                       const gs::KernelConfig& kcfg,
+                                       std::size_t value_bytes,
+                                       double update_cost) const {
+  const double updates = gs::kernel_update_count(kind, block, strict_sigma);
+  const double base =
+      updates * update_cost / cluster_.node.core_updates_per_s;
+
+  double penalty;
+  if (kcfg.impl == gs::KernelImpl::kIterative) {
+    // k-i-j loop order touches ~3 operand tiles per k sweep.
+    const double ws =
+        3.0 * static_cast<double>(block) * static_cast<double>(block) *
+        static_cast<double>(value_bytes);
+    const double ratio = ws / cache_share_bytes();
+    penalty = ratio <= 1.0
+                  ? 1.0
+                  : std::min(params_.iter_penalty_max,
+                             std::pow(ratio, params_.iter_penalty_gamma));
+  } else if (kcfg.impl == gs::KernelImpl::kTiled) {
+    // Cache-AWARE tiling: I/O-efficient iff the inner tile was sized for
+    // this machine. Private-cache-resident tiles are safe; tiles that rely
+    // on the shared L3 slice are fragile (see task_speedup); mis-sized
+    // tiles degrade like the plain loops.
+    const double ws_t =
+        3.0 * double(kcfg.base_size) * double(kcfg.base_size) *
+        double(value_bytes);
+    if (ws_t <= cluster_.node.l2_bytes) {
+      penalty = 1.08;
+    } else if (ws_t <= cache_share_bytes()) {
+      penalty = 1.25;
+    } else {
+      penalty = std::min(params_.iter_penalty_max,
+                         std::pow(ws_t / cache_share_bytes(),
+                                  params_.iter_penalty_gamma));
+    }
+  } else {
+    penalty = params_.rec_penalty;
+  }
+  return base * penalty;
+}
+
+double MachineModel::task_speedup(const gs::KernelConfig& kcfg,
+                                  gs::KernelKind kind,
+                                  int active_tasks_on_node, std::size_t block,
+                                  std::size_t value_bytes) const {
+  const double P = cluster_.node.physical_cores;
+  const double a = std::max(1, active_tasks_on_node);
+  const double t = std::max(1, kcfg.omp_threads);
+
+  // Combined working sets of concurrent tasks vs L3: memory-bandwidth
+  // contention hits every kernel flavour.
+  const double ws = 3.0 * double(block) * double(block) * double(value_bytes);
+  const double resident = a * ws;
+  double contention = 1.0;
+  if (resident > cluster_.node.l3_bytes) {
+    contention += params_.mem_beta * std::log2(resident / cluster_.node.l3_bytes);
+  }
+
+  if (kcfg.impl == gs::KernelImpl::kIterative) {
+    return 1.0 / contention;  // Numba-style single-threaded tasks
+  }
+
+  // Tiled kernels are not cache-adaptive: their tile was sized assuming a
+  // full per-core cache share, so co-running tasks squeeze it out of the
+  // shared L3 — extra contention the recursive (cache-adaptive) kernels do
+  // not pay [41][44].
+  if (kcfg.impl == gs::KernelImpl::kTiled) {
+    const double ws_t = 3.0 * double(kcfg.base_size) *
+                        double(kcfg.base_size) * double(value_bytes);
+    if (ws_t > cluster_.node.l2_bytes && a > 1.0) {
+      contention *= 1.0 + 0.15 * std::log2(a);
+    }
+  }
+
+  // Task-graph parallelism cap of the r_shared-way recursion. Tiled
+  // kernels split fully in one level: effectively unbounded task supply.
+  const double nb =
+      kcfg.impl == gs::KernelImpl::kTiled
+          ? double(std::max<std::size_t>(block / std::max<std::size_t>(
+                                                     kcfg.base_size, 1),
+                                         2))
+          : static_cast<double>(std::max<std::size_t>(kcfg.r_shared, 2));
+  double cap;
+  switch (kind) {
+    case gs::KernelKind::A: cap = std::max(1.0, nb * nb / 4.0); break;
+    case gs::KernelKind::B:
+    case gs::KernelKind::C: cap = std::max(1.0, nb * nb / 2.0); break;
+    case gs::KernelKind::D: cap = nb * nb; break;
+    default: cap = 1.0; break;
+  }
+
+  // Fair-share cores per task, bounded by the thread count.
+  const double cores_per_task = std::min(t, std::max(1.0, P / a));
+  const double usable = std::min(cores_per_task, cap);
+  const double amdahl = 1.0 / (1.0 + params_.amdahl_serial * (usable - 1.0));
+
+  // Oversubscription: a·t threads time-sharing P cores, worse when the
+  // load is spread over many competing task processes (a/P high) than when
+  // one OpenMP runtime owns the node. Floored: heavily thrashed tasks run
+  // slower than serial — the Tables I/II cliff.
+  const double load = a * t / P;
+  const double oversub =
+      load > 1.0
+          ? 1.0 + params_.oversub_beta * std::log(load) * (0.5 + a / P)
+          : 1.0;
+
+  return std::max(0.25, usable * amdahl / (oversub * contention));
+}
+
+double MachineModel::stage_seconds(gs::KernelKind kind, std::size_t block,
+                                   bool strict_sigma,
+                                   const gs::KernelConfig& kcfg,
+                                   std::size_t value_bytes, int tile_tasks,
+                                   int max_tiles_per_executor,
+                                   int rdd_partitions,
+                                   double update_cost) const {
+  if (tile_tasks <= 0) return 0.0;
+  GS_CHECK(max_tiles_per_executor >= 1);
+
+  const int slots = cluster_.executor_cores;
+  // Tasks actually crunching tiles at once on the busiest node.
+  const int active = std::min(slots, max_tiles_per_executor);
+  const double t1 = kernel_seconds_1t(kind, block, strict_sigma, kcfg,
+                                      value_bytes, update_cost);
+  const double per_task =
+      t1 / task_speedup(kcfg, kind, active, block, value_bytes);
+  const int waves = (max_tiles_per_executor + active - 1) / active;
+
+  // All rdd_partitions tasks are dispatched serially by the driver even when
+  // their partitions hold no tiles — the paper's small-block overhead.
+  const double dispatch = params_.dispatch_s * rdd_partitions;
+
+  return waves * per_task + dispatch + cluster_.stage_overhead_s;
+}
+
+double MachineModel::shuffle_seconds(double bytes, int source_spread) const {
+  const double wire = bytes * params_.compression;
+  const int nodes = cluster_.num_nodes;
+  const int spread = std::clamp(source_spread, 1, nodes);
+  const auto& disk = cluster_.local_disk;
+
+  // Map-side: serialize + stage on the source nodes' disks. Each map task
+  // writes one segment per reduce partition, so a shuffle touches ~p files
+  // per node — on spinning disks the seeks alone dominate (the cluster-2
+  // effect in Fig. 8).
+  const double segments = static_cast<double>(cluster_.effective_partitions());
+  const double t_ser = bytes / (params_.serialize_Bps * spread);
+  const double per_source = wire / spread;
+  const double t_write = disk.seek_s * segments + per_source / disk.write_Bps;
+
+  // Fetch: read the segments back, cross the source NICs, land cluster-wide.
+  const double t_read = disk.seek_s * segments + per_source / disk.read_Bps;
+  const double remote = nodes > 1 ? double(nodes - 1) / nodes : 0.0;
+  const double t_net =
+      cluster_.network.latency_s +
+      wire * remote / (cluster_.network.bandwidth_Bps * spread);
+
+  return t_ser + t_write + t_read + t_net;
+}
+
+double MachineModel::collect_seconds(double bytes) const {
+  // Everything funnels through the driver's NIC and its (de)serialization.
+  return cluster_.network.latency_s +
+         bytes * params_.compression / cluster_.network.bandwidth_Bps +
+         bytes / params_.driver_Bps;
+}
+
+double MachineModel::broadcast_seconds(double bytes) const {
+  const double wire = bytes * params_.compression;
+  const auto& fs = cluster_.shared_fs;
+  const double t_driver = bytes / params_.driver_Bps;  // tofile() pipeline
+  const double t_write = fs.seek_s + wire / fs.write_Bps;
+  const double t_read =
+      fs.seek_s + wire * cluster_.num_executors() / fs.read_Bps;
+  return t_driver + t_write + t_read + cluster_.network.latency_s;
+}
+
+double MachineModel::shuffle_staged_per_node(double bytes,
+                                             int source_spread) const {
+  const int spread = std::clamp(source_spread, 1, cluster_.num_nodes);
+  return bytes * params_.compression / spread;
+}
+
+}  // namespace simtime

@@ -1,0 +1,119 @@
+// machine_model.hpp — calibrated analytic cost model for paper-scale runs.
+//
+// The real sparklet runtime executes kernels and measures them; this model
+// *predicts* the same quantities for problem sizes (32K×32K, 16 nodes, 512
+// cores) that cannot run on the test host. Ingredients:
+//
+//   * kernel compute cost  — update-count(kind, b, Σ) / per-core rate,
+//     multiplied by a cache penalty. Iterative kernels stream the whole tile
+//     once per k (k-i-j loop order): their penalty grows once the ~3·b²
+//     working set leaves the per-core cache share (L2 + L3/P); recursive
+//     kernels are cache-oblivious, paying a small constant. This is the
+//     paper's §V-C "blocks fit in L2" crossover.
+//   * intra-task parallelism — recursive kernels scale with OMP_NUM_THREADS
+//     up to the kernel's task-graph parallelism cap and an Amdahl term;
+//     iterative kernels are single-threaded (as in the paper, where they are
+//     Numba JIT kernels).
+//   * node contention — `a` concurrently-active tasks × t threads each on P
+//     physical cores: fair-share core split plus a logarithmic
+//     oversubscription penalty (the Tables I/II cliff).
+//   * data movement — shuffle through local-disk staging plus network with a
+//     compression factor (Spark compresses shuffle files); collect through
+//     the driver NIC; broadcast through shared storage.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/kernel_config.hpp"
+#include "kernels/kernel_kind.hpp"
+#include "sparklet/cluster.hpp"
+
+namespace simtime {
+
+struct ModelParams {
+  /// Iterative-kernel cache penalty: pen = clamp((ws/cache)^gamma, 1, max).
+  double iter_penalty_gamma = 0.47;
+  double iter_penalty_max = 8.0;
+  /// Recursive kernels' constant factor (recursion overhead; near-oblivious).
+  double rec_penalty = 1.12;
+  /// Amdahl serial fraction of the recursive kernels' task graphs.
+  double amdahl_serial = 0.010;
+  /// Oversubscription: slowdown = 1 + beta·ln(load)·(0.5 + a/P) — many
+  /// competing task processes schedule worse than few many-threaded ones.
+  double oversub_beta = 0.27;
+  /// Working-set contention: `a` concurrent tile tasks whose combined ~3b²
+  /// working sets overflow L3 become memory-bandwidth bound:
+  /// slowdown = 1 + mem_beta·log2(a·ws / L3). Applies to BOTH kernel
+  /// flavours (this is what ruins executor-cores=32 rows in Tables I/II
+  /// even at OMP_NUM_THREADS=1).
+  double mem_beta = 0.12;
+  /// Serial driver-side dispatch cost per task of a stage.
+  double dispatch_s = 0.30e-3;
+  /// Spark shuffle/broadcast compression ratio (bytes on wire / raw bytes).
+  double compression = 0.30;
+  /// Map-side (de)serialization throughput per executor process — pySpark
+  /// pickling; fan-outs that originate from few tasks bottleneck here.
+  double serialize_Bps = 1.0e9;
+  /// Driver-process byte throughput for collect()/tofile() pipelines (the
+  /// CB strategy funnels every pivot tile through this).
+  double driver_Bps = 150.0e6;
+};
+
+class MachineModel {
+ public:
+  explicit MachineModel(sparklet::ClusterConfig cluster,
+                        ModelParams params = {});
+
+  const sparklet::ClusterConfig& cluster() const { return cluster_; }
+  const ModelParams& params() const { return params_; }
+
+  /// Per-core cache share available to one task (L2 + L3/P), bytes.
+  double cache_share_bytes() const;
+
+  /// Seconds for one kernel task on a b×b tile, single-threaded.
+  /// `update_cost` scales the per-update work relative to min-plus (GE's
+  /// x − u·v/w carries an unpipelined divide: ≈ 2.5).
+  double kernel_seconds_1t(gs::KernelKind kind, std::size_t block,
+                           bool strict_sigma, const gs::KernelConfig& kcfg,
+                           std::size_t value_bytes,
+                           double update_cost = 1.0) const;
+
+  /// Effective speedup of one task given its OMP thread count, the kernel's
+  /// parallelism cap, and `active_tasks` concurrently running on the node
+  /// (with their b×b working sets competing for L3/DRAM bandwidth).
+  /// Iterative kernels return ≤ 1 (they never parallelize but still suffer
+  /// contention).
+  double task_speedup(const gs::KernelConfig& kcfg, gs::KernelKind kind,
+                      int active_tasks_on_node, std::size_t block,
+                      std::size_t value_bytes) const;
+
+  /// Makespan of one compute stage: `tile_tasks` kernel invocations of
+  /// `kind` spread over `max_tiles_per_executor` on the busiest executor,
+  /// with `rdd_partitions` (mostly empty) tasks dispatched.
+  double stage_seconds(gs::KernelKind kind, std::size_t block,
+                       bool strict_sigma, const gs::KernelConfig& kcfg,
+                       std::size_t value_bytes, int tile_tasks,
+                       int max_tiles_per_executor, int rdd_partitions,
+                       double update_cost = 1.0) const;
+
+  /// Shuffle of `bytes` whose map outputs originate from `source_spread`
+  /// distinct nodes: serialization and the outbound NICs bottleneck on that
+  /// spread (spread 1 = the GE pivot fan-out pathology), disk staging and
+  /// inbound links use the whole cluster.
+  double shuffle_seconds(double bytes, int source_spread) const;
+
+  /// Executors → driver NIC, plus the driver-process pipeline.
+  double collect_seconds(double bytes) const;
+
+  /// Driver writes to shared storage; every executor reads it back.
+  double broadcast_seconds(double bytes) const;
+
+  /// Per-source-node staged bytes for a shuffle (capacity checks).
+  double shuffle_staged_per_node(double bytes, int source_spread) const;
+
+ private:
+  sparklet::ClusterConfig cluster_;
+  ModelParams params_;
+};
+
+}  // namespace simtime

@@ -1,0 +1,68 @@
+#include "sparklet/block_store.hpp"
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace sparklet {
+
+BlockStore::BlockStore(DiskSpec spec, int num_nodes)
+    : spec_(std::move(spec)),
+      used_(static_cast<std::size_t>(num_nodes), 0),
+      peak_(static_cast<std::size_t>(num_nodes), 0) {
+  GS_CHECK(num_nodes >= 1);
+}
+
+double BlockStore::write(int node, std::size_t bytes) {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& u = used_[static_cast<std::size_t>(node)];
+  if (static_cast<double>(u) + static_cast<double>(bytes) >
+      spec_.capacity_bytes) {
+    throw gs::CapacityError(gs::strfmt(
+        "%s on node %d overflows: %s staged + %s requested > %s capacity",
+        spec_.kind.c_str(), node, gs::human_bytes(double(u)).c_str(),
+        gs::human_bytes(double(bytes)).c_str(),
+        gs::human_bytes(spec_.capacity_bytes).c_str()));
+  }
+  u += bytes;
+  auto& p = peak_[static_cast<std::size_t>(node)];
+  if (u > p) p = u;
+  total_written_ += bytes;
+  return spec_.seek_s + static_cast<double>(bytes) / spec_.write_Bps;
+}
+
+double BlockStore::read(int node, std::size_t bytes) const {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  return spec_.seek_s + static_cast<double>(bytes) / spec_.read_Bps;
+}
+
+void BlockStore::release(int node, std::size_t bytes) {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& u = used_[static_cast<std::size_t>(node)];
+  u = (bytes >= u) ? 0 : u - bytes;
+}
+
+void BlockStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& u : used_) u = 0;
+}
+
+std::size_t BlockStore::used(int node) const {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_[static_cast<std::size_t>(node)];
+}
+
+std::size_t BlockStore::peak(int node) const {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_[static_cast<std::size_t>(node)];
+}
+
+std::size_t BlockStore::total_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_written_;
+}
+
+}  // namespace sparklet

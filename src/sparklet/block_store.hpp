@@ -1,0 +1,51 @@
+// block_store.hpp — simulated persistent storage.
+//
+// Two roles, mirroring the paper:
+//   * per-node local disks that stage shuffle data for wide transformations —
+//     with a hard capacity limit, reproducing the paper's observation that IM
+//     executions are "constrained by the size of the underlying SSDs";
+//   * the shared filesystem the Collect-Broadcast driver distributes tiles
+//     through.
+// All I/O is virtual: operations return the seconds they would take and
+// update the accounted usage; actual data stays in process memory.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "sparklet/cluster.hpp"
+
+namespace sparklet {
+
+class BlockStore {
+ public:
+  BlockStore(DiskSpec spec, int num_nodes);
+
+  /// Stage `bytes` on `node`'s disk. Returns virtual seconds for the write.
+  /// Throws gs::CapacityError when the node's disk would overflow.
+  double write(int node, std::size_t bytes);
+
+  /// Read `bytes` from `node`'s disk (no usage change).
+  double read(int node, std::size_t bytes) const;
+
+  /// Release staged bytes (shuffle cleanup after a stage completes).
+  void release(int node, std::size_t bytes);
+  void clear();
+
+  std::size_t used(int node) const;
+  std::size_t peak(int node) const;
+  std::size_t total_written() const;
+
+  const DiskSpec& spec() const { return spec_; }
+  int num_nodes() const { return static_cast<int>(used_.size()); }
+
+ private:
+  DiskSpec spec_;
+  mutable std::mutex mu_;
+  std::vector<std::size_t> used_;
+  std::vector<std::size_t> peak_;
+  std::size_t total_written_ = 0;
+};
+
+}  // namespace sparklet

@@ -1,0 +1,57 @@
+#include "sparklet/cluster.hpp"
+
+namespace sparklet {
+
+ClusterConfig ClusterConfig::skylake_cluster(int nodes) {
+  ClusterConfig c;
+  c.name = "cluster1-skylake";
+  c.num_nodes = nodes;
+  c.node.physical_cores = 32;
+  c.node.mem_bytes = 192.0e9;
+  c.node.l1_bytes = 32.0 * 1024;
+  c.node.l2_bytes = 1024.0 * 1024;  // paper: 1024KB L2
+  c.node.l3_bytes = 22.0 * 1024 * 1024;
+  c.node.core_updates_per_s = 1.0e9;
+  c.local_disk = DiskSpec::ssd(1.0e12);  // paper: one standard 1TB SSD
+  // Shared persistent storage (CB's distribution channel): campus parallel
+  // filesystem — decent aggregate bandwidth.
+  c.shared_fs = DiskSpec{2.0e9, 1.0e9, 0.5e-3, 100.0e12, "parallel-fs"};
+  c.executor_cores = 32;
+  c.executor_mem_bytes = 160.0e9;  // paper: 160GB executor/driver memory
+  c.stage_overhead_s = 0.15;       // real-Spark stage latency at this scale
+  return c;
+}
+
+ClusterConfig ClusterConfig::haswell_cluster(int nodes) {
+  ClusterConfig c;
+  c.name = "cluster2-haswell";
+  c.num_nodes = nodes;
+  c.node.physical_cores = 20;  // dual 10-core E5-2650v3
+  c.node.mem_bytes = 64.0e9;
+  c.node.l1_bytes = 32.0 * 1024;
+  c.node.l2_bytes = 256.0 * 1024;  // Haswell: 256KB L2 per core
+  c.node.l3_bytes = 25.0 * 1024 * 1024;
+  c.node.core_updates_per_s = 0.8e9;  // 2.3GHz Haswell vs 2.1GHz Skylake+AVX512
+  c.local_disk = DiskSpec::hdd(1.0e12);  // 7500rpm SATA spinning drives
+  // Older shared storage tier: noticeably slower aggregate bandwidth.
+  c.shared_fs = DiskSpec{0.8e9, 0.4e9, 2e-3, 100.0e12, "parallel-fs-old"};
+  c.executor_cores = 20;
+  c.executor_mem_bytes = 60.0e9;  // paper: 60GB
+  c.stage_overhead_s = 0.18;
+  return c;
+}
+
+ClusterConfig ClusterConfig::local(int nodes, int cores) {
+  ClusterConfig c;
+  c.name = "local";
+  c.num_nodes = nodes;
+  c.node.physical_cores = cores;
+  c.node.mem_bytes = 8.0e9;
+  c.executor_cores = cores;
+  c.executor_mem_bytes = 4.0e9;
+  c.local_disk = DiskSpec::ssd(64.0e9);
+  c.shared_fs = DiskSpec::ssd(64.0e9);
+  return c;
+}
+
+}  // namespace sparklet

@@ -1,0 +1,244 @@
+#include "sparklet/context.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/format.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sparklet {
+
+RddBase::RddBase(SparkContext* ctx, std::string label, int num_partitions,
+                 bool wide_input, std::vector<std::shared_ptr<RddBase>> parents,
+                 PartitionerPtr partitioner)
+    : ctx_(ctx),
+      id_(ctx->next_rdd_id()),
+      label_(std::move(label)),
+      num_partitions_(num_partitions),
+      wide_input_(wide_input),
+      parents_(std::move(parents)),
+      partitioner_(std::move(partitioner)) {
+  GS_THROW_IF(num_partitions_ < 1, gs::ConfigError,
+              "RDD needs at least one partition: " + label_);
+}
+
+namespace {
+// The physical pool backing virtual executors. Oversubscribing a small host
+// with hundreds of threads helps nothing, so cap it; virtual-cluster shape
+// is handled by VirtualTimeline, not by physical threads.
+std::size_t physical_pool_size(const ClusterConfig& cfg) {
+  const std::size_t want = static_cast<std::size_t>(cfg.num_executors()) *
+                           static_cast<std::size_t>(cfg.executor_cores);
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return std::clamp<std::size_t>(want, 1, std::max<std::size_t>(hw * 2, 4));
+}
+}  // namespace
+
+SparkContext::SparkContext(ClusterConfig cfg)
+    : cfg_(std::move(cfg)),
+      timeline_(cfg_.num_executors(), cfg_.executor_cores),
+      local_disks_(cfg_.local_disk, cfg_.num_nodes),
+      shared_fs_(cfg_.shared_fs, 1),
+      pool_(physical_pool_size(cfg_)) {
+  cfg_.validate();
+}
+
+SparkContext::~SparkContext() = default;
+
+PartitionerPtr SparkContext::default_partitioner() const {
+  return std::make_shared<HashPartitioner>(
+      static_cast<int>(cfg_.effective_partitions()));
+}
+
+int SparkContext::current_stage_id() const {
+  return current_stage_ != nullptr ? current_stage_->stage_id : -1;
+}
+
+void SparkContext::run_job(const std::shared_ptr<RddBase>& target,
+                           const std::string& action_name) {
+  GS_CHECK(target != nullptr);
+  if (target->materialized()) return;  // nothing to do — result is cached
+
+  // 1. Topological order over unmaterialized ancestors.
+  std::vector<RddBase*> order;
+  std::unordered_set<RddBase*> visited;
+  std::vector<RddBase*> dfs_stack;
+  // Iterative post-order DFS (lineages can be thousands of nodes deep after
+  // many driver iterations; recursion would overflow).
+  struct Frame {
+    RddBase* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> frames;
+  frames.push_back({target.get(), 0});
+  visited.insert(target.get());
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.next_parent < f.node->parents().size()) {
+      RddBase* parent = f.node->parents()[f.next_parent++].get();
+      if (parent != nullptr && !parent->materialized() &&
+          visited.insert(parent).second) {
+        frames.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      frames.pop_back();
+    }
+  }
+
+  // 2. Stage assignment: stage(node) = max(parent stages) + (wide ? 1 : 0).
+  std::unordered_map<RddBase*, int> stage_of;
+  int max_stage = 0;
+  for (RddBase* n : order) {
+    int s = 0;
+    for (const auto& p : n->parents()) {
+      auto it = stage_of.find(p.get());
+      if (it != stage_of.end()) s = std::max(s, it->second);
+    }
+    if (n->wide_input()) s += 1;
+    stage_of[n] = s;
+    max_stage = std::max(max_stage, s);
+  }
+
+  // 3. Execute stages in order.
+  gs::Stopwatch job_sw;
+  int stages_run = 0;
+  for (int s = 0; s <= max_stage; ++s) {
+    std::vector<RddBase*> nodes;
+    for (RddBase* n : order) {
+      if (stage_of[n] == s) nodes.push_back(n);
+    }
+    if (nodes.empty()) continue;
+
+    StageMetric sm;
+    sm.stage_id = next_stage_id_++;
+    sm.name = nodes.back()->label();
+    sm.shuffle_input = std::any_of(nodes.begin(), nodes.end(),
+                                   [](RddBase* n) { return n->wide_input(); });
+    current_stage_ = &sm;
+    timeline_.add_serial(gs::strfmt("stage-%d-overhead", sm.stage_id),
+                         cfg_.stage_overhead_s);
+    gs::Stopwatch stage_sw;
+    try {
+      for (RddBase* n : nodes) n->do_materialize();
+    } catch (...) {
+      current_stage_ = nullptr;
+      throw;
+    }
+    sm.wall_s = stage_sw.seconds();
+    RddBase* final_node = nodes.back();
+    sm.num_tasks = final_node->num_partitions();
+    for (int p = 0; p < final_node->num_partitions(); ++p) {
+      sm.records_out += final_node->partition_items(p);
+    }
+    current_stage_ = nullptr;
+    metrics_.add_stage(sm);
+    ++stages_run;
+  }
+
+  metrics_.add_job({next_job_id_++, action_name, job_sw.seconds(), stages_run});
+}
+
+void SparkContext::run_node_tasks(RddBase& node,
+                                  const std::function<void(int)>& body) {
+  const int n = node.num_partitions();
+  std::vector<double> durations(static_cast<std::size_t>(n), 0.0);
+  gs::parallel_for(pool_, static_cast<std::size_t>(n), [&](std::size_t p) {
+    gs::Stopwatch sw;
+    // Fault injection: each attempt may be "lost" (executor failure);
+    // the pure partition computation is simply retried, like Spark
+    // recomputing from lineage. Deterministic in (seed, rdd, p, attempt).
+    for (int attempt = 1;; ++attempt) {
+      if (fault_plan_.task_failure_prob > 0.0) {
+        gs::Rng rng(fault_plan_.seed ^
+                    (static_cast<std::uint64_t>(node.id()) << 40) ^
+                    (static_cast<std::uint64_t>(p) << 8) ^
+                    static_cast<std::uint64_t>(attempt));
+        if (rng.bernoulli(fault_plan_.task_failure_prob)) {
+          injected_failures_.fetch_add(1);
+          if (attempt >= fault_plan_.max_attempts) {
+            throw gs::JobAbortedError(gs::strfmt(
+                "task %zu of RDD %d (%s) failed %d times — aborting job",
+                p, node.id(), node.label().c_str(), attempt));
+          }
+          continue;  // retry
+        }
+      }
+      body(static_cast<int>(p));
+      break;
+    }
+    durations[p] = sw.seconds();
+  });
+
+  std::vector<int> executors(static_cast<std::size_t>(n));
+  const int stage_id = current_stage_id();
+  for (int p = 0; p < n; ++p) {
+    executors[static_cast<std::size_t>(p)] = executor_of(p);
+    metrics_.add_task({stage_id, p, executor_of(p),
+                       durations[static_cast<std::size_t>(p)], 0,
+                       node.partition_items(p)});
+  }
+  // Virtual time: every task also pays the scheduler dispatch overhead.
+  std::vector<double> with_overhead = durations;
+  for (auto& d : with_overhead) d += cfg_.task_overhead_s;
+  timeline_.add_stage(node.label(), with_overhead, executors);
+}
+
+double SparkContext::charge_shuffle(std::size_t bytes) {
+  const int nodes = cfg_.num_nodes;
+  const std::size_t per_node = bytes / static_cast<std::size_t>(nodes) + 1;
+  // Map outputs staged on every node's local disk in parallel; the slowest
+  // node gates the stage. Reads happen during the fetch phase.
+  double t_write = 0.0, t_read = 0.0;
+  for (int node = 0; node < nodes; ++node) {
+    t_write = std::max(t_write, local_disks_.write(node, per_node));
+  }
+  for (int node = 0; node < nodes; ++node) {
+    t_read = std::max(t_read, local_disks_.read(node, per_node));
+  }
+  const double remote_fraction =
+      nodes > 1 ? static_cast<double>(nodes - 1) / nodes : 0.0;
+  const double t_net =
+      cfg_.network.latency_s +
+      static_cast<double>(bytes) * remote_fraction /
+          (cfg_.network.bandwidth_Bps * static_cast<double>(nodes));
+  const double total = t_write + t_read + t_net;
+  timeline_.add_serial("shuffle", total);
+  // Shuffle files are cleaned up once consumed.
+  for (int node = 0; node < nodes; ++node) {
+    local_disks_.release(node, per_node);
+  }
+  return total;
+}
+
+double SparkContext::charge_collect(std::size_t bytes) {
+  metrics_.add_collect_bytes(bytes);
+  // All executors funnel through the driver's single NIC.
+  const double t = cfg_.network.latency_s +
+                   static_cast<double>(bytes) / cfg_.network.bandwidth_Bps;
+  timeline_.add_serial("collect", t);
+  return t;
+}
+
+double SparkContext::charge_broadcast(std::size_t bytes) {
+  metrics_.add_broadcast_bytes(bytes * cfg_.num_executors());
+  // Driver writes once to shared storage; every executor reads it back.
+  const double t_write = shared_fs_.write(0, bytes);
+  const double t_read =
+      shared_fs_.read(0, bytes * static_cast<std::size_t>(cfg_.num_executors()));
+  const double t = t_write + t_read + cfg_.network.latency_s;
+  timeline_.add_serial("broadcast", t);
+  shared_fs_.release(0, bytes);
+  return t;
+}
+
+void SparkContext::note_shuffle(std::size_t read_bytes,
+                                std::size_t write_bytes) {
+  if (current_stage_ != nullptr) {
+    current_stage_->shuffle_read_bytes += read_bytes;
+    current_stage_->shuffle_write_bytes += write_bytes;
+  }
+}
+
+}  // namespace sparklet

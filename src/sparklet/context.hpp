@@ -1,0 +1,144 @@
+// context.hpp — the sparklet driver: owns the executor pool, metrics,
+// virtual timeline, storage models, and the stage scheduler.
+//
+// One SparkContext corresponds to one Spark application on a described
+// cluster. RDDs are built lazily against it; actions (collect/count/…) call
+// run_job(), which cuts the lineage into stages at wide dependencies and
+// materializes them in order on the thread pool, charging metrics and
+// virtual time along the way.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sparklet/block_store.hpp"
+#include "support/rng.hpp"
+#include "sparklet/cluster.hpp"
+#include "sparklet/item_bytes.hpp"
+#include "sparklet/metrics.hpp"
+#include "sparklet/rdd_base.hpp"
+#include "sparklet/virtual_timeline.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sparklet {
+
+/// Fault-injection plan: every task attempt fails independently with
+/// `task_failure_prob`; sparklet retries a failed task up to `max_attempts`
+/// times (Spark's spark.task.maxFailures) before aborting the job. Injection
+/// is deterministic in (seed, rdd id, partition, attempt), so failing runs
+/// are reproducible. Task bodies are pure partition computations, so a
+/// retry simply recomputes — the lineage-level resilience RDDs promise.
+struct FaultPlan {
+  double task_failure_prob = 0.0;
+  int max_attempts = 4;
+  std::uint64_t seed = 1;
+};
+
+/// Read-only value shipped once to every executor (via shared storage in
+/// the CB driver). Cheap to copy; payload is shared.
+template <typename T>
+class Broadcast {
+ public:
+  Broadcast() = default;
+  explicit Broadcast(std::shared_ptr<const T> v) : value_(std::move(v)) {}
+  const T& value() const {
+    GS_CHECK_MSG(value_ != nullptr, "empty broadcast");
+    return *value_;
+  }
+  bool valid() const { return value_ != nullptr; }
+
+ private:
+  std::shared_ptr<const T> value_;
+};
+
+class SparkContext {
+ public:
+  explicit SparkContext(ClusterConfig cfg);
+  ~SparkContext();
+
+  SparkContext(const SparkContext&) = delete;
+  SparkContext& operator=(const SparkContext&) = delete;
+
+  const ClusterConfig& config() const { return cfg_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  VirtualTimeline& timeline() { return timeline_; }
+  BlockStore& local_disks() { return local_disks_; }
+  BlockStore& shared_fs() { return shared_fs_; }
+  gs::ThreadPool& pool() { return pool_; }
+
+  /// Default partitioner: hash over config().effective_partitions().
+  PartitionerPtr default_partitioner() const;
+
+  /// Install (or clear, with a default-constructed plan) fault injection.
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+  /// Total injected task failures observed so far.
+  int injected_failures() const { return injected_failures_.load(); }
+
+  int next_rdd_id() { return next_rdd_id_++; }
+
+  /// Virtual executor hosting partition p (Spark-style round-robin).
+  int executor_of(int partition) const {
+    return partition % cfg_.num_executors();
+  }
+  /// Physical node hosting an executor.
+  int node_of_executor(int executor) const {
+    return executor % cfg_.num_nodes;
+  }
+
+  /// Ship a value to all executors. Charges shared-storage + network time.
+  template <typename T>
+  Broadcast<T> broadcast(T value) {
+    auto holder = std::make_shared<const T>(std::move(value));
+    const std::size_t bytes = item_bytes(*holder);
+    charge_broadcast(bytes);
+    return Broadcast<T>(std::move(holder));
+  }
+
+  // ------- scheduler interface (used by RDD actions / typed nodes) -------
+
+  /// Materialize `target` and all unmaterialized ancestors, stage by stage.
+  void run_job(const std::shared_ptr<RddBase>& target,
+               const std::string& action_name);
+
+  /// Run one task per partition of `node` on the executor pool; records task
+  /// metrics and feeds the virtual timeline. `out_items(p)` reports the
+  /// task's output record count once the body has run.
+  void run_node_tasks(RddBase& node, const std::function<void(int)>& body);
+
+  /// Account a shuffle of `bytes` through local-disk staging + network.
+  /// Returns virtual seconds. Throws gs::CapacityError on disk overflow.
+  double charge_shuffle(std::size_t bytes);
+
+  /// Account a collect() of `bytes` into the driver.
+  double charge_collect(std::size_t bytes);
+
+  /// Account a broadcast of `bytes` to every executor.
+  double charge_broadcast(std::size_t bytes);
+
+  /// Record shuffle volumes into the currently-running stage metric.
+  void note_shuffle(std::size_t read_bytes, std::size_t write_bytes);
+
+  int current_stage_id() const;
+
+ private:
+  ClusterConfig cfg_;
+  MetricsRegistry metrics_;
+  VirtualTimeline timeline_;
+  BlockStore local_disks_;
+  BlockStore shared_fs_;
+  gs::ThreadPool pool_;
+
+  std::atomic<int> next_rdd_id_{0};
+  int next_stage_id_ = 0;
+  int next_job_id_ = 0;
+
+  StageMetric* current_stage_ = nullptr;  // valid only inside run_job
+
+  FaultPlan fault_plan_;
+  std::atomic<int> injected_failures_{0};
+};
+
+}  // namespace sparklet

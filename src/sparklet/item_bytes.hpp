@@ -1,0 +1,74 @@
+// item_bytes.hpp — serialized-size estimation for RDD elements.
+//
+// Sparklet never actually serializes (everything is in-process), but shuffle
+// accounting, collect/broadcast costs, and the block-store capacity model all
+// need the bytes Spark *would* move. `item_bytes` is the customization point;
+// the default covers trivially-copyable types, with overloads for the tile
+// payloads and common composites.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "grid/tile.hpp"
+
+namespace sparklet {
+
+// Forward declarations so composite overloads (pair, vector) can see each
+// other regardless of definition order.
+template <typename A, typename B>
+std::size_t item_bytes(const std::pair<A, B>& p);
+template <typename T>
+std::size_t item_bytes(const std::vector<T>& v);
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::size_t item_bytes(const T&) {
+  return sizeof(T);
+}
+
+inline std::size_t item_bytes(const std::string& s) { return s.size() + 16; }
+
+template <typename T>
+std::size_t item_bytes(const gs::Tile<T>& t) {
+  return t.bytes();
+}
+
+/// A TileRef crossing a stage boundary costs a full tile — sharing the
+/// payload in-process is an implementation convenience, not a semantics.
+template <typename T>
+std::size_t item_bytes(const gs::TileRef<T>& t) {
+  return t ? t->bytes() : 8;
+}
+
+template <typename A, typename B>
+std::size_t item_bytes(const std::pair<A, B>& p) {
+  return item_bytes(p.first) + item_bytes(p.second);
+}
+
+template <typename T>
+std::size_t item_bytes(const std::vector<T>& v) {
+  std::size_t sum = 24;
+  for (const auto& x : v) sum += item_bytes(x);
+  return sum;
+}
+
+template <typename K, typename V, typename H, typename E, typename A>
+std::size_t item_bytes(const std::unordered_map<K, V, H, E, A>& m) {
+  std::size_t sum = 48;
+  for (const auto& [k, v] : m) sum += item_bytes(k) + item_bytes(v);
+  return sum;
+}
+
+template <typename Range>
+std::size_t range_bytes(const Range& r) {
+  std::size_t sum = 0;
+  for (const auto& x : r) sum += item_bytes(x);
+  return sum;
+}
+
+}  // namespace sparklet

@@ -1,0 +1,115 @@
+#include "sparklet/metrics.hpp"
+
+#include "support/format.hpp"
+
+namespace sparklet {
+
+void MetricsRegistry::add_task(const TaskMetric& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_.push_back(t);
+}
+
+void MetricsRegistry::add_stage(const StageMetric& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stages_.push_back(s);
+}
+
+void MetricsRegistry::add_job(const JobMetric& j) {
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_.push_back(j);
+}
+
+void MetricsRegistry::add_collect_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collect_bytes_ += bytes;
+}
+
+void MetricsRegistry::add_broadcast_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  broadcast_bytes_ += bytes;
+}
+
+std::vector<TaskMetric> MetricsRegistry::tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_;
+}
+
+std::vector<StageMetric> MetricsRegistry::stages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stages_;
+}
+
+std::vector<JobMetric> MetricsRegistry::jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_;
+}
+
+int MetricsRegistry::total_stage_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int sum = 0;
+  for (const auto& s : stages_) sum += s.num_tasks;
+  return sum;
+}
+
+std::size_t MetricsRegistry::total_shuffle_read() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t sum = 0;
+  for (const auto& s : stages_) sum += s.shuffle_read_bytes;
+  return sum;
+}
+
+std::size_t MetricsRegistry::total_shuffle_write() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t sum = 0;
+  for (const auto& s : stages_) sum += s.shuffle_write_bytes;
+  return sum;
+}
+
+std::size_t MetricsRegistry::total_collect_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collect_bytes_;
+}
+
+std::size_t MetricsRegistry::total_broadcast_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broadcast_bytes_;
+}
+
+int MetricsRegistry::num_stages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(stages_.size());
+}
+
+int MetricsRegistry::num_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tasks_.size());
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_.clear();
+  stages_.clear();
+  jobs_.clear();
+  collect_bytes_ = 0;
+  broadcast_bytes_ = 0;
+}
+
+void MetricsRegistry::print_summary(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << gs::strfmt("sparklet: %zu stages, %zu tasks\n", stages_.size(),
+                   tasks_.size());
+  for (const auto& s : stages_) {
+    os << gs::strfmt(
+        "  stage %3d %-28s tasks=%4d wall=%8s shuffle(r/w)=%s/%s%s\n",
+        s.stage_id, s.name.c_str(), s.num_tasks,
+        gs::human_seconds(s.wall_s).c_str(),
+        gs::human_bytes(double(s.shuffle_read_bytes)).c_str(),
+        gs::human_bytes(double(s.shuffle_write_bytes)).c_str(),
+        s.shuffle_input ? " [wide]" : "");
+  }
+  os << gs::strfmt("  collect=%s broadcast=%s\n",
+                   gs::human_bytes(double(collect_bytes_)).c_str(),
+                   gs::human_bytes(double(broadcast_bytes_)).c_str());
+}
+
+}  // namespace sparklet

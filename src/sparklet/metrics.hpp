@@ -1,0 +1,85 @@
+// metrics.hpp — execution metrics collected by the sparklet runtime.
+//
+// The paper's analysis hinges on stage structure, task counts, and shuffle
+// volume; the drivers' tests assert on these records, and the discrete-event
+// simulator is cross-validated against them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sparklet {
+
+struct TaskMetric {
+  int stage_id = -1;
+  int partition = -1;
+  int executor = -1;
+  double duration_s = 0.0;
+  std::size_t input_records = 0;
+  std::size_t output_records = 0;
+};
+
+struct StageMetric {
+  int stage_id = -1;
+  std::string name;
+  bool shuffle_input = false;       ///< stage begins with a wide dependency
+  int num_tasks = 0;
+  double wall_s = 0.0;              ///< real elapsed time for the stage
+  std::size_t shuffle_read_bytes = 0;
+  std::size_t shuffle_write_bytes = 0;
+  std::size_t records_out = 0;
+};
+
+struct JobMetric {
+  int job_id = -1;
+  std::string name;
+  double wall_s = 0.0;
+  int num_stages = 0;
+};
+
+/// Thread-safe registry; one per SparkContext.
+class MetricsRegistry {
+ public:
+  void add_task(const TaskMetric& t);
+  void add_stage(const StageMetric& s);
+  void add_job(const JobMetric& j);
+
+  /// Driver-side bytes pulled by collect() actions.
+  void add_collect_bytes(std::size_t bytes);
+  /// Bytes pushed through broadcast variables.
+  void add_broadcast_bytes(std::size_t bytes);
+
+  std::vector<TaskMetric> tasks() const;
+  std::vector<StageMetric> stages() const;
+  std::vector<JobMetric> jobs() const;
+
+  /// Sum of per-stage task counts — Spark's "tasks launched" notion (one
+  /// task per partition of each stage's final RDD).
+  int total_stage_tasks() const;
+
+  std::size_t total_shuffle_read() const;
+  std::size_t total_shuffle_write() const;
+  std::size_t total_collect_bytes() const;
+  std::size_t total_broadcast_bytes() const;
+  int num_stages() const;
+  int num_tasks() const;
+
+  void reset();
+
+  /// Human-readable per-stage summary (used by examples and --verbose runs).
+  void print_summary(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TaskMetric> tasks_;
+  std::vector<StageMetric> stages_;
+  std::vector<JobMetric> jobs_;
+  std::size_t collect_bytes_ = 0;
+  std::size_t broadcast_bytes_ = 0;
+};
+
+}  // namespace sparklet

@@ -1,0 +1,133 @@
+// partitioner.hpp — key → partition placement policies.
+//
+// Spark's default is hash partitioning; the paper (§V-B) uses it with
+// 2× total-cores partitions and names grid-aware custom partitioners as
+// future work (§VI). We implement both: the future-work GridPartitioner is
+// exercised by an ablation benchmark.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "grid/tile.hpp"
+#include "support/check.hpp"
+
+namespace sparklet {
+
+/// Partitioners operate on a pre-hashed key so RDDs of any key type share
+/// one interface. Keyed RDD operations hash with sparklet::key_hash().
+class Partitioner {
+ public:
+  explicit Partitioner(int num_partitions) : num_partitions_(num_partitions) {
+    GS_THROW_IF(num_partitions < 1, gs::ConfigError,
+                "partitioner needs >= 1 partition");
+  }
+  virtual ~Partitioner() = default;
+
+  int num_partitions() const { return num_partitions_; }
+
+  virtual int partition_of(std::uint64_t key_hash) const = 0;
+  virtual std::string name() const = 0;
+
+  /// Co-partitioning test: when true, re-partitioning by `other` is a no-op
+  /// and sparklet elides the shuffle (paper footnote 1).
+  virtual bool equivalent_to(const Partitioner& other) const {
+    return name() == other.name() && num_partitions_ == other.num_partitions();
+  }
+
+ private:
+  int num_partitions_;
+};
+
+using PartitionerPtr = std::shared_ptr<const Partitioner>;
+
+/// Spark's default: partition = hash(key) mod p. key_hash() for TileKey is a
+/// lossless pack (so GridPartitioner can unpack it); mix it here so the
+/// default placement is the paper's "probabilistic" distribution.
+class HashPartitioner final : public Partitioner {
+ public:
+  explicit HashPartitioner(int num_partitions) : Partitioner(num_partitions) {}
+
+  int partition_of(std::uint64_t key_hash) const override {
+    std::uint64_t z = key_hash + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<int>(z % static_cast<std::uint64_t>(num_partitions()));
+  }
+
+  std::string name() const override { return "hash"; }
+};
+
+/// Grid-aware partitioner for TileKey-keyed RDDs (the paper's §VI future
+/// work): tiles are placed by grid coordinate with a diagonal shift,
+/// i·(r+1) + j, so that grid ROWS, COLUMNS, and trailing submatrices all
+/// spread evenly across partitions. (Plain row-major block-cyclic i·r + j
+/// is pathological for the pivot-COLUMN stage: every tile (i, k) of column
+/// k maps to the same residue class mod the executor count — one executor
+/// gets the whole B/C stage. The shifted layout fixes rows and columns
+/// simultaneously.) Keys must be hashed with the lossless TileKey packing.
+class GridPartitioner final : public Partitioner {
+ public:
+  GridPartitioner(int num_partitions, int grid_side)
+      : Partitioner(num_partitions), grid_side_(grid_side) {
+    GS_THROW_IF(grid_side < 1, gs::ConfigError, "grid side must be >= 1");
+  }
+
+  int partition_of(std::uint64_t key_hash) const override {
+    const auto i = static_cast<std::uint32_t>(key_hash >> 32);
+    const auto j = static_cast<std::uint32_t>(key_hash & 0xffffffffu);
+    const std::uint64_t linear =
+        static_cast<std::uint64_t>(i) *
+            (static_cast<std::uint64_t>(grid_side_) + 1) +
+        j;
+    return static_cast<int>(linear % static_cast<std::uint64_t>(num_partitions()));
+  }
+
+  std::string name() const override { return "grid"; }
+
+  bool equivalent_to(const Partitioner& other) const override {
+    const auto* g = dynamic_cast<const GridPartitioner*>(&other);
+    return g != nullptr && g->num_partitions() == num_partitions() &&
+           g->grid_side_ == grid_side_;
+  }
+
+ private:
+  int grid_side_;
+};
+
+// --- key hashing ------------------------------------------------------
+
+/// Hash used by keyed operations. TileKey gets a *lossless* packing so
+/// GridPartitioner can recover coordinates; everything else mixes via
+/// std::hash.
+inline std::uint64_t key_hash(const gs::TileKey& k) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.i)) << 32) |
+         static_cast<std::uint32_t>(k.j);
+}
+
+inline std::uint64_t key_hash(std::int64_t k) {
+  std::uint64_t z = static_cast<std::uint64_t>(k) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+inline std::uint64_t key_hash(std::int32_t k) {
+  return key_hash(static_cast<std::int64_t>(k));
+}
+inline std::uint64_t key_hash(std::uint64_t k) {
+  return key_hash(static_cast<std::int64_t>(k));
+}
+
+inline std::uint64_t key_hash(const std::string& s) {
+  // FNV-1a
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace sparklet

@@ -1,0 +1,77 @@
+// rdd_base.hpp — type-erased RDD lineage node.
+//
+// Typed nodes (rdd.hpp) derive from RddBase; the scheduler (context.cpp)
+// plans stages over RddBase pointers: a node whose input dependency is wide
+// starts a new stage, everything else fuses into its parents' stage —
+// Spark's stage-cutting rule.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparklet/partitioner.hpp"
+
+namespace sparklet {
+
+class SparkContext;
+
+class RddBase {
+ public:
+  RddBase(SparkContext* ctx, std::string label, int num_partitions,
+          bool wide_input, std::vector<std::shared_ptr<RddBase>> parents,
+          PartitionerPtr partitioner);
+  virtual ~RddBase() = default;
+
+  RddBase(const RddBase&) = delete;
+  RddBase& operator=(const RddBase&) = delete;
+
+  int id() const { return id_; }
+  const std::string& label() const { return label_; }
+  int num_partitions() const { return num_partitions_; }
+  bool wide_input() const { return wide_input_; }
+  bool materialized() const { return materialized_; }
+  const std::vector<std::shared_ptr<RddBase>>& parents() const {
+    return parents_;
+  }
+  /// Known key-partitioning of this RDD's data (null when unknown).
+  const PartitionerPtr& partitioner() const { return partitioner_; }
+
+  SparkContext* context() const { return ctx_; }
+
+  /// Compute all partitions. Parents are guaranteed materialized. Called by
+  /// the scheduler exactly once.
+  virtual void do_materialize() = 0;
+
+  /// Serialized size / item count of partition p (metrics + collect costs).
+  virtual std::size_t partition_bytes(int p) const = 0;
+  virtual std::size_t partition_items(int p) const = 0;
+
+  /// Drop cached partitions (API-fidelity unpersist; lineage stays intact
+  /// but re-computation is not supported — sparklet is eager-once).
+  virtual void unpersist() = 0;
+
+ protected:
+  void mark_materialized() { materialized_ = true; }
+
+  /// For checkpoint(): dropping parents releases ancestor partitions.
+  std::vector<std::shared_ptr<RddBase>>& mutable_parents() { return parents_; }
+
+  SparkContext* ctx_;
+
+ private:
+  int id_;
+  std::string label_;
+  int num_partitions_;
+  bool wide_input_;
+  std::vector<std::shared_ptr<RddBase>> parents_;
+
+ protected:
+  PartitionerPtr partitioner_;
+
+ private:
+  bool materialized_ = false;
+};
+
+}  // namespace sparklet

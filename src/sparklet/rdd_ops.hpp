@@ -1,0 +1,175 @@
+// rdd_ops.hpp — the rest of Spark's everyday transformation algebra, built
+// on the rdd.hpp core: join/cogroup (wide), distinct, sortBy, sample,
+// zipWithIndex, aggregate/fold. Everything composes with the same stage
+// planner, shuffle accounting, partitioner-elision, and fault-retry rules
+// as the core operations.
+#pragma once
+
+#include <algorithm>
+#include <tuple>
+
+#include "sparklet/rdd.hpp"
+#include "support/rng.hpp"
+
+namespace sparklet {
+
+/// cogroup: for every key present in either input, the pair of value lists.
+/// Wide unless both inputs are co-partitioned with `part`.
+template <typename K, typename V, typename W>
+RDD<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> cogroup(
+    const RDD<std::pair<K, V>>& left, const RDD<std::pair<K, W>>& right,
+    PartitionerPtr part = nullptr, std::string label = "cogroup") {
+  using L = std::pair<K, std::vector<V>>;
+  using R = std::pair<K, std::vector<W>>;
+  using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+
+  if (part == nullptr) part = left.context().default_partitioner();
+  // Group each side by key under the shared partitioner, then stitch the
+  // co-located partitions together with a narrow zip.
+  auto lg = left.group_by_key(part, label + ".left");
+  auto rg = right.group_by_key(part, label + ".right");
+  auto lnode = lg.node();
+  auto rnode = rg.node();
+
+  return RDD<Out>(TypedRdd<Out>::make_narrow(
+      &left.context(), std::move(label), part->num_partitions(),
+      {lnode, rnode}, part, [lnode, rnode](int p) {
+        std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>,
+                           detail::KeyHashF<K>>
+            acc;
+        std::vector<K> order;
+        for (const L& kv : lnode->partition(p)) {
+          auto [it, fresh] = acc.try_emplace(kv.first);
+          if (fresh) order.push_back(kv.first);
+          it->second.first = kv.second;
+        }
+        for (const R& kv : rnode->partition(p)) {
+          auto [it, fresh] = acc.try_emplace(kv.first);
+          if (fresh) order.push_back(kv.first);
+          it->second.second = kv.second;
+        }
+        std::vector<Out> out;
+        out.reserve(order.size());
+        for (const K& k : order) out.emplace_back(k, std::move(acc.at(k)));
+        return out;
+      }));
+}
+
+/// Inner join: one output pair per matching (v, w) combination.
+template <typename K, typename V, typename W>
+RDD<std::pair<K, std::pair<V, W>>> join(const RDD<std::pair<K, V>>& left,
+                                        const RDD<std::pair<K, W>>& right,
+                                        PartitionerPtr part = nullptr,
+                                        std::string label = "join") {
+  using Out = std::pair<K, std::pair<V, W>>;
+  return cogroup(left, right, std::move(part), label + ".cogroup")
+      .flat_map(
+          [](const std::pair<K, std::pair<std::vector<V>, std::vector<W>>>&
+                 kv) {
+            std::vector<Out> out;
+            out.reserve(kv.second.first.size() * kv.second.second.size());
+            for (const V& v : kv.second.first) {
+              for (const W& w : kv.second.second) {
+                out.push_back({kv.first, {v, w}});
+              }
+            }
+            return out;
+          },
+          std::move(label));
+}
+
+/// distinct: deduplicate via a reduceByKey round-trip (Spark's recipe).
+template <typename T>
+RDD<T> distinct(const RDD<T>& rdd, PartitionerPtr part = nullptr,
+                std::string label = "distinct") {
+  return rdd
+      .map([](const T& x) { return std::pair<T, int>{x, 1}; },
+           label + ".tag")
+      .reduce_by_key([](int a, int) { return a; }, std::move(part),
+                     label + ".dedup")
+      .map([](const std::pair<T, int>& kv) { return kv.first; },
+           std::move(label));
+}
+
+/// sortBy: total order by key function. Collect-sort-redistribute through
+/// the driver (fine for driver-sized results; sparklet has no range
+/// partitioner). Returns an RDD with `out_partitions` contiguous slices.
+template <typename T, typename KeyFn>
+RDD<T> sort_by(const RDD<T>& rdd, KeyFn key_fn, int out_partitions = 0,
+               std::string label = "sortBy") {
+  auto data = rdd.collect(label + ".collect");
+  std::stable_sort(data.begin(), data.end(),
+                   [&](const T& a, const T& b) { return key_fn(a) < key_fn(b); });
+  return parallelize(rdd.context(), std::move(data), out_partitions,
+                     std::move(label));
+}
+
+/// Bernoulli sample without replacement; deterministic in (seed, partition).
+template <typename T>
+RDD<T> sample(const RDD<T>& rdd, double fraction, std::uint64_t seed = 42,
+              std::string label = "sample") {
+  GS_THROW_IF(fraction < 0.0 || fraction > 1.0, gs::ConfigError,
+              "sample fraction must be in [0, 1]");
+  auto parent = rdd.node();
+  return RDD<T>(TypedRdd<T>::make_narrow(
+      parent->context(), std::move(label), parent->num_partitions(), {parent},
+      parent->partitioner(), [parent, fraction, seed](int p) {
+        gs::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL *
+                            static_cast<std::uint64_t>(p + 1)));
+        std::vector<T> out;
+        for (const T& x : parent->partition(p)) {
+          if (rng.bernoulli(fraction)) out.push_back(x);
+        }
+        return out;
+      }));
+}
+
+/// zipWithIndex: global, stable element indices. Like Spark, needs one pass
+/// to size the partitions (here: a materialize) before the narrow zip.
+template <typename T>
+RDD<std::pair<T, std::int64_t>> zip_with_index(
+    const RDD<T>& rdd, std::string label = "zipWithIndex") {
+  auto parent = rdd.node();
+  rdd.cache();  // sizes must be known — Spark also runs a job here
+  auto offsets = std::make_shared<std::vector<std::int64_t>>();
+  offsets->reserve(static_cast<std::size_t>(parent->num_partitions()));
+  std::int64_t running = 0;
+  for (int p = 0; p < parent->num_partitions(); ++p) {
+    offsets->push_back(running);
+    running += static_cast<std::int64_t>(parent->partition_items(p));
+  }
+  return RDD<std::pair<T, std::int64_t>>(
+      TypedRdd<std::pair<T, std::int64_t>>::make_narrow(
+          parent->context(), std::move(label), parent->num_partitions(),
+          {parent}, nullptr, [parent, offsets](int p) {
+            std::vector<std::pair<T, std::int64_t>> out;
+            std::int64_t idx = (*offsets)[static_cast<std::size_t>(p)];
+            for (const T& x : parent->partition(p)) {
+              out.emplace_back(x, idx++);
+            }
+            return out;
+          }));
+}
+
+/// aggregate: seq_op folds elements into a per-partition accumulator,
+/// comb_op merges accumulators on the driver (action).
+template <typename T, typename A, typename SeqOp, typename CombOp>
+A aggregate(const RDD<T>& rdd, A zero, SeqOp seq_op, CombOp comb_op) {
+  rdd.cache();
+  auto node = rdd.node();
+  A acc = zero;
+  for (int p = 0; p < node->num_partitions(); ++p) {
+    A local = zero;
+    for (const T& x : node->partition(p)) local = seq_op(std::move(local), x);
+    acc = comb_op(std::move(acc), std::move(local));
+  }
+  return acc;
+}
+
+/// fold: aggregate with a single associative op.
+template <typename T, typename Op>
+T fold(const RDD<T>& rdd, T zero, Op op) {
+  return aggregate(rdd, std::move(zero), op, op);
+}
+
+}  // namespace sparklet

@@ -1,0 +1,83 @@
+#include "sparklet/virtual_timeline.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace sparklet {
+
+VirtualTimeline::VirtualTimeline(int num_executors, int slots_per_executor)
+    : num_executors_(num_executors), slots_(slots_per_executor) {
+  GS_CHECK(num_executors_ >= 1 && slots_ >= 1);
+}
+
+double VirtualTimeline::add_stage(const std::string& name,
+                                  const std::vector<double>& durations,
+                                  const std::vector<int>& executors) {
+  GS_CHECK_MSG(durations.size() == executors.size(),
+               "each task needs an executor assignment");
+  // lanes[e][s] = time at which slot s of executor e becomes free.
+  std::vector<std::vector<double>> lanes(
+      static_cast<std::size_t>(num_executors_),
+      std::vector<double>(static_cast<std::size_t>(slots_), now_));
+  double end = now_;
+  const int stage_index = static_cast<int>(records_.size());
+  for (std::size_t t = 0; t < durations.size(); ++t) {
+    const int e = executors[t];
+    GS_CHECK_MSG(e >= 0 && e < num_executors_, "executor index out of range");
+    auto& ex = lanes[static_cast<std::size_t>(e)];
+    auto slot = std::min_element(ex.begin(), ex.end());
+    const double start = *slot;
+    *slot += durations[t];
+    spans_.push_back({stage_index, e,
+                      static_cast<int>(slot - ex.begin()), start, *slot});
+    end = std::max(end, *slot);
+  }
+  records_.push_back(
+      {name, now_, end, static_cast<int>(durations.size())});
+  now_ = end;  // stage barrier
+  return records_.back().duration();
+}
+
+void VirtualTimeline::add_serial(const std::string& name, double seconds) {
+  GS_CHECK(seconds >= 0.0);
+  records_.push_back({name, now_, now_ + seconds, 0});
+  now_ += seconds;
+}
+
+void VirtualTimeline::reset() {
+  now_ = 0.0;
+  records_.clear();
+  spans_.clear();
+}
+
+void VirtualTimeline::write_chrome_trace(const std::string& path) const {
+  std::ofstream f(path);
+  GS_CHECK_MSG(f.good(), "cannot open trace output: " + path);
+  f << "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& name, int pid, int tid, double start,
+                  double end) {
+    if (!first) f << ",\n";
+    first = false;
+    // Durations in microseconds, the chrome-trace convention.
+    f << gs::strfmt(
+        R"({"name":"%s","ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f})",
+        name.c_str(), pid, tid, start * 1e6, (end - start) * 1e6);
+  };
+  for (const auto& span : spans_) {
+    const auto& name =
+        records_[static_cast<std::size_t>(span.stage_index)].name;
+    emit(name, span.executor, span.slot, span.start_s, span.end_s);
+  }
+  for (const auto& rec : records_) {
+    if (rec.num_tasks == 0 && rec.duration() > 0.0) {
+      emit(rec.name, /*pid=*/-1, /*tid=*/0, rec.start_s, rec.end_s);  // driver
+    }
+  }
+  f << "\n]\n";
+}
+
+}  // namespace sparklet

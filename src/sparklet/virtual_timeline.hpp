@@ -1,0 +1,69 @@
+// virtual_timeline.hpp — replay of task durations onto a virtual cluster.
+//
+// The host running sparklet may have any number of physical cores (CI runs
+// on one); the *virtual* cluster has num_executors × slots task lanes. Each
+// stage is list-scheduled onto those lanes behind a barrier, yielding the
+// makespan Spark would see for the same per-task durations. Both the real
+// runtime (measured durations) and the paper-scale simulator (modeled
+// durations) feed this component.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sparklet {
+
+class VirtualTimeline {
+ public:
+  struct StageRecord {
+    std::string name;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    int num_tasks = 0;
+    double duration() const { return end_s - start_s; }
+  };
+
+  /// One scheduled task occurrence (for trace export/inspection).
+  struct TaskSpan {
+    int stage_index = 0;  ///< index into stages()
+    int executor = 0;
+    int slot = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+  };
+
+  VirtualTimeline(int num_executors, int slots_per_executor);
+
+  /// Schedule one barrier-synchronized stage. durations[t] is task t's cost;
+  /// executors[t] pins it to an executor (list-scheduled greedily onto that
+  /// executor's earliest-free slot). Returns the stage makespan.
+  double add_stage(const std::string& name,
+                   const std::vector<double>& durations,
+                   const std::vector<int>& executors);
+
+  /// Driver-side serial time (collect, broadcast, shuffle staging…).
+  void add_serial(const std::string& name, double seconds);
+
+  double now() const { return now_; }
+  const std::vector<StageRecord>& stages() const { return records_; }
+  const std::vector<TaskSpan>& task_spans() const { return spans_; }
+
+  /// Export the schedule as a Chrome trace (chrome://tracing /
+  /// https://ui.perfetto.dev): pid = virtual executor, tid = task slot,
+  /// one slice per task plus one slice per driver-serial segment.
+  void write_chrome_trace(const std::string& path) const;
+
+  int num_executors() const { return num_executors_; }
+  int slots_per_executor() const { return slots_; }
+
+  void reset();
+
+ private:
+  int num_executors_;
+  int slots_;
+  double now_ = 0.0;
+  std::vector<StageRecord> records_;
+  std::vector<TaskSpan> spans_;
+};
+
+}  // namespace sparklet

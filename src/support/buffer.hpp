@@ -1,0 +1,85 @@
+// buffer.hpp — cache-line-aligned owning storage for dense tiles.
+//
+// Tiles in the blocked DP table are hot, so their backing storage is aligned
+// to 64 bytes to keep SIMD loads clean and avoid false sharing between
+// OpenMP threads working on adjacent tiles.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace gs {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, aligned, fixed-size array of trivially-copyable T.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer is for POD-like element types");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes = round_up(count * sizeof(T), kCacheLineBytes);
+    void* p = std::aligned_alloc(kCacheLineBytes, bytes);
+    GS_CHECK_MSG(p != nullptr, "aligned_alloc failed");
+    data_.reset(static_cast<T*>(p));
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) : AlignedBuffer(other.size_) {
+    if (size_ != 0) std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(T));
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      AlignedBuffer tmp(other);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    GS_DCHECK(i < size_);
+    return data_.get()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    GS_DCHECK(i < size_);
+    return data_.get()[i];
+  }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t to) {
+    return (v + to - 1) / to * to;
+  }
+
+  struct FreeDeleter {
+    void operator()(T* p) const { std::free(p); }
+  };
+
+  std::unique_ptr<T, FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gs

@@ -1,0 +1,55 @@
+// format.hpp — tiny printf-style string formatting (libstdc++ 12 lacks
+// <format>). Type-checked by the compiler via the format attribute.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace gs {
+
+#if defined(__GNUC__)
+#define GS_PRINTF_LIKE(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define GS_PRINTF_LIKE(fmt_idx, arg_idx)
+#endif
+
+GS_PRINTF_LIKE(1, 2)
+inline std::string strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+/// Human-readable byte count ("1.5 GiB").
+inline std::string human_bytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return strfmt("%.1f %s", bytes, units[u]);
+}
+
+/// Human-readable duration ("3m 12s", "45.1s", "12.3ms").
+inline std::string human_seconds(double s) {
+  if (s >= 3600.0) return strfmt("%dh %dm", int(s / 3600), int(s / 60) % 60);
+  if (s >= 60.0) return strfmt("%dm %02ds", int(s / 60), int(s) % 60);
+  if (s >= 1.0) return strfmt("%.1fs", s);
+  if (s >= 1e-3) return strfmt("%.1fms", s * 1e3);
+  return strfmt("%.1fus", s * 1e6);
+}
+
+}  // namespace gs

@@ -1,0 +1,109 @@
+// span2d.hpp — non-owning strided 2-D view over dense storage.
+//
+// All GEP kernels operate on Span2D so the same code serves full tiles,
+// recursive sub-tiles (which are strided windows into the parent tile), and
+// whole matrices. Follows the C++ Core Guidelines span idiom: views are
+// cheap, regular value types that never own memory.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "support/check.hpp"
+
+namespace gs {
+
+template <typename T>
+class Span2D {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  constexpr Span2D() = default;
+
+  /// View over `rows × cols` elements at `data`, row `i` starting at
+  /// `data + i * stride`. `stride >= cols` required.
+  constexpr Span2D(T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    GS_DCHECK(stride_ >= cols_);
+  }
+
+  /// Contiguous view (stride == cols).
+  constexpr Span2D(T* data, std::size_t rows, std::size_t cols)
+      : Span2D(data, rows, cols, cols) {}
+
+  /// Implicit conversion Span2D<T> -> Span2D<const T>.
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  constexpr Span2D(const Span2D<value_type>& other)
+      : data_(other.data()), rows_(other.rows()), cols_(other.cols()),
+        stride_(other.stride()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr std::size_t rows() const { return rows_; }
+  constexpr std::size_t cols() const { return cols_; }
+  constexpr std::size_t stride() const { return stride_; }
+  constexpr bool empty() const { return rows_ == 0 || cols_ == 0; }
+  constexpr bool contiguous() const { return stride_ == cols_; }
+  constexpr std::size_t size() const { return rows_ * cols_; }
+
+  constexpr T& operator()(std::size_t i, std::size_t j) const {
+    GS_DCHECK(i < rows_ && j < cols_);
+    return data_[i * stride_ + j];
+  }
+
+  constexpr T* row(std::size_t i) const {
+    GS_DCHECK(i < rows_);
+    return data_ + i * stride_;
+  }
+
+  /// Sub-window of `r × c` elements with top-left corner at (i0, j0).
+  constexpr Span2D subview(std::size_t i0, std::size_t j0, std::size_t r,
+                           std::size_t c) const {
+    GS_DCHECK(i0 + r <= rows_ && j0 + c <= cols_);
+    return Span2D(data_ + i0 * stride_ + j0, r, c, stride_);
+  }
+
+  /// Quadrant/sub-block view for an r-way split: block (bi, bj) of an
+  /// `nb × nb` grid of equal blocks. rows()/cols() must be divisible by nb.
+  constexpr Span2D block(std::size_t bi, std::size_t bj, std::size_t nb) const {
+    GS_DCHECK(nb > 0 && rows_ % nb == 0 && cols_ % nb == 0);
+    const std::size_t br = rows_ / nb, bc = cols_ / nb;
+    return subview(bi * br, bj * bc, br, bc);
+  }
+
+  /// True when the two views address the same top-left element (used by
+  /// kernels to detect the aliased A/B/C cases).
+  constexpr bool same_origin(const Span2D<const value_type>& other) const {
+    return static_cast<const void*>(data_) == static_cast<const void*>(other.data());
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+template <typename T>
+using ConstSpan2D = Span2D<const T>;
+
+/// Element-wise copy between views of the same shape.
+template <typename T>
+void copy_span(Span2D<const T> src, Span2D<T> dst) {
+  GS_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols());
+  for (std::size_t i = 0; i < src.rows(); ++i) {
+    const T* s = src.row(i);
+    T* d = dst.row(i);
+    for (std::size_t j = 0; j < src.cols(); ++j) d[j] = s[j];
+  }
+}
+
+/// Fill a view with one value.
+template <typename T>
+void fill_span(Span2D<T> dst, const T& value) {
+  for (std::size_t i = 0; i < dst.rows(); ++i) {
+    T* d = dst.row(i);
+    for (std::size_t j = 0; j < dst.cols(); ++j) d[j] = value;
+  }
+}
+
+}  // namespace gs

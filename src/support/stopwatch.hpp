@@ -1,0 +1,32 @@
+// stopwatch.hpp — wall-clock timing for tasks, stages, and benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gs {
+
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace gs

@@ -1,0 +1,84 @@
+// table.hpp — ASCII table and CSV writers used by the benchmark harness to
+// print paper-style tables (Table I/II rows, Fig. 6/8/9 series).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace gs {
+
+/// Rectangular table of strings with a header row, rendered with aligned
+/// columns. Cells are right-aligned (numbers) except the first column.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    GS_CHECK_MSG(cells.size() == header_.size(), "row width mismatch");
+    rows_.push_back(std::move(cells));
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto emit_row = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c) {
+        os << (c == 0 ? "| " : " ");
+        const std::size_t pad = width[c] - r[c].size();
+        if (c == 0) {
+          os << r[c] << std::string(pad, ' ');
+        } else {
+          os << std::string(pad, ' ') << r[c];
+        }
+        os << " |";
+      }
+      os << '\n';
+    };
+    auto emit_rule = [&] {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        os << (c == 0 ? "+" : "") << std::string(width[c] + 2, '-') << "+";
+      }
+      os << '\n';
+    };
+
+    emit_rule();
+    emit_row(header_);
+    emit_rule();
+    for (const auto& r : rows_) emit_row(r);
+    emit_rule();
+  }
+
+  /// Also persist as CSV so EXPERIMENTS.md numbers are regenerable.
+  void write_csv(const std::string& path) const {
+    std::ofstream f(path);
+    GS_CHECK_MSG(f.good(), "cannot open CSV output: " + path);
+    auto emit = [&](const std::vector<std::string>& r) {
+      for (std::size_t c = 0; c < r.size(); ++c)
+        f << (c ? "," : "") << r[c];
+      f << '\n';
+    };
+    emit(header_);
+    for (const auto& r : rows_) emit(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gs

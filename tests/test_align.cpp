@@ -1,0 +1,206 @@
+// Sequence-alignment tests: the tile kernel and wavefront driver against
+// the full-table reference, textbook cases, and alignment properties.
+#include <gtest/gtest.h>
+
+#include "align/align_driver.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace align;
+
+std::string random_dna(std::size_t n, std::uint64_t seed) {
+  static const char* kAlphabet = "ACGT";
+  gs::Rng rng(seed);
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(kAlphabet[rng.uniform_u64(4)]);
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ reference
+
+TEST(AlignReference, WikipediaNeedlemanWunsch) {
+  // GATTACA vs GCATGCU with match 1 / mismatch −1 / gap −1 scores 0.
+  ScoringScheme s{1.0, -1.0, -1.0};
+  auto ref = reference_align("GATTACA", "GCATGCU", s, AlignMode::kGlobal);
+  EXPECT_DOUBLE_EQ(ref.score, 0.0);
+}
+
+TEST(AlignReference, IdenticalSequencesScorePerfect) {
+  const std::string s = random_dna(64, 1);
+  ScoringScheme sch;
+  auto ref = reference_align(s, s, sch, AlignMode::kGlobal);
+  EXPECT_DOUBLE_EQ(ref.score, sch.match * 64);
+}
+
+TEST(AlignReference, GlobalAgainstEmptyIsAllGaps) {
+  ScoringScheme sch;
+  auto ref = reference_align("ACGT", "A", sch, AlignMode::kGlobal);
+  // Best: match the A, gap the remaining 3.
+  EXPECT_DOUBLE_EQ(ref.score, sch.match + 3 * sch.gap);
+}
+
+TEST(AlignReference, LocalFindsEmbeddedMotif) {
+  // A perfect 10-mer of `a` embedded in unrelated junk of `b`.
+  const std::string motif = "ACGTACGTAC";
+  const std::string a = "TTTTTTTT" + motif + "GGGGGGGG";
+  const std::string b = "CCCC" + motif + "AAAAAAA";
+  ScoringScheme sch;
+  auto ref = reference_align(a, b, sch, AlignMode::kLocal);
+  EXPECT_GE(ref.score, sch.match * 10);
+  auto pair = traceback(ref, a, b, sch, AlignMode::kLocal);
+  EXPECT_NE(pair.a.find("ACGTACGTAC"), std::string::npos);
+}
+
+TEST(AlignReference, LocalScoresAreNonNegative) {
+  auto ref = reference_align(random_dna(40, 2), random_dna(40, 3), {},
+                             AlignMode::kLocal);
+  for (std::size_t i = 0; i <= 40; ++i) {
+    for (std::size_t j = 0; j <= 40; ++j) {
+      EXPECT_GE(ref.h(i, j), 0.0);
+    }
+  }
+}
+
+TEST(AlignReference, TracebackReconstructsScore) {
+  const auto a = random_dna(30, 4), b = random_dna(26, 5);
+  ScoringScheme sch;
+  auto ref = reference_align(a, b, sch, AlignMode::kGlobal);
+  auto pair = traceback(ref, a, b, sch, AlignMode::kGlobal);
+  ASSERT_EQ(pair.a.size(), pair.b.size());
+  double rescored = 0.0;
+  for (std::size_t t = 0; t < pair.a.size(); ++t) {
+    if (pair.a[t] == '-' || pair.b[t] == '-') {
+      rescored += sch.gap;
+    } else {
+      rescored += sch.score(pair.a[t], pair.b[t]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(rescored, ref.score);
+}
+
+// ------------------------------------------------------------ kernel
+
+TEST(AlignKernel, SingleTileEqualsReference) {
+  const auto a = random_dna(24, 6), b = random_dna(17, 7);
+  ScoringScheme sch;
+  auto ref = reference_align(a, b, sch, AlignMode::kGlobal);
+
+  std::vector<double> top(b.size() + 1), left(a.size());
+  for (std::size_t j = 0; j <= b.size(); ++j) top[j] = double(j) * sch.gap;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    left[i] = double(i + 1) * sch.gap;
+  }
+  auto boundary = align_tile(a, b, top, left, sch, AlignMode::kGlobal, 1, 1);
+  EXPECT_DOUBLE_EQ(boundary.right.back(), ref.score);
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    EXPECT_DOUBLE_EQ(boundary.bottom[j], ref.h(a.size(), j + 1));
+  }
+}
+
+TEST(AlignKernel, BoundaryShapeValidation) {
+  EXPECT_DEATH(align_tile("AC", "GT", {0.0}, {0.0, 0.0}, {}, AlignMode::kGlobal,
+                          1, 1),
+               "top boundary");
+  EXPECT_DEATH(align_tile("AC", "GT", {0.0, 0.0, 0.0}, {0.0}, {},
+                          AlignMode::kGlobal, 1, 1),
+               "left boundary");
+}
+
+// ------------------------------------------------------------ driver
+
+struct AlignCase {
+  std::size_t m;
+  std::size_t n;
+  std::size_t block;
+};
+
+class AlignSolver : public ::testing::TestWithParam<AlignCase> {
+ protected:
+  AlignSolver() : sc_(sparklet::ClusterConfig::local(3, 2)) {}
+  sparklet::SparkContext sc_;
+};
+
+TEST_P(AlignSolver, GlobalMatchesReference) {
+  const auto& p = GetParam();
+  const auto a = random_dna(p.m, p.m), b = random_dna(p.n, p.n + 1);
+  ScoringScheme sch;
+  auto ref = reference_align(a, b, sch, AlignMode::kGlobal);
+  AlignOptions opt;
+  opt.block_size = p.block;
+  auto res = spark_align(sc_, a, b, sch, AlignMode::kGlobal, opt);
+  EXPECT_DOUBLE_EQ(res.score, ref.score);
+}
+
+TEST_P(AlignSolver, LocalMatchesReference) {
+  const auto& p = GetParam();
+  const auto a = random_dna(p.m, p.m + 2), b = random_dna(p.n, p.n + 3);
+  ScoringScheme sch;
+  auto ref = reference_align(a, b, sch, AlignMode::kLocal);
+  AlignOptions opt;
+  opt.block_size = p.block;
+  auto res = spark_align(sc_, a, b, sch, AlignMode::kLocal, opt);
+  EXPECT_DOUBLE_EQ(res.score, ref.score);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AlignSolver,
+    ::testing::Values(AlignCase{40, 40, 64},   // single tile
+                      AlignCase{64, 64, 16},   // square grid
+                      AlignCase{100, 60, 32},  // rectangular, ragged edge
+                      AlignCase{33, 97, 16},   // very asymmetric
+                      AlignCase{65, 64, 64},   // one extra row of tiles
+                      AlignCase{7, 5, 3}),     // tiny everything
+    [](const auto& info) {
+      return "m" + std::to_string(info.param.m) + "_n" +
+             std::to_string(info.param.n) + "_b" +
+             std::to_string(info.param.block);
+    });
+
+TEST(AlignDriver, WaveAndStageStructure) {
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
+  auto res = spark_align(sc, random_dna(64, 8), random_dna(48, 9), {},
+                         AlignMode::kGlobal, {.block_size = 16});
+  // Grid 4×3 → waves 0..5; one stage per wave.
+  EXPECT_EQ(res.waves, 6);
+  EXPECT_EQ(res.stages, 6);
+  EXPECT_GT(res.broadcast_bytes, 0u);
+}
+
+TEST(AlignDriver, LocalEndCoordinatesMatchReference) {
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
+  const auto a = random_dna(90, 10), b = random_dna(80, 11);
+  ScoringScheme sch;
+  auto ref = reference_align(a, b, sch, AlignMode::kLocal);
+  auto res = spark_align(sc, a, b, sch, AlignMode::kLocal, {.block_size = 25});
+  EXPECT_EQ(res.end_i, ref.end_i);
+  EXPECT_EQ(res.end_j, ref.end_j);
+}
+
+TEST(AlignDriver, RejectsBadInput) {
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(1, 1));
+  EXPECT_THROW(spark_align(sc, "", "ACGT", {}, AlignMode::kGlobal),
+               gs::ConfigError);
+  ScoringScheme bad;
+  bad.gap = 1.0;
+  EXPECT_THROW(spark_align(sc, "AC", "GT", bad, AlignMode::kGlobal),
+               gs::ConfigError);
+  AlignOptions opt;
+  opt.block_size = 0;
+  EXPECT_THROW(spark_align(sc, "AC", "GT", {}, AlignMode::kGlobal, opt),
+               gs::ConfigError);
+}
+
+TEST(AlignDriver, SurvivesFaultInjection) {
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
+  sc.set_fault_plan({.task_failure_prob = 0.2, .max_attempts = 10, .seed = 4});
+  const auto a = random_dna(60, 12), b = random_dna(60, 13);
+  auto ref = reference_align(a, b, {}, AlignMode::kGlobal);
+  auto res = spark_align(sc, a, b, {}, AlignMode::kGlobal, {.block_size = 16});
+  EXPECT_DOUBLE_EQ(res.score, ref.score);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the reference solvers and the Schoeneman–Zola-style baseline.
+#include <gtest/gtest.h>
+
+#include "baseline/zola_fw.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace gs;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ReferenceFw, TinyHandComputedGraph) {
+  Matrix<double> d(3, 3, kInf);
+  for (int i = 0; i < 3; ++i) d(size_t(i), size_t(i)) = 0;
+  d(0, 1) = 4;
+  d(1, 2) = 3;
+  d(0, 2) = 9;
+  baseline::reference_floyd_warshall(d);
+  EXPECT_EQ(d(0, 2), 7.0);  // through vertex 1
+  EXPECT_EQ(d(2, 0), kInf);  // directed: no way back
+}
+
+TEST(ReferenceFw, AgreesWithGepForm) {
+  auto adj = testutil::random_input<FloydWarshallSpec>(45, 90);
+  auto fig5 = adj;
+  baseline::reference_floyd_warshall(fig5);
+  auto gep = testutil::reference_solution<FloydWarshallSpec>(adj);
+  EXPECT_EQ(max_abs_diff(fig5, gep), 0.0);  // identical update sequences
+}
+
+TEST(ReferenceGe, TinyHandComputedSystem) {
+  // [2 1; 4 5]: after elimination U = [2 1; ·  3], lower keeps 4.
+  Matrix<double> x(2, 2);
+  x(0, 0) = 2;
+  x(0, 1) = 1;
+  x(1, 0) = 4;
+  x(1, 1) = 5;
+  baseline::reference_gaussian_elimination(x);
+  EXPECT_DOUBLE_EQ(x(1, 1), 3.0);  // 5 − 4·1/2
+  EXPECT_DOUBLE_EQ(x(1, 0), 4.0);  // untouched (Σ excludes column k)
+}
+
+TEST(ReferenceGe, AgreesWithGepForm) {
+  auto a = testutil::random_input<GaussianEliminationSpec>(40, 91);
+  auto fig2 = a;
+  baseline::reference_gaussian_elimination(fig2);
+  auto gep = testutil::reference_solution<GaussianEliminationSpec>(a);
+  EXPECT_EQ(max_abs_diff(fig2, gep), 0.0);
+}
+
+TEST(ReferenceGe, SizeZeroAndOneAreNoOps) {
+  Matrix<double> empty;
+  Matrix<double> one(1, 1, 5.0);
+  baseline::reference_gaussian_elimination(one);
+  EXPECT_EQ(one(0, 0), 5.0);
+}
+
+TEST(ReferenceTc, AgreesWithGepForm) {
+  auto adj = testutil::random_input<TransitiveClosureSpec>(40, 92);
+  auto warshall = adj;
+  baseline::reference_transitive_closure(warshall);
+  auto gep = testutil::reference_solution<TransitiveClosureSpec>(adj);
+  EXPECT_EQ(max_abs_diff(warshall, gep), 0.0);
+}
+
+TEST(Dijkstra, HandComputed) {
+  Matrix<double> adj(4, 4, kInf);
+  for (int i = 0; i < 4; ++i) adj(size_t(i), size_t(i)) = 0;
+  adj(0, 1) = 1;
+  adj(1, 2) = 2;
+  adj(0, 2) = 5;
+  adj(2, 3) = 1;
+  auto d = baseline::dijkstra_apsp(adj);
+  EXPECT_EQ(d(0, 2), 3.0);
+  EXPECT_EQ(d(0, 3), 4.0);
+  EXPECT_EQ(d(3, 0), kInf);
+}
+
+TEST(LuResidual, DetectsCorruption) {
+  auto a = testutil::random_input<GaussianEliminationSpec>(20, 93);
+  auto elim = a;
+  baseline::reference_gaussian_elimination(elim);
+  EXPECT_LE(baseline::lu_residual(a, elim), 1e-10);
+  elim(3, 7) += 0.5;  // corrupt one U entry
+  EXPECT_GT(baseline::lu_residual(a, elim), 0.1);
+}
+
+TEST(WidestReference, HandComputed) {
+  Matrix<double> c(3, 3, 0.0);
+  for (int i = 0; i < 3; ++i) c(size_t(i), size_t(i)) = kInf;
+  c(0, 1) = 5;
+  c(1, 2) = 3;
+  c(0, 2) = 2;
+  baseline::reference_widest_path(c);
+  EXPECT_EQ(c(0, 2), 3.0);  // bottleneck of 0→1→2 beats direct 2
+}
+
+// ------------------------------------------------- Zola-style baseline
+
+TEST(ZolaBaseline, MatchesReferenceAcrossBlockSizes) {
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
+  auto adj = testutil::random_input<FloydWarshallSpec>(40, 94);
+  auto expected = testutil::reference_solution<FloydWarshallSpec>(adj);
+  for (std::size_t b : {8u, 10u, 16u, 40u}) {
+    auto got = baseline::zola_blocked_fw(sc, adj, b);
+    EXPECT_LE(max_abs_diff(got, expected), 1e-9) << "b=" << b;
+  }
+}
+
+TEST(ZolaBaseline, HandlesDirectedAsymmetry) {
+  // The paper extends [37] from undirected to directed graphs; verify a
+  // strongly asymmetric instance.
+  Matrix<double> adj(6, 6, kInf);
+  for (int i = 0; i < 6; ++i) adj(size_t(i), size_t(i)) = 0;
+  for (int i = 0; i + 1 < 6; ++i) adj(size_t(i), size_t(i) + 1) = 1;  // chain
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 1));
+  auto d = baseline::zola_blocked_fw(sc, adj, 2);
+  EXPECT_EQ(d(0, 5), 5.0);
+  EXPECT_EQ(d(5, 0), kInf);
+}
+
+TEST(ZolaBaseline, UsesCollectAndBroadcast) {
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
+  auto adj = testutil::random_input<FloydWarshallSpec>(32, 95);
+  baseline::zola_blocked_fw(sc, adj, 16);
+  EXPECT_GT(sc.metrics().total_collect_bytes(), 0u);
+  EXPECT_GT(sc.metrics().total_broadcast_bytes(), 0u);
+}
+
+}  // namespace

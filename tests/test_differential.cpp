@@ -1,0 +1,102 @@
+// Differential fuzzing: for randomized inputs across many seeds, every
+// execution path in the repository must agree — flat reference vs blocked
+// harness vs IM driver vs CB driver vs independent baselines, across kernel
+// flavours. One shared SparkContext serves the whole sweep (contexts are
+// designed for reuse).
+#include <gtest/gtest.h>
+
+#include "baseline/zola_fw.hpp"
+#include "gepspark/solver.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace gs;
+using gepspark::SolverOptions;
+using gepspark::Strategy;
+
+class Differential : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static sparklet::SparkContext& ctx() {
+    static sparklet::SparkContext sc(sparklet::ClusterConfig::local(3, 2));
+    return sc;
+  }
+
+  // Vary shape knobs with the seed so the sweep covers the config space.
+  std::size_t n() const { return 24 + (GetParam() * 7) % 41; }  // 24..64
+  std::size_t block() const { return 8 + (GetParam() % 3) * 4; }  // 8/12/16
+  KernelConfig kernel() const {
+    switch (GetParam() % 4) {
+      case 0: return KernelConfig::iterative();
+      case 1: return KernelConfig::recursive(2, 1, 4);
+      case 2: return KernelConfig::recursive(4, 2, 4);
+      default: return KernelConfig::tiled(4, 1);
+    }
+  }
+};
+
+TEST_P(Differential, FloydWarshallAllPathsAgree) {
+  const auto seed = GetParam();
+  auto input = testutil::random_input<FloydWarshallSpec>(n(), seed);
+  auto expected = testutil::reference_solution<FloydWarshallSpec>(input);
+
+  auto blocked = testutil::blocked_solve<FloydWarshallSpec>(input, block(),
+                                                            kernel());
+  EXPECT_LE(max_abs_diff(blocked, expected), 1e-9);
+
+  SolverOptions opt;
+  opt.block_size = block();
+  opt.kernel = kernel();
+  opt.use_grid_partitioner = (seed % 2) == 0;
+  opt.strategy = Strategy::kInMemory;
+  auto im = gepspark::spark_floyd_warshall(ctx(), input, opt);
+  opt.strategy = Strategy::kCollectBroadcast;
+  auto cb = gepspark::spark_floyd_warshall(ctx(), input, opt);
+
+  EXPECT_TRUE(im == blocked);  // identical update order → identical bits
+  EXPECT_TRUE(cb == blocked);
+
+  auto zola = baseline::zola_blocked_fw(ctx(), input, block());
+  EXPECT_LE(max_abs_diff(zola, expected), 1e-9);
+}
+
+TEST_P(Differential, GaussianEliminationAllPathsAgree) {
+  const auto seed = GetParam();
+  auto input = testutil::random_input<GaussianEliminationSpec>(n(), seed + 1);
+  auto expected = testutil::reference_solution<GaussianEliminationSpec>(input);
+
+  auto blocked = testutil::blocked_solve<GaussianEliminationSpec>(
+      input, block(), kernel());
+  EXPECT_TRUE(blocked == expected);  // GE's k-ordered updates are bit-exact
+
+  SolverOptions opt;
+  opt.block_size = block();
+  opt.kernel = kernel();
+  opt.strategy = (seed % 2) ? Strategy::kInMemory
+                            : Strategy::kCollectBroadcast;
+  auto spark = gepspark::spark_gaussian_elimination(ctx(), input, opt);
+  EXPECT_TRUE(spark == expected);
+  EXPECT_LE(baseline::lu_residual(input, spark), 1e-8);
+}
+
+TEST_P(Differential, TransitiveClosureAllPathsAgree) {
+  const auto seed = GetParam();
+  auto input = testutil::random_input<TransitiveClosureSpec>(n(), seed + 2);
+  auto expected = testutil::reference_solution<TransitiveClosureSpec>(input);
+
+  SolverOptions opt;
+  opt.block_size = block();
+  opt.kernel = kernel();
+  opt.strategy = (seed % 2) ? Strategy::kCollectBroadcast
+                            : Strategy::kInMemory;
+  auto spark = gepspark::spark_transitive_closure(ctx(), input, opt);
+  EXPECT_TRUE(spark == expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
+                         ::testing::Range<std::uint64_t>(0, 12),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace

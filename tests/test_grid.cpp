@@ -1,0 +1,204 @@
+// Tests for the blocked DP-table representation: tiles, keys, layout math,
+// scatter/gather with virtual padding.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <unordered_set>
+
+#include "grid/matrix.hpp"
+#include "grid/tile.hpp"
+#include "grid/tile_grid.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace gs;
+
+Matrix<double> random_matrix(std::size_t n, std::uint64_t seed = 1) {
+  Matrix<double> m(n, n);
+  Rng r(seed);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = r.uniform(-5, 5);
+  return m;
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(Matrix, FillAndIndex) {
+  Matrix<int> m(3, 4, 7);
+  EXPECT_EQ(m(2, 3), 7);
+  m(1, 2) = 9;
+  EXPECT_EQ(m(1, 2), 9);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(Matrix, Equality) {
+  Matrix<int> a(2, 2, 1), b(2, 2, 1), c(2, 2, 2);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  Matrix<int> d(2, 3, 1);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(Matrix, MaxAbsDiffHandlesInfinity) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Matrix<double> a(2, 2, inf), b(2, 2, inf);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0);
+  b(0, 0) = 5.0;
+  EXPECT_EQ(max_abs_diff(a, b), inf);
+}
+
+TEST(Matrix, SpanWritesThrough) {
+  Matrix<int> m(2, 2, 0);
+  m.span()(1, 1) = 4;
+  EXPECT_EQ(m(1, 1), 4);
+}
+
+// ---------------------------------------------------------------- TileKey
+
+TEST(TileKey, OrderingAndEquality) {
+  EXPECT_EQ((TileKey{1, 2}), (TileKey{1, 2}));
+  EXPECT_NE((TileKey{1, 2}), (TileKey{2, 1}));
+  EXPECT_LT((TileKey{1, 2}), (TileKey{1, 3}));
+  EXPECT_LT((TileKey{1, 9}), (TileKey{2, 0}));
+}
+
+TEST(TileKey, HashIsUsableAndSpreads) {
+  TileKeyHash h;
+  std::unordered_set<std::size_t> hashes;
+  for (int i = 0; i < 32; ++i)
+    for (int j = 0; j < 32; ++j) hashes.insert(h(TileKey{i, j}));
+  EXPECT_GT(hashes.size(), 1000u);  // virtually no collisions on a small grid
+}
+
+// ---------------------------------------------------------------- Tile
+
+TEST(Tile, DeepCopySemantics) {
+  Tile<double> t(4, 4, 1.0);
+  Tile<double> u = t;
+  u(0, 0) = 9.0;
+  EXPECT_EQ(t(0, 0), 1.0);
+}
+
+TEST(Tile, BytesAccountsPayload) {
+  Tile<double> t(16, 16);
+  EXPECT_EQ(t.bytes(), 16u * 16u * sizeof(double) + 64u);
+}
+
+// ---------------------------------------------------------------- layout
+
+TEST(BlockLayout, ExactDivision) {
+  auto l = BlockLayout::for_problem(64, 16);
+  EXPECT_EQ(l.r, 4u);
+  EXPECT_EQ(l.padded_n, 64u);
+  EXPECT_FALSE(l.padded());
+  EXPECT_EQ(l.num_tiles(), 16u);
+}
+
+TEST(BlockLayout, PadsUpToMultiple) {
+  auto l = BlockLayout::for_problem(65, 16);
+  EXPECT_EQ(l.r, 5u);
+  EXPECT_EQ(l.padded_n, 80u);
+  EXPECT_TRUE(l.padded());
+}
+
+TEST(BlockLayout, ForGridComputesBlock) {
+  auto l = BlockLayout::for_grid(100, 4);
+  EXPECT_EQ(l.block, 25u);
+  EXPECT_EQ(l.r, 4u);
+  auto l2 = BlockLayout::for_grid(100, 3);  // 100/3 → block 34, r = 3
+  EXPECT_EQ(l2.block, 34u);
+  EXPECT_EQ(l2.r, 3u);
+}
+
+TEST(BlockLayout, RejectsZeroes) {
+  EXPECT_THROW(BlockLayout::for_problem(0, 4), ConfigError);
+  EXPECT_THROW(BlockLayout::for_problem(4, 0), ConfigError);
+  EXPECT_THROW(BlockLayout::for_grid(0, 1), ConfigError);
+}
+
+TEST(BlockLayout, BlockLargerThanProblem) {
+  auto l = BlockLayout::for_problem(10, 64);
+  EXPECT_EQ(l.r, 1u);
+  EXPECT_EQ(l.padded_n, 64u);
+}
+
+// ---------------------------------------------------------------- grid
+
+TEST(TileGrid, ScatterGatherRoundTrip) {
+  for (std::size_t n : {16u, 17u, 31u, 32u, 33u}) {
+    auto m = random_matrix(n, n);
+    TileGrid<double> g(m, 8, /*pad_diag=*/0.0, /*pad_off=*/-1.0);
+    EXPECT_TRUE(g.gather() == m) << "n=" << n;
+  }
+}
+
+TEST(TileGrid, PaddingValuesPlacedCorrectly) {
+  auto m = random_matrix(5);
+  TileGrid<double> g(m, 4, /*pad_diag=*/7.0, /*pad_off=*/-3.0);
+  EXPECT_EQ(g.layout().r, 2u);
+  const Tile<double>& br = *g.at(1, 1);  // bottom-right tile: rows/cols 4..7
+  EXPECT_EQ(br(0, 0), m(4, 4));          // (4,4) still real
+  EXPECT_EQ(br(1, 1), 7.0);              // (5,5) on global diagonal
+  EXPECT_EQ(br(1, 2), -3.0);             // (5,6) off-diagonal padding
+  const Tile<double>& tr = *g.at(0, 1);
+  EXPECT_EQ(tr(0, 0), m(0, 4));  // global (0,4): last real column
+  EXPECT_EQ(tr(0, 3), -3.0);     // column 7 padded, not on diagonal
+}
+
+TEST(TileGrid, EntriesEnumerateWholeGrid) {
+  auto m = random_matrix(12);
+  TileGrid<double> g(m, 4, 0.0, 0.0);
+  auto entries = g.entries();
+  EXPECT_EQ(entries.size(), 9u);
+  std::unordered_set<std::size_t> seen;
+  TileKeyHash h;
+  for (auto& [k, t] : entries) {
+    EXPECT_NE(t, nullptr);
+    seen.insert(h(k));
+  }
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(TileGrid, FromEntriesRebuilds) {
+  auto m = random_matrix(20);
+  TileGrid<double> g(m, 8, 0.0, 0.0);
+  auto rebuilt = TileGrid<double>::from_entries(g.layout(), g.entries());
+  EXPECT_TRUE(rebuilt.gather() == m);
+}
+
+TEST(TileGrid, FromEntriesRejectsDuplicates) {
+  auto m = random_matrix(8);
+  TileGrid<double> g(m, 4, 0.0, 0.0);
+  auto entries = g.entries();
+  entries.push_back(entries.front());
+  EXPECT_DEATH(TileGrid<double>::from_entries(g.layout(), entries),
+               "duplicate tile key");
+}
+
+TEST(TileGrid, FromEntriesRejectsMissing) {
+  auto m = random_matrix(8);
+  TileGrid<double> g(m, 4, 0.0, 0.0);
+  auto entries = g.entries();
+  entries.pop_back();
+  EXPECT_DEATH(TileGrid<double>::from_entries(g.layout(), entries),
+               "missing tile");
+}
+
+TEST(TileGrid, RejectsNonSquare) {
+  Matrix<double> m(4, 6, 0.0);
+  EXPECT_THROW((TileGrid<double>(m, 2, 0.0, 0.0)), ConfigError);
+}
+
+TEST(TileGrid, SetReplacesTile) {
+  auto m = random_matrix(8);
+  TileGrid<double> g(m, 4, 0.0, 0.0);
+  auto fresh = make_tile<double>(4, 4, 9.0);
+  g.set(0, 1, fresh);
+  EXPECT_EQ((*g.at(0, 1))(2, 2), 9.0);
+  auto out = g.gather();
+  EXPECT_EQ(out(2, 6), 9.0);
+}
+
+}  // namespace

@@ -1,0 +1,271 @@
+// Domain-level property tests: mathematical invariants of the computed
+// solutions (not just reference equality) plus the update-count formulas the
+// cost model builds on.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "test_util.hpp"
+
+namespace {
+
+using namespace gs;
+using testutil::blocked_solve;
+using testutil::random_input;
+using testutil::reference_solution;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// -------------------------------------------------------------- FW props
+
+TEST(FwProperties, DiagonalIsZero) {
+  auto d = reference_solution<FloydWarshallSpec>(
+      random_input<FloydWarshallSpec>(40, 1));
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(d(i, i), 0.0);
+}
+
+TEST(FwProperties, TriangleInequalityHolds) {
+  auto d = reference_solution<FloydWarshallSpec>(
+      random_input<FloydWarshallSpec>(32, 2));
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      for (std::size_t k = 0; k < 32; ++k) {
+        if (d(i, k) == kInf || d(k, j) == kInf) continue;
+        EXPECT_LE(d(i, j), d(i, k) + d(k, j) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(FwProperties, Idempotent) {
+  // APSP distances are a fixed point: running FW again changes nothing.
+  auto once = reference_solution<FloydWarshallSpec>(
+      random_input<FloydWarshallSpec>(40, 3));
+  auto twice = once;
+  reference_gep<FloydWarshallSpec>(twice.span());
+  EXPECT_LE(max_abs_diff(once, twice), 1e-9);  // fixed point up to rounding
+}
+
+TEST(FwProperties, NeverLongerThanDirectEdge) {
+  auto adj = random_input<FloydWarshallSpec>(48, 4);
+  auto d = reference_solution<FloydWarshallSpec>(adj);
+  for (std::size_t i = 0; i < 48; ++i) {
+    for (std::size_t j = 0; j < 48; ++j) {
+      EXPECT_LE(d(i, j), adj(i, j));
+    }
+  }
+}
+
+TEST(FwProperties, MatchesDijkstraOnDenserGraph) {
+  auto adj = gs::workload::random_digraph(
+      {.n = 60, .edge_prob = 0.35, .min_weight = 0.5, .max_weight = 20.0,
+       .seed = 99});
+  auto fw = reference_solution<FloydWarshallSpec>(adj);
+  auto dij = baseline::dijkstra_apsp(adj);
+  EXPECT_LE(max_abs_diff(fw, dij), 1e-9);
+}
+
+TEST(FwProperties, HandlesDisconnectedGraph) {
+  // Two 4-cliques with no cross edges: cross distances stay +∞.
+  Matrix<double> adj(8, 8, kInf);
+  for (std::size_t i = 0; i < 8; ++i) adj(i, i) = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      if (i != j) {
+        adj(i, j) = 1;
+        adj(i + 4, j + 4) = 1;
+      }
+  auto d = reference_solution<FloydWarshallSpec>(adj);
+  EXPECT_EQ(d(0, 5), kInf);
+  EXPECT_EQ(d(6, 1), kInf);
+  EXPECT_EQ(d(0, 3), 1.0);
+}
+
+TEST(FwProperties, NegativeEdgesNoNegativeCycle) {
+  // Small DAG-ish graph with a negative edge; FW must handle it.
+  Matrix<double> adj(4, 4, kInf);
+  for (std::size_t i = 0; i < 4; ++i) adj(i, i) = 0;
+  adj(0, 1) = 5;
+  adj(1, 2) = -3;
+  adj(2, 3) = 2;
+  adj(0, 3) = 10;
+  auto d = reference_solution<FloydWarshallSpec>(adj);
+  EXPECT_EQ(d(0, 3), 4.0);  // 5 - 3 + 2
+  auto blocked = blocked_solve<FloydWarshallSpec>(adj, 2,
+                                                  KernelConfig::recursive(2, 1, 1));
+  EXPECT_LE(max_abs_diff(blocked, d), 1e-12);
+}
+
+// -------------------------------------------------------------- GE props
+
+TEST(GeProperties, LuFactorizationResidual) {
+  auto a = random_input<GaussianEliminationSpec>(48, 7);
+  auto elim = reference_solution<GaussianEliminationSpec>(a);
+  EXPECT_LE(baseline::lu_residual(a, elim), 1e-9);
+}
+
+TEST(GeProperties, BlockedLuResidual) {
+  auto a = random_input<GaussianEliminationSpec>(48, 8);
+  auto elim =
+      blocked_solve<GaussianEliminationSpec>(a, 16, KernelConfig::recursive(2, 2, 4));
+  EXPECT_LE(baseline::lu_residual(a, elim), 1e-9);
+}
+
+TEST(GeProperties, SolvesLinearSystem) {
+  // Forward/back substitution from the eliminated matrix must reproduce a
+  // known solution x* of A x = b.
+  const std::size_t n = 24;
+  auto a = random_input<GaussianEliminationSpec>(n, 9);
+  std::vector<double> x_star(n);
+  Rng r(10);
+  for (auto& v : x_star) v = r.uniform(-2, 2);
+  std::vector<double> b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_star[j];
+
+  auto elim = reference_solution<GaussianEliminationSpec>(a);
+  // Forward: L y = b with L(i,k) = elim(i,k)/elim(k,k).
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= elim(i, k) / elim(k, k) * y[k];
+    y[i] = s;
+  }
+  // Backward: U x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= elim(ii, j) * x[j];
+    x[ii] = s / elim(ii, ii);
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_star[i], 1e-8);
+}
+
+TEST(GeProperties, UpperTriangleIsU) {
+  // The first row never changes; pivot entries stay nonzero for diagonally
+  // dominant inputs.
+  auto a = random_input<GaussianEliminationSpec>(20, 11);
+  auto elim = reference_solution<GaussianEliminationSpec>(a);
+  for (std::size_t j = 0; j < 20; ++j) EXPECT_EQ(elim(0, j), a(0, j));
+  for (std::size_t k = 0; k < 20; ++k) EXPECT_NE(elim(k, k), 0.0);
+}
+
+// -------------------------------------------------------------- TC props
+
+Matrix<std::uint8_t> bfs_closure(const Matrix<std::uint8_t>& adj) {
+  const std::size_t n = adj.rows();
+  Matrix<std::uint8_t> out(n, n, std::uint8_t{0});
+  for (std::size_t s = 0; s < n; ++s) {
+    std::queue<std::size_t> q;
+    q.push(s);
+    out(s, s) = 1;
+    while (!q.empty()) {
+      auto u = q.front();
+      q.pop();
+      for (std::size_t v = 0; v < n; ++v) {
+        if (adj(u, v) && !out(s, v)) {
+          out(s, v) = 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(TcProperties, MatchesBfsClosure) {
+  auto adj = random_input<TransitiveClosureSpec>(40, 12);
+  auto tc = reference_solution<TransitiveClosureSpec>(adj);
+  auto bfs = bfs_closure(adj);
+  EXPECT_EQ(max_abs_diff(tc, bfs), 0.0);
+}
+
+TEST(TcProperties, ClosureIsTransitive) {
+  auto tc = reference_solution<TransitiveClosureSpec>(
+      random_input<TransitiveClosureSpec>(32, 13));
+  for (std::size_t i = 0; i < 32; ++i)
+    for (std::size_t k = 0; k < 32; ++k)
+      for (std::size_t j = 0; j < 32; ++j)
+        if (tc(i, k) && tc(k, j)) {
+          EXPECT_TRUE(tc(i, j));
+        }
+}
+
+TEST(TcProperties, Idempotent) {
+  auto once = reference_solution<TransitiveClosureSpec>(
+      random_input<TransitiveClosureSpec>(32, 14));
+  auto twice = once;
+  reference_gep<TransitiveClosureSpec>(twice.span());
+  EXPECT_TRUE(once == twice);
+}
+
+// ---------------------------------------------------------- widest path
+
+TEST(WidestProperties, MatchesDirectRecurrence) {
+  auto cap = random_input<WidestPathSpec>(36, 15);
+  auto ref = cap;
+  baseline::reference_widest_path(ref);
+  auto gep = reference_solution<WidestPathSpec>(cap);
+  EXPECT_EQ(max_abs_diff(gep, ref), 0.0);
+}
+
+TEST(WidestProperties, BottleneckNeverBelowDirectLink) {
+  auto cap = random_input<WidestPathSpec>(30, 16);
+  auto w = reference_solution<WidestPathSpec>(cap);
+  for (std::size_t i = 0; i < 30; ++i)
+    for (std::size_t j = 0; j < 30; ++j) EXPECT_GE(w(i, j), cap(i, j));
+}
+
+// ------------------------------------------------------- update counting
+
+double brute_count(KernelKind kind, std::size_t b, bool strict) {
+  // Count the (k,i,j) triples the kernels actually execute.
+  double count = 0;
+  for (std::size_t k = 0; k < b; ++k) {
+    const std::size_t lo = strict ? k + 1 : 0;
+    switch (kind) {
+      case KernelKind::A:
+        count += double(b - lo) * double(b - lo);
+        break;
+      case KernelKind::B:
+        count += double(b - lo) * double(b);
+        break;
+      case KernelKind::C:
+        count += double(b) * double(b - lo);
+        break;
+      case KernelKind::D:
+        count += double(b) * double(b);
+        break;
+    }
+  }
+  return count;
+}
+
+TEST(UpdateCounts, FormulasMatchBruteForce) {
+  for (bool strict : {false, true}) {
+    for (std::size_t b : {1u, 2u, 3u, 7u, 16u, 33u}) {
+      for (auto kind : {KernelKind::A, KernelKind::B, KernelKind::C,
+                        KernelKind::D}) {
+        EXPECT_DOUBLE_EQ(kernel_update_count(kind, b, strict),
+                         brute_count(kind, b, strict))
+            << "kind=" << kernel_kind_name(kind) << " b=" << b
+            << " strict=" << strict;
+      }
+    }
+  }
+}
+
+TEST(UpdateCounts, BlockedWorkSumsToGlobalWork) {
+  // Σ over the blocked schedule of per-kernel updates = n³ for full Σ.
+  const std::size_t n = 64, b = 16, r = n / b;
+  double total = 0;
+  for (std::size_t k = 0; k < r; ++k) {
+    total += kernel_update_count(KernelKind::A, b, false);
+    total += 2.0 * double(r - 1) * kernel_update_count(KernelKind::B, b, false);
+    total +=
+        double((r - 1) * (r - 1)) * kernel_update_count(KernelKind::D, b, false);
+  }
+  EXPECT_DOUBLE_EQ(total, double(n) * double(n) * double(n));
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Recursive r-way R-DP kernels (Fig. 4) validated against the iterative
+// kernels and the flat reference, parameterized over r_shared, base-case
+// size, OMP thread count, and awkward sizes (primes, non-divisible).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace {
+
+using namespace gs;
+using testutil::blocked_solve;
+using testutil::random_input;
+using testutil::reference_solution;
+
+struct RecCase {
+  std::size_t n;
+  std::size_t block;
+  std::size_t r_shared;
+  std::size_t base;
+  int threads;
+};
+
+std::string rec_case_name(const ::testing::TestParamInfo<RecCase>& info) {
+  const auto& p = info.param;
+  return "n" + std::to_string(p.n) + "_b" + std::to_string(p.block) + "_r" +
+         std::to_string(p.r_shared) + "_base" + std::to_string(p.base) + "_t" +
+         std::to_string(p.threads);
+}
+
+class RecKernels : public ::testing::TestWithParam<RecCase> {};
+
+template <typename Spec>
+void expect_recursive_matches(const RecCase& p, std::uint64_t seed) {
+  auto input = random_input<Spec>(p.n, seed);
+  auto expected = reference_solution<Spec>(input);
+  auto got = blocked_solve<Spec>(
+      input, p.block, KernelConfig::recursive(p.r_shared, p.threads, p.base));
+  if constexpr (std::is_same_v<typename Spec::value_type, double>) {
+    EXPECT_LE(max_abs_diff(got, expected), 1e-9);
+  } else {
+    EXPECT_EQ(max_abs_diff(got, expected), 0.0);
+  }
+}
+
+TEST_P(RecKernels, FloydWarshall) {
+  expect_recursive_matches<FloydWarshallSpec>(GetParam(), 21);
+}
+TEST_P(RecKernels, GaussianElimination) {
+  expect_recursive_matches<GaussianEliminationSpec>(GetParam(), 22);
+}
+TEST_P(RecKernels, TransitiveClosure) {
+  expect_recursive_matches<TransitiveClosureSpec>(GetParam(), 23);
+}
+TEST_P(RecKernels, WidestPath) {
+  expect_recursive_matches<WidestPathSpec>(GetParam(), 24);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RecKernels,
+    ::testing::Values(
+        RecCase{32, 16, 2, 4, 1},    // classic 2-way
+        RecCase{32, 16, 2, 4, 2},    // 2-way, parallel
+        RecCase{32, 16, 4, 4, 1},    // 4-way
+        RecCase{64, 32, 4, 8, 2},    // 4-way, deeper
+        RecCase{64, 32, 8, 4, 2},    // 8-way
+        RecCase{64, 64, 16, 4, 4},   // single 16-way tile
+        RecCase{48, 24, 4, 3, 1},    // non-power-of-two everything
+        RecCase{54, 27, 3, 3, 2},    // odd r_shared (3-way)
+        RecCase{33, 16, 4, 4, 1},    // padding: 33 → 48
+        RecCase{35, 22, 2, 5, 1},    // base does not divide block: fallback
+        RecCase{26, 13, 2, 4, 1}),   // prime tile side: iterative fallback
+    rec_case_name);
+
+// ------------------------------------------------------- structural props
+
+TEST(RecursiveFanout, PrefersRequestedFanout) {
+  RecursiveKernels<FloydWarshallSpec> k(/*r_shared=*/4, /*base=*/16);
+  EXPECT_EQ(k.fanout(64), 4u);
+  EXPECT_EQ(k.fanout(16), 0u);  // at base: stop
+  EXPECT_EQ(k.fanout(8), 0u);
+}
+
+TEST(RecursiveFanout, FallsBackToLargestDivisor) {
+  RecursiveKernels<FloydWarshallSpec> k(/*r_shared=*/4, /*base=*/4);
+  EXPECT_EQ(k.fanout(27), 3u);  // 4 ∤ 27 → 3
+  EXPECT_EQ(k.fanout(22), 2u);  // 4,3 ∤ 22 → 2
+  EXPECT_EQ(k.fanout(13), 0u);  // prime: loop-kernel fallback
+}
+
+TEST(RecursiveFanout, HugeRSharedClampsToSize) {
+  RecursiveKernels<FloydWarshallSpec> k(/*r_shared=*/64, /*base=*/1);
+  EXPECT_EQ(k.fanout(8), 8u);  // whole tile in one level
+}
+
+TEST(RecursiveConfig, RejectsBadParameters) {
+  EXPECT_THROW((RecursiveKernels<FloydWarshallSpec>(1, 8)), ConfigError);
+  EXPECT_THROW((RecursiveKernels<FloydWarshallSpec>(2, 0)), ConfigError);
+}
+
+// Determinism: recursion order is fixed and parallel tasks write disjoint
+// blocks, so results must be bitwise identical across thread counts.
+TEST(RecursiveDeterminism, SameBitsAcrossThreadCounts) {
+  auto input = random_input<GaussianEliminationSpec>(64, 31);
+  auto one = blocked_solve<GaussianEliminationSpec>(
+      input, 32, KernelConfig::recursive(4, 1, 4));
+  auto four = blocked_solve<GaussianEliminationSpec>(
+      input, 32, KernelConfig::recursive(4, 4, 4));
+  EXPECT_TRUE(one == four);
+}
+
+// r_shared must not change the numerical result for GE either: every cell's
+// update sequence is ordered by global k regardless of the recursion shape.
+TEST(RecursiveDeterminism, SameBitsAcrossFanouts) {
+  auto input = random_input<GaussianEliminationSpec>(64, 32);
+  auto two = blocked_solve<GaussianEliminationSpec>(
+      input, 64, KernelConfig::recursive(2, 1, 8));
+  auto eight = blocked_solve<GaussianEliminationSpec>(
+      input, 64, KernelConfig::recursive(8, 1, 8));
+  auto iter = blocked_solve<GaussianEliminationSpec>(
+      input, 64, KernelConfig::iterative());
+  EXPECT_TRUE(two == eight);
+  EXPECT_TRUE(two == iter);
+}
+
+// Dispatch facade: iterative vs recursive path selection.
+TEST(GepKernelsDispatch, SelectsConfiguredImplementation) {
+  auto input = random_input<FloydWarshallSpec>(32, 33);
+  auto expected = reference_solution<FloydWarshallSpec>(input);
+
+  for (auto cfg : {KernelConfig::iterative(), KernelConfig::recursive(2, 1, 8),
+                   KernelConfig::recursive(4, 2, 8)}) {
+    GepKernels<FloydWarshallSpec> kern(cfg);
+    auto got = input;
+    kern.a(got.span());
+    EXPECT_LE(max_abs_diff(got, expected), 1e-9) << cfg.describe();
+  }
+}
+
+TEST(KernelConfig, DescribeMentionsParameters) {
+  auto cfg = KernelConfig::recursive(8, 4, 32);
+  const auto d = cfg.describe();
+  EXPECT_NE(d.find("r_shared=8"), std::string::npos);
+  EXPECT_NE(d.find("omp=4"), std::string::npos);
+  EXPECT_EQ(KernelConfig::iterative().describe(), "iterative");
+}
+
+TEST(KernelConfig, ValidateCatchesBadValues) {
+  KernelConfig bad = KernelConfig::recursive(1, 1);
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = KernelConfig::iterative();
+  bad.omp_threads = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = KernelConfig::iterative();
+  bad.base_size = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Tiled (one-level-blocked, cache-aware) kernels — paper §III's compiler
+// tiling route — validated for correctness against the reference, and the
+// cost model's cache-adaptivity story (recursive adapts, tiled does not).
+#include <gtest/gtest.h>
+
+#include "simtime/gep_job_sim.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace gs;
+using testutil::blocked_solve;
+using testutil::random_input;
+using testutil::reference_solution;
+
+// ----------------------------------------------------------- correctness
+
+struct TiledCase {
+  std::size_t n;
+  std::size_t block;
+  std::size_t tile;
+  int threads;
+};
+
+class TiledKernels : public ::testing::TestWithParam<TiledCase> {};
+
+template <typename Spec>
+void expect_tiled_matches(const TiledCase& p, std::uint64_t seed) {
+  auto input = random_input<Spec>(p.n, seed);
+  auto expected = reference_solution<Spec>(input);
+  auto got =
+      blocked_solve<Spec>(input, p.block, KernelConfig::tiled(p.tile, p.threads));
+  if constexpr (std::is_same_v<typename Spec::value_type, double>) {
+    EXPECT_LE(max_abs_diff(got, expected), 1e-9);
+  } else {
+    EXPECT_EQ(max_abs_diff(got, expected), 0.0);
+  }
+}
+
+TEST_P(TiledKernels, FloydWarshall) {
+  expect_tiled_matches<FloydWarshallSpec>(GetParam(), 101);
+}
+TEST_P(TiledKernels, GaussianElimination) {
+  expect_tiled_matches<GaussianEliminationSpec>(GetParam(), 102);
+}
+TEST_P(TiledKernels, TransitiveClosure) {
+  expect_tiled_matches<TransitiveClosureSpec>(GetParam(), 103);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TiledKernels,
+    ::testing::Values(TiledCase{32, 16, 4, 1},   // 4-wide one-level split
+                      TiledCase{32, 16, 4, 2},   // parallel tiles
+                      TiledCase{64, 32, 8, 1},
+                      TiledCase{64, 64, 16, 2},  // whole matrix, one tile op
+                      TiledCase{48, 24, 6, 1},   // non-power-of-two
+                      TiledCase{33, 16, 5, 1},   // 16/5: uneven split
+                      TiledCase{26, 13, 4, 1}),  // prime block side
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_b" +
+             std::to_string(info.param.block) + "_t" +
+             std::to_string(info.param.tile) + "_p" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(TiledKernels2, OneLevelSplitGoesStraightToBaseCases) {
+  RecursiveKernels<FloydWarshallSpec> tiled(
+      /*r_shared=*/2, /*base=*/16,
+      RecursiveKernels<FloydWarshallSpec>::Mode::kOneLevelFullSplit);
+  EXPECT_EQ(tiled.fanout(128), 8u);  // 128/16 in ONE level
+  EXPECT_EQ(tiled.fanout(16), 0u);
+  // 100/16 → needs nb ≥ 7 dividing 100 → 10 (sub-tiles of 10 ≤ 16).
+  EXPECT_EQ(tiled.fanout(100), 10u);
+}
+
+TEST(TiledKernels2, MatchesRecursiveResultBitwise) {
+  auto input = random_input<GaussianEliminationSpec>(64, 104);
+  auto tiled = blocked_solve<GaussianEliminationSpec>(
+      input, 64, KernelConfig::tiled(8, 1));
+  auto rec = blocked_solve<GaussianEliminationSpec>(
+      input, 64, KernelConfig::recursive(4, 1, 8));
+  EXPECT_TRUE(tiled == rec);  // same per-cell update order, same bits
+}
+
+TEST(TiledKernels2, DescribeAndValidate) {
+  auto cfg = KernelConfig::tiled(128, 4);
+  EXPECT_NE(cfg.describe().find("tiled(tile=128"), std::string::npos);
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.base_size = 0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+// ----------------------------------------------------------- cost model
+
+TEST(TiledCostModel, WellSizedTileIsCheapButNotObliviouslySo) {
+  simtime::MachineModel m(sparklet::ClusterConfig::skylake_cluster());
+  const auto iter = KernelConfig::iterative();
+  const auto rec = KernelConfig::recursive(4, 1);
+  // Tile sized for L2 (64² doubles ≈ 96 KiB working set).
+  const auto good = KernelConfig::tiled(64, 1);
+  // Tile grossly oversized for this machine (e.g. copied from another one).
+  const auto bad = KernelConfig::tiled(2048, 1);
+
+  const double t_iter =
+      m.kernel_seconds_1t(KernelKind::D, 2048, false, iter, 8);
+  const double t_rec = m.kernel_seconds_1t(KernelKind::D, 2048, false, rec, 8);
+  const double t_good =
+      m.kernel_seconds_1t(KernelKind::D, 2048, false, good, 8);
+  const double t_bad = m.kernel_seconds_1t(KernelKind::D, 2048, false, bad, 8);
+
+  EXPECT_LT(t_good, t_iter / 3.0);   // well-tuned tiling ≈ recursive
+  EXPECT_NEAR(t_good / t_rec, 1.0, 0.1);
+  EXPECT_GT(t_bad, t_good * 3.0);    // mis-sized tiling degrades like loops
+}
+
+TEST(TiledCostModel, NotCacheAdaptiveUnderContention) {
+  // The paper's cited cache-adaptivity property [41][44]: with co-running
+  // tasks, recursive kernels keep their speed; tiled kernels sized against
+  // the shared L3 lose ground.
+  simtime::MachineModel m(sparklet::ClusterConfig::skylake_cluster());
+  const auto rec = KernelConfig::recursive(4, 1);
+  const auto tiled = KernelConfig::tiled(512, 1);  // leans on the L3 slice
+
+  const double rec_alone = m.task_speedup(rec, KernelKind::D, 1, 1024, 8);
+  const double rec_crowd = m.task_speedup(rec, KernelKind::D, 16, 1024, 8);
+  const double tiled_alone = m.task_speedup(tiled, KernelKind::D, 1, 1024, 8);
+  const double tiled_crowd = m.task_speedup(tiled, KernelKind::D, 16, 1024, 8);
+
+  const double rec_loss = rec_alone / rec_crowd;
+  const double tiled_loss = tiled_alone / tiled_crowd;
+  EXPECT_GT(tiled_loss, rec_loss * 1.2);
+}
+
+TEST(TiledCostModel, EndToEndTiledBetweenIterativeAndRecursive) {
+  simtime::MachineModel m(sparklet::ClusterConfig::skylake_cluster());
+  auto mk = [&](KernelConfig k) {
+    auto p = simtime::GepJobParams::fw_apsp(32768, 2048);
+    p.strategy = gepspark::Strategy::kInMemory;
+    p.kernel = k;
+    return simulate_gep_job(m, p).seconds;
+  };
+  const double t_iter = mk(KernelConfig::iterative());
+  const double t_tiled = mk(KernelConfig::tiled(64, 8));
+  const double t_rec = mk(KernelConfig::recursive(8, 8));
+  EXPECT_LT(t_tiled, t_iter);  // tiling rescues the big-block case...
+  EXPECT_LE(t_rec, t_tiled * 1.2);  // ...but never beats recursive by much
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Property tests for the closed-semiring algebra and the GepSpec policies:
+// semiring laws on randomized elements, and padding neutrality (the virtual-
+// padding values must never perturb real cells).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "semiring/gep_spec.hpp"
+#include "semiring/semiring.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace gs;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Floating-point semirings: ⊙ = IEEE addition is only associative up to
+// rounding, so compare with a tolerance (and exactly for ±∞ / integers).
+template <typename T>
+void expect_alg_eq(T a, T b) {
+  if constexpr (std::is_floating_point_v<T>) {
+    if (a == b) return;
+    EXPECT_NEAR(a, b, 1e-9);
+  } else {
+    EXPECT_EQ(a, b);
+  }
+}
+
+// --------------------------------------------- semiring law property tests
+
+template <typename S>
+class SemiringLaws : public ::testing::Test {
+ public:
+  std::vector<typename S::value_type> elements() const;
+};
+
+template <>
+std::vector<double> SemiringLaws<MinPlusSemiring>::elements() const {
+  std::vector<double> e = {0.0, 1.0, 2.5, 100.0, kInf};
+  Rng r(5);
+  for (int i = 0; i < 20; ++i) e.push_back(r.uniform(0.0, 50.0));
+  return e;
+}
+
+template <>
+std::vector<std::uint8_t> SemiringLaws<BoolSemiring>::elements() const {
+  return {0, 1};
+}
+
+template <>
+std::vector<double> SemiringLaws<MaxMinSemiring>::elements() const {
+  std::vector<double> e = {0.0, 1.0, 7.0, kInf};
+  Rng r(6);
+  for (int i = 0; i < 20; ++i) e.push_back(r.uniform(0.0, 100.0));
+  return e;
+}
+
+using SemiringTypes =
+    ::testing::Types<MinPlusSemiring, BoolSemiring, MaxMinSemiring>;
+TYPED_TEST_SUITE(SemiringLaws, SemiringTypes);
+
+TYPED_TEST(SemiringLaws, PlusIsCommutativeAndAssociative) {
+  using S = TypeParam;
+  const auto es = this->elements();
+  for (auto a : es) {
+    for (auto b : es) {
+      expect_alg_eq(S::plus(a, b), S::plus(b, a));
+      for (auto c : es) {
+        expect_alg_eq(S::plus(S::plus(a, b), c), S::plus(a, S::plus(b, c)));
+      }
+    }
+  }
+}
+
+TYPED_TEST(SemiringLaws, TimesIsAssociative) {
+  using S = TypeParam;
+  const auto es = this->elements();
+  for (auto a : es) {
+    for (auto b : es) {
+      for (auto c : es) {
+        expect_alg_eq(S::times(S::times(a, b), c), S::times(a, S::times(b, c)));
+      }
+    }
+  }
+}
+
+TYPED_TEST(SemiringLaws, Identities) {
+  using S = TypeParam;
+  for (auto a : this->elements()) {
+    EXPECT_EQ(S::plus(a, S::zero()), a);
+    EXPECT_EQ(S::times(a, S::one()), a);
+    EXPECT_EQ(S::times(S::one(), a), a);
+  }
+}
+
+TYPED_TEST(SemiringLaws, ZeroAnnihilates) {
+  using S = TypeParam;
+  for (auto a : this->elements()) {
+    EXPECT_EQ(S::times(a, S::zero()), S::zero());
+    EXPECT_EQ(S::times(S::zero(), a), S::zero());
+  }
+}
+
+TYPED_TEST(SemiringLaws, TimesDistributesOverPlus) {
+  using S = TypeParam;
+  const auto es = this->elements();
+  for (auto a : es) {
+    for (auto b : es) {
+      for (auto c : es) {
+        expect_alg_eq(S::times(a, S::plus(b, c)),
+                      S::plus(S::times(a, b), S::times(a, c)));
+        expect_alg_eq(S::times(S::plus(a, b), c),
+                      S::plus(S::times(a, c), S::times(b, c)));
+      }
+    }
+  }
+}
+
+TYPED_TEST(SemiringLaws, PlusIsIdempotent) {
+  // All three instances are idempotent semirings (min/or/max).
+  using S = TypeParam;
+  for (auto a : this->elements()) EXPECT_EQ(S::plus(a, a), a);
+}
+
+TEST(MinPlusClosure, ClosureDefinition) {
+  // a* = 1̄ ⊕ a ⊙ a*  (fixed point); for min-plus, 0 unless negative cycle.
+  EXPECT_EQ(MinPlusSemiring::closure(3.0), 0.0);
+  EXPECT_EQ(MinPlusSemiring::closure(0.0), 0.0);
+  EXPECT_EQ(MinPlusSemiring::closure(-1.0), -kInf);
+}
+
+TEST(BoolClosure, AlwaysOne) {
+  EXPECT_EQ(BoolSemiring::closure(0), 1);
+  EXPECT_EQ(BoolSemiring::closure(1), 1);
+}
+
+// --------------------------------------------------------- GepSpec checks
+
+TEST(FloydWarshallSpec, UpdateIsRelaxation) {
+  EXPECT_EQ(FloydWarshallSpec::update(10.0, 3.0, 4.0, 999.0), 7.0);
+  EXPECT_EQ(FloydWarshallSpec::update(5.0, 3.0, 4.0, 999.0), 5.0);
+  EXPECT_EQ(FloydWarshallSpec::update(5.0, kInf, 1.0, 0.0), 5.0);
+}
+
+TEST(FloydWarshallSpec, UpdateIgnoresW) {
+  EXPECT_EQ(FloydWarshallSpec::update(10.0, 3.0, 4.0, 0.0),
+            FloydWarshallSpec::update(10.0, 3.0, 4.0, kInf));
+  EXPECT_FALSE(FloydWarshallSpec::kUsesW);
+  EXPECT_FALSE(FloydWarshallSpec::kStrictSigma);
+}
+
+TEST(FloydWarshallSpec, PaddingIsNeutral) {
+  // A padded (isolated) vertex must never shorten a path: its outgoing u is
+  // +∞, so u ⊙ v = +∞ and x ⊕ +∞ = x.
+  const double u = FloydWarshallSpec::pad_off();
+  EXPECT_EQ(FloydWarshallSpec::update(5.0, u, 3.0, 0.0), 5.0);
+  EXPECT_EQ(FloydWarshallSpec::update(5.0, 3.0, u, 0.0), 5.0);
+  EXPECT_EQ(FloydWarshallSpec::pad_diag(), MinPlusSemiring::one());
+}
+
+TEST(GaussianEliminationSpec, UpdateIsEliminationStep) {
+  EXPECT_DOUBLE_EQ(GaussianEliminationSpec::update(10.0, 2.0, 3.0, 2.0), 7.0);
+  EXPECT_TRUE(GaussianEliminationSpec::kUsesW);
+  EXPECT_TRUE(GaussianEliminationSpec::kStrictSigma);
+}
+
+TEST(GaussianEliminationSpec, PaddingIsNeutral) {
+  // Identity padding: u = 0, w = 1 → x - 0·v/1 = x for any real v.
+  const double u = GaussianEliminationSpec::pad_off();
+  const double w = GaussianEliminationSpec::pad_diag();
+  Rng r(3);
+  for (int i = 0; i < 50; ++i) {
+    const double x = r.uniform(-10, 10), v = r.uniform(-10, 10);
+    EXPECT_DOUBLE_EQ(GaussianEliminationSpec::update(x, u, v, w), x);
+  }
+}
+
+TEST(TransitiveClosureSpec, UpdateIsBooleanOrAnd) {
+  EXPECT_EQ(TransitiveClosureSpec::update(0, 1, 1, 0), 1);
+  EXPECT_EQ(TransitiveClosureSpec::update(0, 1, 0, 0), 0);
+  EXPECT_EQ(TransitiveClosureSpec::update(1, 0, 0, 0), 1);
+}
+
+TEST(TransitiveClosureSpec, PaddingIsNeutral) {
+  EXPECT_EQ(TransitiveClosureSpec::update(0, TransitiveClosureSpec::pad_off(),
+                                          1, 1),
+            0);
+  EXPECT_EQ(TransitiveClosureSpec::pad_diag(), 1);
+}
+
+TEST(WidestPathSpec, UpdateIsBottleneckRelaxation) {
+  // widest(x, via) where via capacity = min(u, v)
+  EXPECT_EQ(WidestPathSpec::update(5.0, 10.0, 7.0, 0.0), 7.0);
+  EXPECT_EQ(WidestPathSpec::update(9.0, 10.0, 7.0, 0.0), 9.0);
+}
+
+TEST(WidestPathSpec, PaddingIsNeutral) {
+  // pad_off = 0 capacity: min(0, v) = 0, max(x, 0) = x for x >= 0.
+  EXPECT_EQ(WidestPathSpec::update(4.0, WidestPathSpec::pad_off(), 100.0, 0.0),
+            4.0);
+}
+
+TEST(SpecNames, AreDistinct) {
+  EXPECT_STRNE(FloydWarshallSpec::name(), GaussianEliminationSpec::name());
+  EXPECT_STRNE(TransitiveClosureSpec::name(), WidestPathSpec::name());
+}
+
+}  // namespace

@@ -1,0 +1,320 @@
+// Tests for the paper-scale cost model and job simulator: monotonicity
+// properties, cross-validation against the real driver's metrics, and the
+// paper's qualitative shapes (who wins where).
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "gepspark/solver.hpp"
+#include "simtime/gep_job_sim.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace simtime;
+using gepspark::GridRanges;
+using gepspark::Strategy;
+using gs::KernelConfig;
+using gs::KernelKind;
+
+MachineModel skylake() {
+  return MachineModel(sparklet::ClusterConfig::skylake_cluster());
+}
+
+// ------------------------------------------------------- kernel cost model
+
+TEST(KernelCost, ScalesWithUpdateCount) {
+  auto m = skylake();
+  const auto cfg = KernelConfig::iterative();
+  const double small = m.kernel_seconds_1t(KernelKind::D, 64, false, cfg, 8);
+  const double big = m.kernel_seconds_1t(KernelKind::D, 128, false, cfg, 8);
+  EXPECT_GT(big, small * 7.9);  // ≥ 8× work, plus cache penalty
+}
+
+TEST(KernelCost, StrictSigmaCheaper) {
+  auto m = skylake();
+  const auto cfg = KernelConfig::iterative();
+  EXPECT_LT(m.kernel_seconds_1t(KernelKind::A, 256, true, cfg, 8),
+            m.kernel_seconds_1t(KernelKind::A, 256, false, cfg, 8));
+}
+
+TEST(KernelCost, IterativePenaltyGrowsPastCache) {
+  auto m = skylake();
+  const auto cfg = KernelConfig::iterative();
+  auto per_update = [&](std::size_t b) {
+    return m.kernel_seconds_1t(KernelKind::D, b, false, cfg, 8) /
+           gs::kernel_update_count(KernelKind::D, b, false);
+  };
+  // In-cache tiles pay no penalty; large tiles pay progressively more.
+  EXPECT_NEAR(per_update(128) / per_update(64), 1.0, 0.05);
+  EXPECT_GT(per_update(1024), per_update(256) * 1.5);
+  EXPECT_GT(per_update(4096), per_update(1024) * 1.5);
+}
+
+TEST(KernelCost, RecursiveIsCacheObliviousFlat) {
+  auto m = skylake();
+  const auto cfg = KernelConfig::recursive(4, 1);
+  auto per_update = [&](std::size_t b) {
+    return m.kernel_seconds_1t(KernelKind::D, b, false, cfg, 8) /
+           gs::kernel_update_count(KernelKind::D, b, false);
+  };
+  EXPECT_NEAR(per_update(4096) / per_update(128), 1.0, 1e-9);
+}
+
+TEST(KernelCost, RecursiveBeatsIterativeOnBigTiles) {
+  // The paper's §V-C crossover: similar in cache, recursive wins out of it.
+  auto m = skylake();
+  const auto it = KernelConfig::iterative();
+  const auto rec = KernelConfig::recursive(4, 1);
+  const double it_small = m.kernel_seconds_1t(KernelKind::D, 128, false, it, 8);
+  const double rec_small =
+      m.kernel_seconds_1t(KernelKind::D, 128, false, rec, 8);
+  EXPECT_NEAR(it_small / rec_small, 1.0, 0.25);
+  const double it_big = m.kernel_seconds_1t(KernelKind::D, 2048, false, it, 8);
+  const double rec_big =
+      m.kernel_seconds_1t(KernelKind::D, 2048, false, rec, 8);
+  EXPECT_GT(it_big / rec_big, 3.0);
+}
+
+TEST(KernelCost, UpdateCostMultiplies) {
+  auto m = skylake();
+  const auto cfg = KernelConfig::iterative();
+  EXPECT_DOUBLE_EQ(
+      m.kernel_seconds_1t(KernelKind::D, 256, false, cfg, 8, 3.0),
+      3.0 * m.kernel_seconds_1t(KernelKind::D, 256, false, cfg, 8, 1.0));
+}
+
+// ------------------------------------------------------- speedup model
+
+TEST(Speedup, IterativeKernelsNeverParallel) {
+  auto m = skylake();
+  EXPECT_EQ(m.task_speedup(KernelConfig::iterative(), KernelKind::D, 1, 64, 8),
+            1.0);
+}
+
+TEST(Speedup, ThreadsHelpWhenNodeIsIdle) {
+  auto m = skylake();
+  const double t1 =
+      m.task_speedup(KernelConfig::recursive(8, 1), KernelKind::D, 1, 64, 8);
+  const double t8 =
+      m.task_speedup(KernelConfig::recursive(8, 8), KernelKind::D, 1, 64, 8);
+  const double t32 =
+      m.task_speedup(KernelConfig::recursive(8, 32), KernelKind::D, 1, 64, 8);
+  EXPECT_EQ(t1, 1.0);
+  EXPECT_GT(t8, 6.0);
+  EXPECT_GT(t32, t8);
+}
+
+TEST(Speedup, OversubscriptionCliff) {
+  // 32 active tasks × 32 threads on 32 cores must be slower per task than
+  // 32 active tasks × 1 thread — the Tables I/II degradation.
+  auto m = skylake();
+  const double calm = m.task_speedup(KernelConfig::recursive(8, 1),
+                                     KernelKind::D, 32, 1024, 8);
+  const double thrash = m.task_speedup(KernelConfig::recursive(8, 32),
+                                       KernelKind::D, 32, 1024, 8);
+  EXPECT_LT(thrash, calm);
+}
+
+TEST(Speedup, ManyConcurrentBigTilesThrash) {
+  // Working-set contention: 32 concurrent 1024-tile tasks overflow L3 and
+  // slow down even single-threaded (iterative) tasks — the ec=32 rows.
+  auto mm = skylake();
+  const double alone =
+      mm.task_speedup(KernelConfig::iterative(), KernelKind::D, 1, 1024, 8);
+  const double crowded =
+      mm.task_speedup(KernelConfig::iterative(), KernelKind::D, 32, 1024, 8);
+  EXPECT_NEAR(alone, 1.0, 0.05);  // one 25MB working set ≈ the L3
+  EXPECT_LT(crowded, 0.75);
+}
+
+TEST(Speedup, ParallelismCapByKernelKind) {
+  // A 2-way A kernel has almost no task parallelism; D has the most.
+  auto m = skylake();
+  const double a =
+      m.task_speedup(KernelConfig::recursive(2, 16), KernelKind::A, 1, 64, 8);
+  const double d =
+      m.task_speedup(KernelConfig::recursive(2, 16), KernelKind::D, 1, 64, 8);
+  EXPECT_LE(a, d);
+  EXPECT_LE(d, 4.0 + 1e-9);  // nb² = 4 for 2-way
+}
+
+// ------------------------------------------------------- movement model
+
+TEST(Movement, SingleSourceShuffleSlower) {
+  auto m = skylake();
+  const double spread1 = m.shuffle_seconds(1e9, 1);
+  const double spread16 = m.shuffle_seconds(1e9, 16);
+  EXPECT_GT(spread1, 4.0 * spread16);  // the GE pivot fan-out pathology
+}
+
+TEST(Movement, HddStagingSlowerThanSsd) {
+  MachineModel ssd(sparklet::ClusterConfig::skylake_cluster());
+  MachineModel hdd(sparklet::ClusterConfig::haswell_cluster());
+  EXPECT_GT(hdd.shuffle_seconds(4e9, 16), ssd.shuffle_seconds(4e9, 16));
+}
+
+TEST(Movement, StagedBytesRespectSpread) {
+  auto m = skylake();
+  EXPECT_GT(m.shuffle_staged_per_node(1e9, 1),
+            m.shuffle_staged_per_node(1e9, 16) * 10);
+}
+
+// ------------------------------------------ cross-validation vs driver
+
+TEST(MoveCounts, ImFormulaMatchesRealDriverBytes) {
+  // (Also asserted in test_driver_im, from the other side.) Totals only.
+  GridRanges g(4, false);
+  std::size_t total = 0;
+  for (int k = 0; k < 4; ++k) {
+    const auto moves = im_tile_moves(g, k, false);
+    EXPECT_EQ(moves.combine_bc, 0u);      // elided hops stay zero
+    EXPECT_EQ(moves.repartition, 0u);
+    total += moves.total();
+  }
+  // FW r=4: per iter (1 + 2·3) + (2·3 + 2·9) = 31.
+  EXPECT_EQ(total, 4u * 31u);
+}
+
+TEST(MoveCounts, GeDiagFanOutGrowsQuadratically) {
+  GridRanges g(16, true);
+  const auto k0 = im_tile_moves(g, 0, true);
+  // 1 + 2·15 + 15² diag targets at k=0.
+  EXPECT_EQ(k0.partition_by_a, 1u + 30u + 225u);
+  const auto fw = im_tile_moves(GridRanges(16, false), 0, false);
+  EXPECT_EQ(fw.partition_by_a, 1u + 30u);  // FW ships no diag to D
+}
+
+TEST(MoveCounts, CbFormula) {
+  GridRanges g(8, false);
+  const auto c = cb_tile_moves(g, 3);
+  EXPECT_EQ(c.collect_tiles, 1u + 14u);
+  EXPECT_EQ(c.broadcast_tiles, 1u + 14u);
+  EXPECT_EQ(c.repartition, 64u);
+}
+
+TEST(SimStructure, StageCountsMatchRealDriver) {
+  // IM: 3 stages per full iteration, matching sparklet's planner.
+  auto m = skylake();
+  auto p = GepJobParams::fw_apsp(32768, 4096);  // r = 8
+  p.strategy = Strategy::kInMemory;
+  auto res = simulate_gep_job(m, p);
+  EXPECT_EQ(res.stages, 3 * 8);
+
+  p.strategy = Strategy::kCollectBroadcast;
+  res = simulate_gep_job(m, p);
+  // CB compute stages A/BC/D + the repartition stage = 4 per iteration.
+  EXPECT_EQ(res.stages, 4 * 8);
+}
+
+// ------------------------------------------------- paper-shape assertions
+
+TEST(PaperShapes, CbBeatsImForGe) {
+  auto m = skylake();
+  for (std::size_t b : {512u, 1024u}) {
+    auto im = GepJobParams::ge(32768, b);
+    im.strategy = Strategy::kInMemory;
+    auto cb = GepJobParams::ge(32768, b);
+    cb.strategy = Strategy::kCollectBroadcast;
+    EXPECT_LT(simulate_gep_job(m, cb).seconds,
+              simulate_gep_job(m, im).seconds)
+        << b;
+  }
+}
+
+TEST(PaperShapes, ImBeatsCbForFwAtMidBlocks) {
+  auto m = skylake();
+  for (std::size_t b : {512u, 1024u}) {
+    auto im = GepJobParams::fw_apsp(32768, b);
+    im.strategy = Strategy::kInMemory;
+    auto cb = GepJobParams::fw_apsp(32768, b);
+    cb.strategy = Strategy::kCollectBroadcast;
+    EXPECT_LT(simulate_gep_job(m, im).seconds,
+              simulate_gep_job(m, cb).seconds)
+        << b;
+  }
+}
+
+TEST(PaperShapes, HugeIterativeBlocksAreCatastrophic) {
+  auto m = skylake();
+  auto p = GepJobParams::fw_apsp(32768, 4096);
+  p.strategy = Strategy::kInMemory;
+  const double big = simulate_gep_job(m, p).seconds;
+  p.block = 512;
+  const double mid = simulate_gep_job(m, p).seconds;
+  EXPECT_GT(big, 10.0 * mid);  // paper: 14530s vs 651s
+}
+
+TEST(PaperShapes, RecursiveKernelsBeatIterativeAtScale) {
+  auto m = skylake();
+  auto it = GepJobParams::fw_apsp(32768, 1024);
+  it.strategy = Strategy::kInMemory;
+  auto rec = it;
+  rec.kernel = KernelConfig::recursive(16, 8);
+  EXPECT_LT(simulate_gep_job(m, rec).seconds,
+            simulate_gep_job(m, it).seconds * 0.7);
+}
+
+TEST(PaperShapes, TimeoutFlagMirrorsPaperMissingBars) {
+  auto m = skylake();
+  auto p = GepJobParams::ge(32768, 4096);
+  p.strategy = Strategy::kCollectBroadcast;
+  p.timeout_s = 3600.0;  // tighten the cap to force the flag
+  auto res = simulate_gep_job(m, p);
+  EXPECT_TRUE(res.timeout);
+  EXPECT_EQ(res.display(), "-");
+}
+
+TEST(PaperShapes, TinyDiskOverflowsOnImShuffle) {
+  auto cfg = sparklet::ClusterConfig::skylake_cluster();
+  cfg.local_disk = sparklet::DiskSpec::ssd(1.0e6);  // 1 MB "SSD"
+  MachineModel m(cfg);
+  auto p = GepJobParams::fw_apsp(32768, 1024);
+  p.strategy = Strategy::kInMemory;
+  auto res = simulate_gep_job(m, p);
+  EXPECT_TRUE(res.disk_overflow);
+  EXPECT_EQ(res.display(), "fail");
+}
+
+TEST(PaperShapes, WeakScalingRecursiveFlatterThanIterative) {
+  // Fig. 9's qualitative claim on GE/CB: the recursive-kernel weak-scaling
+  // curve rises less steeply (absolute growth) than the iterative one, and
+  // stays below it everywhere.
+  auto time_at = [&](int nodes, const KernelConfig& k) {
+    MachineModel m(sparklet::ClusterConfig::skylake_cluster(nodes));
+    const auto n = static_cast<std::size_t>(8192.0 * std::cbrt(double(nodes)));
+    auto p = GepJobParams::ge(n, 1024);
+    p.strategy = Strategy::kCollectBroadcast;
+    p.kernel = k;
+    return simulate_gep_job(m, p).seconds;
+  };
+  const double iter1 = time_at(1, KernelConfig::iterative());
+  const double iter64 = time_at(64, KernelConfig::iterative());
+  const double rec1 = time_at(1, KernelConfig::recursive(4, 8));
+  const double rec64 = time_at(64, KernelConfig::recursive(4, 8));
+  EXPECT_LT(rec64 - rec1, iter64 - iter1);  // flatter curve
+  EXPECT_LT(rec1, iter1);                   // and below it at both ends
+  EXPECT_LT(rec64, iter64);
+}
+
+TEST(PaperShapes, Cluster2SlowerAndPrefersDifferentConfig) {
+  MachineModel c1(sparklet::ClusterConfig::skylake_cluster());
+  MachineModel c2(sparklet::ClusterConfig::haswell_cluster());
+  auto p = GepJobParams::fw_apsp(32768, 1024);
+  p.strategy = Strategy::kInMemory;
+  p.kernel = KernelConfig::recursive(4, 8);
+  const double t1 = simulate_gep_job(c1, p).seconds;
+  const double t2 = simulate_gep_job(c2, p).seconds;
+  EXPECT_GT(t2, 1.3 * t1);  // paper: same config 302s → 3144s
+}
+
+TEST(SimResult, BreakdownSumsToTotal) {
+  auto m = skylake();
+  auto p = GepJobParams::ge(32768, 1024);
+  p.strategy = Strategy::kCollectBroadcast;
+  auto r = simulate_gep_job(m, p);
+  EXPECT_NEAR(r.compute_s + r.shuffle_s + r.collect_s + r.broadcast_s +
+                  r.overhead_s,
+              r.seconds, 1e-6 * r.seconds);
+}
+
+}  // namespace

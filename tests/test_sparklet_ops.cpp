@@ -1,0 +1,194 @@
+// Tests for the extended RDD algebra: cogroup/join, distinct, sortBy,
+// sample, zipWithIndex, aggregate/fold.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "sparklet/rdd_ops.hpp"
+
+namespace {
+
+using namespace sparklet;
+using KV = std::pair<std::int64_t, std::string>;
+using KW = std::pair<std::int64_t, int>;
+
+class OpsTest : public ::testing::Test {
+ protected:
+  OpsTest() : sc_(ClusterConfig::local(2, 2)) {}
+  SparkContext sc_;
+};
+
+// ------------------------------------------------------------- cogroup
+
+TEST_F(OpsTest, CogroupPairsValueLists) {
+  auto users = parallelize_pairs<std::int64_t, std::string>(
+      sc_, {{1, "ada"}, {2, "bob"}, {3, "cleo"}});
+  auto orders = parallelize_pairs<std::int64_t, int>(
+      sc_, {{1, 100}, {1, 101}, {3, 300}, {4, 400}});
+  auto grouped = cogroup(users, orders).collect();
+
+  std::set<std::int64_t> keys;
+  for (auto& [k, lists] : grouped) {
+    keys.insert(k);
+    if (k == 1) {
+      EXPECT_EQ(lists.first, (std::vector<std::string>{"ada"}));
+      EXPECT_EQ(lists.second, (std::vector<int>{100, 101}));
+    }
+    if (k == 2) {
+      EXPECT_TRUE(lists.second.empty());
+    }
+    if (k == 4) {
+      EXPECT_TRUE(lists.first.empty());
+    }
+  }
+  EXPECT_EQ(keys, (std::set<std::int64_t>{1, 2, 3, 4}));
+}
+
+TEST_F(OpsTest, CogroupOfCopartitionedInputsAddsNoShuffle) {
+  auto part = sc_.default_partitioner();
+  auto a = parallelize_pairs<std::int64_t, std::string>(sc_, {{1, "x"}},
+                                                        part);
+  auto b = parallelize_pairs<std::int64_t, int>(sc_, {{1, 9}}, part);
+  const auto before = sc_.metrics().total_shuffle_write();
+  cogroup(a, b, part).count();
+  EXPECT_EQ(sc_.metrics().total_shuffle_write(), before);
+}
+
+// ------------------------------------------------------------- join
+
+TEST_F(OpsTest, InnerJoinMatchesKeys) {
+  auto left = parallelize_pairs<std::int64_t, std::string>(
+      sc_, {{1, "a"}, {2, "b"}, {2, "b2"}, {5, "e"}});
+  auto right = parallelize_pairs<std::int64_t, int>(
+      sc_, {{2, 20}, {2, 21}, {5, 50}, {7, 70}});
+  auto joined = join(left, right).collect();
+
+  // key 2: 2 × 2 combinations; key 5: 1; keys 1 and 7 dropped.
+  EXPECT_EQ(joined.size(), 5u);
+  int key2 = 0, key5 = 0;
+  for (auto& [k, vw] : joined) {
+    if (k == 2) ++key2;
+    if (k == 5) {
+      ++key5;
+      EXPECT_EQ(vw.first, "e");
+      EXPECT_EQ(vw.second, 50);
+    }
+    EXPECT_NE(k, 1);
+    EXPECT_NE(k, 7);
+  }
+  EXPECT_EQ(key2, 4);
+  EXPECT_EQ(key5, 1);
+}
+
+TEST_F(OpsTest, JoinOnDisjointKeysIsEmpty) {
+  auto a = parallelize_pairs<std::int64_t, int>(sc_, {{1, 1}, {2, 2}});
+  auto b = parallelize_pairs<std::int64_t, int>(sc_, {{3, 3}});
+  EXPECT_EQ(join(a, b).count(), 0u);
+}
+
+// ------------------------------------------------------------- distinct
+
+TEST_F(OpsTest, DistinctRemovesDuplicates) {
+  auto r = parallelize(sc_, std::vector<std::int64_t>{3, 1, 3, 3, 2, 1}, 3);
+  auto d = distinct(r).collect();
+  std::set<std::int64_t> got(d.begin(), d.end());
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(got, (std::set<std::int64_t>{1, 2, 3}));
+}
+
+// ------------------------------------------------------------- sortBy
+
+TEST_F(OpsTest, SortByOrdersGlobally) {
+  std::vector<std::int64_t> xs{9, 1, 8, 2, 7, 3, 6, 4, 5};
+  auto sorted = sort_by(parallelize(sc_, xs, 4),
+                        [](const std::int64_t& x) { return x; }, 3)
+                    .collect();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_EQ(sorted.size(), xs.size());
+}
+
+TEST_F(OpsTest, SortByCustomKeyDescending) {
+  auto sorted = sort_by(parallelize(sc_, std::vector<int>{3, 1, 2}, 2),
+                        [](const int& x) { return -x; })
+                    .collect();
+  EXPECT_EQ(sorted, (std::vector<int>{3, 2, 1}));
+}
+
+// ------------------------------------------------------------- sample
+
+TEST_F(OpsTest, SampleFractionIsRespected) {
+  std::vector<int> xs(4000, 1);
+  const auto n = sample(parallelize(sc_, xs, 8), 0.25, 7).count();
+  EXPECT_NEAR(double(n) / 4000.0, 0.25, 0.04);
+}
+
+TEST_F(OpsTest, SampleIsDeterministicPerSeed) {
+  std::vector<int> xs(500);
+  std::iota(xs.begin(), xs.end(), 0);
+  auto r = parallelize(sc_, xs, 4);
+  EXPECT_EQ(sample(r, 0.5, 9).collect(), sample(r, 0.5, 9).collect());
+}
+
+TEST_F(OpsTest, SampleEdgeFractions) {
+  auto r = parallelize(sc_, std::vector<int>{1, 2, 3}, 2);
+  EXPECT_EQ(sample(r, 0.0).count(), 0u);
+  EXPECT_EQ(sample(r, 1.0).count(), 3u);
+  EXPECT_THROW(sample(r, 1.5), gs::ConfigError);
+}
+
+// ------------------------------------------------------------- zip/agg
+
+TEST_F(OpsTest, ZipWithIndexIsGlobalAndStable) {
+  std::vector<std::string> xs{"a", "b", "c", "d", "e"};
+  auto zipped = zip_with_index(parallelize(sc_, xs, 3)).collect();
+  ASSERT_EQ(zipped.size(), 5u);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(zipped[std::size_t(i)].first, xs[std::size_t(i)]);
+    EXPECT_EQ(zipped[std::size_t(i)].second, i);
+  }
+}
+
+TEST_F(OpsTest, AggregateComputesMeanViaSumCount) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  auto r = parallelize(sc_, xs, 3);
+  auto [sum, count] = aggregate(
+      r, std::pair<double, int>{0.0, 0},
+      [](std::pair<double, int> acc, const double& x) {
+        return std::pair<double, int>{acc.first + x, acc.second + 1};
+      },
+      [](std::pair<double, int> a, std::pair<double, int> b) {
+        return std::pair<double, int>{a.first + b.first, a.second + b.second};
+      });
+  EXPECT_DOUBLE_EQ(sum / count, 2.5);
+}
+
+TEST_F(OpsTest, FoldSums) {
+  std::vector<int> xs(100, 2);
+  EXPECT_EQ(fold(parallelize(sc_, xs, 7), 0,
+                 [](int a, int b) { return a + b; }),
+            200);
+}
+
+// A realistic composition: word-count-style pipeline with joins on top.
+TEST_F(OpsTest, ComposedPipeline) {
+  std::vector<std::string> words{"spark", "gep", "spark", "dp",
+                                 "gep",   "gep", "dp"};
+  auto counts =
+      parallelize(sc_, words, 3)
+          .map([](const std::string& w) {
+            return std::pair<std::string, std::int64_t>{w, 1};
+          })
+          .reduce_by_key([](std::int64_t a, std::int64_t b) { return a + b; });
+  auto kinds = parallelize_pairs<std::string, std::string>(
+      sc_, {{"spark", "engine"}, {"gep", "algorithm"}, {"dp", "technique"}});
+  auto labelled = join(counts, kinds);
+  auto top = sort_by(labelled,
+                     [](const auto& kv) { return -kv.second.first; })
+                 .first();
+  EXPECT_EQ(top.first, "gep");
+  EXPECT_EQ(top.second.first, 3);
+  EXPECT_EQ(top.second.second, "algorithm");
+}
+
+}  // namespace

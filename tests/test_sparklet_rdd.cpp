@@ -1,0 +1,307 @@
+// Tests for the RDD transformation algebra: lazy evaluation, narrow vs wide
+// dependencies, partitioner propagation and elision, actions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sparklet/rdd.hpp"
+
+namespace {
+
+using namespace sparklet;
+using PairKV = std::pair<std::int64_t, std::int64_t>;
+
+class RddTest : public ::testing::Test {
+ protected:
+  RddTest() : sc_(ClusterConfig::local(2, 2)) {}
+
+  std::vector<int> ints(int n) {
+    std::vector<int> v(static_cast<std::size_t>(n));
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+  }
+
+  std::vector<PairKV> mod_pairs(int n, int mod) {
+    std::vector<PairKV> v;
+    for (int i = 0; i < n; ++i) v.push_back({i % mod, 1});
+    return v;
+  }
+
+  SparkContext sc_;
+};
+
+// ------------------------------------------------------------ basics
+
+TEST_F(RddTest, ParallelizeCollectRoundTrip) {
+  auto data = ints(37);
+  auto r = parallelize(sc_, data, 5);
+  EXPECT_EQ(r.num_partitions(), 5);
+  EXPECT_EQ(r.collect(), data);  // contiguous slices preserve order
+}
+
+TEST_F(RddTest, ParallelizeDefaultsToClusterPartitions) {
+  auto r = parallelize(sc_, ints(100));
+  EXPECT_EQ(r.num_partitions(),
+            static_cast<int>(sc_.config().effective_partitions()));
+}
+
+TEST_F(RddTest, MapTransformsEveryElement) {
+  auto out = parallelize(sc_, ints(10), 3)
+                 .map([](const int& x) { return x * 2; })
+                 .collect();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[size_t(i)], 2 * i);
+}
+
+TEST_F(RddTest, MapCanChangeType) {
+  auto out = parallelize(sc_, ints(3), 2)
+                 .map([](const int& x) { return std::to_string(x); })
+                 .collect();
+  EXPECT_EQ(out, (std::vector<std::string>{"0", "1", "2"}));
+}
+
+TEST_F(RddTest, FilterKeepsMatching) {
+  auto out = parallelize(sc_, ints(20), 4)
+                 .filter([](const int& x) { return x % 3 == 0; })
+                 .collect();
+  EXPECT_EQ(out.size(), 7u);
+  for (int x : out) EXPECT_EQ(x % 3, 0);
+}
+
+TEST_F(RddTest, FlatMapExpandsAndDrops) {
+  auto out = parallelize(sc_, ints(5), 2)
+                 .flat_map([](const int& x) {
+                   return x % 2 == 0 ? std::vector<int>{x, x}
+                                     : std::vector<int>{};
+                 })
+                 .collect();
+  EXPECT_EQ(out, (std::vector<int>{0, 0, 2, 2, 4, 4}));
+}
+
+TEST_F(RddTest, MapPartitionsSeesWholePartition) {
+  auto sums = parallelize(sc_, ints(12), 4)
+                  .map_partitions([](int, const std::vector<int>& part) {
+                    return std::vector<int>{
+                        std::accumulate(part.begin(), part.end(), 0)};
+                  })
+                  .collect();
+  EXPECT_EQ(sums.size(), 4u);
+  EXPECT_EQ(std::accumulate(sums.begin(), sums.end(), 0), 66);
+}
+
+TEST_F(RddTest, LazyUntilAction) {
+  bool ran = false;
+  auto r = parallelize(sc_, ints(4), 2).map([&ran](const int& x) {
+    ran = true;
+    return x;
+  });
+  EXPECT_FALSE(ran);  // no action yet
+  r.count();
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(RddTest, MaterializeOnce) {
+  std::atomic<int> runs{0};
+  auto r = parallelize(sc_, ints(4), 2).map([&runs](const int& x) {
+    ++runs;
+    return x;
+  });
+  r.count();
+  r.count();  // cached — compute must not rerun
+  EXPECT_EQ(runs.load(), 4);
+}
+
+// ------------------------------------------------------------ actions
+
+TEST_F(RddTest, CountReduceFirstTake) {
+  auto r = parallelize(sc_, ints(50), 7);
+  EXPECT_EQ(r.count(), 50u);
+  EXPECT_EQ(r.reduce([](int a, const int& b) { return a + b; }), 49 * 50 / 2);
+  EXPECT_EQ(r.first(), 0);
+  EXPECT_EQ(r.take(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(r.take(999).size(), 50u);
+}
+
+TEST_F(RddTest, ReduceOnEmptyDies) {
+  auto r = parallelize(sc_, std::vector<int>{}, 2);
+  // Materialize before the death statement: the forked death-test child has
+  // no executor threads, so the statement must not schedule tasks.
+  r.cache();
+  EXPECT_DEATH(r.reduce([](int a, const int& b) { return a + b; }),
+               "reduce\\(\\) on empty RDD");
+}
+
+// ------------------------------------------------------------ union
+
+TEST_F(RddTest, UnionConcatenatesUnrelated) {
+  auto a = parallelize(sc_, ints(3), 2);
+  auto b = parallelize(sc_, ints(2), 3);
+  auto u = a.union_with(b);
+  EXPECT_EQ(u.num_partitions(), 5);
+  EXPECT_EQ(u.count(), 5u);
+  EXPECT_EQ(u.partitioner(), nullptr);
+}
+
+TEST_F(RddTest, PartitionerAwareUnionMergesPairwise) {
+  auto part = sc_.default_partitioner();
+  auto a = parallelize_pairs(sc_, mod_pairs(10, 5), part);
+  auto b = parallelize_pairs(sc_, mod_pairs(6, 3), part);
+  auto u = a.union_with(b);
+  EXPECT_EQ(u.num_partitions(), part->num_partitions());
+  EXPECT_NE(u.partitioner(), nullptr);
+  EXPECT_EQ(u.count(), 16u);
+  // Co-located keys really are together: grouping needs no shuffle.
+  const auto shuffled_before = sc_.metrics().total_shuffle_write();
+  u.group_by_key(part).count();
+  EXPECT_EQ(sc_.metrics().total_shuffle_write(), shuffled_before);
+}
+
+TEST_F(RddTest, UnionAllManyInputs) {
+  std::vector<sparklet::RDD<int>> rs;
+  for (int i = 0; i < 4; ++i) rs.push_back(parallelize(sc_, ints(3), 2));
+  EXPECT_EQ(union_all(rs).count(), 12u);
+}
+
+// ------------------------------------------------------------ pair ops
+
+TEST_F(RddTest, KeysValuesMapValues) {
+  auto part = sc_.default_partitioner();
+  auto p = parallelize_pairs(sc_, mod_pairs(6, 3), part);
+  EXPECT_EQ(p.keys().count(), 6u);
+  auto doubled = p.map_values([](const std::int64_t& v) { return v * 2; });
+  for (auto& [k, v] : doubled.collect()) EXPECT_EQ(v, 2);
+  // mapValues preserves the partitioner, map drops it.
+  EXPECT_NE(doubled.partitioner(), nullptr);
+  auto mapped = p.map([](const PairKV& kv) { return kv; });
+  EXPECT_EQ(mapped.partitioner(), nullptr);
+}
+
+TEST_F(RddTest, ReduceByKeyAggregates) {
+  auto counts = parallelize_pairs(sc_, mod_pairs(100, 10))
+                    .reduce_by_key([](std::int64_t a, std::int64_t b) {
+                      return a + b;
+                    })
+                    .collect();
+  EXPECT_EQ(counts.size(), 10u);
+  for (auto& [k, v] : counts) EXPECT_EQ(v, 10);
+}
+
+TEST_F(RddTest, GroupByKeyCollectsAll) {
+  std::vector<PairKV> data{{1, 10}, {2, 20}, {1, 11}, {2, 21}, {1, 12}};
+  auto grouped = parallelize_pairs(sc_, data).group_by_key().collect();
+  EXPECT_EQ(grouped.size(), 2u);
+  for (auto& [k, vs] : grouped) {
+    if (k == 1) {
+      EXPECT_EQ(vs.size(), 3u);
+    } else {
+      EXPECT_EQ(vs.size(), 2u);
+    }
+  }
+}
+
+TEST_F(RddTest, CombineByKeyCustomCombiner) {
+  // Track (sum, count) to compute means.
+  std::vector<PairKV> data{{1, 4}, {1, 6}, {2, 10}};
+  auto means =
+      parallelize_pairs(sc_, data)
+          .combine_by_key(
+              [](const std::int64_t& v) {
+                return std::pair<double, int>{double(v), 1};
+              },
+              [](std::pair<double, int> acc, const std::int64_t& v) {
+                return std::pair<double, int>{acc.first + double(v),
+                                              acc.second + 1};
+              },
+              [](std::pair<double, int> a, std::pair<double, int> b) {
+                return std::pair<double, int>{a.first + b.first,
+                                              a.second + b.second};
+              })
+          .map_values([](const std::pair<double, int>& sum_count) {
+            return sum_count.first / sum_count.second;
+          })
+          .collect();
+  for (auto& [k, mean] : means) EXPECT_DOUBLE_EQ(mean, k == 1 ? 5.0 : 10.0);
+}
+
+// ------------------------------------------------ partitioning semantics
+
+TEST_F(RddTest, PartitionByPlacesKeysConsistently) {
+  auto part = std::make_shared<HashPartitioner>(8);
+  auto p = parallelize_pairs(sc_, mod_pairs(64, 16), nullptr)
+               .partition_by(part);
+  p.cache();
+  auto node = p.node();
+  for (int q = 0; q < 8; ++q) {
+    for (const auto& [k, v] : node->partition(q)) {
+      EXPECT_EQ(part->partition_of(key_hash(k)), q);
+    }
+  }
+}
+
+TEST_F(RddTest, PartitionByWithEquivalentPartitionerIsElided) {
+  auto part = sc_.default_partitioner();
+  auto p = parallelize_pairs(sc_, mod_pairs(50, 5), part);
+  const auto before = sc_.metrics().total_shuffle_write();
+  auto q = p.partition_by(sc_.default_partitioner());
+  q.count();
+  EXPECT_EQ(sc_.metrics().total_shuffle_write(), before);  // no shuffle
+}
+
+TEST_F(RddTest, PartitionByWithDifferentCountShuffles) {
+  auto p = parallelize_pairs(sc_, mod_pairs(50, 5), sc_.default_partitioner());
+  const auto before = sc_.metrics().total_shuffle_write();
+  p.partition_by(std::make_shared<HashPartitioner>(3)).count();
+  EXPECT_GT(sc_.metrics().total_shuffle_write(), before);
+}
+
+TEST_F(RddTest, CombineByKeyOnCopartitionedInputIsLocal) {
+  auto part = sc_.default_partitioner();
+  auto p = parallelize_pairs(sc_, mod_pairs(40, 8), part);
+  const auto before = sc_.metrics().total_shuffle_write();
+  auto sums = p.reduce_by_key(
+      [](std::int64_t a, std::int64_t b) { return a + b; }, part);
+  sums.count();
+  EXPECT_EQ(sc_.metrics().total_shuffle_write(), before);
+  for (auto& [k, v] : sums.collect()) EXPECT_EQ(v, 5);
+}
+
+TEST_F(RddTest, FilterPreservesPartitioner) {
+  auto part = sc_.default_partitioner();
+  auto p = parallelize_pairs(sc_, mod_pairs(20, 4), part);
+  auto f = p.filter([](const PairKV& kv) { return kv.first != 0; });
+  EXPECT_NE(f.partitioner(), nullptr);
+}
+
+TEST_F(RddTest, MapPartitionsPreservePartitioningFlag) {
+  auto part = sc_.default_partitioner();
+  auto p = parallelize_pairs(sc_, mod_pairs(20, 4), part);
+  auto keep = p.map_partitions(
+      [](int, const std::vector<PairKV>& xs) { return xs; }, true);
+  EXPECT_NE(keep.partitioner(), nullptr);
+  auto drop = p.map_partitions(
+      [](int, const std::vector<PairKV>& xs) { return xs; }, false);
+  EXPECT_EQ(drop.partitioner(), nullptr);
+}
+
+// ------------------------------------------------------------ lineage
+
+TEST_F(RddTest, CheckpointCutsLineage) {
+  auto r = parallelize(sc_, ints(10), 2)
+               .map([](const int& x) { return x + 1; })
+               .map([](const int& x) { return x * 2; });
+  r.checkpoint();
+  EXPECT_TRUE(r.node()->parents().empty());
+  // Data still intact after the cut.
+  EXPECT_EQ(r.collect().front(), 2);
+}
+
+TEST_F(RddTest, IterativeLoopWithCheckpointStaysCorrect) {
+  auto part = sc_.default_partitioner();
+  auto p = parallelize_pairs(sc_, mod_pairs(16, 4), part);
+  for (int iter = 0; iter < 5; ++iter) {
+    p = p.map_values([](const std::int64_t& v) { return v + 1; });
+    p.checkpoint();
+  }
+  for (auto& [k, v] : p.collect()) EXPECT_EQ(v, 6);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for the analytical-model configuration search (paper §IV-C's
+// "estimates from hardware/software parameters using analytical models").
+#include <gtest/gtest.h>
+
+#include "gepspark/tuning.hpp"
+
+namespace {
+
+using namespace gepspark;
+using gs::KernelConfig;
+using gs::KernelImpl;
+using simtime::GepJobParams;
+using simtime::MachineModel;
+
+TEST(Tuning, RanksFeasibleConfigurations) {
+  MachineModel model(sparklet::ClusterConfig::skylake_cluster());
+  auto report = tune(model, GepJobParams::fw_apsp(32768, 0));
+  ASSERT_FALSE(report.ranked.empty());
+  for (std::size_t i = 1; i < report.ranked.size(); ++i) {
+    EXPECT_LE(report.ranked[i - 1].predicted.seconds,
+              report.ranked[i].predicted.seconds);
+  }
+}
+
+TEST(Tuning, BestFwConfigUsesRecursiveKernels) {
+  // The paper's headline: recursive kernels win at 32K scale.
+  MachineModel model(sparklet::ClusterConfig::skylake_cluster());
+  auto report = tune(model, GepJobParams::fw_apsp(32768, 0));
+  EXPECT_EQ(report.best().options.kernel.impl, KernelImpl::kRecursive);
+}
+
+TEST(Tuning, BestGeStrategyIsCollectBroadcast) {
+  MachineModel model(sparklet::ClusterConfig::skylake_cluster());
+  auto report = tune(model, GepJobParams::ge(32768, 0));
+  EXPECT_EQ(report.best().options.strategy, Strategy::kCollectBroadcast);
+}
+
+TEST(Tuning, ClusterChangesTheBestConfig) {
+  // Fig. 8's portability lesson: the optimum is cluster-specific.
+  MachineModel c1(sparklet::ClusterConfig::skylake_cluster());
+  MachineModel c2(sparklet::ClusterConfig::haswell_cluster());
+  auto base = GepJobParams::fw_apsp(32768, 0);
+  auto r1 = tune(c1, base);
+  auto r2 = tune(c2, base);
+  const auto& b1 = r1.best().options;
+  const auto& b2 = r2.best().options;
+  const bool differs = b1.block_size != b2.block_size ||
+                       b1.strategy != b2.strategy ||
+                       !(b1.kernel == b2.kernel);
+  EXPECT_TRUE(differs);
+  // And c1's best config predicted on c2 is worse than c2's own best.
+  auto p = GepJobParams::fw_apsp(32768, b1.block_size);
+  p.strategy = b1.strategy;
+  p.kernel = b1.kernel;
+  EXPECT_GE(simulate_gep_job(c2, p).seconds, r2.best().predicted.seconds);
+}
+
+TEST(Tuning, RestrictedSpaceIsHonored) {
+  MachineModel model(sparklet::ClusterConfig::skylake_cluster());
+  TuningSpace space;
+  space.block_sizes = {1024};
+  space.strategies = {Strategy::kInMemory};
+  space.r_shared_values = {4};
+  space.omp_threads = {8};
+  space.include_iterative = false;
+  auto report = tune(model, GepJobParams::fw_apsp(32768, 0), space);
+  ASSERT_EQ(report.ranked.size(), 1u);
+  EXPECT_EQ(report.best().options.block_size, 1024u);
+  EXPECT_EQ(report.best().options.kernel.r_shared, 4u);
+}
+
+TEST(Tuning, DegenerateBlocksAreSkipped) {
+  MachineModel model(sparklet::ClusterConfig::skylake_cluster());
+  TuningSpace space;
+  space.block_sizes = {65536};  // block ≥ n: not a cluster run
+  space.r_shared_values = {2};
+  space.omp_threads = {1};
+  space.include_iterative = false;
+  auto report = tune(model, GepJobParams::fw_apsp(32768, 0), space);
+  EXPECT_TRUE(report.ranked.empty());
+  EXPECT_DEATH(report.best(), "no feasible configuration");
+}
+
+TEST(Tuning, InfeasibleConfigurationsExcluded) {
+  // Disk sized so IM's pivot-row/column fan-out (staged ≈ 2n²·vb·comp/16
+  // per node) overflows while CB's whole-grid repartition (≈ n²·vb·comp/16)
+  // still fits: the tuner must silently drop every IM candidate.
+  auto cfg = sparklet::ClusterConfig::skylake_cluster();
+  cfg.local_disk = sparklet::DiskSpec::ssd(2.0e8);
+  MachineModel model(cfg);
+  auto report = tune(model, GepJobParams::fw_apsp(32768, 0));
+  ASSERT_FALSE(report.ranked.empty());
+  for (const auto& cand : report.ranked) {
+    EXPECT_TRUE(cand.ok());
+    EXPECT_EQ(cand.options.strategy, Strategy::kCollectBroadcast);
+  }
+}
+
+}  // namespace

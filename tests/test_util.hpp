@@ -1,0 +1,98 @@
+// Shared helpers for the test suite: canonical random inputs per spec and a
+// driver-independent blocked GEP harness used to validate kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/reference.hpp"
+#include "gepspark/workload.hpp"
+#include "grid/tile_grid.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/iterative.hpp"
+#include "kernels/tile_ops.hpp"
+#include "semiring/gep_spec.hpp"
+
+namespace gs::testutil {
+
+/// Canonical random input matrix for a spec.
+template <typename Spec>
+Matrix<typename Spec::value_type> random_input(std::size_t n,
+                                               std::uint64_t seed = 42);
+
+template <>
+inline Matrix<double> random_input<FloydWarshallSpec>(std::size_t n,
+                                                      std::uint64_t seed) {
+  return workload::random_digraph({.n = n, .edge_prob = 0.2,
+                                   .min_weight = 1.0, .max_weight = 50.0,
+                                   .seed = seed});
+}
+
+template <>
+inline Matrix<double> random_input<GaussianEliminationSpec>(
+    std::size_t n, std::uint64_t seed) {
+  return workload::diagonally_dominant_matrix(n, seed);
+}
+
+template <>
+inline Matrix<std::uint8_t> random_input<TransitiveClosureSpec>(
+    std::size_t n, std::uint64_t seed) {
+  return workload::random_bool_digraph(n, 0.06, seed);
+}
+
+template <>
+inline Matrix<double> random_input<WidestPathSpec>(std::size_t n,
+                                                   std::uint64_t seed) {
+  return workload::random_capacity_graph(n, 0.2, seed);
+}
+
+/// The expected answer: literal Fig.-1 GEP on the whole table.
+template <typename Spec>
+Matrix<typename Spec::value_type> reference_solution(
+    const Matrix<typename Spec::value_type>& input) {
+  auto out = input;
+  reference_gep<Spec>(out.span());
+  return out;
+}
+
+/// Blocked GEP executed directly on a TileGrid (no Spark layer): the
+/// sequential tile-level schedule of Fig. 4's A function, one level.
+/// Validates the A/B/C/D kernels and tile plumbing in isolation.
+template <typename Spec>
+Matrix<typename Spec::value_type> blocked_solve(
+    const Matrix<typename Spec::value_type>& input, std::size_t block,
+    const KernelConfig& cfg) {
+  using T = typename Spec::value_type;
+  TileGrid<T> g(input, block, Spec::pad_diag(), Spec::pad_off());
+  const std::size_t r = g.layout().r;
+  GepKernels<Spec> kernels(cfg);
+  const bool strict = Spec::kStrictSigma;
+
+  auto in_trailing = [&](std::size_t idx, std::size_t k) {
+    return strict ? idx > k : idx != k;
+  };
+
+  for (std::size_t k = 0; k < r; ++k) {
+    g.set(k, k, apply_tile_kernel<Spec>(kernels, KernelKind::A, g.at(k, k),
+                                        nullptr, nullptr, nullptr));
+    auto diag = g.at(k, k);
+    auto w = Spec::kUsesW ? diag : nullptr;
+    for (std::size_t i = 0; i < r; ++i) {
+      if (!in_trailing(i, k)) continue;
+      g.set(k, i, apply_tile_kernel<Spec>(kernels, KernelKind::B, g.at(k, i),
+                                          diag, nullptr, w));
+      g.set(i, k, apply_tile_kernel<Spec>(kernels, KernelKind::C, g.at(i, k),
+                                          nullptr, diag, w));
+    }
+    for (std::size_t l = 0; l < r; ++l) {
+      if (!in_trailing(l, k)) continue;
+      for (std::size_t m = 0; m < r; ++m) {
+        if (!in_trailing(m, k)) continue;
+        g.set(l, m, apply_tile_kernel<Spec>(kernels, KernelKind::D, g.at(l, m),
+                                            g.at(l, k), g.at(k, m), w));
+      }
+    }
+  }
+  return g.gather();
+}
+
+}  // namespace gs::testutil

@@ -1,0 +1,122 @@
+// Workload generator properties: determinism, structural guarantees, and
+// solver compatibility of every synthetic input family.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gepspark/solver.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace gs;
+using namespace gs::workload;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Workloads, RandomDigraphDeterministicAndWellFormed) {
+  auto a = random_digraph({.n = 50, .edge_prob = 0.3, .seed = 9});
+  auto b = random_digraph({.n = 50, .edge_prob = 0.3, .seed = 9});
+  EXPECT_TRUE(a == b);
+  int edges = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a(i, i), 0.0);
+    for (std::size_t j = 0; j < 50; ++j) {
+      if (i != j && a(i, j) != kInf) {
+        ++edges;
+        EXPECT_GE(a(i, j), 1.0);
+        EXPECT_LE(a(i, j), 100.0);
+      }
+    }
+  }
+  EXPECT_NEAR(double(edges) / (50.0 * 49.0), 0.3, 0.05);
+}
+
+TEST(Workloads, DiagonallyDominantIsStrictlyDominant) {
+  auto m = diagonally_dominant_matrix(60, 3);
+  for (std::size_t i = 0; i < 60; ++i) {
+    double off = 0;
+    for (std::size_t j = 0; j < 60; ++j) {
+      if (i != j) off += std::abs(m(i, j));
+    }
+    EXPECT_GT(m(i, i), off);
+  }
+}
+
+TEST(Workloads, BandedDominantRespectsBandAndDominance) {
+  const std::size_t n = 64, k = 4;
+  auto m = banded_dominant_matrix(n, k, 5);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t dist = i > j ? i - j : j - i;
+      if (dist > k) {
+        EXPECT_EQ(m(i, j), 0.0) << i << "," << j;
+      }
+      if (i != j) off += std::abs(m(i, j));
+    }
+    EXPECT_GT(m(i, i), off);
+  }
+  // ...and GE without pivoting works on it end to end.
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
+  gepspark::SolverOptions opt;
+  opt.block_size = 16;
+  auto elim = gepspark::spark_gaussian_elimination(sc, m, opt);
+  EXPECT_LE(baseline::lu_residual(m, elim), 1e-9);
+}
+
+TEST(Workloads, ScaleFreeGraphHasHubs) {
+  const std::size_t n = 200;
+  auto m = scale_free_digraph(n, 3, 11);
+  std::vector<int> degree(n, 0);
+  int edges = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(m(i, i), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && m(i, j) != kInf) {
+        ++edges;
+        ++degree[i];
+        ++degree[j];
+      }
+    }
+  }
+  EXPECT_GT(edges, int(n));  // connected-ish
+  // Preferential attachment: the max degree dwarfs the median.
+  std::sort(degree.begin(), degree.end());
+  EXPECT_GT(degree.back(), 4 * degree[n / 2]);
+  // And the APSP solver digests it.
+  sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
+  auto sub = gs::Matrix<double>(64, 64);
+  for (std::size_t i = 0; i < 64; ++i)
+    for (std::size_t j = 0; j < 64; ++j) sub(i, j) = m(i, j);
+  gepspark::SolverOptions opt;
+  opt.block_size = 16;
+  auto dist = gepspark::spark_floyd_warshall(sc, sub, opt);
+  auto ref = sub;
+  baseline::reference_floyd_warshall(ref);
+  EXPECT_LE(max_abs_diff(dist, ref), 1e-9);
+}
+
+TEST(Workloads, GridRoadNetworkIsStronglyConnected) {
+  auto m = grid_road_network(6, 5, 7);
+  auto d = m;
+  baseline::reference_floyd_warshall(d);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = 0; j < 30; ++j) {
+      EXPECT_LT(d(i, j), kInf);  // every intersection reachable
+    }
+  }
+}
+
+TEST(Workloads, CapacityGraphValues) {
+  auto m = random_capacity_graph(40, 0.2, 8);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(m(i, i), kInf);
+    for (std::size_t j = 0; j < 40; ++j) {
+      if (i != j) {
+        EXPECT_GE(m(i, j), 0.0);
+      }
+    }
+  }
+}
+
+}  // namespace
