@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_align_extension.dir/bench_align_extension.cpp.o"
+  "CMakeFiles/bench_align_extension.dir/bench_align_extension.cpp.o.d"
+  "bench_align_extension"
+  "bench_align_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_align_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_portability.dir/bench_fig8_portability.cpp.o"
+  "CMakeFiles/bench_fig8_portability.dir/bench_fig8_portability.cpp.o.d"
+  "bench_fig8_portability"
+  "bench_fig8_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

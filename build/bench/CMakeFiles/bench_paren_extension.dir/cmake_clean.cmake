@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paren_extension.dir/bench_paren_extension.cpp.o"
+  "CMakeFiles/bench_paren_extension.dir/bench_paren_extension.cpp.o.d"
+  "bench_paren_extension"
+  "bench_paren_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paren_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fw_threads.dir/bench_table2_fw_threads.cpp.o"
+  "CMakeFiles/bench_table2_fw_threads.dir/bench_table2_fw_threads.cpp.o.d"
+  "bench_table2_fw_threads"
+  "bench_table2_fw_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fw_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

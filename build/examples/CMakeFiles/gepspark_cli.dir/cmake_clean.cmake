@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gepspark_cli.dir/gepspark_cli.cpp.o"
+  "CMakeFiles/gepspark_cli.dir/gepspark_cli.cpp.o.d"
+  "gepspark_cli"
+  "gepspark_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gepspark_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

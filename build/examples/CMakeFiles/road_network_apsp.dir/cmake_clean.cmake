@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network_apsp.dir/road_network_apsp.cpp.o"
+  "CMakeFiles/road_network_apsp.dir/road_network_apsp.cpp.o.d"
+  "road_network_apsp"
+  "road_network_apsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network_apsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_align.dir/sequence_align.cpp.o"
+  "CMakeFiles/sequence_align.dir/sequence_align.cpp.o.d"
+  "sequence_align"
+  "sequence_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

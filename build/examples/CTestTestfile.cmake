@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;gs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_road_network_apsp "/root/repo/build/examples/road_network_apsp")
+set_tests_properties(example_road_network_apsp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;gs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_linear_solver "/root/repo/build/examples/linear_solver")
+set_tests_properties(example_linear_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;gs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_reachability "/root/repo/build/examples/reachability")
+set_tests_properties(example_reachability PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;gs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tuning_explorer "/root/repo/build/examples/tuning_explorer")
+set_tests_properties(example_tuning_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;gs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matrix_chain "/root/repo/build/examples/matrix_chain")
+set_tests_properties(example_matrix_chain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;gs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sequence_align "/root/repo/build/examples/sequence_align")
+set_tests_properties(example_sequence_align PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;gs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gepspark_cli "/root/repo/build/examples/gepspark_cli")
+set_tests_properties(example_gepspark_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;15;gs_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simtime/gep_job_sim.cpp" "src/CMakeFiles/gs_core.dir/simtime/gep_job_sim.cpp.o" "gcc" "src/CMakeFiles/gs_core.dir/simtime/gep_job_sim.cpp.o.d"
+  "/root/repo/src/simtime/machine_model.cpp" "src/CMakeFiles/gs_core.dir/simtime/machine_model.cpp.o" "gcc" "src/CMakeFiles/gs_core.dir/simtime/machine_model.cpp.o.d"
+  "/root/repo/src/sparklet/block_store.cpp" "src/CMakeFiles/gs_core.dir/sparklet/block_store.cpp.o" "gcc" "src/CMakeFiles/gs_core.dir/sparklet/block_store.cpp.o.d"
+  "/root/repo/src/sparklet/cluster.cpp" "src/CMakeFiles/gs_core.dir/sparklet/cluster.cpp.o" "gcc" "src/CMakeFiles/gs_core.dir/sparklet/cluster.cpp.o.d"
+  "/root/repo/src/sparklet/context.cpp" "src/CMakeFiles/gs_core.dir/sparklet/context.cpp.o" "gcc" "src/CMakeFiles/gs_core.dir/sparklet/context.cpp.o.d"
+  "/root/repo/src/sparklet/metrics.cpp" "src/CMakeFiles/gs_core.dir/sparklet/metrics.cpp.o" "gcc" "src/CMakeFiles/gs_core.dir/sparklet/metrics.cpp.o.d"
+  "/root/repo/src/sparklet/virtual_timeline.cpp" "src/CMakeFiles/gs_core.dir/sparklet/virtual_timeline.cpp.o" "gcc" "src/CMakeFiles/gs_core.dir/sparklet/virtual_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

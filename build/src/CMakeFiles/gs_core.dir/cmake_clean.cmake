@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_core.dir/simtime/gep_job_sim.cpp.o"
+  "CMakeFiles/gs_core.dir/simtime/gep_job_sim.cpp.o.d"
+  "CMakeFiles/gs_core.dir/simtime/machine_model.cpp.o"
+  "CMakeFiles/gs_core.dir/simtime/machine_model.cpp.o.d"
+  "CMakeFiles/gs_core.dir/sparklet/block_store.cpp.o"
+  "CMakeFiles/gs_core.dir/sparklet/block_store.cpp.o.d"
+  "CMakeFiles/gs_core.dir/sparklet/cluster.cpp.o"
+  "CMakeFiles/gs_core.dir/sparklet/cluster.cpp.o.d"
+  "CMakeFiles/gs_core.dir/sparklet/context.cpp.o"
+  "CMakeFiles/gs_core.dir/sparklet/context.cpp.o.d"
+  "CMakeFiles/gs_core.dir/sparklet/metrics.cpp.o"
+  "CMakeFiles/gs_core.dir/sparklet/metrics.cpp.o.d"
+  "CMakeFiles/gs_core.dir/sparklet/virtual_timeline.cpp.o"
+  "CMakeFiles/gs_core.dir/sparklet/virtual_timeline.cpp.o.d"
+  "libgs_core.a"
+  "libgs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver_cb.dir/test_driver_cb.cpp.o"
+  "CMakeFiles/test_driver_cb.dir/test_driver_cb.cpp.o.d"
+  "test_driver_cb"
+  "test_driver_cb.pdb"
+  "test_driver_cb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver_cb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

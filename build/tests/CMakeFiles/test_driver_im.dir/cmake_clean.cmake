@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_driver_im.dir/test_driver_im.cpp.o"
+  "CMakeFiles/test_driver_im.dir/test_driver_im.cpp.o.d"
+  "test_driver_im"
+  "test_driver_im.pdb"
+  "test_driver_im[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_driver_im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_props.dir/test_kernels_props.cpp.o"
+  "CMakeFiles/test_kernels_props.dir/test_kernels_props.cpp.o.d"
+  "test_kernels_props"
+  "test_kernels_props.pdb"
+  "test_kernels_props[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_recursive.dir/test_kernels_recursive.cpp.o"
+  "CMakeFiles/test_kernels_recursive.dir/test_kernels_recursive.cpp.o.d"
+  "test_kernels_recursive"
+  "test_kernels_recursive.pdb"
+  "test_kernels_recursive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paren.dir/test_paren.cpp.o"
+  "CMakeFiles/test_paren.dir/test_paren.cpp.o.d"
+  "test_paren"
+  "test_paren.pdb"
+  "test_paren[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paren.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

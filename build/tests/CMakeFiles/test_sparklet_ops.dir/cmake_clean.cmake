@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparklet_ops.dir/test_sparklet_ops.cpp.o"
+  "CMakeFiles/test_sparklet_ops.dir/test_sparklet_ops.cpp.o.d"
+  "test_sparklet_ops"
+  "test_sparklet_ops.pdb"
+  "test_sparklet_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparklet_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

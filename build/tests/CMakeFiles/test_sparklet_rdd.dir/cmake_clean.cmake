@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparklet_rdd.dir/test_sparklet_rdd.cpp.o"
+  "CMakeFiles/test_sparklet_rdd.dir/test_sparklet_rdd.cpp.o.d"
+  "test_sparklet_rdd"
+  "test_sparklet_rdd.pdb"
+  "test_sparklet_rdd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparklet_rdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

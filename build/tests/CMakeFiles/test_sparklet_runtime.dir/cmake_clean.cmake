@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparklet_runtime.dir/test_sparklet_runtime.cpp.o"
+  "CMakeFiles/test_sparklet_runtime.dir/test_sparklet_runtime.cpp.o.d"
+  "test_sparklet_runtime"
+  "test_sparklet_runtime.pdb"
+  "test_sparklet_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparklet_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

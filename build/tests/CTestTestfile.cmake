@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_semiring[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_iterative[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_recursive[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_tiled[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_props[1]_include.cmake")
+include("/root/repo/build/tests/test_sparklet_rdd[1]_include.cmake")
+include("/root/repo/build/tests/test_sparklet_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_sparklet_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_driver_im[1]_include.cmake")
+include("/root/repo/build/tests/test_driver_cb[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_props[1]_include.cmake")
+include("/root/repo/build/tests/test_simtime[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_tuning[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_tolerance[1]_include.cmake")
+include("/root/repo/build/tests/test_paren[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_align[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
