@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_simd.dir/test_kernels_simd.cpp.o"
+  "CMakeFiles/test_kernels_simd.dir/test_kernels_simd.cpp.o.d"
+  "test_kernels_simd"
+  "test_kernels_simd.pdb"
+  "test_kernels_simd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -8,6 +8,7 @@ include("/root/repo/build/tests/test_support[1]_include.cmake")
 include("/root/repo/build/tests/test_semiring[1]_include.cmake")
 include("/root/repo/build/tests/test_grid[1]_include.cmake")
 include("/root/repo/build/tests/test_kernels_iterative[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels_simd[1]_include.cmake")
 include("/root/repo/build/tests/test_kernels_recursive[1]_include.cmake")
 include("/root/repo/build/tests/test_kernels_tiled[1]_include.cmake")
 include("/root/repo/build/tests/test_kernels_props[1]_include.cmake")

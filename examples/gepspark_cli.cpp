@@ -25,6 +25,7 @@ struct CliArgs {
   std::size_t block = 64;
   std::string strategy = "im";   // im | cb
   std::string kernel = "rec4";   // iter | tiled<T> | rec<R>
+  std::string base = "auto";     // auto | scalar | simd
   int omp = 1;
   int nodes = 4;
   int cores = 2;
@@ -41,6 +42,7 @@ void usage() {
       "  --block <b>                         tile side (default 64)\n"
       "  --strategy im|cb                    GEP distribution (default im)\n"
       "  --kernel iter|tiled<T>|rec<R>       e.g. rec16, tiled64 (default rec4)\n"
+      "  --base auto|scalar|simd             base-case backend (default auto)\n"
       "  --omp <t>                           OMP_NUM_THREADS (default 1)\n"
       "  --nodes <n> --cores <c>             virtual cluster (default 4x2)\n"
       "  --trace <file.json>                 export Chrome trace\n"
@@ -67,6 +69,8 @@ bool parse(int argc, char** argv, CliArgs& a) {
       a.strategy = argv[++i];
     } else if (flag == "--kernel" && (i + 1) < argc) {
       a.kernel = argv[++i];
+    } else if (flag == "--base" && (i + 1) < argc) {
+      a.base = argv[++i];
     } else if (flag == "--omp" && (i + 1) < argc) {
       a.omp = std::stoi(argv[++i]);
     } else if (flag == "--nodes" && (i + 1) < argc) {
@@ -83,13 +87,24 @@ bool parse(int argc, char** argv, CliArgs& a) {
   return true;
 }
 
+gs::KernelBase parse_base(const std::string& base) {
+  if (base == "auto") return gs::KernelBase::kAuto;
+  if (base == "scalar") return gs::KernelBase::kScalar;
+  if (base == "simd") return gs::KernelBase::kSimd;
+  throw gs::ConfigError("unknown base backend: " + base +
+                        " (want auto|scalar|simd)");
+}
+
 gs::KernelConfig parse_kernel(const CliArgs& a) {
-  if (a.kernel == "iter") return gs::KernelConfig::iterative();
+  const gs::KernelBase base = parse_base(a.base);
+  if (a.kernel == "iter") return gs::KernelConfig::iterative().with_base(base);
   if (a.kernel.rfind("tiled", 0) == 0) {
-    return gs::KernelConfig::tiled(std::stoul(a.kernel.substr(5)), a.omp);
+    return gs::KernelConfig::tiled(std::stoul(a.kernel.substr(5)), a.omp)
+        .with_base(base);
   }
   if (a.kernel.rfind("rec", 0) == 0) {
-    return gs::KernelConfig::recursive(std::stoul(a.kernel.substr(3)), a.omp);
+    return gs::KernelConfig::recursive(std::stoul(a.kernel.substr(3)), a.omp)
+        .with_base(base);
   }
   throw gs::ConfigError("unknown kernel spec: " + a.kernel);
 }

@@ -28,7 +28,10 @@ struct SolverOptions {
 
   Strategy strategy = Strategy::kInMemory;
 
-  /// Per-tile kernel configuration (iterative vs r_shared-way recursive).
+  /// Per-tile kernel configuration: the schedule (iterative vs r_shared-way
+  /// recursive vs tiled) and the base-case backend (`kernel.base`: scalar
+  /// loops vs the SIMD micro-kernels; kAuto picks SIMD when the build has
+  /// vector units). Both drivers honour it on every executor task.
   gs::KernelConfig kernel = gs::KernelConfig::iterative();
 
   /// Number of RDD partitions (0 → cluster default of 2 × total cores).

@@ -24,6 +24,13 @@ struct TuningSpace {
   std::vector<std::size_t> r_shared_values = {2, 4, 8, 16};
   std::vector<int> omp_threads = {1, 2, 4, 8, 16, 32};
   bool include_iterative = true;
+
+  /// Base-case backends to sweep (kernels/simd.hpp). The default single
+  /// kAuto keeps the space unchanged; add kScalar/kSimd to compare
+  /// explicitly. Note the simtime cost model prices both backends equally —
+  /// the measured split lives in bench_simd_kernels — so sweeping bases
+  /// ranks them by the model's tie-breaking order, not by vector speedup.
+  std::vector<gs::KernelBase> base_backends = {gs::KernelBase::kAuto};
 };
 
 struct TuningCandidate {
@@ -68,12 +75,16 @@ inline TuningReport tune(const simtime::MachineModel& model,
 
   for (std::size_t block : space.block_sizes) {
     for (Strategy strategy : space.strategies) {
-      if (space.include_iterative) {
-        consider(block, strategy, gs::KernelConfig::iterative());
-      }
-      for (std::size_t rs : space.r_shared_values) {
-        for (int omp : space.omp_threads) {
-          consider(block, strategy, gs::KernelConfig::recursive(rs, omp));
+      for (gs::KernelBase base : space.base_backends) {
+        if (space.include_iterative) {
+          consider(block, strategy,
+                   gs::KernelConfig::iterative().with_base(base));
+        }
+        for (std::size_t rs : space.r_shared_values) {
+          for (int omp : space.omp_threads) {
+            consider(block, strategy,
+                     gs::KernelConfig::recursive(rs, omp).with_base(base));
+          }
         }
       }
     }

@@ -1,11 +1,13 @@
 // dispatch.hpp — kernel facade: selects iterative vs recursive implementation
-// from a KernelConfig and exposes uniform A/B/C/D entry points on spans.
+// (KernelImpl) and scalar vs SIMD base case (KernelBase) from a KernelConfig
+// and exposes uniform A/B/C/D entry points on spans.
 #pragma once
 
 #include "kernels/iterative.hpp"
 #include "kernels/kernel_config.hpp"
 #include "kernels/kernel_kind.hpp"
 #include "kernels/recursive.hpp"
+#include "kernels/simd.hpp"
 
 namespace gs {
 
@@ -24,9 +26,11 @@ class GepKernels {
 
   // kRecursive and kTiled both route through RecursiveKernels; the tiled
   // flavour is constructed in one-level-full-split mode (see recursive.hpp).
+  // Every path bottoms out through base_* (scalar or SIMD per cfg.base), so
+  // the cache-oblivious recursion and the vector units compose.
   void a(Span x) const {
     if (cfg_.impl == KernelImpl::kIterative) {
-      iter_a<Spec>(x);
+      base_a<Spec>(cfg_.base, x);
     } else {
       rec_.run_a(x, cfg_.omp_threads);
     }
@@ -34,7 +38,7 @@ class GepKernels {
 
   void b(Span x, CSpan u, CSpan w) const {
     if (cfg_.impl == KernelImpl::kIterative) {
-      iter_b<Spec>(x, u, w);
+      base_b<Spec>(cfg_.base, x, u, w);
     } else {
       rec_.run_b(x, u, w, cfg_.omp_threads);
     }
@@ -42,7 +46,7 @@ class GepKernels {
 
   void c(Span x, CSpan v, CSpan w) const {
     if (cfg_.impl == KernelImpl::kIterative) {
-      iter_c<Spec>(x, v, w);
+      base_c<Spec>(cfg_.base, x, v, w);
     } else {
       rec_.run_c(x, v, w, cfg_.omp_threads);
     }
@@ -50,7 +54,7 @@ class GepKernels {
 
   void d(Span x, CSpan u, CSpan v, CSpan w) const {
     if (cfg_.impl == KernelImpl::kIterative) {
-      iter_d<Spec>(x, u, v, w);
+      base_d<Spec>(cfg_.base, x, u, v, w);
     } else {
       rec_.run_d(x, u, v, w, cfg_.omp_threads);
     }

@@ -38,6 +38,11 @@ void reference_gep(Span2D<typename Spec::value_type> c) {
 }
 
 /// Kernel A: in-place GEP on the pivot tile. x is b×b.
+///
+/// Rows i != k are updated through restrict-qualified pointers (row i and the
+/// hoisted source row k are disjoint); the non-strict i == k row aliases its
+/// own source, so it gets a separate, unqualified loop — preserving the exact
+/// i-ascending update order of the plain triple loop.
 template <GepSpecType Spec>
 void iter_a(Span2D<typename Spec::value_type> x) {
   using T = typename Spec::value_type;
@@ -47,12 +52,28 @@ void iter_a(Span2D<typename Spec::value_type> x) {
     const T w = x(k, k);
     const T* xk = x.row(k);
     const std::size_t lo = Spec::kStrictSigma ? k + 1 : 0;
-    for (std::size_t i = lo; i < n; ++i) {
-      const T u = x(i, k);
-      T* xi = x.row(i);
-      for (std::size_t j = lo; j < n; ++j) {
-        xi[j] = Spec::update(xi[j], u, xk[j], w);
+    auto update_rows = [&](std::size_t ilo, std::size_t ihi) {
+      for (std::size_t i = ilo; i < ihi; ++i) {
+        const T u = x(i, k);
+        T* GS_RESTRICT xi = x.row(i);
+        const T* GS_RESTRICT xks = xk;
+        for (std::size_t j = lo; j < n; ++j) {
+          xi[j] = Spec::update(xi[j], u, xks[j], w);
+        }
       }
+    };
+    if constexpr (Spec::kStrictSigma) {
+      update_rows(k + 1, n);
+    } else {
+      update_rows(0, k);
+      {
+        T* xr = x.row(k);  // row k reads itself: no restrict
+        const T u = xr[k];
+        for (std::size_t j = 0; j < n; ++j) {
+          xr[j] = Spec::update(xr[j], u, xr[j], w);
+        }
+      }
+      update_rows(k + 1, n);
     }
   }
 }
@@ -71,14 +92,23 @@ void iter_b(Span2D<typename Spec::value_type> x,
   for (std::size_t k = 0; k < n; ++k) {
     const T wkk = w(k, k);
     const T* xk = x.row(k);
-    const std::size_t ilo = Spec::kStrictSigma ? k + 1 : 0;
-    for (std::size_t i = ilo; i < n; ++i) {
-      if (!Spec::kStrictSigma && i == k) continue;  // row k is the source row
-      const T uik = u(i, k);
-      T* xi = x.row(i);
-      for (std::size_t j = 0; j < n; ++j) {
-        xi[j] = Spec::update(xi[j], uik, xk[j], wkk);
+    // The i == k "source row" skip is handled by splitting the i-range, not
+    // by a branch inside the hot loop (strict-Σ starts past k anyway).
+    auto update_rows = [&](std::size_t ilo, std::size_t ihi) {
+      for (std::size_t i = ilo; i < ihi; ++i) {
+        const T uik = u(i, k);
+        T* GS_RESTRICT xi = x.row(i);
+        const T* GS_RESTRICT xks = xk;
+        for (std::size_t j = 0; j < n; ++j) {
+          xi[j] = Spec::update(xi[j], uik, xks[j], wkk);
+        }
       }
+    };
+    if constexpr (Spec::kStrictSigma) {
+      update_rows(k + 1, n);
+    } else {
+      update_rows(0, k);
+      update_rows(k + 1, n);
     }
   }
 }
@@ -95,13 +125,20 @@ void iter_c(Span2D<typename Spec::value_type> x,
   for (std::size_t k = 0; k < n; ++k) {
     const T wkk = w(k, k);
     const T* vk = v.row(k);
-    const std::size_t jlo = Spec::kStrictSigma ? k + 1 : 0;
     for (std::size_t i = 0; i < n; ++i) {
       const T uik = x(i, k);
-      T* xi = x.row(i);
-      for (std::size_t j = jlo; j < n; ++j) {
-        if (!Spec::kStrictSigma && j == k) continue;  // column k is the source
-        xi[j] = Spec::update(xi[j], uik, vk[j], wkk);
+      T* GS_RESTRICT xi = x.row(i);
+      const T* GS_RESTRICT vks = vk;
+      // The j == k "source column" skip is handled by splitting the j-range
+      // ([0,k) then (k,n)) instead of branching inside the hot loop; the
+      // strict-Σ range starts past k so only the upper half applies there.
+      if constexpr (!Spec::kStrictSigma) {
+        for (std::size_t j = 0; j < k; ++j) {
+          xi[j] = Spec::update(xi[j], uik, vks[j], wkk);
+        }
+      }
+      for (std::size_t j = k + 1; j < n; ++j) {
+        xi[j] = Spec::update(xi[j], uik, vks[j], wkk);
       }
     }
   }
@@ -122,9 +159,10 @@ void iter_d(Span2D<typename Spec::value_type> x,
     const T* vk = v.row(k);
     for (std::size_t i = 0; i < n; ++i) {
       const T uik = u(i, k);
-      T* xi = x.row(i);
+      T* GS_RESTRICT xi = x.row(i);
+      const T* GS_RESTRICT vks = vk;
       for (std::size_t j = 0; j < n; ++j) {
-        xi[j] = Spec::update(xi[j], uik, vk[j], wkk);
+        xi[j] = Spec::update(xi[j], uik, vks[j], wkk);
       }
     }
   }

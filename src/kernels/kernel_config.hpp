@@ -22,8 +22,31 @@ enum class KernelImpl : int {
                    ///< bench contrasts it with the recursive kernels.
 };
 
+/// Which base-case implementation the A/B/C/D updates bottom out into. The
+/// KernelImpl picks the *schedule* (loop order / recursion shape); KernelBase
+/// picks the *inner loop*: scalar rolled loops or the register-blocked SIMD
+/// micro-kernels of kernels/simd.hpp. Orthogonal on purpose — the paper's
+/// r_shared-way recursion composes with a vectorized base case.
+enum class KernelBase : int {
+  kAuto = 0,    ///< SIMD when the build + spec support it, scalar otherwise
+  kScalar = 1,  ///< always the scalar loop kernels (reference behaviour)
+  kSimd = 2,    ///< vectorized micro-kernels; specs without a vector
+                ///< implementation fall back to scalar
+};
+
+inline const char* kernel_base_name(KernelBase b) {
+  switch (b) {
+    case KernelBase::kScalar: return "scalar";
+    case KernelBase::kSimd: return "simd";
+    default: return "auto";
+  }
+}
+
 struct KernelConfig {
   KernelImpl impl = KernelImpl::kIterative;
+
+  /// Base-case backend for the inner loops (kAuto → SIMD where available).
+  KernelBase base = KernelBase::kAuto;
 
   /// Recursive fan-out per level (the paper's r_shared ∈ {2,4,8,16}).
   std::size_t r_shared = 2;
@@ -37,6 +60,13 @@ struct KernelConfig {
   int omp_threads = 1;
 
   static KernelConfig iterative() { return KernelConfig{}; }
+
+  /// Same configuration with an explicit base-case backend.
+  KernelConfig with_base(KernelBase b) const {
+    KernelConfig cfg = *this;
+    cfg.base = b;
+    return cfg;
+  }
 
   static KernelConfig recursive(std::size_t r_shared, int omp_threads = 1,
                                 std::size_t base_size = 64) {
@@ -66,12 +96,16 @@ struct KernelConfig {
   }
 
   std::string describe() const {
-    if (impl == KernelImpl::kIterative) return "iterative";
+    // kAuto (the default) is elided so seed-era descriptions are unchanged.
+    const std::string suffix =
+        base == KernelBase::kAuto ? "" : std::string("+") + kernel_base_name(base);
+    if (impl == KernelImpl::kIterative) return "iterative" + suffix;
     if (impl == KernelImpl::kTiled) {
-      return strfmt("tiled(tile=%zu, omp=%d)", base_size, omp_threads);
+      return strfmt("tiled(tile=%zu, omp=%d)", base_size, omp_threads) + suffix;
     }
     return strfmt("recursive(r_shared=%zu, base=%zu, omp=%d)", r_shared,
-                  base_size, omp_threads);
+                  base_size, omp_threads) +
+           suffix;
   }
 
   friend bool operator==(const KernelConfig&, const KernelConfig&) = default;

@@ -3,8 +3,10 @@
 //
 // Each function splits its b×b operand(s) into an nb×nb grid of sub-tiles
 // (nb = r_shared when it divides b, otherwise the largest divisor ≤ r_shared)
-// and recurses, bottoming out into the iterative kernels at base_size. The
-// per-k stages follow Fig. 4 exactly:
+// and recurses, bottoming out at base_size into the configured base-case
+// backend (scalar loop kernels or the SIMD micro-kernels of simd.hpp, per
+// KernelConfig::base) — so the cache-oblivious recursion and the vector
+// units compose. The per-k stages follow Fig. 4 exactly:
 //
 //   A(X):       for k { A(X_kk); par: B(X_kj), C(X_ik); par: D(X_ij) }
 //   B(X,U,W):   for k { par j: B(X_kj, U_kk, W_kk);
@@ -27,6 +29,7 @@
 
 #include "kernels/iterative.hpp"
 #include "kernels/kernel_config.hpp"
+#include "kernels/simd.hpp"
 #include "semiring/gep_spec.hpp"
 #include "support/span2d.hpp"
 
@@ -49,8 +52,9 @@ class RecursiveKernels {
   enum class Mode { kParametric, kOneLevelFullSplit };
 
   RecursiveKernels(std::size_t r_shared, std::size_t base_size,
-                   Mode mode = Mode::kParametric)
-      : r_shared_(r_shared), base_size_(base_size), mode_(mode) {
+                   Mode mode = Mode::kParametric,
+                   KernelBase base = KernelBase::kAuto)
+      : r_shared_(r_shared), base_size_(base_size), mode_(mode), base_(base) {
     GS_THROW_IF(mode_ == Mode::kParametric && r_shared_ < 2, ConfigError,
                 "r_shared must be >= 2");
     GS_THROW_IF(base_size_ == 0, ConfigError, "base_size must be positive");
@@ -60,7 +64,8 @@ class RecursiveKernels {
       : RecursiveKernels(cfg.r_shared, cfg.base_size,
                          cfg.impl == KernelImpl::kTiled
                              ? Mode::kOneLevelFullSplit
-                             : Mode::kParametric) {}
+                             : Mode::kParametric,
+                         cfg.base) {}
 
   void run_a(Span x, int omp_threads) const {
     in_parallel(omp_threads, [&] { a_rec(x); });
@@ -115,7 +120,7 @@ class RecursiveKernels {
   void a_rec(Span x) const {
     const std::size_t nb = fanout(x.rows());
     if (nb == 0) {
-      iter_a<Spec>(x);
+      base_a<Spec>(base_, x);
       return;
     }
     for (std::size_t k = 0; k < nb; ++k) {
@@ -153,7 +158,7 @@ class RecursiveKernels {
   void b_rec(Span x, CSpan u, CSpan w) const {
     const std::size_t nb = fanout(x.rows());
     if (nb == 0) {
-      iter_b<Spec>(x, u, w);
+      base_b<Spec>(base_, x, u, w);
       return;
     }
     for (std::size_t k = 0; k < nb; ++k) {
@@ -186,7 +191,7 @@ class RecursiveKernels {
   void c_rec(Span x, CSpan v, CSpan w) const {
     const std::size_t nb = fanout(x.rows());
     if (nb == 0) {
-      iter_c<Spec>(x, v, w);
+      base_c<Spec>(base_, x, v, w);
       return;
     }
     for (std::size_t k = 0; k < nb; ++k) {
@@ -219,7 +224,7 @@ class RecursiveKernels {
   void d_rec(Span x, CSpan u, CSpan v, CSpan w) const {
     const std::size_t nb = fanout(x.rows());
     if (nb == 0) {
-      iter_d<Spec>(x, u, v, w);
+      base_d<Spec>(base_, x, u, v, w);
       return;
     }
     for (std::size_t k = 0; k < nb; ++k) {
@@ -242,6 +247,7 @@ class RecursiveKernels {
   std::size_t r_shared_;
   std::size_t base_size_;
   Mode mode_;
+  KernelBase base_;
 };
 
 }  // namespace gs

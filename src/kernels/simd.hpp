@@ -1,0 +1,352 @@
+// simd.hpp — vectorized micro-kernel backend for the GEP base-case kernels.
+//
+// The schedule-level kernels (iterative loop nests, the r_shared-way R-DP
+// recursion of recursive.hpp) all bottom out in the same four per-tile loop
+// nests; this file provides register-blocked, unrolled SIMD versions of each,
+// selected through KernelBase (kernel_config.hpp):
+//
+//   * simd_a/b/c/d mirror iter_a/b/c/d exactly — same k-ascending update
+//     order per element, so results are bit-identical to the scalar kernels
+//     (and hence to the Fig.-1 reference) for every spec. See simd_vec.hpp
+//     for the IEEE argument per semiring.
+//   * Kernel D — the semiring matrix-multiply-accumulate shape that carries
+//     nearly all flops — uses a 4-row × 2-vector register-tiled micro-kernel
+//     with hoisted u(i,k) broadcasts and k innermost, so each accumulator
+//     block stays in registers across the whole k sweep.
+//   * Kernels A/B/C vectorize the j loop. The i==k / j==k source-row/column
+//     skips are handled by splitting the loop ranges (branch-free inner
+//     loops); kernel A's aliased pivot row gets a dedicated self-update loop.
+//   * Σ_G edges (strict vs full) follow the scalar kernels' range logic;
+//     vector loops cover whole lanes and a scalar tail finishes ragged edges,
+//     so awkward sizes (non-multiples of the lane width) are exact.
+//
+// Specs without a SimdSpecOps specialization transparently fall back to the
+// scalar kernels via the base_* dispatchers at the bottom of this file.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/iterative.hpp"
+#include "kernels/kernel_config.hpp"
+#include "semiring/gep_spec.hpp"
+#include "support/simd_vec.hpp"
+#include "support/span2d.hpp"
+
+namespace gs {
+
+/// Vector-level update ops for a GepSpec: the vector counterpart of
+/// Spec::update. Specialize (kEnabled = true, vector type V, update()) to
+/// opt a spec into the SIMD backend; the primary template leaves a spec on
+/// the scalar kernels.
+template <GepSpecType Spec>
+struct SimdSpecOps {
+  static constexpr bool kEnabled = false;
+};
+
+/// FW-APSP, min-plus: x ⊕ (u ⊙ v) = min(x, u + v). IEEE add matches the
+/// semiring's ∞-absorbing times because GEP tables never contain -inf.
+template <>
+struct SimdSpecOps<FloydWarshallSpec> {
+  static constexpr bool kEnabled = true;
+  using V = simd::VecD;
+  static V update(V x, V u, V v, V /*w*/) { return V::min(x, u + v); }
+};
+
+/// GE: x - (u·v)/w with the scalar expression's exact operation order (the
+/// division blocks FMA contraction on both sides → bit-identical).
+template <>
+struct SimdSpecOps<GaussianEliminationSpec> {
+  static constexpr bool kEnabled = true;
+  using V = simd::VecD;
+  static V update(V x, V u, V v, V w) { return x - (u * v) / w; }
+};
+
+/// Transitive closure, bool or-and on bytes: x | (u & v).
+template <>
+struct SimdSpecOps<TransitiveClosureSpec> {
+  static constexpr bool kEnabled = true;
+  using V = simd::VecB;
+  static V update(V x, V u, V v, V /*w*/) { return x | (u & v); }
+};
+
+/// Widest path, max-min: max(x, min(u, v)).
+template <>
+struct SimdSpecOps<WidestPathSpec> {
+  static constexpr bool kEnabled = true;
+  using V = simd::VecD;
+  static V update(V x, V u, V v, V /*w*/) { return V::max(x, V::min(u, v)); }
+};
+
+/// True when the SIMD kernels are worth dispatching to for this spec on this
+/// build (spec has vector ops AND the target has real vector units).
+template <GepSpecType Spec>
+constexpr bool simd_kernels_enabled() {
+  return SimdSpecOps<Spec>::kEnabled && simd::has_vector_unit();
+}
+
+namespace simd_detail {
+
+/// One row's axpy-like j-sweep: xi[j] = update(xi[j], u, src[j], w) over
+/// [jlo, jhi). xi and src must be disjoint rows (callers guarantee i != k).
+template <GepSpecType Spec>
+inline void row_update(typename Spec::value_type* GS_RESTRICT xi,
+                       const typename Spec::value_type* GS_RESTRICT src,
+                       std::size_t jlo, std::size_t jhi,
+                       typename Spec::value_type u,
+                       typename Spec::value_type w) {
+  using Ops = SimdSpecOps<Spec>;
+  using V = typename Ops::V;
+  constexpr std::size_t W = V::kLanes;
+  const V ub = V::broadcast(u);
+  const V wb = V::broadcast(w);
+  std::size_t j = jlo;
+  for (; j + 2 * W <= jhi; j += 2 * W) {
+    Ops::update(V::load(xi + j), ub, V::load(src + j), wb).store(xi + j);
+    Ops::update(V::load(xi + j + W), ub, V::load(src + j + W), wb)
+        .store(xi + j + W);
+  }
+  for (; j + W <= jhi; j += W) {
+    Ops::update(V::load(xi + j), ub, V::load(src + j), wb).store(xi + j);
+  }
+  for (; j < jhi; ++j) xi[j] = Spec::update(xi[j], u, src[j], w);
+}
+
+/// Kernel A's i == k row: the destination row is its own source
+/// (xi[j] = update(xi[j], u, xi[j], w)), loaded once per lane.
+template <GepSpecType Spec>
+inline void row_self_update(typename Spec::value_type* xi, std::size_t n,
+                            typename Spec::value_type u,
+                            typename Spec::value_type w) {
+  using Ops = SimdSpecOps<Spec>;
+  using V = typename Ops::V;
+  constexpr std::size_t W = V::kLanes;
+  const V ub = V::broadcast(u);
+  const V wb = V::broadcast(w);
+  std::size_t j = 0;
+  for (; j + W <= n; j += W) {
+    const V xv = V::load(xi + j);
+    Ops::update(xv, ub, xv, wb).store(xi + j);
+  }
+  for (; j < n; ++j) xi[j] = Spec::update(xi[j], u, xi[j], w);
+}
+
+/// Register-tiled D panel: MR rows × 2 vectors of columns at (i0, j0),
+/// accumulated over the full k range with k innermost. Per element this is
+/// the same k-ascending chain of updates as iter_d — just held in registers.
+template <GepSpecType Spec, std::size_t MR>
+inline void d_panel(Span2D<typename Spec::value_type> x,
+                    Span2D<const typename Spec::value_type> u,
+                    Span2D<const typename Spec::value_type> v,
+                    Span2D<const typename Spec::value_type> w, std::size_t i0,
+                    std::size_t j0) {
+  using T = typename Spec::value_type;
+  using Ops = SimdSpecOps<Spec>;
+  using V = typename Ops::V;
+  constexpr std::size_t W = V::kLanes;
+  const std::size_t n = x.rows();
+
+  V acc[MR][2];
+  const T* GS_RESTRICT urow[MR];
+  for (std::size_t r = 0; r < MR; ++r) {
+    T* xr = x.row(i0 + r);
+    acc[r][0] = V::load(xr + j0);
+    acc[r][1] = V::load(xr + j0 + W);
+    urow[r] = u.row(i0 + r);
+  }
+  V wb = V::broadcast(T{});
+  for (std::size_t k = 0; k < n; ++k) {
+    const T* GS_RESTRICT vk = v.row(k);
+    const V v0 = V::load(vk + j0);
+    const V v1 = V::load(vk + j0 + W);
+    if constexpr (Spec::kUsesW) wb = V::broadcast(w(k, k));
+    for (std::size_t r = 0; r < MR; ++r) {
+      const V ub = V::broadcast(urow[r][k]);
+      acc[r][0] = Ops::update(acc[r][0], ub, v0, wb);
+      acc[r][1] = Ops::update(acc[r][1], ub, v1, wb);
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r) {
+    T* xr = x.row(i0 + r);
+    acc[r][0].store(xr + j0);
+    acc[r][1].store(xr + j0 + W);
+  }
+}
+
+}  // namespace simd_detail
+
+/// Kernel A (SIMD): in-place GEP on the pivot tile.
+template <GepSpecType Spec>
+void simd_a(Span2D<typename Spec::value_type> x) {
+  static_assert(SimdSpecOps<Spec>::kEnabled);
+  using T = typename Spec::value_type;
+  const std::size_t n = x.rows();
+  GS_DCHECK(x.cols() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const T w = x(k, k);
+    const T* xk = x.row(k);
+    const std::size_t lo = Spec::kStrictSigma ? k + 1 : 0;
+    auto update_rows = [&](std::size_t ilo, std::size_t ihi) {
+      for (std::size_t i = ilo; i < ihi; ++i) {
+        simd_detail::row_update<Spec>(x.row(i), xk, lo, n, x(i, k), w);
+      }
+    };
+    if constexpr (Spec::kStrictSigma) {
+      update_rows(k + 1, n);
+    } else {
+      update_rows(0, k);
+      simd_detail::row_self_update<Spec>(x.row(k), n, x(k, k), w);
+      update_rows(k + 1, n);
+    }
+  }
+}
+
+/// Kernel B (SIMD): x in the pivot block-row; x's own row k is the source.
+template <GepSpecType Spec>
+void simd_b(Span2D<typename Spec::value_type> x,
+            Span2D<const typename Spec::value_type> u,
+            Span2D<const typename Spec::value_type> w) {
+  static_assert(SimdSpecOps<Spec>::kEnabled);
+  using T = typename Spec::value_type;
+  const std::size_t n = x.rows();
+  GS_DCHECK(x.cols() == n && u.rows() == n && u.cols() == n && w.rows() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const T wkk = w(k, k);
+    const T* xk = x.row(k);
+    auto update_rows = [&](std::size_t ilo, std::size_t ihi) {
+      for (std::size_t i = ilo; i < ihi; ++i) {
+        simd_detail::row_update<Spec>(x.row(i), xk, 0, n, u(i, k), wkk);
+      }
+    };
+    if constexpr (Spec::kStrictSigma) {
+      update_rows(k + 1, n);
+    } else {  // skip the source row i == k by splitting the range
+      update_rows(0, k);
+      update_rows(k + 1, n);
+    }
+  }
+}
+
+/// Kernel C (SIMD): x in the pivot block-column; column k of x is the
+/// per-row broadcast source, so rows vectorize over the split j-ranges.
+template <GepSpecType Spec>
+void simd_c(Span2D<typename Spec::value_type> x,
+            Span2D<const typename Spec::value_type> v,
+            Span2D<const typename Spec::value_type> w) {
+  static_assert(SimdSpecOps<Spec>::kEnabled);
+  using T = typename Spec::value_type;
+  const std::size_t n = x.rows();
+  GS_DCHECK(x.cols() == n && v.rows() == n && v.cols() == n && w.rows() == n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const T wkk = w(k, k);
+    const T* vk = v.row(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const T uik = x(i, k);
+      T* xi = x.row(i);
+      if constexpr (!Spec::kStrictSigma) {  // skip source column j == k
+        simd_detail::row_update<Spec>(xi, vk, 0, k, uik, wkk);
+      }
+      simd_detail::row_update<Spec>(xi, vk, k + 1, n, uik, wkk);
+    }
+  }
+}
+
+/// Kernel D (SIMD): register-tiled semiring MMA. 4-row × 2-vector panels
+/// sweep the full k range from registers; ragged rows run 1-row panels and
+/// ragged columns finish with the vectorized k-outer sweep (identical
+/// per-element update order throughout).
+template <GepSpecType Spec>
+void simd_d(Span2D<typename Spec::value_type> x,
+            Span2D<const typename Spec::value_type> u,
+            Span2D<const typename Spec::value_type> v,
+            Span2D<const typename Spec::value_type> w) {
+  static_assert(SimdSpecOps<Spec>::kEnabled);
+  using T = typename Spec::value_type;
+  using V = typename SimdSpecOps<Spec>::V;
+  constexpr std::size_t kMR = 4;
+  constexpr std::size_t kPanelCols = 2 * V::kLanes;
+  const std::size_t n = x.rows();
+  GS_DCHECK(x.cols() == n && u.rows() == n && v.rows() == n && w.rows() == n);
+
+  const std::size_t jmain = (n / kPanelCols) * kPanelCols;
+  std::size_t i0 = 0;
+  for (; i0 + kMR <= n; i0 += kMR) {
+    for (std::size_t j0 = 0; j0 < jmain; j0 += kPanelCols) {
+      simd_detail::d_panel<Spec, kMR>(x, u, v, w, i0, j0);
+    }
+  }
+  for (; i0 < n; ++i0) {
+    for (std::size_t j0 = 0; j0 < jmain; j0 += kPanelCols) {
+      simd_detail::d_panel<Spec, 1>(x, u, v, w, i0, j0);
+    }
+  }
+  if (jmain < n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const T wkk = Spec::kUsesW ? w(k, k) : T{};
+      const T* vk = v.row(k);
+      for (std::size_t i = 0; i < n; ++i) {
+        simd_detail::row_update<Spec>(x.row(i), vk, jmain, n, u(i, k), wkk);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- base dispatch
+
+/// Resolve KernelBase::kAuto for a spec on this build. An explicit kSimd on
+/// a spec without vector ops degrades to scalar (documented behaviour) so
+/// generic GepSpecs keep working everywhere.
+template <GepSpecType Spec>
+constexpr KernelBase resolve_base(KernelBase base) {
+  if (!SimdSpecOps<Spec>::kEnabled) return KernelBase::kScalar;
+  if (base == KernelBase::kAuto) {
+    return simd::has_vector_unit() ? KernelBase::kSimd : KernelBase::kScalar;
+  }
+  return base;
+}
+
+template <GepSpecType Spec>
+void base_a(KernelBase base, Span2D<typename Spec::value_type> x) {
+  if constexpr (SimdSpecOps<Spec>::kEnabled) {
+    if (resolve_base<Spec>(base) == KernelBase::kSimd) return simd_a<Spec>(x);
+  }
+  iter_a<Spec>(x);
+}
+
+template <GepSpecType Spec>
+void base_b(KernelBase base, Span2D<typename Spec::value_type> x,
+            Span2D<const typename Spec::value_type> u,
+            Span2D<const typename Spec::value_type> w) {
+  if constexpr (SimdSpecOps<Spec>::kEnabled) {
+    if (resolve_base<Spec>(base) == KernelBase::kSimd) {
+      return simd_b<Spec>(x, u, w);
+    }
+  }
+  iter_b<Spec>(x, u, w);
+}
+
+template <GepSpecType Spec>
+void base_c(KernelBase base, Span2D<typename Spec::value_type> x,
+            Span2D<const typename Spec::value_type> v,
+            Span2D<const typename Spec::value_type> w) {
+  if constexpr (SimdSpecOps<Spec>::kEnabled) {
+    if (resolve_base<Spec>(base) == KernelBase::kSimd) {
+      return simd_c<Spec>(x, v, w);
+    }
+  }
+  iter_c<Spec>(x, v, w);
+}
+
+template <GepSpecType Spec>
+void base_d(KernelBase base, Span2D<typename Spec::value_type> x,
+            Span2D<const typename Spec::value_type> u,
+            Span2D<const typename Spec::value_type> v,
+            Span2D<const typename Spec::value_type> w) {
+  if constexpr (SimdSpecOps<Spec>::kEnabled) {
+    if (resolve_base<Spec>(base) == KernelBase::kSimd) {
+      return simd_d<Spec>(x, u, v, w);
+    }
+  }
+  iter_d<Spec>(x, u, v, w);
+}
+
+}  // namespace gs

@@ -62,3 +62,15 @@ class JobAbortedError : public std::runtime_error {
   do {                                    \
     if (cond) throw ExType(msg);          \
   } while (0)
+
+// GS_RESTRICT — portable `restrict` qualifier for hot-loop row pointers.
+// Kernels apply it only where operands are provably disjoint (e.g. row i vs
+// row k with i != k); aliased cases (kernel A's own pivot row) use separate,
+// unqualified loops.
+#if defined(__GNUC__) || defined(__clang__)
+#define GS_RESTRICT __restrict__
+#elif defined(_MSC_VER)
+#define GS_RESTRICT __restrict
+#else
+#define GS_RESTRICT
+#endif

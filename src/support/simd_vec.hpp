@@ -1,0 +1,217 @@
+// simd_vec.hpp — minimal portable vector abstraction for the SIMD kernel
+// backend (kernels/simd.hpp).
+//
+// Lane width is selected at compile time from the target ISA:
+//   AVX-512F : 8 doubles / 64 bytes per vector
+//   AVX2     : 4 doubles / 32 bytes per vector
+//   NEON     : 2 doubles / 16 bytes per vector (AArch64)
+//   fallback : 1 lane — plain scalar ops, so every SIMD kernel compiles and
+//              runs (bit-identically) on any host.
+//
+// Only the handful of operations the GEP updates need are exposed: unaligned
+// load/store, broadcast, add/sub/mul/div, min/max for doubles, and bitwise
+// or/and for bytes. All loads and stores are unaligned: recursive sub-tiles
+// are strided windows into 64-byte-aligned tile storage, so rows can start
+// at any element offset.
+//
+// IEEE notes (why the vector ops match the scalar semiring ops bit-for-bit):
+//   * min-plus: `u + v` equals MinPlusSemiring::times(u, v) whenever no -inf
+//     operand is present; GEP tables for FW never contain -inf (weights and
+//     +inf padding only produce values > -inf). min_pd/std::min differ only
+//     in which operand they return for equal values — same bit pattern here.
+//   * GE: the vector kernel evaluates x - (u*v)/w with exactly the scalar
+//     expression's operation order; the intervening division prevents FMA
+//     contraction on either side, so results are bit-identical.
+//   * max-min and bool or-and are exact in any evaluation order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+// GCC's _mm512_min_pd/_mm512_max_pd expand through _mm512_undefined_pd(),
+// whose self-initialization idiom trips -Wmaybe-uninitialized when inlined
+// into optimized code (GCC PR105593) — suppress for the intrinsic header's
+// locations only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+#if defined(__AVX512F__)
+#define GS_SIMD_AVX512 1
+#include <immintrin.h>
+#elif defined(__AVX2__)
+#define GS_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define GS_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define GS_SIMD_SCALAR 1
+#endif
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace gs::simd {
+
+/// Human-readable name of the compiled-in backend (configure-time report and
+/// bench CSV provenance).
+inline constexpr const char* backend_name() {
+#if defined(GS_SIMD_AVX512)
+  return "avx512";
+#elif defined(GS_SIMD_AVX2)
+  return "avx2";
+#elif defined(GS_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+// ---------------------------------------------------------------- doubles
+
+#if defined(GS_SIMD_AVX512)
+
+struct VecD {
+  __m512d v;
+  static constexpr std::size_t kLanes = 8;
+  static VecD load(const double* p) { return {_mm512_loadu_pd(p)}; }
+  void store(double* p) const { _mm512_storeu_pd(p, v); }
+  static VecD broadcast(double x) { return {_mm512_set1_pd(x)}; }
+  friend VecD operator+(VecD a, VecD b) { return {_mm512_add_pd(a.v, b.v)}; }
+  friend VecD operator-(VecD a, VecD b) { return {_mm512_sub_pd(a.v, b.v)}; }
+  friend VecD operator*(VecD a, VecD b) { return {_mm512_mul_pd(a.v, b.v)}; }
+  friend VecD operator/(VecD a, VecD b) { return {_mm512_div_pd(a.v, b.v)}; }
+  static VecD min(VecD a, VecD b) { return {_mm512_min_pd(a.v, b.v)}; }
+  static VecD max(VecD a, VecD b) { return {_mm512_max_pd(a.v, b.v)}; }
+};
+
+#elif defined(GS_SIMD_AVX2)
+
+struct VecD {
+  __m256d v;
+  static constexpr std::size_t kLanes = 4;
+  static VecD load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+  static VecD broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  friend VecD operator+(VecD a, VecD b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend VecD operator-(VecD a, VecD b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  friend VecD operator*(VecD a, VecD b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  friend VecD operator/(VecD a, VecD b) { return {_mm256_div_pd(a.v, b.v)}; }
+  static VecD min(VecD a, VecD b) { return {_mm256_min_pd(a.v, b.v)}; }
+  static VecD max(VecD a, VecD b) { return {_mm256_max_pd(a.v, b.v)}; }
+};
+
+#elif defined(GS_SIMD_NEON)
+
+struct VecD {
+  float64x2_t v;
+  static constexpr std::size_t kLanes = 2;
+  static VecD load(const double* p) { return {vld1q_f64(p)}; }
+  void store(double* p) const { vst1q_f64(p, v); }
+  static VecD broadcast(double x) { return {vdupq_n_f64(x)}; }
+  friend VecD operator+(VecD a, VecD b) { return {vaddq_f64(a.v, b.v)}; }
+  friend VecD operator-(VecD a, VecD b) { return {vsubq_f64(a.v, b.v)}; }
+  friend VecD operator*(VecD a, VecD b) { return {vmulq_f64(a.v, b.v)}; }
+  friend VecD operator/(VecD a, VecD b) { return {vdivq_f64(a.v, b.v)}; }
+  static VecD min(VecD a, VecD b) { return {vminq_f64(a.v, b.v)}; }
+  static VecD max(VecD a, VecD b) { return {vmaxq_f64(a.v, b.v)}; }
+};
+
+#else
+
+struct VecD {
+  double v;
+  static constexpr std::size_t kLanes = 1;
+  static VecD load(const double* p) { return {*p}; }
+  void store(double* p) const { *p = v; }
+  static VecD broadcast(double x) { return {x}; }
+  friend VecD operator+(VecD a, VecD b) { return {a.v + b.v}; }
+  friend VecD operator-(VecD a, VecD b) { return {a.v - b.v}; }
+  friend VecD operator*(VecD a, VecD b) { return {a.v * b.v}; }
+  friend VecD operator/(VecD a, VecD b) { return {a.v / b.v}; }
+  static VecD min(VecD a, VecD b) { return {b.v < a.v ? b.v : a.v}; }
+  static VecD max(VecD a, VecD b) { return {a.v < b.v ? b.v : a.v}; }
+};
+
+#endif
+
+// ------------------------------------------------------------------ bytes
+
+#if defined(GS_SIMD_AVX512)
+
+struct VecB {
+  __m512i v;
+  static constexpr std::size_t kLanes = 64;
+  static VecB load(const std::uint8_t* p) { return {_mm512_loadu_si512(p)}; }
+  void store(std::uint8_t* p) const { _mm512_storeu_si512(p, v); }
+  static VecB broadcast(std::uint8_t x) {
+    return {_mm512_set1_epi8(static_cast<char>(x))};
+  }
+  friend VecB operator|(VecB a, VecB b) { return {_mm512_or_si512(a.v, b.v)}; }
+  friend VecB operator&(VecB a, VecB b) { return {_mm512_and_si512(a.v, b.v)}; }
+};
+
+#elif defined(GS_SIMD_AVX2)
+
+struct VecB {
+  __m256i v;
+  static constexpr std::size_t kLanes = 32;
+  static VecB load(const std::uint8_t* p) {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(std::uint8_t* p) const {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static VecB broadcast(std::uint8_t x) {
+    return {_mm256_set1_epi8(static_cast<char>(x))};
+  }
+  friend VecB operator|(VecB a, VecB b) { return {_mm256_or_si256(a.v, b.v)}; }
+  friend VecB operator&(VecB a, VecB b) { return {_mm256_and_si256(a.v, b.v)}; }
+};
+
+#elif defined(GS_SIMD_NEON)
+
+struct VecB {
+  uint8x16_t v;
+  static constexpr std::size_t kLanes = 16;
+  static VecB load(const std::uint8_t* p) { return {vld1q_u8(p)}; }
+  void store(std::uint8_t* p) const { vst1q_u8(p, v); }
+  static VecB broadcast(std::uint8_t x) { return {vdupq_n_u8(x)}; }
+  friend VecB operator|(VecB a, VecB b) { return {vorrq_u8(a.v, b.v)}; }
+  friend VecB operator&(VecB a, VecB b) { return {vandq_u8(a.v, b.v)}; }
+};
+
+#else
+
+struct VecB {
+  std::uint8_t v;
+  static constexpr std::size_t kLanes = 1;
+  static VecB load(const std::uint8_t* p) { return {*p}; }
+  void store(std::uint8_t* p) const { *p = v; }
+  static VecB broadcast(std::uint8_t x) { return {x}; }
+  friend VecB operator|(VecB a, VecB b) {
+    return {static_cast<std::uint8_t>(a.v | b.v)};
+  }
+  friend VecB operator&(VecB a, VecB b) {
+    return {static_cast<std::uint8_t>(a.v & b.v)};
+  }
+};
+
+#endif
+
+/// Compile-time vector width (in lanes) for an element type; 1 for types
+/// without a vector implementation.
+template <typename T>
+inline constexpr std::size_t lanes_for = 1;
+template <>
+inline constexpr std::size_t lanes_for<double> = VecD::kLanes;
+template <>
+inline constexpr std::size_t lanes_for<std::uint8_t> = VecB::kLanes;
+
+/// True when the build has real (multi-lane) vector units available.
+inline constexpr bool has_vector_unit() { return VecD::kLanes > 1; }
+
+}  // namespace gs::simd

@@ -26,12 +26,21 @@ class Differential : public ::testing::TestWithParam<std::uint64_t> {
   std::size_t n() const { return 24 + (GetParam() * 7) % 41; }  // 24..64
   std::size_t block() const { return 8 + (GetParam() % 3) * 4; }  // 8/12/16
   KernelConfig kernel() const {
+    KernelConfig cfg;
     switch (GetParam() % 4) {
-      case 0: return KernelConfig::iterative();
-      case 1: return KernelConfig::recursive(2, 1, 4);
-      case 2: return KernelConfig::recursive(4, 2, 4);
-      default: return KernelConfig::tiled(4, 1);
+      case 0: cfg = KernelConfig::iterative(); break;
+      case 1: cfg = KernelConfig::recursive(2, 1, 4); break;
+      case 2: cfg = KernelConfig::recursive(4, 2, 4); break;
+      default: cfg = KernelConfig::tiled(4, 1); break;
     }
+    // Rotate the base-case backend so SIMD-backed drivers are fuzzed
+    // against scalar-backed paths across the same seeds.
+    switch (GetParam() % 3) {
+      case 0: cfg.base = KernelBase::kScalar; break;
+      case 1: cfg.base = KernelBase::kSimd; break;
+      default: cfg.base = KernelBase::kAuto; break;
+    }
+    return cfg;
   }
 };
 
