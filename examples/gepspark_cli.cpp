@@ -31,6 +31,9 @@ struct CliArgs {
   int cores = 2;
   std::string trace;             // chrome-trace output path
   bool verify = true;
+  std::string chaos;             // fault-injection spec (key=value CSV)
+  int checkpoint_interval = 1;   // 0 = never checkpoint
+  bool speculate = false;        // enable speculative execution
 };
 
 void usage() {
@@ -46,7 +49,16 @@ void usage() {
       "  --omp <t>                           OMP_NUM_THREADS (default 1)\n"
       "  --nodes <n> --cores <c>             virtual cluster (default 4x2)\n"
       "  --trace <file.json>                 export Chrome trace\n"
-      "  --no-verify                         skip reference validation\n");
+      "  --no-verify                         skip reference validation\n"
+      "  --checkpoint-interval <k>           checkpoint DP every k iterations\n"
+      "                                      (default 1; 0 = never)\n"
+      "  --speculate                         enable speculative execution\n"
+      "  --chaos <spec>                      seeded fault injection, e.g.\n"
+      "      tasks=0.2,kills=2,killp=0.5,fetch=0.2,straggle=0.2,factor=8,\n"
+      "      corrupt=1.0,attempts=6,stageattempts=4,seed=42\n"
+      "      (tasks/fetch/killp/straggle/corrupt are probabilities; kills =\n"
+      "      max executor kills; attempts = task retries; factor = straggler\n"
+      "      slowdown)\n");
 }
 
 bool parse(int argc, char** argv, CliArgs& a) {
@@ -79,12 +91,67 @@ bool parse(int argc, char** argv, CliArgs& a) {
       a.cores = std::stoi(argv[++i]);
     } else if (flag == "--trace" && (i + 1) < argc) {
       a.trace = argv[++i];
+    } else if (flag == "--chaos" && (i + 1) < argc) {
+      a.chaos = argv[++i];
+    } else if (flag == "--checkpoint-interval" && (i + 1) < argc) {
+      a.checkpoint_interval = std::stoi(argv[++i]);
+    } else if (flag == "--speculate") {
+      a.speculate = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
     }
   }
   return true;
+}
+
+// Parses a `--chaos` spec: comma-separated key=value pairs, e.g.
+// "tasks=0.2,kills=2,fetch=0.2,seed=42". Unknown keys are an error so typos
+// don't silently run a fault-free experiment.
+sparklet::ChaosPlan parse_chaos(const std::string& spec) {
+  sparklet::ChaosPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    GS_THROW_IF(eq == std::string::npos, gs::ConfigError,
+                "chaos spec item '" + item + "' is not key=value");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "tasks") plan.task_failure_prob = std::stod(val);
+    else if (key == "attempts") plan.max_task_attempts = std::stoi(val);
+    else if (key == "killp") plan.executor_kill_prob = std::stod(val);
+    else if (key == "kills") plan.max_executor_kills = std::stoi(val);
+    else if (key == "fetch") plan.fetch_failure_prob = std::stod(val);
+    else if (key == "stageattempts") plan.max_stage_attempts = std::stoi(val);
+    else if (key == "straggle") plan.straggler_prob = std::stod(val);
+    else if (key == "factor") plan.straggler_factor = std::stod(val);
+    else if (key == "corrupt") plan.checkpoint_corruption_prob = std::stod(val);
+    else if (key == "corruptmax") plan.max_block_corruptions = std::stoi(val);
+    else if (key == "seed") plan.seed = std::stoull(val);
+    else
+      throw gs::ConfigError("unknown chaos key: " + key);
+  }
+  return plan;
+}
+
+void print_recovery(const sparklet::RecoveryCounters& rc) {
+  std::printf(
+      "  recovery: %d task failures (%d retries), %d executor kills "
+      "(%d tasks rescheduled), %d fetch failures (%d stage resubmissions)\n"
+      "            %d partitions dropped / %d recomputed, %d checkpoint "
+      "blocks (%s, %d corrupted), %d evictions\n"
+      "            %d stragglers, %d speculative launches (%d wins)\n",
+      rc.task_failures, rc.task_retries, rc.executor_kills,
+      rc.tasks_rescheduled, rc.fetch_failures, rc.stage_resubmissions,
+      rc.partitions_dropped, rc.partitions_recomputed, rc.checkpoint_blocks,
+      gs::human_bytes(double(rc.checkpoint_bytes)).c_str(),
+      rc.corrupted_blocks, rc.evictions, rc.stragglers_injected,
+      rc.speculative_launches, rc.speculative_wins);
 }
 
 gs::KernelBase parse_base(const std::string& base) {
@@ -115,6 +182,7 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
   opt.strategy = a.strategy == "cb" ? gepspark::Strategy::kCollectBroadcast
                                     : gepspark::Strategy::kInMemory;
   opt.kernel = parse_kernel(a);
+  opt.checkpoint_interval = a.checkpoint_interval;
 
   gepspark::SolveStats st;
   double diff = 0.0;
@@ -194,6 +262,8 @@ int main(int argc, char** argv) {
   try {
     sparklet::SparkContext sc(
         sparklet::ClusterConfig::local(args.nodes, args.cores));
+    if (!args.chaos.empty()) sc.set_chaos_plan(parse_chaos(args.chaos));
+    if (args.speculate) sc.set_speculation({.enabled = true});
     int rc;
     if (args.benchmark == "paren") {
       rc = run_paren(sc, args);
@@ -206,6 +276,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown benchmark: %s\n", args.benchmark.c_str());
       usage();
       return 2;
+    }
+    if (!args.chaos.empty() || args.speculate) {
+      print_recovery(sc.metrics().recovery());
     }
     if (!args.trace.empty()) {
       sc.timeline().write_chrome_trace(args.trace);

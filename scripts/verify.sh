@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# verify.sh — the full pre-merge gate: configure + build + test the Release
+# tree, then repeat under AddressSanitizer/UBSanitizer. The chaos suite runs
+# in both, so every recovery path is exercised with memory checking on.
+#
+#   scripts/verify.sh             # both builds
+#   scripts/verify.sh --fast      # Release build only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run_tree() {
+  local dir="$1"
+  shift
+  echo "== configure ${dir} ($*) =="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  echo "== build ${dir} =="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "== test ${dir} =="
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+}
+
+run_tree build
+
+if [[ "${FAST}" == "0" ]]; then
+  run_tree build-asan -DGS_SANITIZE=ON
+fi
+
+echo "verify: all suites passed"

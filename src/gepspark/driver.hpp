@@ -164,7 +164,7 @@ class GepDriver {
                   a_self},
                  "unionIter")
                  .partition_by(part_, "repartition");
-        dp.checkpoint();
+        persist_iteration(dp, k);
         continue;
       }
 
@@ -278,7 +278,7 @@ class GepDriver {
       dp = sparklet::union_all<DPPair>({prev, a_self, bc_self, d_out},
                                        "unionIter")
                .partition_by(part_, "repartition");
-      dp.checkpoint();
+      persist_iteration(dp, k);
     }
     return dp;
   }
@@ -316,7 +316,7 @@ class GepDriver {
       if (ranges.num_b(k) == 0) {
         dp = sparklet::union_all<DPPair>({prev, a_rdd}, "unionIter")
                  .partition_by(part_, "repartition");
-        dp.checkpoint();
+        persist_iteration(dp, k);
         continue;
       }
 
@@ -366,12 +366,25 @@ class GepDriver {
       dp = sparklet::union_all<DPPair>({prev, a_rdd, bc_rdd, d_rdd},
                                        "unionIter")
                .partition_by(part_, "repartition");
-      dp.checkpoint();
+      persist_iteration(dp, k);
     }
     return dp;
   }
 
   // ------------------------------ helpers ------------------------------
+
+  /// End-of-iteration persistence (Listings 1 & 2 line "checkpoint(DP)"):
+  /// checkpoint — persist + truncate lineage — on the configured interval;
+  /// otherwise just materialize, leaving lineage intact so a later failure
+  /// replays from the last checkpoint instead of losing the job.
+  void persist_iteration(DpRdd& dp, int k) const {
+    const int interval = opt_.checkpoint_interval;
+    if (interval > 0 && (k + 1) % interval == 0) {
+      dp.checkpoint();
+    } else {
+      dp.cache();
+    }
+  }
 
   // mapValues keeps keys (and therefore the partitioner) intact, so these
   // wrappers never break the shuffle-elision chain.

@@ -41,10 +41,18 @@ struct SolverOptions {
   /// Spark's default hash partitioner.
   bool use_grid_partitioner = false;
 
+  /// Checkpoint the DP table every k outer iterations (1 = every iteration,
+  /// the paper's listings; 0 = never — the lineage then grows with r and a
+  /// failure at iteration k replays all the way from the input). Larger
+  /// intervals trade checkpoint I/O against recovery depth.
+  int checkpoint_interval = 1;
+
   void validate() const {
     GS_THROW_IF(block_size == 0, gs::ConfigError, "block_size must be > 0");
     GS_THROW_IF(num_partitions < 0, gs::ConfigError,
                 "num_partitions must be >= 0");
+    GS_THROW_IF(checkpoint_interval < 0, gs::ConfigError,
+                "checkpoint_interval must be >= 0");
     kernel.validate();
   }
 

@@ -1,5 +1,7 @@
 #include "sparklet/block_store.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 #include "support/format.hpp"
 
@@ -46,6 +48,7 @@ void BlockStore::release(int node, std::size_t bytes) {
 void BlockStore::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& u : used_) u = 0;
+  blocks_.clear();
 }
 
 std::size_t BlockStore::used(int node) const {
@@ -63,6 +66,135 @@ std::size_t BlockStore::peak(int node) const {
 std::size_t BlockStore::total_written() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_written_;
+}
+
+double BlockStore::put_block(int node, const BlockId& id, std::size_t bytes,
+                             std::uint64_t checksum, bool pinned) {
+  GS_CHECK(node >= 0 && node < num_nodes());
+  std::vector<BlockId> evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Overwrite semantics: drop the old registration first.
+    for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+      if (it->id == id) {
+        auto& old_u = used_[static_cast<std::size_t>(it->node)];
+        old_u = (it->bytes >= old_u) ? 0 : old_u - it->bytes;
+        blocks_.erase(it);
+        break;
+      }
+    }
+    auto& u = used_[static_cast<std::size_t>(node)];
+    // Capacity pressure: evict least-recently-written unpinned blocks that
+    // the filter allows, instead of failing outright — they are recomputable
+    // from lineage.
+    while (static_cast<double>(u) + static_cast<double>(bytes) >
+           spec_.capacity_bytes) {
+      auto victim = blocks_.end();
+      for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+        if (it->node != node || it->pinned) continue;
+        if (evict_filter_ && !evict_filter_(it->id)) continue;
+        if (victim == blocks_.end() || it->stamp < victim->stamp) victim = it;
+      }
+      if (victim == blocks_.end()) {
+        throw gs::CapacityError(gs::strfmt(
+            "%s on node %d overflows and no block is evictable: %s used + %s "
+            "requested > %s capacity",
+            spec_.kind.c_str(), node, gs::human_bytes(double(u)).c_str(),
+            gs::human_bytes(double(bytes)).c_str(),
+            gs::human_bytes(spec_.capacity_bytes).c_str()));
+      }
+      u = (victim->bytes >= u) ? 0 : u - victim->bytes;
+      evicted.push_back(victim->id);
+      blocks_.erase(victim);
+      ++evictions_;
+    }
+    u += bytes;
+    auto& p = peak_[static_cast<std::size_t>(node)];
+    if (u > p) p = u;
+    total_written_ += bytes;
+    blocks_.push_back({id, node, bytes, checksum, pinned, ++clock_});
+  }
+  // Hooks run outside the lock: they drop the owning RDD's partition, which
+  // must never re-enter this store's mutex.
+  if (evict_hook_) {
+    for (const auto& b : evicted) evict_hook_(b);
+  }
+  return spec_.seek_s + static_cast<double>(bytes) / spec_.write_Bps;
+}
+
+bool BlockStore::has_block(const BlockId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(blocks_.begin(), blocks_.end(),
+                     [&](const BlockInfo& b) { return b.id == id; });
+}
+
+bool BlockStore::verify_block(const BlockId& id, std::uint64_t expect) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : blocks_) {
+    if (b.id == id) return b.checksum == expect;
+  }
+  return false;
+}
+
+void BlockStore::corrupt_block(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& b : blocks_) {
+    if (b.id == id) {
+      b.checksum ^= 0xbad0bad0bad0bad0ULL;
+      return;
+    }
+  }
+}
+
+void BlockStore::remove_block(const BlockId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->id == id) {
+      auto& u = used_[static_cast<std::size_t>(it->node)];
+      u = (it->bytes >= u) ? 0 : u - it->bytes;
+      blocks_.erase(it);
+      return;
+    }
+  }
+}
+
+void BlockStore::remove_rdd_blocks(int rdd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (it->id.rdd == rdd) {
+      auto& u = used_[static_cast<std::size_t>(it->node)];
+      u = (it->bytes >= u) ? 0 : u - it->bytes;
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<BlockId> BlockStore::blocks_on(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const BlockInfo*> on_node;
+  for (const auto& b : blocks_) {
+    if (b.node == node) on_node.push_back(&b);
+  }
+  std::sort(on_node.begin(), on_node.end(),
+            [](const BlockInfo* a, const BlockInfo* b) {
+              return a->stamp < b->stamp;
+            });
+  std::vector<BlockId> out;
+  out.reserve(on_node.size());
+  for (const BlockInfo* b : on_node) out.push_back(b->id);
+  return out;
+}
+
+std::size_t BlockStore::num_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+int BlockStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace sparklet

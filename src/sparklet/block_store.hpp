@@ -8,9 +8,19 @@
 //     through.
 // All I/O is virtual: operations return the seconds they would take and
 // update the accounted usage; actual data stays in process memory.
+//
+// On top of the raw byte counters sits a *named block* layer used by the
+// fault-tolerance machinery: cached RDD partitions and checkpoint files are
+// registered as (rdd, partition) blocks with a checksum. Named blocks give
+// the scheduler something concrete to lose (executor kill), corrupt (chaos
+// checkpoint injection), or evict under capacity pressure (LRU over unpinned
+// blocks — graceful degradation instead of a hard CapacityError, since
+// evicted partitions are recomputable from lineage).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -18,8 +28,25 @@
 
 namespace sparklet {
 
+/// Identity of a cached/checkpointed partition in a BlockStore.
+struct BlockId {
+  int rdd = -1;
+  int partition = -1;
+
+  friend bool operator==(const BlockId& a, const BlockId& b) {
+    return a.rdd == b.rdd && a.partition == b.partition;
+  }
+};
+
 class BlockStore {
  public:
+  /// Decides whether a block may be evicted under pressure (e.g. the
+  /// scheduler protects the running job's lineage). Default: everything
+  /// unpinned is fair game.
+  using EvictionFilter = std::function<bool(const BlockId&)>;
+  /// Invoked (outside the store lock) for every block evicted by pressure.
+  using EvictHook = std::function<void(const BlockId&)>;
+
   BlockStore(DiskSpec spec, int num_nodes);
 
   /// Stage `bytes` on `node`'s disk. Returns virtual seconds for the write.
@@ -37,15 +64,55 @@ class BlockStore {
   std::size_t peak(int node) const;
   std::size_t total_written() const;
 
+  // ----------------------- named blocks (fault tolerance) -----------------
+
+  /// Register (or overwrite) block `id` on `node`. When the node would
+  /// overflow, unpinned blocks passing the eviction filter are evicted
+  /// least-recently-written first; if that still cannot make room, throws
+  /// gs::CapacityError. Pinned blocks (checkpoints) are never evicted.
+  /// Returns virtual seconds for the write.
+  double put_block(int node, const BlockId& id, std::size_t bytes,
+                   std::uint64_t checksum, bool pinned);
+
+  bool has_block(const BlockId& id) const;
+  /// True when the block exists and its stored checksum matches `expect`.
+  bool verify_block(const BlockId& id, std::uint64_t expect) const;
+  /// Chaos injection: flip the stored checksum so verification fails.
+  void corrupt_block(const BlockId& id);
+  void remove_block(const BlockId& id);
+  void remove_rdd_blocks(int rdd);
+  /// Blocks currently resident on `node`, oldest first.
+  std::vector<BlockId> blocks_on(int node) const;
+  std::size_t num_blocks() const;
+  int evictions() const;
+
+  void set_evict_hook(EvictHook hook) { evict_hook_ = std::move(hook); }
+  void set_eviction_filter(EvictionFilter f) { evict_filter_ = std::move(f); }
+
   const DiskSpec& spec() const { return spec_; }
   int num_nodes() const { return static_cast<int>(used_.size()); }
 
  private:
+  struct BlockInfo {
+    BlockId id;
+    int node = 0;
+    std::size_t bytes = 0;
+    std::uint64_t checksum = 0;
+    bool pinned = false;
+    std::uint64_t stamp = 0;  ///< write clock, for least-recently-written
+  };
+
   DiskSpec spec_;
   mutable std::mutex mu_;
   std::vector<std::size_t> used_;
   std::vector<std::size_t> peak_;
   std::size_t total_written_ = 0;
+
+  std::vector<BlockInfo> blocks_;
+  std::uint64_t clock_ = 0;
+  int evictions_ = 0;
+  EvictHook evict_hook_;
+  EvictionFilter evict_filter_;
 };
 
 }  // namespace sparklet

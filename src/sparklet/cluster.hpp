@@ -66,6 +66,11 @@ struct ClusterConfig {
   /// Per-stage overhead (DAG scheduling, barrier).
   double stage_overhead_s = 20e-3;
 
+  /// Physical host threads backing the executor pool (0 → auto: the virtual
+  /// slot count clamped to 2 × hardware concurrency). Chaos tests pin this to
+  /// prove fault injection is independent of thread-pool interleaving.
+  int physical_threads = 0;
+
   int num_executors() const { return num_nodes * executors_per_node; }
   int total_cores() const { return num_nodes * node.physical_cores; }
 

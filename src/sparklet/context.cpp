@@ -21,6 +21,11 @@ RddBase::RddBase(SparkContext* ctx, std::string label, int num_partitions,
       partitioner_(std::move(partitioner)) {
   GS_THROW_IF(num_partitions_ < 1, gs::ConfigError,
               "RDD needs at least one partition: " + label_);
+  ctx_->register_rdd(this);
+}
+
+RddBase::~RddBase() {
+  if (ctx_ != nullptr) ctx_->forget_rdd(this);
 }
 
 namespace {
@@ -28,10 +33,26 @@ namespace {
 // with hundreds of threads helps nothing, so cap it; virtual-cluster shape
 // is handled by VirtualTimeline, not by physical threads.
 std::size_t physical_pool_size(const ClusterConfig& cfg) {
+  if (cfg.physical_threads > 0) {
+    return static_cast<std::size_t>(cfg.physical_threads);
+  }
   const std::size_t want = static_cast<std::size_t>(cfg.num_executors()) *
                            static_cast<std::size_t>(cfg.executor_cores);
   const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
   return std::clamp<std::size_t>(want, 1, std::max<std::size_t>(hw * 2, 4));
+}
+
+// The executor store models cached-partition residency, not disk I/O: the
+// interesting outputs are its block inventory (what an executor kill loses)
+// and its eviction decisions, so transfers run at memory speed.
+DiskSpec executor_mem_spec(const ClusterConfig& cfg) {
+  DiskSpec d;
+  d.read_Bps = 30.0e9;
+  d.write_Bps = 30.0e9;
+  d.seek_s = 0.0;
+  d.capacity_bytes = cfg.executor_mem_bytes;
+  d.kind = "mem";
+  return d;
 }
 }  // namespace
 
@@ -40,8 +61,18 @@ SparkContext::SparkContext(ClusterConfig cfg)
       timeline_(cfg_.num_executors(), cfg_.executor_cores),
       local_disks_(cfg_.local_disk, cfg_.num_nodes),
       shared_fs_(cfg_.shared_fs, 1),
+      executor_store_(executor_mem_spec(cfg_), cfg_.num_executors()),
       pool_(physical_pool_size(cfg_)) {
   cfg_.validate();
+  // Under memory pressure, evict only blocks outside the running job's
+  // lineage whose owners can recompute them.
+  executor_store_.set_eviction_filter([this](const BlockId& b) {
+    if (protected_rdds_.count(b.rdd) != 0) return false;
+    auto it = live_rdds_.find(b.rdd);
+    return it == live_rdds_.end() || it->second->recomputable();
+  });
+  executor_store_.set_evict_hook(
+      [this](const BlockId& b) { on_block_evicted(b); });
 }
 
 SparkContext::~SparkContext() = default;
@@ -55,15 +86,183 @@ int SparkContext::current_stage_id() const {
   return current_stage_ != nullptr ? current_stage_->stage_id : -1;
 }
 
+void SparkContext::set_fault_plan(const FaultPlan& plan) {
+  fault_plan_ = plan;
+  ChaosPlan cp;
+  cp.task_failure_prob = plan.task_failure_prob;
+  cp.max_task_attempts = plan.max_attempts;
+  cp.seed = plan.seed;
+  set_chaos_plan(cp);
+}
+
+void SparkContext::set_chaos_plan(const ChaosPlan& plan) {
+  chaos_ = plan;
+  executor_kills_done_ = 0;
+  block_corruptions_done_ = 0;
+}
+
+void SparkContext::register_rdd(RddBase* node) {
+  live_rdds_[node->id()] = node;
+}
+
+void SparkContext::forget_rdd(RddBase* node) {
+  auto it = live_rdds_.find(node->id());
+  if (it != live_rdds_.end() && it->second == node) live_rdds_.erase(it);
+  executor_store_.remove_rdd_blocks(node->id());
+  shared_fs_.remove_rdd_blocks(node->id());
+}
+
+void SparkContext::on_block_evicted(const BlockId& id) {
+  metrics_.note_eviction();
+  auto it = live_rdds_.find(id.rdd);
+  if (it == live_rdds_.end()) return;
+  RddBase* nd = it->second;
+  if (nd->materialized() && !nd->checkpointed() &&
+      nd->partition_available(id.partition)) {
+    nd->drop_partition(id.partition);
+    metrics_.note_partitions_dropped(1);
+  }
+}
+
+void SparkContext::register_node_blocks(RddBase& node) {
+  if (node.checkpointed()) return;
+  for (int p = 0; p < node.num_partitions(); ++p) {
+    if (!node.partition_available(p)) continue;
+    try {
+      executor_store_.put_block(executor_of(p), {node.id(), p},
+                                node.partition_bytes(p),
+                                node.partition_checksum(p), /*pinned=*/false);
+    } catch (const gs::CapacityError&) {
+      // Even after evicting every unprotected block the executor is full —
+      // the running job's own working set exceeds memory. Degrade instead of
+      // failing: the partition simply goes untracked by the cache model
+      // (Spark's MEMORY_ONLY drops what doesn't fit and recomputes later).
+    }
+  }
+}
+
+void SparkContext::drop_executor_blocks(int executor,
+                                        const RddBase* running_node) {
+  int dropped = 0;
+  for (const BlockId& b : executor_store_.blocks_on(executor)) {
+    if (running_node != nullptr && b.rdd == running_node->id()) continue;
+    auto it = live_rdds_.find(b.rdd);
+    if (it != live_rdds_.end()) {
+      RddBase* nd = it->second;
+      if (nd->materialized() && !nd->checkpointed() &&
+          nd->partition_available(b.partition)) {
+        nd->drop_partition(b.partition);
+        ++dropped;
+      }
+    }
+    executor_store_.remove_block(b);
+  }
+  if (dropped > 0) metrics_.note_partitions_dropped(dropped);
+}
+
+void SparkContext::ensure_lineage_available(RddBase& node) {
+  // Post-order over ALL ancestors (materialized ones included — they may
+  // have lost partitions to a kill or an eviction), parents before children
+  // so recomputation always finds its inputs.
+  std::vector<RddBase*> order;
+  std::unordered_set<RddBase*> visited;
+  struct Frame {
+    RddBase* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> frames;
+  frames.push_back({&node, 0});
+  visited.insert(&node);
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.next_parent < f.node->parents().size()) {
+      RddBase* parent = f.node->parents()[f.next_parent++].get();
+      if (parent != nullptr && visited.insert(parent).second) {
+        frames.push_back({parent, 0});
+      }
+    } else {
+      if (f.node != &node) order.push_back(f.node);
+      frames.pop_back();
+    }
+  }
+  for (RddBase* a : order) {
+    if (!a->materialized()) continue;
+    RecoveringGuard guard(this);
+    const int k = a->recompute_missing();
+    if (k > 0) {
+      metrics_.note_partitions_recomputed(k);
+      register_node_blocks(*a);
+    }
+  }
+}
+
+void SparkContext::materialize_with_recovery(RddBase& node) {
+  const int max_attempts = std::max(1, chaos_.max_stage_attempts);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      ensure_lineage_available(node);
+      if (!node.materialized()) {
+        node.do_materialize();
+      } else {
+        RecoveringGuard guard(this);
+        const int k = node.recompute_missing();
+        if (k > 0) metrics_.note_partitions_recomputed(k);
+      }
+      register_node_blocks(node);
+      return;
+    } catch (const gs::FetchFailedError& e) {
+      // Lost shuffle/cache input: resubmit after regenerating the parent
+      // outputs via lineage (ensure_lineage_available on the next spin),
+      // with exponential backoff — Spark's FetchFailed handling.
+      metrics_.note_stage_resubmission();
+      timeline_.add_marker("stage-resubmit");
+      if (attempt >= max_attempts) {
+        throw gs::JobAbortedError(
+            gs::strfmt("stage for RDD %d (%s) failed %d attempts: %s",
+                       node.id(), node.label().c_str(), attempt, e.what()));
+      }
+      timeline_.add_serial(
+          "stage-retry-backoff",
+          cfg_.stage_overhead_s * static_cast<double>(1u << (attempt - 1)));
+    }
+  }
+}
+
 void SparkContext::run_job(const std::shared_ptr<RddBase>& target,
                            const std::string& action_name) {
   GS_CHECK(target != nullptr);
-  if (target->materialized()) return;  // nothing to do — result is cached
+
+  // Shield the job's full lineage from memory-pressure eviction while it
+  // runs; anything outside it is fair game (and recomputable on demand).
+  struct ProtectGuard {
+    SparkContext* c;
+    ~ProtectGuard() { c->protected_rdds_.clear(); }
+  } protect_guard{this};
+  protected_rdds_.clear();
+  {
+    std::vector<RddBase*> stack{target.get()};
+    protected_rdds_.insert(target->id());
+    while (!stack.empty()) {
+      RddBase* n = stack.back();
+      stack.pop_back();
+      for (const auto& p : n->parents()) {
+        if (p != nullptr && protected_rdds_.insert(p->id()).second) {
+          stack.push_back(p.get());
+        }
+      }
+    }
+  }
+
+  if (target->materialized()) {
+    // Result cached — but partitions may have been lost to an executor kill
+    // or an eviction since; restore them before the action reads the data.
+    materialize_with_recovery(*target);
+    return;
+  }
 
   // 1. Topological order over unmaterialized ancestors.
   std::vector<RddBase*> order;
   std::unordered_set<RddBase*> visited;
-  std::vector<RddBase*> dfs_stack;
   // Iterative post-order DFS (lineages can be thousands of nodes deep after
   // many driver iterations; recursion would overflow).
   struct Frame {
@@ -101,7 +300,7 @@ void SparkContext::run_job(const std::shared_ptr<RddBase>& target,
     max_stage = std::max(max_stage, s);
   }
 
-  // 3. Execute stages in order.
+  // 3. Execute stages in order, recovering lost inputs as they surface.
   gs::Stopwatch job_sw;
   int stages_run = 0;
   for (int s = 0; s <= max_stage; ++s) {
@@ -121,7 +320,7 @@ void SparkContext::run_job(const std::shared_ptr<RddBase>& target,
                          cfg_.stage_overhead_s);
     gs::Stopwatch stage_sw;
     try {
-      for (RddBase* n : nodes) n->do_materialize();
+      for (RddBase* n : nodes) materialize_with_recovery(*n);
     } catch (...) {
       current_stage_ = nullptr;
       throw;
@@ -142,47 +341,269 @@ void SparkContext::run_job(const std::shared_ptr<RddBase>& target,
 
 void SparkContext::run_node_tasks(RddBase& node,
                                   const std::function<void(int)>& body) {
-  const int n = node.num_partitions();
-  std::vector<double> durations(static_cast<std::size_t>(n), 0.0);
-  gs::parallel_for(pool_, static_cast<std::size_t>(n), [&](std::size_t p) {
+  std::vector<int> parts(static_cast<std::size_t>(node.num_partitions()));
+  for (std::size_t i = 0; i < parts.size(); ++i) parts[i] = static_cast<int>(i);
+  run_tasks_internal(node, parts, body, recovering_);
+}
+
+void SparkContext::run_recovery_tasks(RddBase& node,
+                                      const std::vector<int>& parts,
+                                      const std::function<void(int)>& body) {
+  RecoveringGuard guard(this);
+  run_tasks_internal(node, parts, body, /*recovery=*/true);
+}
+
+void SparkContext::run_tasks_internal(RddBase& node,
+                                      const std::vector<int>& parts,
+                                      const std::function<void(int)>& body,
+                                      bool recovery) {
+  const std::size_t n = parts.size();
+  if (n == 0) return;
+  const std::uint64_t epoch = node.next_run_epoch();
+  const std::uint64_t rdd_id = static_cast<std::uint64_t>(node.id());
+  const int num_exec = cfg_.num_executors();
+
+  // --- Injected reducer-side fetch failure (wide stages, first run only:
+  // resubmissions model a recovered cluster view). Decided driver-side.
+  if (!recovery && chaos_.fetch_failure_prob > 0.0 && node.wide_input() &&
+      epoch == 0) {
+    gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosFetch, rdd_id, epoch, 0));
+    if (rng.bernoulli(chaos_.fetch_failure_prob)) {
+      for (const auto& par : node.parents()) {
+        RddBase* pp = par.get();
+        if (pp == nullptr || !pp->materialized() || pp->checkpointed() ||
+            !pp->recomputable()) {
+          continue;
+        }
+        std::vector<int> avail;
+        for (int q = 0; q < pp->num_partitions(); ++q) {
+          if (pp->partition_available(q)) avail.push_back(q);
+        }
+        if (avail.empty()) continue;
+        const int lost = avail[rng.uniform_u64(avail.size())];
+        pp->drop_partition(lost);
+        executor_store_.remove_block({pp->id(), lost});
+        metrics_.note_fetch_failure();
+        metrics_.note_partitions_dropped(1);
+        timeline_.add_marker("fetch-failure");
+        throw gs::FetchFailedError(gs::strfmt(
+            "reducer for RDD %d (%s) could not fetch map output %d of RDD %d "
+            "(%s)",
+            node.id(), node.label().c_str(), lost, pp->id(),
+            pp->label().c_str()));
+      }
+    }
+  }
+
+  // --- Executor-kill decision (driver-side, budgeted, deterministic).
+  int kill_victim = -1;
+  double kill_fraction = 0.0;
+  if (!recovery && chaos_.executor_kill_prob > 0.0 && num_exec > 1 &&
+      executor_kills_done_ < chaos_.max_executor_kills) {
+    gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosKill, rdd_id, epoch, 0));
+    if (rng.bernoulli(chaos_.executor_kill_prob)) {
+      gs::Rng place(
+          chaos_event_seed(chaos_.seed, kChaosKillPlace, rdd_id, epoch, 0));
+      kill_victim =
+          static_cast<int>(place.uniform_u64(static_cast<std::uint64_t>(num_exec)));
+      // How far the victim's in-flight tasks got before it died — that work
+      // is lost and shows up as dead spans on its timeline lanes.
+      kill_fraction = place.uniform(0.2, 0.9);
+      ++executor_kills_done_;
+    }
+  }
+
+  // --- Straggler flags, decided per (rdd, partition, epoch).
+  std::vector<char> straggler(n, 0);
+  if (!recovery && chaos_.straggler_prob > 0.0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosStraggler, rdd_id,
+                                   static_cast<std::uint64_t>(parts[i]), epoch));
+      straggler[i] = rng.bernoulli(chaos_.straggler_prob) ? 1 : 0;
+    }
+  }
+
+  // --- Execute the (pure) task bodies with same-task retry on injected
+  // failures. Seeds depend only on (seed, rdd, partition, epoch, attempt) —
+  // never on which pool thread picked the task up.
+  std::vector<double> durations(n, 0.0);
+  std::vector<int> attempts(n, 1);
+  gs::parallel_for(pool_, n, [&](std::size_t i) {
+    const int p = parts[i];
     gs::Stopwatch sw;
-    // Fault injection: each attempt may be "lost" (executor failure);
-    // the pure partition computation is simply retried, like Spark
-    // recomputing from lineage. Deterministic in (seed, rdd, p, attempt).
     for (int attempt = 1;; ++attempt) {
-      if (fault_plan_.task_failure_prob > 0.0) {
-        gs::Rng rng(fault_plan_.seed ^
-                    (static_cast<std::uint64_t>(node.id()) << 40) ^
-                    (static_cast<std::uint64_t>(p) << 8) ^
-                    static_cast<std::uint64_t>(attempt));
-        if (rng.bernoulli(fault_plan_.task_failure_prob)) {
+      if (chaos_.task_failure_prob > 0.0) {
+        gs::Rng rng(chaos_event_seed(
+            chaos_.seed, kChaosTask, rdd_id, static_cast<std::uint64_t>(p),
+            (epoch << 32) | static_cast<std::uint64_t>(attempt)));
+        if (rng.bernoulli(chaos_.task_failure_prob)) {
           injected_failures_.fetch_add(1);
-          if (attempt >= fault_plan_.max_attempts) {
+          metrics_.note_task_failure();
+          if (attempt >= chaos_.max_task_attempts) {
             throw gs::JobAbortedError(gs::strfmt(
-                "task %zu of RDD %d (%s) failed %d times — aborting job",
-                p, node.id(), node.label().c_str(), attempt));
+                "task %d of RDD %d (%s) failed %d times — aborting job", p,
+                node.id(), node.label().c_str(), attempt));
           }
+          metrics_.note_task_retry();
           continue;  // retry
         }
       }
-      body(static_cast<int>(p));
+      body(p);
+      attempts[i] = attempt;
       break;
     }
-    durations[p] = sw.seconds();
+    durations[i] = sw.seconds();
   });
 
-  std::vector<int> executors(static_cast<std::size_t>(n));
-  const int stage_id = current_stage_id();
-  for (int p = 0; p < n; ++p) {
-    executors[static_cast<std::size_t>(p)] = executor_of(p);
-    metrics_.add_task({stage_id, p, executor_of(p),
-                       durations[static_cast<std::size_t>(p)], 0,
-                       node.partition_items(p)});
+  // --- Virtual-time effects (driver-side): stragglers stretch durations,
+  // kills reroute tasks to survivors, speculation races the stretched ones.
+  // A straggler is slow end to end — dispatch, fetch, compute — so the
+  // factor applies to the whole task slot (body + per-task overhead), not
+  // just the measured body time.
+  std::vector<double> vdur(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double clean = durations[i] + cfg_.task_overhead_s;
+    vdur[i] = clean * (straggler[i] ? chaos_.straggler_factor : 1.0);
   }
-  // Virtual time: every task also pays the scheduler dispatch overhead.
-  std::vector<double> with_overhead = durations;
-  for (auto& d : with_overhead) d += cfg_.task_overhead_s;
-  timeline_.add_stage(node.label(), with_overhead, executors);
+
+  double spec_thr = 0.0;
+  std::vector<char> spec_launch(n, 0), spec_win(n, 0);
+  if (spec_.enabled && !recovery &&
+      static_cast<int>(n) >= spec_.min_tasks) {
+    std::vector<double> sorted(vdur);
+    std::sort(sorted.begin(), sorted.end());
+    const double median = sorted[n / 2];
+    spec_thr = spec_.multiplier * median;
+    if (spec_thr > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (vdur[i] <= spec_thr) continue;
+        spec_launch[i] = 1;
+        // The copy launches once the task is flagged slow (at the threshold)
+        // and runs at clean speed; it wins if it beats the straggler home.
+        const double clean = durations[i] + cfg_.task_overhead_s;
+        if (spec_thr + clean < vdur[i]) spec_win[i] = 1;
+      }
+    }
+  }
+
+  const int stage_id = current_stage_id();
+  int rescheduled = 0;
+  std::vector<double> sched_dur;
+  std::vector<int> sched_exec;
+  sched_dur.reserve(n);
+  sched_exec.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int p = parts[i];
+    const int home = executor_of(p);
+    int exec = home;
+    if (home == kill_victim) {
+      // Deterministic survivor assignment, spreading the victim's tasks.
+      exec = (kill_victim + 1 + p % (num_exec - 1)) % num_exec;
+      ++rescheduled;
+      // The work in flight when the executor died is lost time on its lanes.
+      sched_dur.push_back(kill_fraction * vdur[i]);
+      sched_exec.push_back(kill_victim);
+    }
+    const double effective =
+        spec_win[i] ? spec_thr + durations[i] + cfg_.task_overhead_s : vdur[i];
+    TaskMetric tm;
+    tm.stage_id = stage_id;
+    tm.partition = p;
+    tm.executor = exec;
+    tm.duration_s = effective;
+    tm.output_records = node.partition_items(p);
+    tm.attempt = attempts[i];
+    tm.straggler = straggler[i] != 0;
+    metrics_.add_task(tm);
+    sched_dur.push_back(effective);  // slot time: overhead already folded in
+    sched_exec.push_back(exec);
+
+    if (straggler[i]) metrics_.note_straggler();
+    if (spec_launch[i]) {
+      int copy_exec = num_exec > 1 ? (exec + 1) % num_exec : exec;
+      if (copy_exec == kill_victim) copy_exec = (copy_exec + 1) % num_exec;
+      TaskMetric ct;
+      ct.stage_id = stage_id;
+      ct.partition = p;
+      ct.executor = copy_exec;
+      ct.duration_s = durations[i];
+      ct.speculative = true;
+      metrics_.add_task(ct);
+      sched_dur.push_back(durations[i] + cfg_.task_overhead_s);
+      sched_exec.push_back(copy_exec);
+      metrics_.note_speculative_launch();
+      if (spec_win[i]) metrics_.note_speculative_win();
+    }
+  }
+  timeline_.add_stage(recovery ? node.label() + "(recompute)" : node.label(),
+                      sched_dur, sched_exec);
+
+  if (kill_victim >= 0) {
+    metrics_.note_executor_kill();
+    metrics_.note_tasks_rescheduled(rescheduled);
+    timeline_.add_marker(gs::strfmt("executor-%d-kill", kill_victim));
+    // Everything the dead executor cached is gone; owners recompute from
+    // lineage when (and only when) those partitions are next read.
+    drop_executor_blocks(kill_victim, &node);
+  }
+}
+
+void SparkContext::checkpoint_node(RddBase& node) {
+  if (!node.materialized() || node.checkpointed()) return;
+  const int max_attempts = std::max(1, chaos_.max_stage_attempts);
+  double io_s = 0.0;
+  for (int p = 0; p < node.num_partitions(); ++p) {
+    for (int attempt = 1;; ++attempt) {
+      if (!node.partition_available(p)) {
+        RecoveringGuard guard(this);
+        const int k = node.recompute_missing();
+        if (k > 0) metrics_.note_partitions_recomputed(k);
+      }
+      const std::uint64_t sum = node.partition_checksum(p);
+      std::uint64_t stored = sum;
+      if (chaos_.checkpoint_corruption_prob > 0.0 &&
+          block_corruptions_done_ < chaos_.max_block_corruptions) {
+        gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosCorrupt,
+                                     static_cast<std::uint64_t>(node.id()),
+                                     static_cast<std::uint64_t>(p),
+                                     static_cast<std::uint64_t>(attempt)));
+        if (rng.bernoulli(chaos_.checkpoint_corruption_prob)) {
+          stored ^= 0xbad0bad0bad0bad0ULL;
+          ++block_corruptions_done_;
+        }
+      }
+      const BlockId bid{node.id(), p};
+      const std::size_t bytes = node.partition_bytes(p);
+      io_s += shared_fs_.put_block(0, bid, bytes, stored, /*pinned=*/true);
+      io_s += shared_fs_.read(0, bytes);  // checksum verification read-back
+      if (shared_fs_.verify_block(bid, sum)) {
+        metrics_.note_checkpoint_block(bytes);
+        break;
+      }
+      // The write was corrupted: the block is useless, treat the partition
+      // as lost, recompute it from lineage (still attached — truncation
+      // happens after checkpointing succeeds) and write again.
+      metrics_.note_corrupted_block();
+      timeline_.add_marker("checkpoint-corruption");
+      shared_fs_.remove_block(bid);
+      GS_THROW_IF(
+          attempt >= max_attempts, gs::JobAbortedError,
+          gs::strfmt("checkpoint block (%d,%d) failed verification %d times",
+                     node.id(), p, attempt));
+      node.drop_partition(p);
+      metrics_.note_partitions_dropped(1);
+      {
+        RecoveringGuard guard(this);
+        const int k = node.recompute_missing();
+        if (k > 0) metrics_.note_partitions_recomputed(k);
+      }
+    }
+  }
+  timeline_.add_serial("checkpoint", io_s);
+  node.mark_checkpointed();
+  // The data now lives pinned in shared storage; executor kills and memory
+  // pressure can no longer lose it, so its cached-block entries go away.
+  executor_store_.remove_rdd_blocks(node.id());
 }
 
 double SparkContext::charge_shuffle(std::size_t bytes) {

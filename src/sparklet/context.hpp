@@ -6,12 +6,21 @@
 // run_job(), which cuts the lineage into stages at wide dependencies and
 // materializes them in order on the thread pool, charging metrics and
 // virtual time along the way.
+//
+// Fault tolerance: a seeded ChaosPlan injects task failures, executor kills,
+// reducer-side fetch failures, stragglers, and checkpoint corruption. The
+// scheduler recovers through the lineage graph — same-task retries, survivor
+// rescheduling, parent-stage resubmission with exponential backoff, and
+// partition recomputation — and records everything in MetricsRegistry.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "sparklet/block_store.hpp"
 #include "support/rng.hpp"
@@ -26,15 +35,84 @@ namespace sparklet {
 
 /// Fault-injection plan: every task attempt fails independently with
 /// `task_failure_prob`; sparklet retries a failed task up to `max_attempts`
-/// times (Spark's spark.task.maxFailures) before aborting the job. Injection
-/// is deterministic in (seed, rdd id, partition, attempt), so failing runs
-/// are reproducible. Task bodies are pure partition computations, so a
-/// retry simply recomputes — the lineage-level resilience RDDs promise.
+/// times (Spark's spark.task.maxFailures) before aborting the job.
+/// Kept for source compatibility — set_fault_plan() maps it onto the richer
+/// ChaosPlan below.
 struct FaultPlan {
   double task_failure_prob = 0.0;
   int max_attempts = 4;
   std::uint64_t seed = 1;
 };
+
+/// Full chaos taxonomy. Every decision is a pure function of (seed, event
+/// tag, rdd id, partition, epoch/attempt) via chaos_event_seed(), so runs
+/// are bit-reproducible regardless of thread-pool interleaving or host core
+/// count.
+struct ChaosPlan {
+  /// Independent per-attempt task failure; retried in place up to
+  /// max_task_attempts (spark.task.maxFailures).
+  double task_failure_prob = 0.0;
+  int max_task_attempts = 4;
+
+  /// Probability (per task-set execution) of killing one executor mid-stage.
+  /// Its in-flight tasks reschedule onto survivors; its cached partitions
+  /// and shuffle map outputs are lost and recomputed from lineage on demand.
+  double executor_kill_prob = 0.0;
+  int max_executor_kills = 2;
+
+  /// Probability of a reducer-side fetch failure on a wide stage: one parent
+  /// map output is lost and the parent stage is resubmitted (bounded by
+  /// max_stage_attempts, with exponential backoff between attempts).
+  double fetch_failure_prob = 0.0;
+  int max_stage_attempts = 4;
+
+  /// Deterministic stragglers: a chosen task runs straggler_factor × slower
+  /// (in virtual time). Mitigated by SpeculationPolicy.
+  double straggler_prob = 0.0;
+  double straggler_factor = 8.0;
+
+  /// Probability that a checkpoint block is written corrupted (detected by
+  /// checksum on read-back; the block is treated as lost and recomputed).
+  double checkpoint_corruption_prob = 0.0;
+  int max_block_corruptions = 1;
+
+  std::uint64_t seed = 1;
+};
+
+/// Spark's speculative execution: once a stage's median task duration is
+/// known, tasks slower than `multiplier` × median get a speculative copy on
+/// another executor; the first finisher wins.
+struct SpeculationPolicy {
+  bool enabled = false;
+  double multiplier = 2.0;
+  int min_tasks = 4;  ///< don't speculate on tiny stages
+};
+
+/// Event tags keeping chaos decision streams independent of each other.
+enum ChaosTag : std::uint64_t {
+  kChaosTask = 1,
+  kChaosKill = 2,
+  kChaosKillPlace = 3,
+  kChaosFetch = 4,
+  kChaosStraggler = 5,
+  kChaosCorrupt = 6,
+};
+
+/// Derive a decision seed from (seed, tag, a, b, c) by absorbing each field
+/// through splitmix64. Unlike the previous XOR-of-shifted-fields scheme,
+/// distinct tuples cannot collide by bit overlap (e.g. partition 1 attempt 0
+/// vs partition 0 attempt 256), so injection is deterministic in the tuple
+/// alone — never in scheduling order.
+inline std::uint64_t chaos_event_seed(std::uint64_t seed, std::uint64_t tag,
+                                      std::uint64_t a, std::uint64_t b,
+                                      std::uint64_t c) {
+  std::uint64_t s = seed;
+  for (std::uint64_t field : {tag, a, b, c}) {
+    std::uint64_t st = s ^ field;
+    s = gs::splitmix64(st);
+  }
+  return s;
+}
 
 /// Read-only value shipped once to every executor (via shared storage in
 /// the CB driver). Cheap to copy; payload is shared.
@@ -66,14 +144,26 @@ class SparkContext {
   VirtualTimeline& timeline() { return timeline_; }
   BlockStore& local_disks() { return local_disks_; }
   BlockStore& shared_fs() { return shared_fs_; }
+  /// Per-executor memory modeling cached RDD partitions; overflow evicts
+  /// LRU unpinned blocks (graceful degradation) instead of failing.
+  BlockStore& executor_store() { return executor_store_; }
   gs::ThreadPool& pool() { return pool_; }
 
   /// Default partitioner: hash over config().effective_partitions().
   PartitionerPtr default_partitioner() const;
 
   /// Install (or clear, with a default-constructed plan) fault injection.
-  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  /// Compatibility shim over set_chaos_plan().
+  void set_fault_plan(const FaultPlan& plan);
   const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Install the full chaos plan (resets kill/corruption budgets).
+  void set_chaos_plan(const ChaosPlan& plan);
+  const ChaosPlan& chaos_plan() const { return chaos_; }
+
+  void set_speculation(const SpeculationPolicy& policy) { spec_ = policy; }
+  const SpeculationPolicy& speculation() const { return spec_; }
+
   /// Total injected task failures observed so far.
   int injected_failures() const { return injected_failures_.load(); }
 
@@ -99,14 +189,26 @@ class SparkContext {
 
   // ------- scheduler interface (used by RDD actions / typed nodes) -------
 
-  /// Materialize `target` and all unmaterialized ancestors, stage by stage.
+  /// Materialize `target` and all unmaterialized ancestors, stage by stage,
+  /// recovering lost partitions and resubmitting failed stages along the way.
   void run_job(const std::shared_ptr<RddBase>& target,
                const std::string& action_name);
 
   /// Run one task per partition of `node` on the executor pool; records task
-  /// metrics and feeds the virtual timeline. `out_items(p)` reports the
-  /// task's output record count once the body has run.
+  /// metrics, applies the chaos plan, and feeds the virtual timeline.
   void run_node_tasks(RddBase& node, const std::function<void(int)>& body);
+
+  /// Recovery path: run `body` only for `parts` (regenerating lost
+  /// partitions). No executor kills or fetch failures are injected while
+  /// recovering — matching Spark, where resubmitted stages run on the
+  /// already-degraded cluster view.
+  void run_recovery_tasks(RddBase& node, const std::vector<int>& parts,
+                          const std::function<void(int)>& body);
+
+  /// Persist `node`'s partitions into the shared block store with per-block
+  /// checksums, verifying each write (a corrupted block is treated as lost
+  /// and recomputed from lineage before checkpoint() truncates it).
+  void checkpoint_node(RddBase& node);
 
   /// Account a shuffle of `bytes` through local-disk staging + network.
   /// Returns virtual seconds. Throws gs::CapacityError on disk overflow.
@@ -123,12 +225,50 @@ class SparkContext {
 
   int current_stage_id() const;
 
+  // ------- live-node registry (called by RddBase ctor/dtor) -------
+  void register_rdd(RddBase* node);
+  void forget_rdd(RddBase* node);
+
  private:
+  friend class RddBase;
+
+  struct RecoveringGuard {
+    explicit RecoveringGuard(SparkContext* c) : ctx(c), prev(c->recovering_) {
+      ctx->recovering_ = true;
+    }
+    ~RecoveringGuard() { ctx->recovering_ = prev; }
+    SparkContext* ctx;
+    bool prev;
+  };
+
+  void run_tasks_internal(RddBase& node, const std::vector<int>& parts,
+                          const std::function<void(int)>& body, bool recovery);
+
+  /// Walk `node`'s ancestry (post-order) and regenerate any lost partitions
+  /// of materialized ancestors from lineage.
+  void ensure_lineage_available(RddBase& node);
+
+  /// Materialize (or restore) `node`, retrying on fetch failures with
+  /// exponential backoff up to chaos_.max_stage_attempts.
+  void materialize_with_recovery(RddBase& node);
+
+  /// Register `node`'s resident partitions as cached blocks in the
+  /// executor store (skipped for checkpointed nodes — those live pinned in
+  /// the shared store).
+  void register_node_blocks(RddBase& node);
+
+  /// An executor died: invalidate its cached blocks; the owning nodes lose
+  /// those partitions and will recompute them from lineage on next access.
+  void drop_executor_blocks(int executor, const RddBase* running_node);
+
+  void on_block_evicted(const BlockId& id);
+
   ClusterConfig cfg_;
   MetricsRegistry metrics_;
   VirtualTimeline timeline_;
   BlockStore local_disks_;
   BlockStore shared_fs_;
+  BlockStore executor_store_;
   gs::ThreadPool pool_;
 
   std::atomic<int> next_rdd_id_{0};
@@ -138,7 +278,16 @@ class SparkContext {
   StageMetric* current_stage_ = nullptr;  // valid only inside run_job
 
   FaultPlan fault_plan_;
+  ChaosPlan chaos_;
+  SpeculationPolicy spec_;
   std::atomic<int> injected_failures_{0};
+
+  // All driver-side (never touched from pool threads).
+  std::unordered_map<int, RddBase*> live_rdds_;
+  std::unordered_set<int> protected_rdds_;  // current job's lineage
+  bool recovering_ = false;
+  int executor_kills_done_ = 0;
+  int block_corruptions_done_ = 0;
 };
 
 }  // namespace sparklet

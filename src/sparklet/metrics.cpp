@@ -29,6 +29,82 @@ void MetricsRegistry::add_broadcast_bytes(std::size_t bytes) {
   broadcast_bytes_ += bytes;
 }
 
+RecoveryCounters MetricsRegistry::recovery() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_;
+}
+
+void MetricsRegistry::note_task_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.task_failures;
+}
+
+void MetricsRegistry::note_task_retry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.task_retries;
+}
+
+void MetricsRegistry::note_executor_kill() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.executor_kills;
+}
+
+void MetricsRegistry::note_tasks_rescheduled(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovery_.tasks_rescheduled += n;
+}
+
+void MetricsRegistry::note_partitions_dropped(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovery_.partitions_dropped += n;
+}
+
+void MetricsRegistry::note_partitions_recomputed(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovery_.partitions_recomputed += n;
+}
+
+void MetricsRegistry::note_fetch_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.fetch_failures;
+}
+
+void MetricsRegistry::note_stage_resubmission() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.stage_resubmissions;
+}
+
+void MetricsRegistry::note_checkpoint_block(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.checkpoint_blocks;
+  recovery_.checkpoint_bytes += bytes;
+}
+
+void MetricsRegistry::note_corrupted_block() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.corrupted_blocks;
+}
+
+void MetricsRegistry::note_eviction() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.evictions;
+}
+
+void MetricsRegistry::note_straggler() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.stragglers_injected;
+}
+
+void MetricsRegistry::note_speculative_launch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.speculative_launches;
+}
+
+void MetricsRegistry::note_speculative_win() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.speculative_wins;
+}
+
 std::vector<TaskMetric> MetricsRegistry::tasks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tasks_;
@@ -92,6 +168,7 @@ void MetricsRegistry::reset() {
   jobs_.clear();
   collect_bytes_ = 0;
   broadcast_bytes_ = 0;
+  recovery_ = RecoveryCounters{};
 }
 
 void MetricsRegistry::print_summary(std::ostream& os) const {
@@ -110,6 +187,23 @@ void MetricsRegistry::print_summary(std::ostream& os) const {
   os << gs::strfmt("  collect=%s broadcast=%s\n",
                    gs::human_bytes(double(collect_bytes_)).c_str(),
                    gs::human_bytes(double(broadcast_bytes_)).c_str());
+  const RecoveryCounters& r = recovery_;
+  if (r.task_failures || r.executor_kills || r.fetch_failures ||
+      r.stage_resubmissions || r.checkpoint_blocks || r.evictions ||
+      r.stragglers_injected || r.partitions_recomputed) {
+    os << gs::strfmt(
+        "  recovery: %d task failures (%d retries), %d executor kills "
+        "(%d tasks rescheduled), %d fetch failures, %d stage resubmissions,\n"
+        "            %d partitions dropped / %d recomputed, %d evictions, "
+        "%d checkpoint blocks (%s, %d corrupted),\n"
+        "            %d stragglers, %d speculative launches (%d wins)\n",
+        r.task_failures, r.task_retries, r.executor_kills, r.tasks_rescheduled,
+        r.fetch_failures, r.stage_resubmissions, r.partitions_dropped,
+        r.partitions_recomputed, r.evictions, r.checkpoint_blocks,
+        gs::human_bytes(double(r.checkpoint_bytes)).c_str(),
+        r.corrupted_blocks, r.stragglers_injected, r.speculative_launches,
+        r.speculative_wins);
+  }
 }
 
 }  // namespace sparklet

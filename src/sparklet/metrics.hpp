@@ -21,6 +21,30 @@ struct TaskMetric {
   double duration_s = 0.0;
   std::size_t input_records = 0;
   std::size_t output_records = 0;
+  int attempt = 1;           ///< attempts consumed (retries show up here)
+  bool speculative = false;  ///< speculative copy of a straggling task
+  bool straggler = false;    ///< task was slowed by an injected straggler
+};
+
+/// Everything the fault-tolerance layer did to keep a job alive. Counters
+/// only — the chaos suite asserts they are non-zero under injection and the
+/// CLI/trace surface them for inspection.
+struct RecoveryCounters {
+  int task_failures = 0;        ///< injected task-attempt failures
+  int task_retries = 0;         ///< same-task retries that followed
+  int executor_kills = 0;       ///< executors lost mid-stage
+  int tasks_rescheduled = 0;    ///< in-flight tasks moved to survivors
+  int partitions_dropped = 0;   ///< cached partitions lost (kill/evict/fetch)
+  int partitions_recomputed = 0;  ///< partitions regenerated via lineage
+  int fetch_failures = 0;       ///< reducer-side missing shuffle input
+  int stage_resubmissions = 0;  ///< parent-stage reruns after fetch failures
+  int checkpoint_blocks = 0;    ///< blocks persisted by checkpoint()
+  std::size_t checkpoint_bytes = 0;
+  int corrupted_blocks = 0;     ///< checkpoint blocks failing verification
+  int evictions = 0;            ///< blocks evicted under memory pressure
+  int stragglers_injected = 0;
+  int speculative_launches = 0;
+  int speculative_wins = 0;     ///< speculative copy finished first
 };
 
 struct StageMetric {
@@ -57,6 +81,23 @@ class MetricsRegistry {
   std::vector<StageMetric> stages() const;
   std::vector<JobMetric> jobs() const;
 
+  // ---- recovery accounting (fault-tolerance layer) ----
+  RecoveryCounters recovery() const;
+  void note_task_failure();
+  void note_task_retry();
+  void note_executor_kill();
+  void note_tasks_rescheduled(int n);
+  void note_partitions_dropped(int n);
+  void note_partitions_recomputed(int n);
+  void note_fetch_failure();
+  void note_stage_resubmission();
+  void note_checkpoint_block(std::size_t bytes);
+  void note_corrupted_block();
+  void note_eviction();
+  void note_straggler();
+  void note_speculative_launch();
+  void note_speculative_win();
+
   /// Sum of per-stage task counts — Spark's "tasks launched" notion (one
   /// task per partition of each stage's final RDD).
   int total_stage_tasks() const;
@@ -80,6 +121,7 @@ class MetricsRegistry {
   std::vector<JobMetric> jobs_;
   std::size_t collect_bytes_ = 0;
   std::size_t broadcast_bytes_ = 0;
+  RecoveryCounters recovery_;
 };
 
 }  // namespace sparklet

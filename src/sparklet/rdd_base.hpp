@@ -4,9 +4,17 @@
 // plans stages over RddBase pointers: a node whose input dependency is wide
 // starts a new stage, everything else fuses into its parents' stage —
 // Spark's stage-cutting rule.
+//
+// The fault-tolerance layer adds a per-partition availability model: a
+// materialized node can *lose* partitions (executor kill, memory-pressure
+// eviction, injected fetch failure) and regenerate exactly the missing ones
+// from lineage via recompute_missing(). Checkpointed nodes have their data
+// pinned in the shared block store; losing their partitions is unrecoverable
+// because checkpoint() truncates the lineage that could recompute them.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,7 +30,7 @@ class RddBase {
   RddBase(SparkContext* ctx, std::string label, int num_partitions,
           bool wide_input, std::vector<std::shared_ptr<RddBase>> parents,
           PartitionerPtr partitioner);
-  virtual ~RddBase() = default;
+  virtual ~RddBase();  // deregisters from the context's live-node registry
 
   RddBase(const RddBase&) = delete;
   RddBase& operator=(const RddBase&) = delete;
@@ -41,16 +49,41 @@ class RddBase {
   SparkContext* context() const { return ctx_; }
 
   /// Compute all partitions. Parents are guaranteed materialized. Called by
-  /// the scheduler exactly once.
+  /// the scheduler (again after a failed attempt — the computation is pure).
   virtual void do_materialize() = 0;
 
   /// Serialized size / item count of partition p (metrics + collect costs).
   virtual std::size_t partition_bytes(int p) const = 0;
   virtual std::size_t partition_items(int p) const = 0;
 
-  /// Drop cached partitions (API-fidelity unpersist; lineage stays intact
-  /// but re-computation is not supported — sparklet is eager-once).
+  /// Drop cached partitions; they can be regenerated from lineage as long as
+  /// the node is recomputable().
   virtual void unpersist() = 0;
+
+  // ----------------- fault tolerance (partition granularity) -----------------
+
+  /// Is partition p's cached data resident?
+  virtual bool partition_available(int p) const = 0;
+  /// Simulate losing partition p's cached data (executor kill / eviction).
+  virtual void drop_partition(int p) = 0;
+  /// Can missing partitions be regenerated? False once checkpoint() has
+  /// truncated lineage and released the compute closures.
+  virtual bool recomputable() const = 0;
+  /// Regenerate missing partitions from lineage (parents must be available;
+  /// a missing parent partition surfaces as gs::FetchFailedError). Returns
+  /// the number of partitions recomputed.
+  virtual int recompute_missing() = 0;
+  /// Deterministic content fingerprint of partition p for block validation.
+  virtual std::uint64_t partition_checksum(int p) const = 0;
+
+  bool checkpointed() const { return checkpointed_; }
+  void mark_checkpointed() { checkpointed_ = true; }
+
+  /// Monotone counter of task-set executions over this node, bumped by the
+  /// scheduler (driver-side, so independent of thread interleaving). Seeds
+  /// chaos decisions: a retried stage draws fresh failures.
+  std::uint64_t next_run_epoch() { return run_epoch_++; }
+  std::uint64_t run_epoch() const { return run_epoch_; }
 
  protected:
   void mark_materialized() { materialized_ = true; }
@@ -72,6 +105,8 @@ class RddBase {
 
  private:
   bool materialized_ = false;
+  bool checkpointed_ = false;
+  std::uint64_t run_epoch_ = 0;
 };
 
 }  // namespace sparklet

@@ -47,10 +47,15 @@ void VirtualTimeline::add_serial(const std::string& name, double seconds) {
   now_ += seconds;
 }
 
+void VirtualTimeline::add_marker(const std::string& name) {
+  markers_.push_back({name, now_});
+}
+
 void VirtualTimeline::reset() {
   now_ = 0.0;
   records_.clear();
   spans_.clear();
+  markers_.clear();
 }
 
 void VirtualTimeline::write_chrome_trace(const std::string& path) const {
@@ -76,6 +81,13 @@ void VirtualTimeline::write_chrome_trace(const std::string& path) const {
     if (rec.num_tasks == 0 && rec.duration() > 0.0) {
       emit(rec.name, /*pid=*/-1, /*tid=*/0, rec.start_s, rec.end_s);  // driver
     }
+  }
+  for (const auto& m : markers_) {
+    if (!first) f << ",\n";
+    first = false;
+    f << gs::strfmt(
+        R"({"name":"%s","ph":"i","s":"g","pid":-1,"tid":0,"ts":%.3f})",
+        m.name.c_str(), m.time_s * 1e6);
   }
   f << "\n]\n";
 }

@@ -44,9 +44,20 @@ class VirtualTimeline {
   /// Driver-side serial time (collect, broadcast, shuffle staging…).
   void add_serial(const std::string& name, double seconds);
 
+  /// Zero-duration recovery event (executor kill, stage resubmit, corrupted
+  /// checkpoint…) stamped at the current virtual time; exported as a Chrome
+  /// trace instant event.
+  void add_marker(const std::string& name);
+
+  struct Marker {
+    std::string name;
+    double time_s = 0.0;
+  };
+
   double now() const { return now_; }
   const std::vector<StageRecord>& stages() const { return records_; }
   const std::vector<TaskSpan>& task_spans() const { return spans_; }
+  const std::vector<Marker>& markers() const { return markers_; }
 
   /// Export the schedule as a Chrome trace (chrome://tracing /
   /// https://ui.perfetto.dev): pid = virtual executor, tid = task slot,
@@ -64,6 +75,7 @@ class VirtualTimeline {
   double now_ = 0.0;
   std::vector<StageRecord> records_;
   std::vector<TaskSpan> spans_;
+  std::vector<Marker> markers_;
 };
 
 }  // namespace sparklet

@@ -33,6 +33,16 @@ class JobAbortedError : public std::runtime_error {
   explicit JobAbortedError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a task reads a partition whose backing data is gone (executor
+/// loss, eviction, injected reducer-side fetch failure). The stage scheduler
+/// catches it, resubmits the parent stage to regenerate the lost outputs via
+/// lineage, and retries with exponential backoff — Spark's FetchFailed path.
+class FetchFailedError : public std::runtime_error {
+ public:
+  explicit FetchFailedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const std::string& msg) {
   std::fprintf(stderr, "GS_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,

@@ -2,9 +2,17 @@
 // with a configured probability; pure partition computations recompute on
 // retry, so jobs — including full GEP solves — survive unreliable executors
 // and still produce bit-identical results.
+//
+// The chaos suite below escalates to the full failure taxonomy — executor
+// kills, reducer-side fetch failures, checkpoint corruption, stragglers,
+// memory-pressure eviction — and asserts both bit-identical results and
+// non-zero recovery counters, across strategies and seeds.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 
 #include "gepspark/solver.hpp"
 #include "sparklet/rdd.hpp"
@@ -102,6 +110,342 @@ TEST(FaultTolerance, ShuffleSideRetriesToo) {
           .collect();
   EXPECT_EQ(counts.size(), 12u);
   for (auto& [k, v] : counts) EXPECT_EQ(v, 10);
+}
+
+// ======================= chaos suite =======================
+
+/// Everything at once: flaky tasks, two executor kills, fetch failures,
+/// stragglers, and a guaranteed-corrupted checkpoint block.
+ChaosPlan heavy_chaos(std::uint64_t seed) {
+  ChaosPlan p;
+  p.task_failure_prob = 0.25;
+  p.max_task_attempts = 12;
+  p.executor_kill_prob = 0.6;
+  p.max_executor_kills = 2;
+  p.fetch_failure_prob = 0.25;
+  p.max_stage_attempts = 6;
+  p.straggler_prob = 0.2;
+  p.straggler_factor = 4.0;
+  p.checkpoint_corruption_prob = 1.0;
+  p.max_block_corruptions = 1;
+  p.seed = seed;
+  return p;
+}
+
+void accumulate(RecoveryCounters& total, const RecoveryCounters& rc) {
+  total.task_failures += rc.task_failures;
+  total.executor_kills += rc.executor_kills;
+  total.tasks_rescheduled += rc.tasks_rescheduled;
+  total.partitions_dropped += rc.partitions_dropped;
+  total.partitions_recomputed += rc.partitions_recomputed;
+  total.fetch_failures += rc.fetch_failures;
+  total.stage_resubmissions += rc.stage_resubmissions;
+  total.checkpoint_blocks += rc.checkpoint_blocks;
+  total.corrupted_blocks += rc.corrupted_blocks;
+  total.stragglers_injected += rc.stragglers_injected;
+  total.speculative_launches += rc.speculative_launches;
+  total.speculative_wins += rc.speculative_wins;
+}
+
+TEST(ChaosSeed, TupleFieldsCannotCollide) {
+  const std::uint64_t s = 42;
+  // The retired scheme XORed shifted fields (seed ^ id<<40 ^ p<<8 ^ attempt),
+  // so (partition 1, attempt 0) and (partition 0, attempt 256) collided.
+  // The splitmix absorption keeps every field position significant.
+  EXPECT_NE(chaos_event_seed(s, kChaosTask, 7, 1, 0),
+            chaos_event_seed(s, kChaosTask, 7, 0, 256));
+  // Field order matters: (a, b) vs (b, a) are distinct decision streams.
+  EXPECT_NE(chaos_event_seed(s, kChaosTask, 3, 5, 0),
+            chaos_event_seed(s, kChaosTask, 5, 3, 0));
+  // Tags separate event families sharing the same tuple.
+  EXPECT_NE(chaos_event_seed(s, kChaosTask, 7, 1, 0),
+            chaos_event_seed(s, kChaosStraggler, 7, 1, 0));
+  // Pure function: same tuple, same seed.
+  EXPECT_EQ(chaos_event_seed(s, kChaosFetch, 9, 2, 4),
+            chaos_event_seed(s, kChaosFetch, 9, 2, 4));
+}
+
+TEST(ChaosSeed, InjectionIndependentOfPhysicalThreads) {
+  // Same chaos plan, radically different host parallelism: every injection
+  // decision (and therefore the failure count and the result) must be
+  // bit-identical, because decisions are keyed on (rdd, partition, epoch,
+  // attempt) — never on scheduling order.
+  auto run = [](int physical_threads, RecoveryCounters& rc) {
+    auto cfg = ClusterConfig::local(2, 2);
+    cfg.physical_threads = physical_threads;
+    SparkContext sc(cfg);
+    ChaosPlan plan;
+    plan.task_failure_prob = 0.3;
+    plan.max_task_attempts = 16;
+    plan.straggler_prob = 0.3;
+    plan.seed = 13;
+    sc.set_chaos_plan(plan);
+    std::vector<int> xs(256);
+    std::iota(xs.begin(), xs.end(), 0);
+    auto out = parallelize(sc, xs, 16)
+                   .map([](const int& x) { return 3 * x + 1; })
+                   .collect();
+    rc = sc.metrics().recovery();
+    return out;
+  };
+  RecoveryCounters serial, wide;
+  auto a = run(1, serial);
+  auto b = run(8, wide);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(serial.task_failures, 0);
+  EXPECT_EQ(serial.task_failures, wide.task_failures);
+  EXPECT_EQ(serial.task_retries, wide.task_retries);
+  EXPECT_EQ(serial.stragglers_injected, wide.stragglers_injected);
+}
+
+TEST(ChaosRecovery, ExecutorKillRecomputesLostPartitions) {
+  SparkContext sc(ClusterConfig::local(3, 2));
+  ChaosPlan plan;
+  plan.executor_kill_prob = 1.0;
+  plan.max_executor_kills = 2;
+  plan.seed = 5;
+  sc.set_chaos_plan(plan);
+
+  std::vector<int> xs(120);
+  std::iota(xs.begin(), xs.end(), 0);
+  auto base = parallelize(sc, xs, 12);
+  base.cache();  // job 1: kill #1 fires; base's own stage finishes on survivors
+
+  // Job 2 runs a child stage; kill #2 invalidates cached `base` partitions
+  // on the victim executor.
+  auto doubled = base.map([](const int& x) { return 2 * x; });
+  EXPECT_EQ(doubled.reduce([](int a, const int& b) { return a + b; }),
+            119 * 120);
+
+  const auto& rc = sc.metrics().recovery();
+  EXPECT_EQ(rc.executor_kills, 2);
+  EXPECT_GT(rc.tasks_rescheduled, 0);
+  EXPECT_GT(rc.partitions_dropped, 0);
+
+  // Reading `base` again hits the holes and regenerates them from lineage.
+  auto restored = base.collect();
+  EXPECT_EQ(restored, xs);
+  EXPECT_GT(sc.metrics().recovery().partitions_recomputed, 0);
+}
+
+TEST(ChaosRecovery, FetchFailureResubmitsParentStage) {
+  SparkContext sc(ClusterConfig::local(2, 2));
+  ChaosPlan plan;
+  plan.fetch_failure_prob = 1.0;
+  plan.max_stage_attempts = 4;
+  plan.seed = 17;
+  sc.set_chaos_plan(plan);
+
+  // partition_by forces a real shuffle (a wide node) — with the default
+  // partitioner reduce_by_key would be copartitioned and narrow.
+  std::vector<std::pair<std::int64_t, std::int64_t>> kv;
+  for (std::int64_t i = 0; i < 90; ++i) kv.push_back({i % 9, 1});
+  auto counts =
+      parallelize_pairs(sc, kv, nullptr)
+          .partition_by(std::make_shared<HashPartitioner>(5))
+          .reduce_by_key([](std::int64_t a, std::int64_t b) { return a + b; })
+          .collect();
+  EXPECT_EQ(counts.size(), 9u);
+  for (auto& [k, v] : counts) EXPECT_EQ(v, 10) << "key " << k;
+
+  const auto& rc = sc.metrics().recovery();
+  EXPECT_GT(rc.fetch_failures, 0);
+  EXPECT_GT(rc.stage_resubmissions, 0);
+  EXPECT_GT(rc.partitions_dropped, 0);
+  EXPECT_GT(rc.partitions_recomputed, 0);
+
+  bool saw_fetch_marker = false, saw_resubmit_marker = false;
+  for (const auto& m : sc.timeline().markers()) {
+    saw_fetch_marker |= m.name == "fetch-failure";
+    saw_resubmit_marker |= m.name == "stage-resubmit";
+  }
+  EXPECT_TRUE(saw_fetch_marker);
+  EXPECT_TRUE(saw_resubmit_marker);
+}
+
+TEST(ChaosRecovery, CheckpointCorruptionHealedFromLineage) {
+  SparkContext sc(ClusterConfig::local(2, 2));
+  ChaosPlan plan;
+  plan.checkpoint_corruption_prob = 1.0;
+  plan.max_block_corruptions = 1;
+  plan.seed = 23;
+  sc.set_chaos_plan(plan);
+
+  std::vector<int> xs(80);
+  std::iota(xs.begin(), xs.end(), 0);
+  auto r = parallelize(sc, xs, 8).map([](const int& x) { return x * x; });
+  r.checkpoint();
+
+  const auto& rc = sc.metrics().recovery();
+  EXPECT_EQ(rc.corrupted_blocks, 1);  // budget of one bad write, then healed
+  EXPECT_EQ(rc.checkpoint_blocks, 8);
+  EXPECT_GT(rc.checkpoint_bytes, 0u);
+
+  auto got = r.collect();
+  std::vector<int> want(80);
+  for (int i = 0; i < 80; ++i) want[i] = i * i;
+  EXPECT_EQ(got, want);
+}
+
+TEST(ChaosRecovery, LossBeyondLineageHorizonAborts) {
+  SparkContext sc(ClusterConfig::local(2, 2));
+  std::vector<int> xs(40, 1);
+  auto r = parallelize(sc, xs, 4).map([](const int& x) { return x + 1; });
+  r.checkpoint();  // truncates lineage: the data is now the only copy
+
+  r.node()->drop_partition(0);  // simulate losing checkpointed state itself
+  EXPECT_THROW(r.collect(), gs::JobAbortedError);
+}
+
+TEST(ChaosRecovery, MemoryPressureEvictsThenRecomputes) {
+  // Executor memory only fits one cached RDD: caching the second evicts the
+  // first (LRU, graceful degradation) instead of failing; re-reading the
+  // first recomputes the evicted partitions from lineage.
+  auto cfg = ClusterConfig::local(2, 2);
+  cfg.executor_mem_bytes = 1000.0;  // per executor; each RDD ~800 B/executor
+  SparkContext sc(cfg);
+
+  std::vector<double> xs(200);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  auto a = parallelize(sc, xs, 4);
+  a.cache();
+  auto b = parallelize(sc, xs, 4);
+  b.cache();  // pushes a's blocks out: a's partitions are dropped, not lost
+
+  EXPECT_GT(sc.executor_store().evictions(), 0);
+  const auto& rc = sc.metrics().recovery();
+  EXPECT_GT(rc.evictions, 0);
+  EXPECT_GT(rc.partitions_dropped, 0);
+
+  const double sum =
+      a.reduce([](double acc, const double& x) { return acc + x; });
+  EXPECT_DOUBLE_EQ(sum, 199.0 * 200.0 / 2.0);
+  EXPECT_GT(sc.metrics().recovery().partitions_recomputed, 0);
+}
+
+TEST(ChaosRecovery, StragglersTriggerSpeculativeCopies) {
+  SparkContext sc(ClusterConfig::local(2, 2));
+  ChaosPlan plan;
+  plan.straggler_prob = 0.4;
+  plan.straggler_factor = 8.0;
+  plan.seed = 21;
+  sc.set_chaos_plan(plan);
+  sc.set_speculation({.enabled = true, .multiplier = 2.0, .min_tasks = 4});
+
+  std::vector<int> xs(160);
+  std::iota(xs.begin(), xs.end(), 0);
+  auto sum = parallelize(sc, xs, 16)
+                 .map([](const int& x) { return x; })
+                 .reduce([](int a, const int& b) { return a + b; });
+  EXPECT_EQ(sum, 159 * 160 / 2);
+
+  const auto& rc = sc.metrics().recovery();
+  EXPECT_GT(rc.stragglers_injected, 0);
+  EXPECT_GT(rc.speculative_launches, 0);
+  EXPECT_GT(rc.speculative_wins, 0);  // 8× slowdown vs 2× threshold: copy wins
+}
+
+TEST(ChaosRecovery, TraceExportsRecoveryMarkers) {
+  SparkContext sc(ClusterConfig::local(2, 2));
+  ChaosPlan plan;
+  plan.fetch_failure_prob = 1.0;
+  plan.seed = 31;
+  sc.set_chaos_plan(plan);
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> kv;
+  for (std::int64_t i = 0; i < 40; ++i) kv.push_back({i % 4, i});
+  parallelize_pairs(sc, kv, nullptr)
+      .partition_by(std::make_shared<HashPartitioner>(3))
+      .reduce_by_key([](std::int64_t a, std::int64_t b) { return a + b; })
+      .collect();
+
+  const std::string path = "chaos_trace_test.json";
+  sc.timeline().write_chrome_trace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string trace = ss.str();
+  EXPECT_NE(trace.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(trace.find("stage-resubmit"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+template <typename Spec>
+void expect_bit_identical_under_chaos(gepspark::Strategy strategy,
+                                      std::uint64_t seed,
+                                      RecoveryCounters& total) {
+  auto input = gs::testutil::random_input<Spec>(40, 100 + seed);
+  gepspark::SolverOptions opt;
+  opt.block_size = 16;
+  opt.strategy = strategy;
+
+  SparkContext clean(ClusterConfig::local(3, 2));
+  auto expected = gepspark::solve_gep<Spec>(clean, input, opt);
+
+  SparkContext chaotic(ClusterConfig::local(3, 2));
+  chaotic.set_chaos_plan(heavy_chaos(seed));
+  chaotic.set_speculation({.enabled = true});
+  auto got = gepspark::solve_gep<Spec>(chaotic, input, opt);
+
+  EXPECT_TRUE(got == expected)
+      << gepspark::strategy_name(strategy) << " seed " << seed;
+  accumulate(total, chaotic.metrics().recovery());
+}
+
+TEST(ChaosProperty, GepSolvesBitIdenticalUnderHeavyChaos) {
+  // The acceptance bar: FW / GE / TC on both strategies, several seeds, with
+  // ≥20% task failure plus kills, fetch failures, stragglers, speculation,
+  // and a corrupted checkpoint block — results must equal the fault-free run
+  // bit for bit, and the recovery machinery must demonstrably fire.
+  RecoveryCounters total;
+  for (auto strategy : {gepspark::Strategy::kInMemory,
+                        gepspark::Strategy::kCollectBroadcast}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      expect_bit_identical_under_chaos<gs::FloydWarshallSpec>(strategy, seed,
+                                                              total);
+      expect_bit_identical_under_chaos<gs::GaussianEliminationSpec>(
+          strategy, seed, total);
+      expect_bit_identical_under_chaos<gs::TransitiveClosureSpec>(strategy,
+                                                                  seed, total);
+    }
+  }
+  EXPECT_GT(total.task_failures, 0);
+  EXPECT_GT(total.executor_kills, 0);
+  EXPECT_GT(total.tasks_rescheduled, 0);
+  EXPECT_GT(total.partitions_recomputed, 0);
+  EXPECT_GT(total.checkpoint_blocks, 0);
+  EXPECT_GT(total.corrupted_blocks, 0);
+  EXPECT_GT(total.stragglers_injected, 0);
+  EXPECT_GT(total.speculative_launches, 0);
+}
+
+TEST(ChaosProperty, CheckpointIntervalDoesNotChangeResults) {
+  // interval = 1 is the paper's per-iteration persist; 0 leaves the whole
+  // lineage live (recovery replays from the input); 3 is in between. All
+  // three must agree — with and without chaos.
+  auto input = gs::testutil::random_input<gs::GaussianEliminationSpec>(48, 9);
+  gepspark::SolverOptions opt;
+  opt.block_size = 16;
+
+  SparkContext clean(ClusterConfig::local(2, 2));
+  opt.checkpoint_interval = 1;
+  auto expected = gepspark::spark_gaussian_elimination(clean, input, opt);
+
+  for (int interval : {0, 3}) {
+    SparkContext sc(ClusterConfig::local(2, 2));
+    opt.checkpoint_interval = interval;
+    auto got = gepspark::spark_gaussian_elimination(sc, input, opt);
+    EXPECT_TRUE(got == expected) << "interval " << interval;
+  }
+
+  // Deep-lineage recovery: no checkpoints at all, full chaos. Lost
+  // partitions can only come back by replaying ancestors.
+  SparkContext chaotic(ClusterConfig::local(3, 2));
+  chaotic.set_chaos_plan(heavy_chaos(4));
+  opt.checkpoint_interval = 0;
+  auto got = gepspark::spark_gaussian_elimination(chaotic, input, opt);
+  EXPECT_TRUE(got == expected);
 }
 
 }  // namespace
