@@ -6,10 +6,32 @@
 #include <string>
 #include <vector>
 
+#include "obs/job_profile.hpp"
 #include "simtime/gep_job_sim.hpp"
 #include "support/table.hpp"
 
 namespace benchutil {
+
+/// Column names matching profile_row() below — prepend your own label
+/// column(s) when building a table.
+inline std::vector<std::string> profile_header() {
+  return {"wall (s)", "virtual (s)", "compute", "shuffle", "collect",
+          "broadcast", "recovery", "attributed"};
+}
+
+/// Flatten a measured JobProfile into one table/CSV row: wall + virtual
+/// makespan and the five-bucket virtual-time split. Pairs with
+/// profile_header().
+inline std::vector<std::string> profile_row(const obs::JobProfile& p) {
+  return {gs::strfmt("%.3f", p.wall_seconds),
+          gs::strfmt("%.3f", p.virtual_seconds),
+          gs::human_seconds(p.buckets.compute_s),
+          gs::human_seconds(p.buckets.shuffle_s),
+          gs::human_seconds(p.buckets.collect_s),
+          gs::human_seconds(p.buckets.broadcast_s),
+          gs::human_seconds(p.buckets.recovery_s),
+          gs::strfmt("%.1f%%", 100.0 * p.attributed_fraction())};
+}
 
 /// Run the (executor-cores × OMP_NUM_THREADS) grid of Tables I/II for one
 /// fixed job configuration and return it as a printable table.

@@ -9,12 +9,16 @@
 //   $ ./gepspark_cli --help
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
+#include <utility>
 
 #include "align/align_driver.hpp"
 #include "baseline/reference.hpp"
 #include "gepspark/solver.hpp"
 #include "gepspark/workload.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/export.hpp"
 #include "paren/paren_driver.hpp"
 
 namespace {
@@ -30,6 +34,8 @@ struct CliArgs {
   int nodes = 4;
   int cores = 2;
   std::string trace;             // chrome-trace output path
+  std::string profile_json;      // JobProfile JSON export path
+  std::string profile_csv;       // JobProfile CSV export path
   bool verify = true;
   std::string chaos;             // fault-injection spec (key=value CSV)
   int checkpoint_interval = 1;   // 0 = never checkpoint
@@ -48,7 +54,12 @@ void usage() {
       "  --base auto|scalar|simd             base-case backend (default auto)\n"
       "  --omp <t>                           OMP_NUM_THREADS (default 1)\n"
       "  --nodes <n> --cores <c>             virtual cluster (default 4x2)\n"
-      "  --trace <file.json>                 export Chrome trace\n"
+      "  --trace <file.json>                 export Chrome trace (schedule "
+      "+ spans)\n"
+      "  --profile-json <file.json>          export JobProfile "
+      "(gepspark.profile/v1)\n"
+      "  --profile-csv <file.csv>            export JobProfile rows "
+      "(job + per-k)\n"
       "  --no-verify                         skip reference validation\n"
       "  --checkpoint-interval <k>           checkpoint DP every k iterations\n"
       "                                      (default 1; 0 = never)\n"
@@ -91,6 +102,10 @@ bool parse(int argc, char** argv, CliArgs& a) {
       a.cores = std::stoi(argv[++i]);
     } else if (flag == "--trace" && (i + 1) < argc) {
       a.trace = argv[++i];
+    } else if (flag == "--profile-json" && (i + 1) < argc) {
+      a.profile_json = argv[++i];
+    } else if (flag == "--profile-csv" && (i + 1) < argc) {
+      a.profile_csv = argv[++i];
     } else if (flag == "--chaos" && (i + 1) < argc) {
       a.chaos = argv[++i];
     } else if (flag == "--checkpoint-interval" && (i + 1) < argc) {
@@ -184,39 +199,57 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
   opt.kernel = parse_kernel(a);
   opt.checkpoint_interval = a.checkpoint_interval;
 
-  gepspark::SolveStats st;
+  obs::JobProfile prof;
   double diff = 0.0;
   if (a.benchmark == "fw") {
     auto input = gs::workload::random_digraph({.n = a.n, .seed = 1});
-    auto out = gepspark::spark_floyd_warshall(sc, input, opt, &st);
+    auto res = gepspark::spark_floyd_warshall(sc, input, opt,
+                                              gepspark::with_profile);
+    prof = std::move(res.profile);
     if (a.verify) {
       auto ref = input;
       gs::baseline::reference_floyd_warshall(ref);
-      diff = gs::max_abs_diff(out, ref);
+      diff = gs::max_abs_diff(res.matrix, ref);
     }
   } else if (a.benchmark == "ge") {
     auto input = gs::workload::diagonally_dominant_matrix(a.n, 1);
-    auto out = gepspark::spark_gaussian_elimination(sc, input, opt, &st);
-    if (a.verify) diff = gs::baseline::lu_residual(input, out);
+    auto res = gepspark::spark_gaussian_elimination(sc, input, opt,
+                                                    gepspark::with_profile);
+    prof = std::move(res.profile);
+    if (a.verify) diff = gs::baseline::lu_residual(input, res.matrix);
   } else {  // tc
     auto input = gs::workload::random_bool_digraph(a.n, 0.05, 1);
-    auto out = gepspark::spark_transitive_closure(sc, input, opt, &st);
+    auto res = gepspark::spark_transitive_closure(sc, input, opt,
+                                                  gepspark::with_profile);
+    prof = std::move(res.profile);
     if (a.verify) {
       auto ref = input;
       gs::baseline::reference_transitive_closure(ref);
-      diff = gs::max_abs_diff(out, ref);
+      diff = gs::max_abs_diff(res.matrix, ref);
     }
   }
 
   std::printf(
       "%s n=%zu %s: wall %.3fs | grid %dx%d | %d stages / %d tasks\n"
       "  shuffle %s, collect %s, broadcast %s%s\n",
-      a.benchmark.c_str(), a.n, opt.describe().c_str(), st.wall_seconds,
-      st.grid_r, st.grid_r, st.stages, st.tasks,
-      gs::human_bytes(double(st.shuffle_bytes)).c_str(),
-      gs::human_bytes(double(st.collect_bytes)).c_str(),
-      gs::human_bytes(double(st.broadcast_bytes)).c_str(),
+      a.benchmark.c_str(), a.n, opt.describe().c_str(), prof.wall_seconds,
+      prof.grid_r, prof.grid_r, prof.stages, prof.tasks,
+      gs::human_bytes(double(prof.shuffle_bytes)).c_str(),
+      gs::human_bytes(double(prof.collect_bytes)).c_str(),
+      gs::human_bytes(double(prof.broadcast_bytes)).c_str(),
       a.verify ? gs::strfmt(" | verified (max err %.2e)", diff).c_str() : "");
+  prof.print(std::cout);
+  const obs::CriticalPathReport cp = obs::analyze_critical_path(
+      sc.timeline(), prof.record_begin, prof.record_end);
+  cp.print(std::cout);
+  if (!a.profile_json.empty()) {
+    obs::write_profile_json(prof, a.profile_json);
+    std::printf("  profile JSON written to %s\n", a.profile_json.c_str());
+  }
+  if (!a.profile_csv.empty()) {
+    obs::write_profile_csv(prof, a.profile_csv);
+    std::printf("  profile CSV written to %s\n", a.profile_csv.c_str());
+  }
   return a.verify && diff > 1e-8 ? 1 : 0;
 }
 
@@ -264,6 +297,12 @@ int main(int argc, char** argv) {
         sparklet::ClusterConfig::local(args.nodes, args.cores));
     if (!args.chaos.empty()) sc.set_chaos_plan(parse_chaos(args.chaos));
     if (args.speculate) sc.set_speculation({.enabled = true});
+    // Spans are only collected when asked for: profiling uses them for
+    // per-iteration attribution, tracing renders them alongside the schedule.
+    if (!args.trace.empty() || !args.profile_json.empty() ||
+        !args.profile_csv.empty()) {
+      sc.tracer().set_enabled(true);
+    }
     int rc;
     if (args.benchmark == "paren") {
       rc = run_paren(sc, args);
@@ -281,7 +320,7 @@ int main(int argc, char** argv) {
       print_recovery(sc.metrics().recovery());
     }
     if (!args.trace.empty()) {
-      sc.timeline().write_chrome_trace(args.trace);
+      obs::write_chrome_trace(sc.timeline(), &sc.tracer(), args.trace);
       std::printf("  virtual-schedule trace written to %s\n",
                   args.trace.c_str());
     }

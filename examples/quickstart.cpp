@@ -35,9 +35,11 @@ int main() {
   opt.strategy = gepspark::Strategy::kInMemory;        // paper Listing 1
   opt.kernel = gs::KernelConfig::recursive(/*r_shared=*/2, /*omp=*/2);
 
-  // 4. Solve.
-  gepspark::SolveStats stats;
-  auto dist = gepspark::spark_floyd_warshall(sc, adj, opt, &stats);
+  // 4. Solve. The `with_profile` tag returns {matrix, JobProfile} instead of
+  //    the bare matrix; enabling the tracer first adds per-iteration rows.
+  sc.tracer().set_enabled(true);
+  auto [dist, profile] =
+      gepspark::spark_floyd_warshall(sc, adj, opt, gepspark::with_profile);
 
   // 5. Use the result.
   std::printf("all-pairs shortest paths (n=%zu):\n      ", n);
@@ -58,7 +60,19 @@ int main() {
   std::printf(
       "\nexecuted as %d Spark-style stages / %d tasks over a %dx%d tile "
       "grid; %s shuffled.\n",
-      stats.stages, stats.tasks, stats.grid_r, stats.grid_r,
-      gs::human_bytes(double(stats.shuffle_bytes)).c_str());
+      profile.stages, profile.tasks, profile.grid_r, profile.grid_r,
+      gs::human_bytes(double(profile.shuffle_bytes)).c_str());
+
+  // 6. Where did the (virtual) time go? Every simulated second lands in
+  //    exactly one bucket, so the percentages sum to ~100.
+  const obs::PhaseBuckets& b = profile.buckets;
+  std::printf(
+      "virtual time %.3fs: compute %.0f%%, shuffle %.0f%%, collect %.0f%%, "
+      "broadcast %.0f%% (attributed %.1f%%)\n",
+      profile.virtual_seconds, 100.0 * b.compute_s / profile.virtual_seconds,
+      100.0 * b.shuffle_s / profile.virtual_seconds,
+      100.0 * b.collect_s / profile.virtual_seconds,
+      100.0 * b.broadcast_s / profile.virtual_seconds,
+      100.0 * profile.attributed_fraction());
   return 0;
 }

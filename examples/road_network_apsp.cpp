@@ -5,6 +5,7 @@
 //
 //   $ ./road_network_apsp
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "gepspark/solver.hpp"
@@ -44,6 +45,7 @@ int main() {
               height, n);
 
   sparklet::SparkContext sc(sparklet::ClusterConfig::local(4, 2));
+  sc.tracer().set_enabled(true);  // per-phase/per-iteration attribution
 
   gs::Matrix<double> dist;
   for (auto strategy :
@@ -53,14 +55,25 @@ int main() {
     opt.strategy = strategy;
     opt.kernel = gs::KernelConfig::recursive(2, 2, 16);
 
-    gepspark::SolveStats stats;
-    dist = gepspark::spark_floyd_warshall(sc, times, opt, &stats);
+    auto res =
+        gepspark::spark_floyd_warshall(sc, times, opt, gepspark::with_profile);
+    dist = std::move(res.matrix);
+    const obs::JobProfile& p = res.profile;
     std::printf(
         "  %s: %2d stages, %4d tasks, shuffle %-9s collect %-9s wall %.2fs\n",
-        gepspark::strategy_name(strategy), stats.stages, stats.tasks,
-        gs::human_bytes(double(stats.shuffle_bytes)).c_str(),
-        gs::human_bytes(double(stats.collect_bytes)).c_str(),
-        stats.wall_seconds);
+        gepspark::strategy_name(strategy), p.stages, p.tasks,
+        gs::human_bytes(double(p.shuffle_bytes)).c_str(),
+        gs::human_bytes(double(p.collect_bytes)).c_str(), p.wall_seconds);
+    // Per-phase virtual-time breakdown: where each strategy spends the
+    // simulated cluster's time (the paper's IM-vs-CB tradeoff, quantified).
+    const double vt = p.virtual_seconds > 0 ? p.virtual_seconds : 1.0;
+    std::printf(
+        "      virtual %.3fs = compute %.0f%% (A %.0f%% / BC %.0f%% / D "
+        "%.0f%%) + shuffle %.0f%% + collect %.0f%% + broadcast %.0f%%\n",
+        p.virtual_seconds, 100.0 * p.buckets.compute_s / vt,
+        100.0 * p.phases.a_s / vt, 100.0 * p.phases.bc_s / vt,
+        100.0 * p.phases.d_s / vt, 100.0 * p.buckets.shuffle_s / vt,
+        100.0 * p.buckets.collect_s / vt, 100.0 * p.buckets.broadcast_s / vt);
   }
 
   // Longest commute in the city and its actual route.

@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <iostream>
 
+#include "gepspark/solver.hpp"
 #include "gepspark/tuning.hpp"
+#include "gepspark/workload.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -37,6 +39,51 @@ void explore(const char* title, const sparklet::ClusterConfig& cluster,
               gs::human_seconds(report.ranked.back().predicted.seconds).c_str());
 }
 
+// Close the loop: tune a problem we can afford to execute, then actually run
+// the winning configuration through the profiled solver and compare the cost
+// model's compute/data-movement split against the measured JobProfile.
+void validate_winner() {
+  const std::size_t n = 512;
+  const auto cluster = sparklet::ClusterConfig::local(4, 2);
+  simtime::MachineModel model(cluster);
+  gepspark::TuningSpace space;
+  space.block_sizes = {64, 128, 256};
+  space.omp_threads = {1, 2};
+  auto report = gepspark::tune(model, simtime::GepJobParams::fw_apsp(n, 0),
+                               space);
+  const auto& win = report.best();
+
+  sparklet::SparkContext sc(cluster);
+  sc.tracer().set_enabled(true);
+  auto input = gs::workload::random_digraph({.n = n, .seed = 7});
+  auto res = gepspark::spark_floyd_warshall(sc, input, win.options,
+                                            gepspark::with_profile);
+  const obs::JobProfile& p = res.profile;
+
+  std::printf("\n== measured winner: FW %zu on %s ==\n", n,
+              cluster.name.c_str());
+  std::printf("  config    : %s\n", win.options.describe().c_str());
+  std::printf("  predicted : %s total (compute %s, data movement %s)\n",
+              gs::human_seconds(win.predicted.seconds).c_str(),
+              gs::human_seconds(win.predicted.compute_s).c_str(),
+              gs::human_seconds(win.predicted.shuffle_s +
+                                win.predicted.collect_s +
+                                win.predicted.broadcast_s)
+                  .c_str());
+  std::printf(
+      "  measured  : %s virtual (compute %s [A %s / BC %s / D %s], shuffle "
+      "%s, collect %s, broadcast %s; %.1f%% attributed)\n",
+      gs::human_seconds(p.virtual_seconds).c_str(),
+      gs::human_seconds(p.buckets.compute_s).c_str(),
+      gs::human_seconds(p.phases.a_s).c_str(),
+      gs::human_seconds(p.phases.bc_s).c_str(),
+      gs::human_seconds(p.phases.d_s).c_str(),
+      gs::human_seconds(p.buckets.shuffle_s).c_str(),
+      gs::human_seconds(p.buckets.collect_s).c_str(),
+      gs::human_seconds(p.buckets.broadcast_s).c_str(),
+      100.0 * p.attributed_fraction());
+}
+
 }  // namespace
 
 int main() {
@@ -47,6 +94,8 @@ int main() {
   explore("FW-APSP 32K", c2, simtime::GepJobParams::fw_apsp(32768, 0));
   explore("GE 32K", c1, simtime::GepJobParams::ge(32768, 0));
   explore("GE 32K", c2, simtime::GepJobParams::ge(32768, 0));
+
+  validate_winner();
 
   std::printf(
       "\ntakeaway (paper §V-C / Fig. 8): the best (r, r_shared, strategy, "

@@ -25,6 +25,35 @@ run_tree() {
 
 run_tree build
 
+# Profile-export smoke: a real FW solve per strategy must produce a JSON
+# profile that parses, carries the versioned schema, moves bytes, and
+# attributes >=95% of virtual time to the five buckets.
+profile_smoke() {
+  local strategy="$1"
+  local out="build/profile_smoke_${strategy}.json"
+  echo "== profile-export smoke (${strategy}) =="
+  ./build/examples/gepspark_cli --benchmark fw --n 512 --block 128 \
+    --strategy "${strategy}" --kernel iter --no-verify \
+    --profile-json "${out}" >/dev/null
+  python3 - "${out}" "${strategy}" <<'PY'
+import json, sys
+p = json.load(open(sys.argv[1]))
+strategy = sys.argv[2]
+assert p["schema"] == "gepspark.profile/v1", p["schema"]
+if strategy == "im":
+    assert p["bytes"]["shuffle"] > 0, p["bytes"]
+else:
+    assert p["bytes"]["collect"] > 0 and p["bytes"]["broadcast"] > 0, p["bytes"]
+assert p["breakdown"]["attributed_fraction"] >= 0.95, p["breakdown"]
+assert p["job"]["stages"] > 0 and p["job"]["tasks"] > 0
+print(f"profile smoke ({strategy}): ok — "
+      f"{p['job']['stages']} stages, attributed "
+      f"{p['breakdown']['attributed_fraction']:.3f}")
+PY
+}
+profile_smoke im
+profile_smoke cb
+
 if [[ "${FAST}" == "0" ]]; then
   run_tree build-asan -DGS_SANITIZE=ON
 fi

@@ -18,6 +18,7 @@
 // plug-in — the paper's central comparison.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "gepspark/options.hpp"
 #include "grid/tile_grid.hpp"
 #include "kernels/tile_ops.hpp"
+#include "obs/span.hpp"
 #include "semiring/gep_spec.hpp"
 #include "sparklet/rdd.hpp"
 #include "support/stopwatch.hpp"
@@ -69,7 +71,19 @@ class GepDriver {
   }
 
   /// Run the full GEP computation on `input`, returning the processed table.
+  /// Compatibility wrapper over solve_profiled(): `stats` is the flat
+  /// projection of the JobProfile the profiled path produces.
   gs::Matrix<T> solve(const gs::Matrix<T>& input, SolveStats* stats = nullptr) {
+    SolveResult<T> result = solve_profiled(input);
+    if (stats != nullptr) *stats = to_solve_stats(result.profile);
+    return std::move(result.matrix);
+  }
+
+  /// Run the computation and return {matrix, JobProfile}. Metrics capture is
+  /// scoped (MetricsScope), so the profile covers exactly this solve even on
+  /// a reused context. Enable sc.tracer() beforehand to also get span
+  /// nesting and per-iteration attribution.
+  SolveResult<T> solve_profiled(const gs::Matrix<T>& input) {
     const gs::BlockLayout layout =
         gs::BlockLayout::for_problem(input.rows(), opt_.block_size);
     gs::TileGrid<T> grid(input, opt_.block_size, Spec::pad_diag(),
@@ -86,30 +100,24 @@ class GepDriver {
       part_ = std::make_shared<sparklet::HashPartitioner>(num_parts);
     }
 
-    const double t0 = sc_.timeline().now();
-    const int stages0 = sc_.metrics().num_stages();
-    const int tasks0 = sc_.metrics().total_stage_tasks();
-    const std::size_t shuffle0 = sc_.metrics().total_shuffle_write();
-    const std::size_t collect0 = sc_.metrics().total_collect_bytes();
-    const std::size_t bcast0 = sc_.metrics().total_broadcast_bytes();
+    sparklet::MetricsScope scope(sc_.metrics(), sc_.timeline());
     gs::Stopwatch wall;
-
-    DpRdd dp = sparklet::parallelize_pairs(sc_, grid.entries(), part_, "DP");
-    dp = (opt_.strategy == Strategy::kInMemory) ? solve_im(dp, layout)
-                                                : solve_cb(dp, layout);
-    auto entries = dp.collect("gatherResult");
-
-    if (stats != nullptr) {
-      stats->wall_seconds = wall.seconds();
-      stats->virtual_seconds = sc_.timeline().now() - t0;
-      stats->stages = sc_.metrics().num_stages() - stages0;
-      stats->tasks = sc_.metrics().total_stage_tasks() - tasks0;
-      stats->shuffle_bytes = sc_.metrics().total_shuffle_write() - shuffle0;
-      stats->collect_bytes = sc_.metrics().total_collect_bytes() - collect0;
-      stats->broadcast_bytes = sc_.metrics().total_broadcast_bytes() - bcast0;
-      stats->grid_r = static_cast<int>(layout.r);
+    SolveResult<T> result;
+    {
+      obs::ScopedSpan job_span(&sc_.tracer(), obs::SpanLevel::kJob,
+                               opt_.describe());
+      DpRdd dp = sparklet::parallelize_pairs(sc_, grid.entries(), part_, "DP");
+      dp = (opt_.strategy == Strategy::kInMemory) ? solve_im(dp, layout)
+                                                  : solve_cb(dp, layout);
+      auto entries = dp.collect("gatherResult");
+      result.matrix = gs::TileGrid<T>::from_entries(layout, entries).gather();
     }
-    return gs::TileGrid<T>::from_entries(layout, entries).gather();
+    result.profile =
+        obs::build_job_profile(scope.delta(), sc_.timeline(), &sc_.tracer());
+    result.profile.job = opt_.describe();
+    result.profile.wall_seconds = wall.seconds();
+    result.profile.grid_r = static_cast<int>(layout.r);
+    return result;
   }
 
  private:
@@ -121,17 +129,29 @@ class GepDriver {
     const int r = static_cast<int>(layout.r);
     const GridRanges ranges(r, Spec::kStrictSigma);
     auto kern = kernels_;
+    obs::Tracer* tr = &sc_.tracer();
 
     for (int k = 0; k < r; ++k) {
+      obs::ScopedSpan iter_span(tr, obs::SpanLevel::kIteration, "iteration", k);
+      // IM is lazy: the phase spans here time graph *construction*; the
+      // stages execute under the persist phase at the end of the iteration,
+      // where per-phase virtual time is recovered from stage labels.
+      std::optional<obs::ScopedSpan> phase;
+      phase.emplace(tr, obs::SpanLevel::kPhase, "A", k);
       // ---- Stage 1: kernel A on the pivot tile + IM copy fan-out ----
       auto a_out =
           dp.filter([k](const DPPair& kv) { return kv.first == gs::TileKey{k, k}; },
                     "FilterA")
               .flat_map(
-                  [kern, ranges, k](const DPPair& kv) {
-                    TileR updated = gs::apply_tile_kernel<Spec>(
-                        *kern, gs::KernelKind::A, kv.second, nullptr, nullptr,
-                        nullptr);
+                  [kern, ranges, k, tr](const DPPair& kv) {
+                    TileR updated;
+                    {
+                      obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                                  "A", k);
+                      updated = gs::apply_tile_kernel<Spec>(
+                          *kern, gs::KernelKind::A, kv.second, nullptr, nullptr,
+                          nullptr);
+                    }
                     std::vector<Tagged> out;
                     out.push_back({kv.first, {Role::kSelf, updated}});
                     for (const auto& key : ranges.b_keys(k)) {
@@ -155,6 +175,7 @@ class GepDriver {
           "selfA"));
 
       if (ranges.num_b(k) == 0) {
+        phase.reset();
         // Last strict iteration (or r == 1): nothing but A runs.
         dp = sparklet::union_all<DPPair>(
                  {dp.filter([ranges, k](const DPPair& kv) {
@@ -168,6 +189,7 @@ class GepDriver {
         continue;
       }
 
+      phase.emplace(tr, obs::SpanLevel::kPhase, "BC", k);
       // ---- Stage 2: kernels B and C on pivot row/column ----
       auto bc_old = tag_self(dp.filter(
           [ranges, k](const DPPair& kv) {
@@ -184,7 +206,7 @@ class GepDriver {
           bc_old.union_with(bc_copies)
               .group_by_key(part_, "combineByKeyBC")
               .flat_map(
-                  [kern, ranges, k](
+                  [kern, ranges, k, tr](
                       const std::pair<gs::TileKey, std::vector<TaggedTile<T>>>&
                           kv) {
                     TileR self, diag;
@@ -194,10 +216,15 @@ class GepDriver {
                     GS_CHECK_MSG(self && diag,
                                  "B/C group missing self tile or pivot copy");
                     const bool is_row = kv.first.i == k;  // (k,j) → kernel B
-                    TileR updated = gs::apply_tile_kernel<Spec>(
-                        *kern, is_row ? gs::KernelKind::B : gs::KernelKind::C,
-                        self, is_row ? diag : nullptr,
-                        is_row ? nullptr : diag, kUsesW ? diag : nullptr);
+                    TileR updated;
+                    {
+                      obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                                  is_row ? "B" : "C", k);
+                      updated = gs::apply_tile_kernel<Spec>(
+                          *kern, is_row ? gs::KernelKind::B : gs::KernelKind::C,
+                          self, is_row ? diag : nullptr,
+                          is_row ? nullptr : diag, kUsesW ? diag : nullptr);
+                    }
                     std::vector<Tagged> out;
                     out.push_back({kv.first, {Role::kSelf, updated}});
                     if (is_row) {
@@ -220,6 +247,7 @@ class GepDriver {
           [](const Tagged& kv) { return kv.second.role == Role::kSelf; },
           "selfBC"));
 
+      phase.emplace(tr, obs::SpanLevel::kPhase, "D", k);
       // ---- Stage 3: kernel D on the trailing submatrix ----
       auto d_old = tag_self(dp.filter(
           [ranges, k](const DPPair& kv) { return ranges.is_d(kv.first, k); },
@@ -242,9 +270,10 @@ class GepDriver {
           sparklet::union_all<Tagged>(d_inputs, "unionD")
               .group_by_key(part_, "combineByKeyD")
               .map_partitions(
-                  [kern](int /*p*/,
-                         const std::vector<std::pair<
-                             gs::TileKey, std::vector<TaggedTile<T>>>>& items) {
+                  [kern, k, tr](
+                      int /*p*/,
+                      const std::vector<std::pair<
+                          gs::TileKey, std::vector<TaggedTile<T>>>>& items) {
                     std::vector<DPPair> out;
                     out.reserve(items.size());
                     for (const auto& [key, group] : items) {
@@ -259,6 +288,8 @@ class GepDriver {
                       }
                       GS_CHECK_MSG(self && row && col && (!kUsesW || diag),
                                    "D group missing an input tile");
+                      obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                                  "D", k);
                       out.push_back({key, gs::apply_tile_kernel<Spec>(
                                               *kern, gs::KernelKind::D, self,
                                               col, row,
@@ -269,6 +300,7 @@ class GepDriver {
                   /*preserves_partitioning=*/true, "DRecGE")
               .partition_by(part_, "partitionByD");
 
+      phase.reset();
       // ---- Preparation for the next iteration (Listing 1 lines 16-23) ----
       auto prev = dp.filter(
           [ranges, k](const DPPair& kv) {
@@ -289,14 +321,23 @@ class GepDriver {
     const int r = static_cast<int>(layout.r);
     const GridRanges ranges(r, Spec::kStrictSigma);
     auto kern = kernels_;
+    obs::Tracer* tr = &sc_.tracer();
 
     for (int k = 0; k < r; ++k) {
+      obs::ScopedSpan iter_span(tr, obs::SpanLevel::kIteration, "iteration", k);
+      // CB phases A and BC execute eagerly inside their collect() calls, so
+      // these phase spans carry real virtual-time windows; D stays lazy and
+      // runs under the persist phase.
+      std::optional<obs::ScopedSpan> phase;
+      phase.emplace(tr, obs::SpanLevel::kPhase, "A", k);
       // ---- Stage 1: kernel A, collect to driver, broadcast via storage ----
       auto a_rdd =
           dp.filter([k](const DPPair& kv) { return kv.first == gs::TileKey{k, k}; },
                     "FilterA")
               .map(
-                  [kern](const DPPair& kv) {
+                  [kern, k, tr](const DPPair& kv) {
+                    obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                                "A", k);
                     return DPPair{kv.first,
                                   gs::apply_tile_kernel<Spec>(
                                       *kern, gs::KernelKind::A, kv.second,
@@ -314,12 +355,14 @@ class GepDriver {
           "FilterPrev");
 
       if (ranges.num_b(k) == 0) {
+        phase.reset();
         dp = sparklet::union_all<DPPair>({prev, a_rdd}, "unionIter")
                  .partition_by(part_, "repartition");
         persist_iteration(dp, k);
         continue;
       }
 
+      phase.emplace(tr, obs::SpanLevel::kPhase, "BC", k);
       // ---- Stage 2: kernels B/C against the broadcast pivot ----
       auto bc_rdd =
           dp.filter(
@@ -328,9 +371,11 @@ class GepDriver {
                 },
                 "FilterBC")
               .map(
-                  [kern, diag_bc, k](const DPPair& kv) {
+                  [kern, diag_bc, k, tr](const DPPair& kv) {
                     const bool is_row = kv.first.i == k;
                     const TileR& diag = diag_bc.value();
+                    obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                                is_row ? "B" : "C", k);
                     return DPPair{
                         kv.first,
                         gs::apply_tile_kernel<Spec>(
@@ -345,22 +390,26 @@ class GepDriver {
       for (const auto& [key, tile] : bc_collected) pivot_map.emplace(key, tile);
       auto pivots_bc = sc_.broadcast(std::move(pivot_map));  // "tofile()"
 
+      phase.emplace(tr, obs::SpanLevel::kPhase, "D", k);
       // ---- Stage 3: kernel D against broadcast pivot row/column ----
       auto d_rdd =
           dp.filter(
                 [ranges, k](const DPPair& kv) { return ranges.is_d(kv.first, k); },
                 "FilterD")
               .map(
-                  [kern, pivots_bc, diag_bc, k](const DPPair& kv) {
+                  [kern, pivots_bc, diag_bc, k, tr](const DPPair& kv) {
                     const auto& pivots = pivots_bc.value();
                     const TileR& col = pivots.at(gs::TileKey{kv.first.i, k});
                     const TileR& row = pivots.at(gs::TileKey{k, kv.first.j});
+                    obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                                "D", k);
                     return DPPair{kv.first,
                                   gs::apply_tile_kernel<Spec>(
                                       *kern, gs::KernelKind::D, kv.second, col,
                                       row, kUsesW ? diag_bc.value() : nullptr)};
                   },
                   "DRecGE");
+      phase.reset();
 
       // ---- Listing 2 lines 13-19: reassemble and repartition once ----
       dp = sparklet::union_all<DPPair>({prev, a_rdd, bc_rdd, d_rdd},
@@ -378,6 +427,9 @@ class GepDriver {
   /// otherwise just materialize, leaving lineage intact so a later failure
   /// replays from the last checkpoint instead of losing the job.
   void persist_iteration(DpRdd& dp, int k) const {
+    // In IM this phase is where the whole iteration's lazy graph executes.
+    obs::ScopedSpan phase_span(&sc_.tracer(), obs::SpanLevel::kPhase,
+                               "persist", k);
     const int interval = opt_.checkpoint_interval;
     if (interval > 0 && (k + 1) % interval == 0) {
       dp.checkpoint();

@@ -7,7 +7,9 @@
 #include <cstddef>
 #include <string>
 
+#include "grid/matrix.hpp"
 #include "kernels/kernel_config.hpp"
+#include "obs/job_profile.hpp"
 #include "support/format.hpp"
 
 namespace gepspark {
@@ -64,6 +66,11 @@ struct SolverOptions {
 };
 
 /// Execution statistics for one solve, in both time domains.
+///
+/// Compatibility surface: these fields are a flat projection of
+/// obs::JobProfile (see to_solve_stats). New code should prefer the
+/// `with_profile` overloads returning SolveResult — the profile carries the
+/// same numbers plus the bucket/phase/iteration breakdown.
 struct SolveStats {
   double wall_seconds = 0.0;     ///< real elapsed time on the host
   double virtual_seconds = 0.0;  ///< virtual-cluster makespan (timeline delta)
@@ -73,6 +80,37 @@ struct SolveStats {
   int stages = 0;
   int tasks = 0;
   int grid_r = 0;
+};
+
+/// Flatten a JobProfile into the legacy SolveStats shape.
+inline SolveStats to_solve_stats(const obs::JobProfile& profile) {
+  SolveStats s;
+  s.wall_seconds = profile.wall_seconds;
+  s.virtual_seconds = profile.virtual_seconds;
+  s.shuffle_bytes = profile.shuffle_bytes;
+  s.collect_bytes = profile.collect_bytes;
+  s.broadcast_bytes = profile.broadcast_bytes;
+  s.stages = profile.stages;
+  s.tasks = profile.tasks;
+  s.grid_r = profile.grid_r;
+  return s;
+}
+
+/// Tag selecting the profiled overloads of solve_gep() and the named
+/// solvers: `solve_gep<Spec>(sc, input, opt, with_profile)` returns a
+/// SolveResult instead of a bare matrix.
+struct with_profile_t {
+  explicit with_profile_t() = default;
+};
+inline constexpr with_profile_t with_profile{};
+
+/// Result of a profiled solve: the processed table plus the structured
+/// execution profile (virtual-time buckets, GEP-phase split, per-iteration
+/// slices when tracing is enabled on the context, bytes, recovery work).
+template <typename T>
+struct SolveResult {
+  gs::Matrix<T> matrix;
+  obs::JobProfile profile;
 };
 
 }  // namespace gepspark

@@ -27,6 +27,17 @@ gs::Matrix<typename Spec::value_type> solve_gep(
   return driver.solve(input, stats);
 }
 
+/// Profiled variant: `solve_gep<Spec>(sc, input, opt, with_profile)` returns
+/// {matrix, JobProfile}. Enable sc.tracer() first for span nesting and
+/// per-iteration attribution in the profile.
+template <gs::GepSpecType Spec>
+SolveResult<typename Spec::value_type> solve_gep(
+    sparklet::SparkContext& sc, const gs::Matrix<typename Spec::value_type>& input,
+    const SolverOptions& opt, with_profile_t) {
+  GepDriver<Spec> driver(sc, opt);
+  return driver.solve_profiled(input);
+}
+
 /// All-pairs shortest paths (min-plus semiring). `adjacency(i,j)` is the
 /// edge weight, +∞ for "no edge", and 0 on the diagonal. Requires no
 /// negative cycles.
@@ -35,6 +46,13 @@ inline gs::Matrix<double> spark_floyd_warshall(sparklet::SparkContext& sc,
                                                const SolverOptions& opt,
                                                SolveStats* stats = nullptr) {
   return solve_gep<gs::FloydWarshallSpec>(sc, adjacency, opt, stats);
+}
+
+inline SolveResult<double> spark_floyd_warshall(sparklet::SparkContext& sc,
+                                                const gs::Matrix<double>& adjacency,
+                                                const SolverOptions& opt,
+                                                with_profile_t tag) {
+  return solve_gep<gs::FloydWarshallSpec>(sc, adjacency, opt, tag);
 }
 
 /// Gaussian elimination without pivoting. Returns the eliminated table:
@@ -47,12 +65,24 @@ inline gs::Matrix<double> spark_gaussian_elimination(
   return solve_gep<gs::GaussianEliminationSpec>(sc, system, opt, stats);
 }
 
+inline SolveResult<double> spark_gaussian_elimination(
+    sparklet::SparkContext& sc, const gs::Matrix<double>& system,
+    const SolverOptions& opt, with_profile_t tag) {
+  return solve_gep<gs::GaussianEliminationSpec>(sc, system, opt, tag);
+}
+
 /// Transitive closure (boolean semiring). `adjacency(i,j)` ∈ {0,1}; set the
 /// diagonal to 1 for reflexive reachability.
 inline gs::Matrix<std::uint8_t> spark_transitive_closure(
     sparklet::SparkContext& sc, const gs::Matrix<std::uint8_t>& adjacency,
     const SolverOptions& opt, SolveStats* stats = nullptr) {
   return solve_gep<gs::TransitiveClosureSpec>(sc, adjacency, opt, stats);
+}
+
+inline SolveResult<std::uint8_t> spark_transitive_closure(
+    sparklet::SparkContext& sc, const gs::Matrix<std::uint8_t>& adjacency,
+    const SolverOptions& opt, with_profile_t tag) {
+  return solve_gep<gs::TransitiveClosureSpec>(sc, adjacency, opt, tag);
 }
 
 /// Widest (maximum-bottleneck) paths over the (max, min) semiring.
@@ -62,6 +92,13 @@ inline gs::Matrix<double> spark_widest_path(sparklet::SparkContext& sc,
                                             const SolverOptions& opt,
                                             SolveStats* stats = nullptr) {
   return solve_gep<gs::WidestPathSpec>(sc, capacity, opt, stats);
+}
+
+inline SolveResult<double> spark_widest_path(sparklet::SparkContext& sc,
+                                             const gs::Matrix<double>& capacity,
+                                             const SolverOptions& opt,
+                                             with_profile_t tag) {
+  return solve_gep<gs::WidestPathSpec>(sc, capacity, opt, tag);
 }
 
 }  // namespace gepspark

@@ -1,0 +1,102 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/format.hpp"
+
+namespace obs {
+
+CriticalPathReport analyze_critical_path(
+    const sparklet::VirtualTimeline& timeline, std::size_t record_begin,
+    std::size_t record_end, std::size_t top_n) {
+  CriticalPathReport report;
+  const auto& records = timeline.stages();
+  record_end = std::min(record_end, records.size());
+  if (record_begin >= record_end) return report;
+
+  const double lanes = static_cast<double>(timeline.num_executors()) *
+                       static_cast<double>(timeline.slots_per_executor());
+
+  // Per-stage task occupancy, indexed by stage record.
+  std::vector<double> busy(records.size(), 0.0);
+  std::vector<double> longest(records.size(), 0.0);
+  for (const auto& span : timeline.task_spans()) {
+    const auto i = static_cast<std::size_t>(span.stage_index);
+    if (i < record_begin || i >= record_end) continue;
+    const double d = span.end_s - span.start_s;
+    busy[i] += d;
+    longest[i] = std::max(longest[i], d);
+  }
+
+  std::vector<StageCost> costs;
+  costs.reserve(record_end - record_begin);
+  for (std::size_t i = record_begin; i < record_end; ++i) {
+    const auto& rec = records[i];
+    StageCost c;
+    c.name = rec.name;
+    c.category = rec.category;
+    c.seconds = rec.duration();
+    c.num_tasks = rec.num_tasks;
+    report.buckets.of(rec.category) += c.seconds;
+    if (rec.num_tasks > 0) {
+      c.critical_task_s = longest[i];
+      c.idle_s = lanes * c.seconds - busy[i];
+      report.barrier_s += c.seconds;
+      report.busy_s += busy[i];
+      report.idle_s += c.idle_s;
+    } else {
+      report.serial_s += c.seconds;
+    }
+    costs.push_back(std::move(c));
+  }
+  report.window_s = records[record_end - 1].end_s - records[record_begin].start_s;
+
+  std::stable_sort(costs.begin(), costs.end(),
+                   [](const StageCost& a, const StageCost& b) {
+                     return a.seconds > b.seconds;
+                   });
+  if (costs.size() > top_n) costs.resize(top_n);
+  report.top = std::move(costs);
+  return report;
+}
+
+CriticalPathReport analyze_critical_path(
+    const sparklet::VirtualTimeline& timeline, std::size_t top_n) {
+  return analyze_critical_path(timeline, 0, timeline.stages().size(), top_n);
+}
+
+void CriticalPathReport::print(std::ostream& os) const {
+  os << gs::strfmt(
+      "critical path: %s virtual  (barrier %s, driver-serial %s, "
+      "lane utilization %.0f%%)\n",
+      gs::human_seconds(window_s).c_str(), gs::human_seconds(barrier_s).c_str(),
+      gs::human_seconds(serial_s).c_str(), 100.0 * utilization());
+  auto pct = [&](double s) { return window_s > 0.0 ? 100.0 * s / window_s : 0.0; };
+  os << gs::strfmt(
+      "  by category: compute %.1f%% | shuffle %.1f%% | collect %.1f%% | "
+      "broadcast %.1f%% | recovery %.1f%%  (%.1f%% attributed)\n",
+      pct(buckets.compute_s), pct(buckets.shuffle_s), pct(buckets.collect_s),
+      pct(buckets.broadcast_s), pct(buckets.recovery_s),
+      100.0 * attributed_fraction());
+  if (!top.empty()) {
+    os << "  costliest records:\n";
+    for (const auto& c : top) {
+      if (c.num_tasks > 0) {
+        os << gs::strfmt(
+            "    %-28s %-9s %9s  tasks=%-4d critical-task=%s idle=%s\n",
+            c.name.c_str(), sparklet::time_category_name(c.category),
+            gs::human_seconds(c.seconds).c_str(), c.num_tasks,
+            gs::human_seconds(c.critical_task_s).c_str(),
+            gs::human_seconds(c.idle_s).c_str());
+      } else {
+        os << gs::strfmt("    %-28s %-9s %9s  (driver-serial)\n",
+                         c.name.c_str(),
+                         sparklet::time_category_name(c.category),
+                         gs::human_seconds(c.seconds).c_str());
+      }
+    }
+  }
+}
+
+}  // namespace obs

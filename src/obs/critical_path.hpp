@@ -1,0 +1,62 @@
+#pragma once
+// Critical-path analysis over the virtual-timeline stage DAG.
+//
+// sparklet stages are barrier-synchronized: the timeline is a chain of
+// records (task stages + driver-serial segments), so the critical path of
+// the whole job is the chain itself, and the interesting structure is
+// *within* stages — the longest task chain (the stage's makespan) versus
+// lane idleness (imbalance) — and *across* the chain: which stages and
+// which categories dominate.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/job_profile.hpp"
+#include "sparklet/virtual_timeline.hpp"
+
+namespace obs {
+
+/// One timeline record's contribution to the job's makespan.
+struct StageCost {
+  std::string name;
+  sparklet::TimeCategory category = sparklet::TimeCategory::kCompute;
+  double seconds = 0.0;         ///< barrier-to-barrier duration
+  int num_tasks = 0;            ///< 0 = driver-serial segment
+  double critical_task_s = 0.0; ///< longest single task occupancy
+  double idle_s = 0.0;          ///< lane-slack behind the barrier
+};
+
+struct CriticalPathReport {
+  double window_s = 0.0;   ///< virtual time covered by the analyzed records
+  PhaseBuckets buckets;    ///< makespan split by category
+  double serial_s = 0.0;   ///< driver-serial records (no tasks)
+  double barrier_s = 0.0;  ///< task stages
+  double idle_s = 0.0;     ///< total lane-slack across task stages
+  double busy_s = 0.0;     ///< total task occupancy (sum over lanes)
+  std::vector<StageCost> top;  ///< costliest records, descending
+
+  double attributed_fraction() const {
+    return window_s > 0.0 ? buckets.total() / window_s : 1.0;
+  }
+  /// Mean lane utilization across task stages (busy / (lanes × barrier)).
+  double utilization() const {
+    const double cap = busy_s + idle_s;
+    return cap > 0.0 ? busy_s / cap : 0.0;
+  }
+
+  void print(std::ostream& os) const;
+};
+
+/// Analyze records [record_begin, record_end) of the timeline (use the
+/// window a JobProfile carries to scope the report to one job).
+CriticalPathReport analyze_critical_path(
+    const sparklet::VirtualTimeline& timeline, std::size_t record_begin,
+    std::size_t record_end, std::size_t top_n = 10);
+
+/// Whole-timeline convenience overload.
+CriticalPathReport analyze_critical_path(
+    const sparklet::VirtualTimeline& timeline, std::size_t top_n = 10);
+
+}  // namespace obs

@@ -1,0 +1,168 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "support/check.hpp"
+#include "support/format.hpp"
+
+namespace obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += gs::strfmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream f(path);
+  GS_CHECK_MSG(f.good(), "cannot open output: " + path);
+  return f;
+}
+
+}  // namespace
+
+void write_profile_json(const JobProfile& p, std::ostream& out) {
+  out << "{\n";
+  out << gs::strfmt("  \"schema\": \"%s\",\n", kProfileJsonSchema);
+  out << gs::strfmt(
+      "  \"job\": {\"config\": \"%s\", \"wall_seconds\": %.9g, "
+      "\"virtual_seconds\": %.9g, \"grid_r\": %d, \"stages\": %d, "
+      "\"tasks\": %d},\n",
+      json_escape(p.job).c_str(), p.wall_seconds, p.virtual_seconds, p.grid_r,
+      p.stages, p.tasks);
+  out << gs::strfmt(
+      "  \"bytes\": {\"shuffle\": %zu, \"collect\": %zu, \"broadcast\": "
+      "%zu},\n",
+      p.shuffle_bytes, p.collect_bytes, p.broadcast_bytes);
+  out << gs::strfmt(
+      "  \"breakdown\": {\"compute_s\": %.9g, \"shuffle_s\": %.9g, "
+      "\"collect_s\": %.9g, \"broadcast_s\": %.9g, \"recovery_s\": %.9g, "
+      "\"attributed_fraction\": %.9g},\n",
+      p.buckets.compute_s, p.buckets.shuffle_s, p.buckets.collect_s,
+      p.buckets.broadcast_s, p.buckets.recovery_s, p.attributed_fraction());
+  out << gs::strfmt(
+      "  \"phases\": {\"a_s\": %.9g, \"bc_s\": %.9g, \"d_s\": %.9g, "
+      "\"prep_s\": %.9g, \"other_s\": %.9g},\n",
+      p.phases.a_s, p.phases.bc_s, p.phases.d_s, p.phases.prep_s,
+      p.phases.other_s);
+  out << "  \"iterations\": [";
+  for (std::size_t i = 0; i < p.iterations.size(); ++i) {
+    const auto& it = p.iterations[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << gs::strfmt(
+        "    {\"k\": %lld, \"virtual_s\": %.9g, \"compute_s\": %.9g, "
+        "\"shuffle_s\": %.9g, \"collect_s\": %.9g, \"broadcast_s\": %.9g, "
+        "\"recovery_s\": %.9g}",
+        static_cast<long long>(it.k), it.virtual_seconds, it.buckets.compute_s,
+        it.buckets.shuffle_s, it.buckets.collect_s, it.buckets.broadcast_s,
+        it.buckets.recovery_s);
+  }
+  out << (p.iterations.empty() ? "],\n" : "\n  ],\n");
+  const auto& r = p.recovery;
+  out << gs::strfmt(
+      "  \"recovery\": {\"task_failures\": %d, \"task_retries\": %d, "
+      "\"executor_kills\": %d, \"tasks_rescheduled\": %d, "
+      "\"partitions_dropped\": %d, \"partitions_recomputed\": %d, "
+      "\"fetch_failures\": %d, \"stage_resubmissions\": %d, "
+      "\"checkpoint_blocks\": %d, \"checkpoint_bytes\": %zu, "
+      "\"corrupted_blocks\": %d, \"evictions\": %d, "
+      "\"stragglers_injected\": %d, \"speculative_launches\": %d, "
+      "\"speculative_wins\": %d},\n",
+      r.task_failures, r.task_retries, r.executor_kills, r.tasks_rescheduled,
+      r.partitions_dropped, r.partitions_recomputed, r.fetch_failures,
+      r.stage_resubmissions, r.checkpoint_blocks, r.checkpoint_bytes,
+      r.corrupted_blocks, r.evictions, r.stragglers_injected,
+      r.speculative_launches, r.speculative_wins);
+  out << gs::strfmt("  \"spans\": {\"recorded\": %zu, \"dropped\": %zu}\n",
+                    p.spans_recorded, p.spans_dropped);
+  out << "}\n";
+}
+
+void write_profile_json(const JobProfile& profile, const std::string& path) {
+  auto f = open_or_throw(path);
+  write_profile_json(profile, f);
+}
+
+void write_profile_csv(const JobProfile& p, std::ostream& out) {
+  out << kProfileCsvHeader << "\n";
+  out << gs::strfmt("job,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%zu,%zu,%zu,%d,%d\n",
+                    p.wall_seconds, p.virtual_seconds, p.buckets.compute_s,
+                    p.buckets.shuffle_s, p.buckets.collect_s,
+                    p.buckets.broadcast_s, p.buckets.recovery_s,
+                    p.shuffle_bytes, p.collect_bytes, p.broadcast_bytes,
+                    p.stages, p.tasks);
+  for (const auto& it : p.iterations) {
+    out << gs::strfmt("iteration,%lld,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,,,,,\n",
+                      static_cast<long long>(it.k), it.virtual_seconds,
+                      it.buckets.compute_s, it.buckets.shuffle_s,
+                      it.buckets.collect_s, it.buckets.broadcast_s,
+                      it.buckets.recovery_s);
+  }
+}
+
+void write_profile_csv(const JobProfile& profile, const std::string& path) {
+  auto f = open_or_throw(path);
+  write_profile_csv(profile, f);
+}
+
+void write_chrome_trace(const sparklet::VirtualTimeline& timeline,
+                        const Tracer* tracer, const std::string& path) {
+  auto f = open_or_throw(path);
+  f << "[\n";
+  bool first = true;
+  auto emit_raw = [&](const std::string& line) {
+    if (!first) f << ",\n";
+    first = false;
+    f << line;
+  };
+  // Process names so the three event streams read sensibly in the viewer.
+  emit_raw(R"json({"ph":"M","name":"process_name","pid":-1,"args":{"name":"driver (virtual time)"}})json");
+  emit_raw(R"json({"ph":"M","name":"process_name","pid":-2,"args":{"name":"spans (virtual time)"}})json");
+  emit_raw(R"json({"ph":"M","name":"process_name","pid":-3,"args":{"name":"spans (wall time)"}})json");
+  timeline.append_chrome_events(f, first);
+  if (tracer != nullptr) {
+    for (const Span& s : tracer->spans()) {
+      std::string name = json_escape(s.name);
+      if (s.index >= 0) {
+        name += gs::strfmt(" #%lld", static_cast<long long>(s.index));
+      }
+      if (s.has_virtual()) {
+        // One row per span level keeps the job/iteration/phase/stage nesting
+        // visually stacked even though chrome-trace slices don't nest by id.
+        emit_raw(gs::strfmt(
+            R"({"name":"%s","cat":"%s","ph":"X","pid":-2,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"span":%llu,"parent":%llu}})",
+            name.c_str(), span_level_name(s.level),
+            static_cast<int>(s.level), s.virt_start_s * 1e6,
+            (s.virt_end_s - s.virt_start_s) * 1e6,
+            static_cast<unsigned long long>(s.id),
+            static_cast<unsigned long long>(s.parent)));
+      } else {
+        emit_raw(gs::strfmt(
+            R"({"name":"%s","cat":"%s","ph":"X","pid":-3,"tid":%d,"ts":%.3f,"dur":%.3f,"args":{"span":%llu,"parent":%llu}})",
+            name.c_str(), span_level_name(s.level), s.thread,
+            s.wall_start_s * 1e6, (s.wall_end_s - s.wall_start_s) * 1e6,
+            static_cast<unsigned long long>(s.id),
+            static_cast<unsigned long long>(s.parent)));
+      }
+    }
+  }
+  f << "\n]\n";
+}
+
+}  // namespace obs

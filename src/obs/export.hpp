@@ -1,0 +1,41 @@
+#pragma once
+// Profile / trace exporters with stable schemas.
+//
+// JSON: one object, schema tag "gepspark.profile/v1". Key set and nesting
+// are fixed; additions bump the schema version. CSV: fixed 14-column header
+// (see kProfileCsvHeader), one "job" row plus one "iteration" row per traced
+// iteration. The verify.sh smoke check and the golden-schema tests parse
+// these — change them only with a version bump.
+//
+// Chrome trace: the VirtualTimeline's executor/slot slices plus, when a
+// tracer is supplied, its span hierarchy — driver spans (virtual time) on
+// pid -2 with one row per span level, wall-clock task/kernel spans on
+// pid -3 keyed by thread.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/job_profile.hpp"
+#include "obs/span.hpp"
+#include "sparklet/virtual_timeline.hpp"
+
+namespace obs {
+
+inline constexpr const char* kProfileJsonSchema = "gepspark.profile/v1";
+inline constexpr const char* kProfileCsvHeader =
+    "row,k,wall_s,virtual_s,compute_s,shuffle_s,collect_s,broadcast_s,"
+    "recovery_s,shuffle_bytes,collect_bytes,broadcast_bytes,stages,tasks";
+
+void write_profile_json(const JobProfile& profile, std::ostream& out);
+void write_profile_json(const JobProfile& profile, const std::string& path);
+
+void write_profile_csv(const JobProfile& profile, std::ostream& out);
+void write_profile_csv(const JobProfile& profile, const std::string& path);
+
+/// Combined Chrome trace (chrome://tracing, ui.perfetto.dev). `tracer` may
+/// be null or disabled — the output then matches
+/// VirtualTimeline::write_chrome_trace plus process-name metadata.
+void write_chrome_trace(const sparklet::VirtualTimeline& timeline,
+                        const Tracer* tracer, const std::string& path);
+
+}  // namespace obs

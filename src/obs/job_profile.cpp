@@ -1,0 +1,210 @@
+#include "obs/job_profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "support/format.hpp"
+
+namespace obs {
+
+double& PhaseBuckets::of(sparklet::TimeCategory category) {
+  switch (category) {
+    case sparklet::TimeCategory::kCompute: return compute_s;
+    case sparklet::TimeCategory::kShuffle: return shuffle_s;
+    case sparklet::TimeCategory::kCollect: return collect_s;
+    case sparklet::TimeCategory::kBroadcast: return broadcast_s;
+    case sparklet::TimeCategory::kRecovery: return recovery_s;
+  }
+  return compute_s;
+}
+
+double PhaseBuckets::of(sparklet::TimeCategory category) const {
+  return const_cast<PhaseBuckets*>(this)->of(category);
+}
+
+const char* gep_phase_name(GepPhase phase) {
+  switch (phase) {
+    case GepPhase::kA: return "A";
+    case GepPhase::kBC: return "BC";
+    case GepPhase::kD: return "D";
+    case GepPhase::kPrep: return "prep";
+    case GepPhase::kOther: return "other";
+  }
+  return "?";
+}
+
+double& GepPhaseSeconds::of(GepPhase phase) {
+  switch (phase) {
+    case GepPhase::kA: return a_s;
+    case GepPhase::kBC: return bc_s;
+    case GepPhase::kD: return d_s;
+    case GepPhase::kPrep: return prep_s;
+    case GepPhase::kOther: return other_s;
+  }
+  return other_s;
+}
+
+double GepPhaseSeconds::of(GepPhase phase) const {
+  return const_cast<GepPhaseSeconds*>(this)->of(phase);
+}
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+GepPhase classify_gep_phase(std::string_view label) {
+  // Strip decoration suffixes the runtime appends: "(elided)", "(aware)",
+  // "(local)", "(recompute)".
+  while (!label.empty() && label.back() == ')') {
+    const std::size_t open = label.rfind('(');
+    if (open == std::string_view::npos) break;
+    label = label.substr(0, open);
+  }
+  if (ends_with(label, "RecGE")) label.remove_suffix(5);  // {A,BC,D}RecGE
+  if (label.empty()) return GepPhase::kOther;
+  if (ends_with(label, "BC")) return GepPhase::kBC;
+  if (ends_with(label, "D")) return GepPhase::kD;
+  if (ends_with(label, "A")) return GepPhase::kA;
+  if (label == "FilterPrev" || label == "unionIter" || label == "repartition" ||
+      label == "DP" || label == "gatherResult" || label == "checkpoint" ||
+      label == "parallelize") {
+    return GepPhase::kPrep;
+  }
+  return GepPhase::kOther;
+}
+
+JobProfile build_job_profile(const sparklet::MetricsDelta& delta,
+                             const sparklet::VirtualTimeline& timeline,
+                             const Tracer* tracer) {
+  JobProfile p;
+  p.virtual_seconds = delta.virtual_seconds;
+  p.stages = delta.stages;
+  p.tasks = delta.tasks;
+  p.shuffle_bytes = delta.shuffle_write_bytes;
+  p.collect_bytes = delta.collect_bytes;
+  p.broadcast_bytes = delta.broadcast_bytes;
+  p.recovery = delta.recovery;
+  p.record_begin = delta.record_begin;
+  p.record_end = delta.record_end;
+
+  // Iteration windows from kIteration spans that fall inside the capture.
+  struct Window {
+    double begin_s;
+    double end_s;
+    std::int64_t k;
+  };
+  std::vector<Window> windows;
+  if (tracer != nullptr) {
+    p.spans_recorded = tracer->recorded();
+    p.spans_dropped = tracer->dropped();
+    constexpr double kEps = 1e-9;
+    for (const Span& s : tracer->spans()) {
+      if (s.level != SpanLevel::kIteration || !s.has_virtual()) continue;
+      if (s.virt_start_s < delta.virtual_begin_s - kEps ||
+          s.virt_end_s > delta.virtual_end_s + kEps) {
+        continue;  // from an earlier capture on the same context
+      }
+      windows.push_back({s.virt_start_s, s.virt_end_s, s.index});
+    }
+    std::sort(windows.begin(), windows.end(),
+              [](const Window& a, const Window& b) {
+                return a.begin_s < b.begin_s;
+              });
+  }
+  auto iteration_of = [&](double t) -> std::int64_t {
+    // Iteration spans are disjoint in virtual time (driver-side, serial), so
+    // a linear scan over the sorted windows with upper_bound is exact.
+    auto it = std::upper_bound(
+        windows.begin(), windows.end(), t,
+        [](double v, const Window& w) { return v < w.begin_s; });
+    if (it == windows.begin()) return -1;
+    --it;
+    return t <= it->end_s + 1e-9 ? it->k : -1;
+  };
+
+  std::map<std::int64_t, IterationProfile> per_iter;
+  const auto& records = timeline.stages();
+  const std::size_t end = std::min(delta.record_end, records.size());
+  for (std::size_t i = delta.record_begin; i < end; ++i) {
+    const auto& rec = records[i];
+    const double dur = rec.duration();
+    p.buckets.of(rec.category) += dur;
+    GepPhase phase = GepPhase::kOther;
+    if (rec.category == sparklet::TimeCategory::kCompute) {
+      // Serial compute records (per-stage scheduler latency) count as prep;
+      // task stages classify by label.
+      phase = rec.num_tasks > 0 ? classify_gep_phase(rec.name) : GepPhase::kPrep;
+      p.phases.of(phase) += dur;
+    }
+    if (!windows.empty()) {
+      const double mid = 0.5 * (rec.start_s + rec.end_s);
+      IterationProfile& ip = per_iter[iteration_of(mid)];
+      ip.virtual_seconds += dur;
+      ip.buckets.of(rec.category) += dur;
+      if (rec.category == sparklet::TimeCategory::kCompute) {
+        ip.phases.of(phase) += dur;
+      }
+    }
+  }
+  for (auto& [k, ip] : per_iter) {
+    ip.k = k;
+    p.iterations.push_back(ip);
+  }
+  return p;
+}
+
+void JobProfile::print(std::ostream& os) const {
+  os << gs::strfmt("profile: %s\n", job.empty() ? "(unnamed job)" : job.c_str());
+  os << gs::strfmt("  wall %s  virtual %s  %d stages / %d tasks%s\n",
+                   gs::human_seconds(wall_seconds).c_str(),
+                   gs::human_seconds(virtual_seconds).c_str(), stages, tasks,
+                   grid_r > 0 ? gs::strfmt("  (%dx%d grid)", grid_r, grid_r)
+                                    .c_str()
+                              : "");
+  auto pct = [&](double s) {
+    return virtual_seconds > 0.0 ? 100.0 * s / virtual_seconds : 0.0;
+  };
+  os << gs::strfmt(
+      "  breakdown: compute %.1f%% | shuffle %.1f%% | collect %.1f%% | "
+      "broadcast %.1f%% | recovery %.1f%%  (%.1f%% attributed)\n",
+      pct(buckets.compute_s), pct(buckets.shuffle_s), pct(buckets.collect_s),
+      pct(buckets.broadcast_s), pct(buckets.recovery_s),
+      100.0 * attributed_fraction());
+  if (phases.total() > 0.0) {
+    auto cpct = [&](double s) {
+      return phases.total() > 0.0 ? 100.0 * s / phases.total() : 0.0;
+    };
+    os << gs::strfmt(
+        "  compute by phase: A %.1f%% | B/C %.1f%% | D %.1f%% | prep %.1f%% | "
+        "other %.1f%%\n",
+        cpct(phases.a_s), cpct(phases.bc_s), cpct(phases.d_s),
+        cpct(phases.prep_s), cpct(phases.other_s));
+  }
+  os << gs::strfmt("  bytes: shuffle %s, collect %s, broadcast %s\n",
+                   gs::human_bytes(double(shuffle_bytes)).c_str(),
+                   gs::human_bytes(double(collect_bytes)).c_str(),
+                   gs::human_bytes(double(broadcast_bytes)).c_str());
+  if (!iterations.empty()) {
+    os << gs::strfmt("  iterations traced: %zu (spans: %zu recorded, %zu "
+                     "dropped)\n",
+                     iterations.size(), spans_recorded, spans_dropped);
+  }
+  if (recovery.task_failures || recovery.executor_kills ||
+      recovery.fetch_failures || recovery.partitions_recomputed ||
+      recovery.checkpoint_blocks) {
+    os << gs::strfmt(
+        "  recovery: %d task failures, %d executor kills, %d fetch failures, "
+        "%d partitions recomputed, %d checkpoint blocks\n",
+        recovery.task_failures, recovery.executor_kills,
+        recovery.fetch_failures, recovery.partitions_recomputed,
+        recovery.checkpoint_blocks);
+  }
+}
+
+}  // namespace obs

@@ -1,0 +1,119 @@
+#pragma once
+// JobProfile — structured aggregation of one job's execution: virtual-time
+// bucket breakdown (compute / shuffle / collect / broadcast / recovery),
+// GEP-phase attribution of compute time, per-iteration slices (when the
+// tracer ran), byte counters, and recovery work. Built from a MetricsDelta
+// (scoped counter capture) + the matching VirtualTimeline window, optionally
+// refined with tracer spans.
+//
+// The timeline records partition virtual time exactly — every record carries
+// one TimeCategory — so attributed_fraction() is 1.0 up to floating-point
+// rounding. The ≥95% acceptance bound leaves headroom for future charges
+// that bypass the timeline.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "sparklet/metrics.hpp"
+#include "sparklet/virtual_timeline.hpp"
+
+namespace obs {
+
+/// Virtual seconds split by TimeCategory.
+struct PhaseBuckets {
+  double compute_s = 0.0;
+  double shuffle_s = 0.0;
+  double collect_s = 0.0;
+  double broadcast_s = 0.0;
+  double recovery_s = 0.0;
+
+  double total() const {
+    return compute_s + shuffle_s + collect_s + broadcast_s + recovery_s;
+  }
+  double& of(sparklet::TimeCategory category);
+  double of(sparklet::TimeCategory category) const;
+};
+
+/// GEP phase a sparklet stage label belongs to, per the driver's labeling
+/// scheme (FilterA/ARecGE/partitionByA/…, *BC, *D).
+enum class GepPhase : std::uint8_t {
+  kA = 0,     ///< pivot block
+  kBC = 1,    ///< pivot row + column
+  kD = 2,     ///< trailing submatrix
+  kPrep = 3,  ///< iteration plumbing: union/repartition/persist/input
+  kOther = 4,
+};
+
+const char* gep_phase_name(GepPhase phase);
+
+/// Classify a stage label; strips decoration suffixes ("(elided)",
+/// "(recompute)", …) first. Labels that are not GEP driver labels land in
+/// kOther — the profile stays correct for arbitrary sparklet jobs, it just
+/// has nothing to say about their phases.
+GepPhase classify_gep_phase(std::string_view label);
+
+/// Compute-bucket seconds split by GEP phase.
+struct GepPhaseSeconds {
+  double a_s = 0.0;
+  double bc_s = 0.0;
+  double d_s = 0.0;
+  double prep_s = 0.0;
+  double other_s = 0.0;
+
+  double total() const { return a_s + bc_s + d_s + prep_s + other_s; }
+  double& of(GepPhase phase);
+  double of(GepPhase phase) const;
+};
+
+/// One outer iteration's slice of the job (requires the tracer: iteration
+/// windows come from kIteration spans' virtual intervals).
+struct IterationProfile {
+  std::int64_t k = -1;  ///< -1: outside any iteration (setup/gather)
+  double virtual_seconds = 0.0;
+  PhaseBuckets buckets;
+  GepPhaseSeconds phases;
+};
+
+struct JobProfile {
+  std::string job;  ///< free-form description (driver config string)
+  double wall_seconds = 0.0;
+  double virtual_seconds = 0.0;
+  int stages = 0;
+  int tasks = 0;
+  int grid_r = 0;  ///< r×r tile grid (0 when not a GEP job)
+  std::size_t shuffle_bytes = 0;
+  std::size_t collect_bytes = 0;
+  std::size_t broadcast_bytes = 0;
+  PhaseBuckets buckets;
+  GepPhaseSeconds phases;  ///< split of buckets.compute_s
+  std::vector<IterationProfile> iterations;  ///< empty when tracing was off
+  sparklet::RecoveryCounters recovery;
+  std::size_t spans_recorded = 0;
+  std::size_t spans_dropped = 0;
+  /// Timeline window this profile covers (indices into timeline.stages());
+  /// lets callers run the critical-path analyzer over the same slice.
+  std::size_t record_begin = 0;
+  std::size_t record_end = 0;
+
+  /// Fraction of virtual_seconds landing in the five buckets.
+  double attributed_fraction() const {
+    return virtual_seconds > 0.0 ? buckets.total() / virtual_seconds : 1.0;
+  }
+
+  void print(std::ostream& os) const;
+};
+
+/// Aggregate a scoped capture into a JobProfile. `tracer` is optional; when
+/// given (and it ran during the capture), per-iteration slices are derived
+/// from kIteration spans' virtual windows. wall_seconds/job/grid_r are the
+/// caller's to fill — they are not derivable from the delta.
+JobProfile build_job_profile(const sparklet::MetricsDelta& delta,
+                             const sparklet::VirtualTimeline& timeline,
+                             const Tracer* tracer = nullptr);
+
+}  // namespace obs

@@ -1,0 +1,158 @@
+#pragma once
+// Span-based tracer for the sparklet runtime.
+//
+// A Span is one timed region of the job; spans nest job -> iteration(k) ->
+// phase(A/B/C/D) -> stage -> task -> kernel, mirroring how the GEP driver
+// decomposes work. Spans record *wall* time always; driver-side levels
+// (job..stage) additionally record *virtual* time, the simulated cluster
+// clock of VirtualTimeline. Task/kernel spans run on pool threads while the
+// driver-side virtual clock is being advanced, so they carry wall time only
+// (virt_start_s < 0 marks "no virtual window").
+//
+// The tracer lives in this layer (below sparklet) so SparkContext can own
+// one; it depends only on src/support. The virtual clock is injected via
+// set_virtual_clock() rather than including the timeline header here.
+//
+// Define GS_OBS_DISABLE_TRACING to compile tracing out entirely: enabled()
+// becomes a constant false and every ScopedSpan constructor reduces to a
+// single branch on it.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/stopwatch.hpp"
+
+namespace obs {
+
+enum class SpanLevel : std::uint8_t {
+  kJob = 0,
+  kIteration = 1,  ///< one outer GEP iteration; index = k
+  kPhase = 2,      ///< A / BC / D / persist within an iteration
+  kAction = 3,     ///< one RDD action (collect/cache/checkpoint/…)
+  kStage = 4,      ///< one sparklet stage materialization; index = stage id
+  kTask = 5,       ///< one task attempt on a pool thread; index = partition
+  kKernel = 6,     ///< one tile-kernel application inside a task
+};
+
+const char* span_level_name(SpanLevel level);
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root
+  SpanLevel level = SpanLevel::kJob;
+  std::string name;
+  std::int64_t index = -1;  ///< level-specific: k, stage id, partition, ...
+  int thread = 0;           ///< tracer-local thread ordinal (0 = first seen)
+  double wall_start_s = 0.0;
+  double wall_end_s = 0.0;
+  double virt_start_s = -1.0;  ///< < 0: span has no virtual window
+  double virt_end_s = -1.0;
+
+  bool has_virtual() const { return virt_start_s >= 0.0; }
+  double wall_seconds() const { return wall_end_s - wall_start_s; }
+  double virt_seconds() const {
+    return has_virtual() ? virt_end_s - virt_start_s : 0.0;
+  }
+};
+
+/// Thread-safe span sink with a bounded ring buffer. Disabled by default;
+/// when disabled, ScopedSpan does no work beyond one atomic load.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const {
+#ifdef GS_OBS_DISABLE_TRACING
+    return false;
+#else
+    return enabled_.load(std::memory_order_acquire);
+#endif
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_release); }
+
+  /// Max completed spans retained; older spans are overwritten once full.
+  void set_capacity(std::size_t max_spans);
+  std::size_t capacity() const;
+
+  /// Clock used for virt_start_s/virt_end_s on driver-side spans.
+  void set_virtual_clock(std::function<double()> now);
+
+  /// Completed spans, oldest first. Copies under the lock.
+  std::vector<Span> spans() const;
+  /// Total spans ever committed (including ones since overwritten).
+  std::size_t recorded() const;
+  /// Spans overwritten because the ring was full.
+  std::size_t dropped() const;
+  /// Drop all completed spans and reset counters (ids keep increasing).
+  void clear();
+
+  // -- internals used by ScopedSpan ----------------------------------------
+  std::uint64_t next_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  double wall_now() const { return epoch_.seconds(); }
+  double virtual_now() const;
+  /// Cross-thread parent hint: the innermost open driver-side span. Task
+  /// spans opened on pool threads (whose local stack is empty) adopt it.
+  std::uint64_t cross_thread_parent() const {
+    return cross_thread_parent_.load(std::memory_order_acquire);
+  }
+  void set_cross_thread_parent(std::uint64_t id) {
+    cross_thread_parent_.store(id, std::memory_order_release);
+  }
+  void commit(Span&& span);
+  /// Small dense per-tracer thread ordinal for the calling thread.
+  int thread_ordinal();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> cross_thread_parent_{0};
+  std::atomic<int> next_thread_{0};
+  gs::Stopwatch epoch_;
+
+  mutable std::mutex mu_;
+  std::function<double()> virtual_clock_;  // guarded by mu_
+  std::vector<Span> ring_;                 // guarded by mu_
+  std::size_t ring_capacity_ = kDefaultCapacity;
+  std::size_t write_pos_ = 0;  // next overwrite slot once the ring is full
+  std::size_t committed_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// RAII span. Pass a null tracer (or a disabled one) and the constructor is
+/// a no-op — safe to place on hot paths unconditionally.
+///
+/// Parenting: each thread keeps a stack of open spans per tracer; a new span
+/// parents to the innermost open span on its own thread, falling back to the
+/// tracer's cross-thread hint (set by driver-side spans) so task spans on
+/// pool threads nest under the stage that launched them.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, SpanLevel level, std::string_view name,
+             std::int64_t index = -1);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t id() const { return span_.id; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Span span_;
+  std::uint64_t saved_hint_ = 0;
+  bool published_hint_ = false;
+};
+
+}  // namespace obs

@@ -1,0 +1,163 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace obs {
+namespace {
+
+// Per-thread stack of open spans, keyed by tracer so several contexts can
+// trace concurrently from the same pool threads.
+struct OpenSpan {
+  const Tracer* tracer;
+  std::uint64_t id;
+};
+thread_local std::vector<OpenSpan> tls_open_spans;
+thread_local int tls_thread_ordinal = -1;
+
+std::uint64_t innermost_open(const Tracer* tracer) {
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend(); ++it) {
+    if (it->tracer == tracer) return it->id;
+  }
+  return 0;
+}
+
+}  // namespace
+
+const char* span_level_name(SpanLevel level) {
+  switch (level) {
+    case SpanLevel::kJob: return "job";
+    case SpanLevel::kIteration: return "iteration";
+    case SpanLevel::kPhase: return "phase";
+    case SpanLevel::kAction: return "action";
+    case SpanLevel::kStage: return "stage";
+    case SpanLevel::kTask: return "task";
+    case SpanLevel::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+void Tracer::set_capacity(std::size_t max_spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = std::max<std::size_t>(1, max_spans);
+  if (ring_.size() > ring_capacity_) {
+    // Keep the newest spans; order within ring_ is rebuilt oldest-first.
+    std::vector<Span> keep;
+    keep.reserve(ring_capacity_);
+    const std::size_t n = ring_.size();
+    for (std::size_t i = n - ring_capacity_; i < n; ++i) {
+      keep.push_back(std::move(ring_[(write_pos_ + i) % n]));
+    }
+    dropped_ += n - ring_capacity_;
+    ring_ = std::move(keep);
+    write_pos_ = 0;
+  }
+}
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_capacity_;
+}
+
+void Tracer::set_virtual_clock(std::function<double()> now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  virtual_clock_ = std::move(now);
+}
+
+double Tracer::virtual_now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return virtual_clock_ ? virtual_clock_() : -1.0;
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < ring_capacity_) {
+    out = ring_;  // not yet wrapped: already oldest-first
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(write_pos_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+std::size_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  write_pos_ = 0;
+  committed_ = 0;
+  dropped_ = 0;
+}
+
+void Tracer::commit(Span&& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++committed_;
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[write_pos_] = std::move(span);
+    write_pos_ = (write_pos_ + 1) % ring_.size();
+    ++dropped_;
+  }
+}
+
+int Tracer::thread_ordinal() {
+  if (tls_thread_ordinal < 0) {
+    tls_thread_ordinal = next_thread_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return tls_thread_ordinal;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, SpanLevel level, std::string_view name,
+                       std::int64_t index) {
+  if (tracer == nullptr || !tracer->enabled()) return;
+  tracer_ = tracer;
+  span_.id = tracer->next_id();
+  span_.level = level;
+  span_.name.assign(name.data(), name.size());
+  span_.index = index;
+  span_.thread = tracer->thread_ordinal();
+  span_.parent = innermost_open(tracer);
+  if (span_.parent == 0) span_.parent = tracer->cross_thread_parent();
+  if (level <= SpanLevel::kStage) {
+    // Driver-side span: the virtual clock only advances on this thread, so
+    // snapshotting it here is race-free. Publish ourselves as the adoption
+    // point for task spans opened on pool threads while we are open.
+    span_.virt_start_s = tracer->virtual_now();
+    saved_hint_ = tracer->cross_thread_parent();
+    tracer->set_cross_thread_parent(span_.id);
+    published_hint_ = true;
+  }
+  span_.wall_start_s = tracer->wall_now();
+  tls_open_spans.push_back({tracer, span_.id});
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  span_.wall_end_s = tracer_->wall_now();
+  if (span_.has_virtual()) span_.virt_end_s = tracer_->virtual_now();
+  if (published_hint_) tracer_->set_cross_thread_parent(saved_hint_);
+  // Scoped construction/destruction means we are the innermost entry for
+  // this tracer on this thread; erase from the back.
+  for (auto it = tls_open_spans.rbegin(); it != tls_open_spans.rend(); ++it) {
+    if (it->tracer == tracer_ && it->id == span_.id) {
+      tls_open_spans.erase(std::next(it).base());
+      break;
+    }
+  }
+  tracer_->commit(std::move(span_));
+}
+
+}  // namespace obs

@@ -64,6 +64,9 @@ SparkContext::SparkContext(ClusterConfig cfg)
       executor_store_(executor_mem_spec(cfg_), cfg_.num_executors()),
       pool_(physical_pool_size(cfg_)) {
   cfg_.validate();
+  // Driver-side spans stamp the virtual clock; safe because only the driver
+  // thread advances it.
+  tracer_.set_virtual_clock([this] { return timeline_.now(); });
   // Under memory pressure, evict only blocks outside the running job's
   // lineage whose owners can recompute them.
   executor_store_.set_eviction_filter([this](const BlockId& b) {
@@ -86,14 +89,20 @@ int SparkContext::current_stage_id() const {
   return current_stage_ != nullptr ? current_stage_->stage_id : -1;
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 void SparkContext::set_fault_plan(const FaultPlan& plan) {
-  fault_plan_ = plan;
   ChaosPlan cp;
   cp.task_failure_prob = plan.task_failure_prob;
   cp.max_task_attempts = plan.max_attempts;
   cp.seed = plan.seed;
   set_chaos_plan(cp);
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 void SparkContext::set_chaos_plan(const ChaosPlan& plan) {
   chaos_ = plan;
@@ -223,7 +232,8 @@ void SparkContext::materialize_with_recovery(RddBase& node) {
       }
       timeline_.add_serial(
           "stage-retry-backoff",
-          cfg_.stage_overhead_s * static_cast<double>(1u << (attempt - 1)));
+          cfg_.stage_overhead_s * static_cast<double>(1u << (attempt - 1)),
+          TimeCategory::kRecovery);
     }
   }
 }
@@ -316,6 +326,10 @@ void SparkContext::run_job(const std::shared_ptr<RddBase>& target,
     sm.shuffle_input = std::any_of(nodes.begin(), nodes.end(),
                                    [](RddBase* n) { return n->wide_input(); });
     current_stage_ = &sm;
+    obs::ScopedSpan stage_span(&tracer_, obs::SpanLevel::kStage, sm.name,
+                               sm.stage_id);
+    // Scheduler latency rides in the compute bucket: it is per-stage DAG
+    // bookkeeping, inseparable from running the stage.
     timeline_.add_serial(gs::strfmt("stage-%d-overhead", sm.stage_id),
                          cfg_.stage_overhead_s);
     gs::Stopwatch stage_sw;
@@ -430,6 +444,9 @@ void SparkContext::run_tasks_internal(RddBase& node,
   std::vector<int> attempts(n, 1);
   gs::parallel_for(pool_, n, [&](std::size_t i) {
     const int p = parts[i];
+    // Wall-clock-only span on the pool thread; parents to the open stage
+    // span via the tracer's cross-thread hint.
+    obs::ScopedSpan task_span(&tracer_, obs::SpanLevel::kTask, node.label(), p);
     gs::Stopwatch sw;
     for (int attempt = 1;; ++attempt) {
       if (chaos_.task_failure_prob > 0.0) {
@@ -535,8 +552,9 @@ void SparkContext::run_tasks_internal(RddBase& node,
       if (spec_win[i]) metrics_.note_speculative_win();
     }
   }
-  timeline_.add_stage(recovery ? node.label() + "(recompute)" : node.label(),
-                      sched_dur, sched_exec);
+  timeline_.add_stage(
+      recovery ? node.label() + "(recompute)" : node.label(), sched_dur,
+      sched_exec, recovery ? TimeCategory::kRecovery : TimeCategory::kCompute);
 
   if (kill_victim >= 0) {
     metrics_.note_executor_kill();
@@ -550,6 +568,8 @@ void SparkContext::run_tasks_internal(RddBase& node,
 
 void SparkContext::checkpoint_node(RddBase& node) {
   if (!node.materialized() || node.checkpointed()) return;
+  obs::ScopedSpan span(&tracer_, obs::SpanLevel::kStage, "checkpoint",
+                       node.id());
   const int max_attempts = std::max(1, chaos_.max_stage_attempts);
   double io_s = 0.0;
   for (int p = 0; p < node.num_partitions(); ++p) {
@@ -599,7 +619,7 @@ void SparkContext::checkpoint_node(RddBase& node) {
       }
     }
   }
-  timeline_.add_serial("checkpoint", io_s);
+  timeline_.add_serial("checkpoint", io_s, TimeCategory::kRecovery);
   node.mark_checkpointed();
   // The data now lives pinned in shared storage; executor kills and memory
   // pressure can no longer lose it, so its cached-block entries go away.
@@ -625,7 +645,7 @@ double SparkContext::charge_shuffle(std::size_t bytes) {
       static_cast<double>(bytes) * remote_fraction /
           (cfg_.network.bandwidth_Bps * static_cast<double>(nodes));
   const double total = t_write + t_read + t_net;
-  timeline_.add_serial("shuffle", total);
+  timeline_.add_serial("shuffle", total, TimeCategory::kShuffle);
   // Shuffle files are cleaned up once consumed.
   for (int node = 0; node < nodes; ++node) {
     local_disks_.release(node, per_node);
@@ -638,7 +658,7 @@ double SparkContext::charge_collect(std::size_t bytes) {
   // All executors funnel through the driver's single NIC.
   const double t = cfg_.network.latency_s +
                    static_cast<double>(bytes) / cfg_.network.bandwidth_Bps;
-  timeline_.add_serial("collect", t);
+  timeline_.add_serial("collect", t, TimeCategory::kCollect);
   return t;
 }
 
@@ -649,7 +669,7 @@ double SparkContext::charge_broadcast(std::size_t bytes) {
   const double t_read =
       shared_fs_.read(0, bytes * static_cast<std::size_t>(cfg_.num_executors()));
   const double t = t_write + t_read + cfg_.network.latency_s;
-  timeline_.add_serial("broadcast", t);
+  timeline_.add_serial("broadcast", t, TimeCategory::kBroadcast);
   shared_fs_.release(0, bytes);
   return t;
 }

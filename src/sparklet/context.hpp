@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "sparklet/block_store.hpp"
 #include "support/rng.hpp"
 #include "sparklet/cluster.hpp"
@@ -36,9 +37,11 @@ namespace sparklet {
 /// Fault-injection plan: every task attempt fails independently with
 /// `task_failure_prob`; sparklet retries a failed task up to `max_attempts`
 /// times (Spark's spark.task.maxFailures) before aborting the job.
-/// Kept for source compatibility — set_fault_plan() maps it onto the richer
-/// ChaosPlan below.
-struct FaultPlan {
+///
+/// DEPRECATED: use ChaosPlan directly — it covers the same three fields
+/// (task_failure_prob, max_task_attempts, seed) plus the rest of the fault
+/// taxonomy. This shim survives one release for out-of-tree callers.
+struct [[deprecated("use ChaosPlan / set_chaos_plan()")]] FaultPlan {
   double task_failure_prob = 0.0;
   int max_attempts = 4;
   std::uint64_t seed = 1;
@@ -142,6 +145,9 @@ class SparkContext {
   const ClusterConfig& config() const { return cfg_; }
   MetricsRegistry& metrics() { return metrics_; }
   VirtualTimeline& timeline() { return timeline_; }
+  /// Span tracer (disabled by default; enable + read via obs::*).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
   BlockStore& local_disks() { return local_disks_; }
   BlockStore& shared_fs() { return shared_fs_; }
   /// Per-executor memory modeling cached RDD partitions; overflow evicts
@@ -154,8 +160,24 @@ class SparkContext {
 
   /// Install (or clear, with a default-constructed plan) fault injection.
   /// Compatibility shim over set_chaos_plan().
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  [[deprecated("use set_chaos_plan()")]]
   void set_fault_plan(const FaultPlan& plan);
-  const FaultPlan& fault_plan() const { return fault_plan_; }
+  /// The task-failure slice of the current chaos plan, in FaultPlan form.
+  [[deprecated("use chaos_plan()")]]
+  FaultPlan fault_plan() const {
+    FaultPlan p;
+    p.task_failure_prob = chaos_.task_failure_prob;
+    p.max_attempts = chaos_.max_task_attempts;
+    p.seed = chaos_.seed;
+    return p;
+  }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   /// Install the full chaos plan (resets kill/corruption budgets).
   void set_chaos_plan(const ChaosPlan& plan);
@@ -277,7 +299,7 @@ class SparkContext {
 
   StageMetric* current_stage_ = nullptr;  // valid only inside run_job
 
-  FaultPlan fault_plan_;
+  obs::Tracer tracer_;
   ChaosPlan chaos_;
   SpeculationPolicy spec_;
   std::atomic<int> injected_failures_{0};

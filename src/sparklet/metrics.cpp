@@ -4,6 +4,58 @@
 
 namespace sparklet {
 
+RecoveryCounters operator-(const RecoveryCounters& a,
+                           const RecoveryCounters& b) {
+  RecoveryCounters d;
+  d.task_failures = a.task_failures - b.task_failures;
+  d.task_retries = a.task_retries - b.task_retries;
+  d.executor_kills = a.executor_kills - b.executor_kills;
+  d.tasks_rescheduled = a.tasks_rescheduled - b.tasks_rescheduled;
+  d.partitions_dropped = a.partitions_dropped - b.partitions_dropped;
+  d.partitions_recomputed = a.partitions_recomputed - b.partitions_recomputed;
+  d.fetch_failures = a.fetch_failures - b.fetch_failures;
+  d.stage_resubmissions = a.stage_resubmissions - b.stage_resubmissions;
+  d.checkpoint_blocks = a.checkpoint_blocks - b.checkpoint_blocks;
+  d.checkpoint_bytes = a.checkpoint_bytes - b.checkpoint_bytes;
+  d.corrupted_blocks = a.corrupted_blocks - b.corrupted_blocks;
+  d.evictions = a.evictions - b.evictions;
+  d.stragglers_injected = a.stragglers_injected - b.stragglers_injected;
+  d.speculative_launches = a.speculative_launches - b.speculative_launches;
+  d.speculative_wins = a.speculative_wins - b.speculative_wins;
+  return d;
+}
+
+MetricsScope::MetricsScope(const MetricsRegistry& metrics,
+                           const VirtualTimeline& timeline)
+    : metrics_(metrics),
+      timeline_(timeline),
+      virtual0_(timeline.now()),
+      stages0_(metrics.num_stages()),
+      stage_tasks0_(metrics.total_stage_tasks()),
+      shuffle_read0_(metrics.total_shuffle_read()),
+      shuffle_write0_(metrics.total_shuffle_write()),
+      collect0_(metrics.total_collect_bytes()),
+      broadcast0_(metrics.total_broadcast_bytes()),
+      record0_(timeline.stages().size()),
+      recovery0_(metrics.recovery()) {}
+
+MetricsDelta MetricsScope::delta() const {
+  MetricsDelta d;
+  d.virtual_begin_s = virtual0_;
+  d.virtual_end_s = timeline_.now();
+  d.virtual_seconds = d.virtual_end_s - d.virtual_begin_s;
+  d.stages = metrics_.num_stages() - stages0_;
+  d.tasks = metrics_.total_stage_tasks() - stage_tasks0_;
+  d.shuffle_read_bytes = metrics_.total_shuffle_read() - shuffle_read0_;
+  d.shuffle_write_bytes = metrics_.total_shuffle_write() - shuffle_write0_;
+  d.collect_bytes = metrics_.total_collect_bytes() - collect0_;
+  d.broadcast_bytes = metrics_.total_broadcast_bytes() - broadcast0_;
+  d.record_begin = record0_;
+  d.record_end = timeline_.stages().size();
+  d.recovery = metrics_.recovery() - recovery0_;
+  return d;
+}
+
 void MetricsRegistry::add_task(const TaskMetric& t) {
   std::lock_guard<std::mutex> lock(mu_);
   tasks_.push_back(t);

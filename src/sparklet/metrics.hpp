@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "sparklet/virtual_timeline.hpp"
+
 namespace sparklet {
 
 struct TaskMetric {
@@ -46,6 +48,10 @@ struct RecoveryCounters {
   int speculative_launches = 0;
   int speculative_wins = 0;     ///< speculative copy finished first
 };
+
+/// Field-wise difference (a - b): the recovery work between two snapshots.
+RecoveryCounters operator-(const RecoveryCounters& a,
+                           const RecoveryCounters& b);
 
 struct StageMetric {
   int stage_id = -1;
@@ -122,6 +128,47 @@ class MetricsRegistry {
   std::size_t collect_bytes_ = 0;
   std::size_t broadcast_bytes_ = 0;
   RecoveryCounters recovery_;
+};
+
+/// Everything that happened between a MetricsScope's construction and the
+/// delta() call: counter differences plus the matching window of the
+/// virtual timeline ([record_begin, record_end) into timeline.stages()).
+struct MetricsDelta {
+  double virtual_begin_s = 0.0;
+  double virtual_end_s = 0.0;
+  double virtual_seconds = 0.0;
+  int stages = 0;
+  int tasks = 0;  ///< per-stage task counts (Spark's "tasks launched")
+  std::size_t shuffle_read_bytes = 0;
+  std::size_t shuffle_write_bytes = 0;
+  std::size_t collect_bytes = 0;
+  std::size_t broadcast_bytes = 0;
+  std::size_t record_begin = 0;
+  std::size_t record_end = 0;
+  RecoveryCounters recovery;
+};
+
+/// Scoped capture over a MetricsRegistry + VirtualTimeline pair. Replaces
+/// the snapshot-five-counters-and-diff-by-hand idiom: construct before the
+/// work, call delta() after (any number of times — the scope is a window
+/// start, not a one-shot).
+class MetricsScope {
+ public:
+  MetricsScope(const MetricsRegistry& metrics, const VirtualTimeline& timeline);
+  MetricsDelta delta() const;
+
+ private:
+  const MetricsRegistry& metrics_;
+  const VirtualTimeline& timeline_;
+  double virtual0_ = 0.0;
+  int stages0_ = 0;
+  int stage_tasks0_ = 0;
+  std::size_t shuffle_read0_ = 0;
+  std::size_t shuffle_write0_ = 0;
+  std::size_t collect0_ = 0;
+  std::size_t broadcast0_ = 0;
+  std::size_t record0_ = 0;
+  RecoveryCounters recovery0_;
 };
 
 }  // namespace sparklet

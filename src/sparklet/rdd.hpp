@@ -556,6 +556,8 @@ class RDD {
   // ---------------- actions ----------------
 
   std::vector<T> collect(const std::string& action = "collect") const {
+    obs::ScopedSpan action_span(&context().tracer(), obs::SpanLevel::kAction,
+                                action);
     context().run_job(node_, action);
     std::vector<T> out;
     std::size_t bytes = 0;
@@ -569,6 +571,8 @@ class RDD {
   }
 
   std::size_t count() const {
+    obs::ScopedSpan action_span(&context().tracer(), obs::SpanLevel::kAction,
+                                "count");
     context().run_job(node_, "count");
     std::size_t n = 0;
     for (int p = 0; p < node_->num_partitions(); ++p) {
@@ -579,6 +583,8 @@ class RDD {
 
   template <typename F>
   T reduce(F f) const {
+    obs::ScopedSpan action_span(&context().tracer(), obs::SpanLevel::kAction,
+                                "reduce");
     context().run_job(node_, "reduce");
     bool seen = false;
     T acc{};
@@ -599,6 +605,8 @@ class RDD {
   }
 
   std::vector<T> take(std::size_t n) const {
+    obs::ScopedSpan action_span(&context().tracer(), obs::SpanLevel::kAction,
+                                "take");
     context().run_job(node_, "take");
     std::vector<T> out;
     for (int p = 0; p < node_->num_partitions() && out.size() < n; ++p) {
@@ -612,6 +620,8 @@ class RDD {
 
   /// Force materialization without moving data to the driver.
   const RDD& cache() const {
+    obs::ScopedSpan action_span(&context().tracer(), obs::SpanLevel::kAction,
+                                "cache");
     context().run_job(node_, "cache");
     return *this;
   }
@@ -622,6 +632,8 @@ class RDD {
   /// Spark jobs (paper's drivers run r outer iterations). Checkpointed data
   /// survives executor loss and is never evicted.
   const RDD& checkpoint() const {
+    obs::ScopedSpan action_span(&context().tracer(), obs::SpanLevel::kAction,
+                                "checkpoint");
     context().run_job(node_, "checkpoint");
     context().checkpoint_node(*node_);
     node_->truncate_lineage();

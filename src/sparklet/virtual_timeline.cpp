@@ -8,6 +8,17 @@
 
 namespace sparklet {
 
+const char* time_category_name(TimeCategory category) {
+  switch (category) {
+    case TimeCategory::kCompute: return "compute";
+    case TimeCategory::kShuffle: return "shuffle";
+    case TimeCategory::kCollect: return "collect";
+    case TimeCategory::kBroadcast: return "broadcast";
+    case TimeCategory::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
 VirtualTimeline::VirtualTimeline(int num_executors, int slots_per_executor)
     : num_executors_(num_executors), slots_(slots_per_executor) {
   GS_CHECK(num_executors_ >= 1 && slots_ >= 1);
@@ -15,7 +26,8 @@ VirtualTimeline::VirtualTimeline(int num_executors, int slots_per_executor)
 
 double VirtualTimeline::add_stage(const std::string& name,
                                   const std::vector<double>& durations,
-                                  const std::vector<int>& executors) {
+                                  const std::vector<int>& executors,
+                                  TimeCategory category) {
   GS_CHECK_MSG(durations.size() == executors.size(),
                "each task needs an executor assignment");
   // lanes[e][s] = time at which slot s of executor e becomes free.
@@ -36,14 +48,15 @@ double VirtualTimeline::add_stage(const std::string& name,
     end = std::max(end, *slot);
   }
   records_.push_back(
-      {name, now_, end, static_cast<int>(durations.size())});
+      {name, now_, end, static_cast<int>(durations.size()), category});
   now_ = end;  // stage barrier
   return records_.back().duration();
 }
 
-void VirtualTimeline::add_serial(const std::string& name, double seconds) {
+void VirtualTimeline::add_serial(const std::string& name, double seconds,
+                                 TimeCategory category) {
   GS_CHECK(seconds >= 0.0);
-  records_.push_back({name, now_, now_ + seconds, 0});
+  records_.push_back({name, now_, now_ + seconds, 0, category});
   now_ += seconds;
 }
 
@@ -58,37 +71,43 @@ void VirtualTimeline::reset() {
   markers_.clear();
 }
 
+void VirtualTimeline::append_chrome_events(std::ostream& out,
+                                           bool& first) const {
+  auto emit = [&](const std::string& name, const char* cat, int pid, int tid,
+                  double start, double end) {
+    if (!first) out << ",\n";
+    first = false;
+    // Durations in microseconds, the chrome-trace convention.
+    out << gs::strfmt(
+        R"({"name":"%s","cat":"%s","ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f})",
+        name.c_str(), cat, pid, tid, start * 1e6, (end - start) * 1e6);
+  };
+  for (const auto& span : spans_) {
+    const auto& rec = records_[static_cast<std::size_t>(span.stage_index)];
+    emit(rec.name, time_category_name(rec.category), span.executor, span.slot,
+         span.start_s, span.end_s);
+  }
+  for (const auto& rec : records_) {
+    if (rec.num_tasks == 0 && rec.duration() > 0.0) {
+      emit(rec.name, time_category_name(rec.category), /*pid=*/-1, /*tid=*/0,
+           rec.start_s, rec.end_s);  // driver
+    }
+  }
+  for (const auto& m : markers_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << gs::strfmt(
+        R"({"name":"%s","ph":"i","s":"g","pid":-1,"tid":0,"ts":%.3f})",
+        m.name.c_str(), m.time_s * 1e6);
+  }
+}
+
 void VirtualTimeline::write_chrome_trace(const std::string& path) const {
   std::ofstream f(path);
   GS_CHECK_MSG(f.good(), "cannot open trace output: " + path);
   f << "[\n";
   bool first = true;
-  auto emit = [&](const std::string& name, int pid, int tid, double start,
-                  double end) {
-    if (!first) f << ",\n";
-    first = false;
-    // Durations in microseconds, the chrome-trace convention.
-    f << gs::strfmt(
-        R"({"name":"%s","ph":"X","pid":%d,"tid":%d,"ts":%.3f,"dur":%.3f})",
-        name.c_str(), pid, tid, start * 1e6, (end - start) * 1e6);
-  };
-  for (const auto& span : spans_) {
-    const auto& name =
-        records_[static_cast<std::size_t>(span.stage_index)].name;
-    emit(name, span.executor, span.slot, span.start_s, span.end_s);
-  }
-  for (const auto& rec : records_) {
-    if (rec.num_tasks == 0 && rec.duration() > 0.0) {
-      emit(rec.name, /*pid=*/-1, /*tid=*/0, rec.start_s, rec.end_s);  // driver
-    }
-  }
-  for (const auto& m : markers_) {
-    if (!first) f << ",\n";
-    first = false;
-    f << gs::strfmt(
-        R"({"name":"%s","ph":"i","s":"g","pid":-1,"tid":0,"ts":%.3f})",
-        m.name.c_str(), m.time_s * 1e6);
-  }
+  append_chrome_events(f, first);
   f << "\n]\n";
 }
 

@@ -8,10 +8,28 @@
 // durations) feed this component.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 namespace sparklet {
+
+/// What a slice of virtual time was spent on. Every timeline record carries
+/// exactly one category, so the records partition `now()` into these five
+/// buckets with no residue — the invariant the critical-path analyzer and
+/// JobProfile attribution rely on.
+enum class TimeCategory : std::uint8_t {
+  kCompute = 0,  ///< task execution (plus per-stage scheduler latency)
+  kShuffle = 1,  ///< shuffle write/fetch latency + bandwidth
+  kCollect = 2,  ///< action results returned to the driver
+  kBroadcast = 3,  ///< driver -> executors distribution
+  kRecovery = 4,  ///< recompute stages, retry backoff, checkpoint I/O
+};
+
+inline constexpr int kNumTimeCategories = 5;
+
+const char* time_category_name(TimeCategory category);
 
 class VirtualTimeline {
  public:
@@ -20,6 +38,7 @@ class VirtualTimeline {
     double start_s = 0.0;
     double end_s = 0.0;
     int num_tasks = 0;
+    TimeCategory category = TimeCategory::kCompute;
     double duration() const { return end_s - start_s; }
   };
 
@@ -39,10 +58,12 @@ class VirtualTimeline {
   /// executor's earliest-free slot). Returns the stage makespan.
   double add_stage(const std::string& name,
                    const std::vector<double>& durations,
-                   const std::vector<int>& executors);
+                   const std::vector<int>& executors,
+                   TimeCategory category = TimeCategory::kCompute);
 
   /// Driver-side serial time (collect, broadcast, shuffle staging…).
-  void add_serial(const std::string& name, double seconds);
+  void add_serial(const std::string& name, double seconds,
+                  TimeCategory category = TimeCategory::kCompute);
 
   /// Zero-duration recovery event (executor kill, stage resubmit, corrupted
   /// checkpoint…) stamped at the current virtual time; exported as a Chrome
@@ -63,6 +84,12 @@ class VirtualTimeline {
   /// https://ui.perfetto.dev): pid = virtual executor, tid = task slot,
   /// one slice per task plus one slice per driver-serial segment.
   void write_chrome_trace(const std::string& path) const;
+
+  /// Emit this timeline's Chrome-trace events (without the enclosing JSON
+  /// array) so callers can interleave additional event streams — the obs
+  /// exporter appends tracer spans to the same file. `first` tracks comma
+  /// placement across appenders.
+  void append_chrome_events(std::ostream& out, bool& first) const;
 
   int num_executors() const { return num_executors_; }
   int slots_per_executor() const { return slots_; }

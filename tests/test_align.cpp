@@ -196,7 +196,7 @@ TEST(AlignDriver, RejectsBadInput) {
 
 TEST(AlignDriver, SurvivesFaultInjection) {
   sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
-  sc.set_fault_plan({.task_failure_prob = 0.2, .max_attempts = 10, .seed = 4});
+  sc.set_chaos_plan({.task_failure_prob = 0.2, .max_task_attempts = 10, .seed = 4});
   const auto a = random_dna(60, 12), b = random_dna(60, 13);
   auto ref = reference_align(a, b, {}, AlignMode::kGlobal);
   auto res = spark_align(sc, a, b, {}, AlignMode::kGlobal, {.block_size = 16});

@@ -30,7 +30,7 @@ TEST(FaultTolerance, NoPlanMeansNoFailures) {
 
 TEST(FaultTolerance, RetriesRecoverFlakyTasks) {
   SparkContext sc(ClusterConfig::local(2, 2));
-  sc.set_fault_plan({.task_failure_prob = 0.3, .max_attempts = 10, .seed = 7});
+  sc.set_chaos_plan({.task_failure_prob = 0.3, .max_task_attempts = 10, .seed = 7});
   std::vector<int> xs(200);
   std::iota(xs.begin(), xs.end(), 0);
   auto sum = parallelize(sc, xs, 16)
@@ -42,7 +42,7 @@ TEST(FaultTolerance, RetriesRecoverFlakyTasks) {
 
 TEST(FaultTolerance, ExhaustedRetriesAbortTheJob) {
   SparkContext sc(ClusterConfig::local(2, 2));
-  sc.set_fault_plan({.task_failure_prob = 1.0, .max_attempts = 3, .seed = 7});
+  sc.set_chaos_plan({.task_failure_prob = 1.0, .max_task_attempts = 3, .seed = 7});
   auto r = parallelize(sc, std::vector<int>{1, 2}, 2);
   EXPECT_THROW(r.count(), gs::JobAbortedError);
   EXPECT_GE(sc.injected_failures(), 3);
@@ -51,7 +51,7 @@ TEST(FaultTolerance, ExhaustedRetriesAbortTheJob) {
 TEST(FaultTolerance, InjectionIsDeterministic) {
   auto run = [](std::uint64_t seed) {
     SparkContext sc(ClusterConfig::local(2, 2));
-    sc.set_fault_plan({.task_failure_prob = 0.4, .max_attempts = 16,
+    sc.set_chaos_plan({.task_failure_prob = 0.4, .max_task_attempts = 16,
                        .seed = seed});
     std::vector<int> xs(100, 1);
     parallelize(sc, xs, 8).count();
@@ -65,7 +65,7 @@ TEST(FaultTolerance, InjectionIsDeterministic) {
 
 TEST(FaultTolerance, FullGepSolveSurvivesFlakyCluster) {
   SparkContext sc(ClusterConfig::local(3, 2));
-  sc.set_fault_plan({.task_failure_prob = 0.15, .max_attempts = 8, .seed = 3});
+  sc.set_chaos_plan({.task_failure_prob = 0.15, .max_task_attempts = 8, .seed = 3});
 
   auto input = gs::testutil::random_input<gs::FloydWarshallSpec>(48, 120);
   auto expected = gs::testutil::reference_solution<gs::FloydWarshallSpec>(input);
@@ -91,7 +91,7 @@ TEST(FaultTolerance, ResultsBitIdenticalWithAndWithoutFaults) {
   auto a = gepspark::spark_gaussian_elimination(clean, input, opt);
 
   SparkContext flaky(ClusterConfig::local(2, 2));
-  flaky.set_fault_plan({.task_failure_prob = 0.2, .max_attempts = 12,
+  flaky.set_chaos_plan({.task_failure_prob = 0.2, .max_task_attempts = 12,
                         .seed = 99});
   auto b = gepspark::spark_gaussian_elimination(flaky, input, opt);
 
@@ -100,7 +100,7 @@ TEST(FaultTolerance, ResultsBitIdenticalWithAndWithoutFaults) {
 
 TEST(FaultTolerance, ShuffleSideRetriesToo) {
   SparkContext sc(ClusterConfig::local(2, 2));
-  sc.set_fault_plan({.task_failure_prob = 0.25, .max_attempts = 10, .seed = 5});
+  sc.set_chaos_plan({.task_failure_prob = 0.25, .max_task_attempts = 10, .seed = 5});
   std::vector<std::pair<std::int64_t, std::int64_t>> kv;
   for (std::int64_t i = 0; i < 120; ++i) kv.push_back({i % 12, 1});
   auto counts =

@@ -218,7 +218,7 @@ TEST(ParenDriver, BestSplitReconstructsOptimalTree) {
 
 TEST(ParenDriver, SurvivesFaultInjection) {
   sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
-  sc.set_fault_plan({.task_failure_prob = 0.2, .max_attempts = 10, .seed = 2});
+  sc.set_chaos_plan({.task_failure_prob = 0.2, .max_task_attempts = 10, .seed = 2});
   MatrixChainSpec spec({30, 35, 15, 5, 10, 20, 25});
   ParenOptions opt;
   opt.block_size = 2;
