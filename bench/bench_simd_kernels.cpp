@@ -4,8 +4,8 @@
 // This is the ground truth behind the SIMD backend: per-kernel throughput
 // (updates/s) for the scalar loop kernels vs the register-blocked SIMD
 // micro-kernels on THIS machine, emitted as a paper-style table and a CSV
-// (ablation_simd_kernels.csv) so the perf trajectory is checked into the
-// repo. Kernel D — the semiring-MMA shape that carries ~(1-1/r²) of all
+// (results/ablation_simd_kernels.csv) so the perf trajectory is checked into
+// the repo. Kernel D — the semiring-MMA shape that carries ~(1-1/r²) of all
 // flops — is the headline row; the acceptance bar for the backend is
 // simd/scalar ≥ 1.5× on FW kernel D at tile sides 256–1024.
 #include <cstdio>
@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "gepspark/workload.hpp"
 #include "kernels/simd.hpp"
 #include "semiring/gep_spec.hpp"
@@ -151,7 +152,8 @@ int main() {
   std::printf("\n== scalar vs SIMD base-case kernels (%s) ==\n",
               simd::backend_name());
   table.print(std::cout);
-  table.write_csv("ablation_simd_kernels.csv");
-  std::printf("(csv: ablation_simd_kernels.csv)\n");
+  const std::string csv = benchutil::results_path("ablation_simd_kernels.csv");
+  table.write_csv(csv);
+  std::printf("(csv: %s)\n", csv.c_str());
   return 0;
 }

@@ -2,8 +2,10 @@
 // the simtime model and paper-style table rendering.
 #pragma once
 
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "obs/job_profile.hpp"
@@ -15,12 +17,13 @@ namespace benchutil {
 /// Column names matching profile_row() below — prepend your own label
 /// column(s) when building a table.
 inline std::vector<std::string> profile_header() {
-  return {"wall (s)", "virtual (s)", "compute", "shuffle", "collect",
-          "broadcast", "recovery", "attributed"};
+  return {"wall (s)", "virtual (s)", "compute",    "shuffle",
+          "collect",  "broadcast",   "recovery",   "stall",
+          "attributed"};
 }
 
 /// Flatten a measured JobProfile into one table/CSV row: wall + virtual
-/// makespan and the five-bucket virtual-time split. Pairs with
+/// makespan and the six-bucket virtual-time split. Pairs with
 /// profile_header().
 inline std::vector<std::string> profile_row(const obs::JobProfile& p) {
   return {gs::strfmt("%.3f", p.wall_seconds),
@@ -30,6 +33,7 @@ inline std::vector<std::string> profile_row(const obs::JobProfile& p) {
           gs::human_seconds(p.buckets.collect_s),
           gs::human_seconds(p.buckets.broadcast_s),
           gs::human_seconds(p.buckets.recovery_s),
+          gs::human_seconds(p.buckets.stall_s),
           gs::strfmt("%.1f%%", 100.0 * p.attributed_fraction())};
 }
 
@@ -80,12 +84,21 @@ inline simtime::SimResult best_over_omp(const simtime::MachineModel& model,
   return best;
 }
 
+/// Bench CSV artifacts land under results/ (created on demand) so the source
+/// tree stays clean; pass a bare filename and get the prefixed path back.
+inline std::string results_path(const std::string& csv_name) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  return (std::filesystem::path("results") / csv_name).string();
+}
+
 inline void print_table(const std::string& title, gs::TextTable& table,
                         const std::string& csv_name) {
   std::cout << "\n== " << title << " ==\n";
   table.print(std::cout);
-  table.write_csv(csv_name);
-  std::cout << "(csv: " << csv_name << ")\n";
+  const std::string path = results_path(csv_name);
+  table.write_csv(path);
+  std::cout << "(csv: " << path << ")\n";
 }
 
 }  // namespace benchutil

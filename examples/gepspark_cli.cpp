@@ -28,6 +28,8 @@ struct CliArgs {
   std::size_t n = 256;
   std::size_t block = 64;
   std::string strategy = "im";   // im | cb
+  std::string schedule = "barrier";  // barrier | dataflow
+  int lookahead = 1;             // pivot lookahead depth under dataflow
   std::string kernel = "rec4";   // iter | tiled<T> | rec<R>
   std::string base = "auto";     // auto | scalar | simd
   int omp = 1;
@@ -50,6 +52,10 @@ void usage() {
       "  --n <size>                          problem size (default 256)\n"
       "  --block <b>                         tile side (default 64)\n"
       "  --strategy im|cb                    GEP distribution (default im)\n"
+      "  --schedule barrier|dataflow         per-phase barriers vs tile-level\n"
+      "                                      dataflow DAG (default barrier)\n"
+      "  --lookahead <d>                     pivot lookahead depth under\n"
+      "                                      --schedule dataflow (default 1)\n"
       "  --kernel iter|tiled<T>|rec<R>       e.g. rec16, tiled64 (default rec4)\n"
       "  --base auto|scalar|simd             base-case backend (default auto)\n"
       "  --omp <t>                           OMP_NUM_THREADS (default 1)\n"
@@ -57,7 +63,7 @@ void usage() {
       "  --trace <file.json>                 export Chrome trace (schedule "
       "+ spans)\n"
       "  --profile-json <file.json>          export JobProfile "
-      "(gepspark.profile/v1)\n"
+      "(gepspark.profile/v2)\n"
       "  --profile-csv <file.csv>            export JobProfile rows "
       "(job + per-k)\n"
       "  --no-verify                         skip reference validation\n"
@@ -90,6 +96,10 @@ bool parse(int argc, char** argv, CliArgs& a) {
       a.block = std::stoul(argv[++i]);
     } else if (flag == "--strategy" && (i + 1) < argc) {
       a.strategy = argv[++i];
+    } else if (flag == "--schedule" && (i + 1) < argc) {
+      a.schedule = argv[++i];
+    } else if (flag == "--lookahead" && (i + 1) < argc) {
+      a.lookahead = std::stoi(argv[++i]);
     } else if (flag == "--kernel" && (i + 1) < argc) {
       a.kernel = argv[++i];
     } else if (flag == "--base" && (i + 1) < argc) {
@@ -198,6 +208,13 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
                                     : gepspark::Strategy::kInMemory;
   opt.kernel = parse_kernel(a);
   opt.checkpoint_interval = a.checkpoint_interval;
+  if (a.schedule == "dataflow") {
+    opt.schedule = gepspark::ScheduleMode::kDataflow;
+  } else if (a.schedule != "barrier") {
+    throw gs::ConfigError("unknown schedule: " + a.schedule +
+                          " (want barrier|dataflow)");
+  }
+  opt.lookahead = a.lookahead;
 
   obs::JobProfile prof;
   double diff = 0.0;

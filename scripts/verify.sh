@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # verify.sh — the full pre-merge gate: configure + build + test the Release
-# tree, then repeat under AddressSanitizer/UBSanitizer. The chaos suite runs
-# in both, so every recovery path is exercised with memory checking on.
+# tree, then repeat under AddressSanitizer/UBSanitizer. The chaos and
+# pipeline-differential suites run in both, so every recovery path and both
+# schedulers are exercised with memory checking on.
 #
 #   scripts/verify.sh             # both builds
 #   scripts/verify.sh --fast      # Release build only
@@ -20,26 +21,33 @@ run_tree() {
   echo "== build ${dir} =="
   cmake --build "${dir}" -j "${JOBS}"
   echo "== test ${dir} =="
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}")
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" --timeout 300)
+  # The dataflow-vs-barrier differential suite is the bit-identity acceptance
+  # gate for the scheduler — run it by name so a filtered/cached ctest setup
+  # can never silently skip it.
+  echo "== differential suite ${dir} =="
+  (cd "${dir}" && ctest --output-on-failure --timeout 300 \
+    -R 'PipelineDifferential|DataflowDag|DataflowStress|Lookahead')
 }
 
 run_tree build
 
-# Profile-export smoke: a real FW solve per strategy must produce a JSON
-# profile that parses, carries the versioned schema, moves bytes, and
-# attributes >=95% of virtual time to the five buckets.
+# Profile-export smoke: a real FW solve per strategy and scheduler must
+# produce a JSON profile that parses, carries the versioned schema, moves
+# bytes, and attributes >=95% of virtual time to the six buckets.
 profile_smoke() {
   local strategy="$1"
-  local out="build/profile_smoke_${strategy}.json"
-  echo "== profile-export smoke (${strategy}) =="
+  local schedule="$2"
+  local out="build/profile_smoke_${strategy}_${schedule}.json"
+  echo "== profile-export smoke (${strategy}, ${schedule}) =="
   ./build/examples/gepspark_cli --benchmark fw --n 512 --block 128 \
-    --strategy "${strategy}" --kernel iter --no-verify \
-    --profile-json "${out}" >/dev/null
+    --strategy "${strategy}" --schedule "${schedule}" --kernel iter \
+    --no-verify --profile-json "${out}" >/dev/null
   python3 - "${out}" "${strategy}" <<'PY'
 import json, sys
 p = json.load(open(sys.argv[1]))
 strategy = sys.argv[2]
-assert p["schema"] == "gepspark.profile/v1", p["schema"]
+assert p["schema"] == "gepspark.profile/v2", p["schema"]
 if strategy == "im":
     assert p["bytes"]["shuffle"] > 0, p["bytes"]
 else:
@@ -51,8 +59,10 @@ print(f"profile smoke ({strategy}): ok — "
       f"{p['breakdown']['attributed_fraction']:.3f}")
 PY
 }
-profile_smoke im
-profile_smoke cb
+profile_smoke im barrier
+profile_smoke cb barrier
+profile_smoke im dataflow
+profile_smoke cb dataflow
 
 if [[ "${FAST}" == "0" ]]; then
   run_tree build-asan -DGS_SANITIZE=ON

@@ -1,0 +1,562 @@
+// dataflow.hpp — tile-level dataflow scheduler for the GEP drivers.
+//
+// Instead of the per-phase barrier loop (A, then B/C, then D — paper
+// Listings 1 & 2), the engine builds the exact per-iteration dependency DAG
+// over tile tasks and releases each task the moment its inputs are ready:
+//
+//   A(k,k):  self = latest (k,k)
+//   B(k,j):  self = latest (k,j),  u = A(k,k)   [+ w = A iff Spec::kUsesW]
+//   C(i,k):  self = latest (i,k),  v = A(k,k)   [+ w = A]
+//   D(i,j):  self = latest (i,j),  u = C(i,k), v = B(k,j)   [+ w = A]
+//
+// plus the cross-iteration edge: the latest writer of a tile at iteration k
+// is the `self` input of its next writer at iteration k' > k. Since most
+// D-tiles of iteration k are independent of A/B/C of iteration k+1, trailing
+// updates overlap the next pivot ("pivot lookahead"); the depth is bounded
+// by SolverOptions::lookahead through zero-cost fence tasks. The task call
+// graph is exactly the barrier drivers' call graph — same kernels, same
+// input versions — and tile outputs are immutable, so the result is
+// bit-identical to barrier mode under any schedule, chaos plan, or recovery.
+//
+// Strategy still matters for the communication model: IM routes every
+// cross-executor data edge through a modeled transfer task (which overlaps
+// compute — the pipelining win), CB charges per-iteration driver
+// collect/broadcast time for the pivot tiles.
+//
+// Fault tolerance: graphs run through SparkContext::run_task_graph (per
+// attempt task failures, stragglers, executor kills, speculation). Carried
+// tiles live as unpinned blocks in the executor store between segments; a
+// kill or eviction (or an injected fetch failure) loses them and the engine
+// recomputes through its own lineage — the Node table below — down to the
+// last checkpoint snapshot, which is written checksummed into the shared
+// store at every checkpoint_interval boundary with corruption heal.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gepspark/copy_plan.hpp"
+#include "gepspark/options.hpp"
+#include "grid/tile_grid.hpp"
+#include "kernels/tile_ops.hpp"
+#include "obs/span.hpp"
+#include "semiring/gep_spec.hpp"
+#include "sparklet/context.hpp"
+#include "sparklet/partitioner.hpp"
+#include "support/check.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace gepspark {
+
+template <gs::GepSpecType Spec>
+class DataflowEngine {
+ public:
+  using T = typename Spec::value_type;
+  using TileR = gs::TileRef<T>;
+  using DPPair = std::pair<gs::TileKey, TileR>;
+
+  DataflowEngine(sparklet::SparkContext& sc, const SolverOptions& opt,
+                 std::shared_ptr<const gs::GepKernels<Spec>> kernels,
+                 sparklet::PartitionerPtr part)
+      : sc_(sc),
+        opt_(opt),
+        kernels_(std::move(kernels)),
+        part_(std::move(part)),
+        store_rdd_(sc_.next_rdd_id()) {}
+
+  ~DataflowEngine() {
+    sc_.executor_store().remove_rdd_blocks(store_rdd_);
+    sc_.shared_fs().remove_rdd_blocks(store_rdd_);
+  }
+
+  DataflowEngine(const DataflowEngine&) = delete;
+  DataflowEngine& operator=(const DataflowEngine&) = delete;
+
+  /// Test hook: when set, every task graph handed to run_task_graph is also
+  /// appended here (one spec vector per segment), so tests can assert the
+  /// exact edge set the engine builds for small r.
+  void set_graph_log(std::vector<std::vector<sparklet::DataflowTaskSpec>>* log) {
+    graph_log_ = log;
+  }
+
+  /// Run the full GEP computation over the scattered grid; returns the final
+  /// tile entries (row-major) after charging the driver-side gather.
+  std::vector<DPPair> solve(const gs::TileGrid<T>& grid,
+                            const gs::BlockLayout& layout) {
+    r_ = static_cast<int>(layout.r);
+    const GridRanges ranges(r_, Spec::kStrictSigma);
+
+    // Source nodes: the input tiles. Pinned — the driver holds the input, so
+    // lineage recomputation always bottoms out here.
+    for (int i = 0; i < r_; ++i) {
+      for (int j = 0; j < r_; ++j) {
+        Node nd;
+        nd.source = true;
+        nd.pinned = true;
+        nd.key = {i, j};
+        nd.out = grid.at(static_cast<std::size_t>(i),
+                         static_cast<std::size_t>(j));
+        nd.bytes = nd.out->bytes();
+        nd.executor = executor_of_key(nd.key);
+        latest_[nd.key] = add_node(std::move(nd));
+      }
+    }
+
+    // Segments end at checkpoint boundaries: a checkpoint is a global
+    // materialization fence (Listings 1 & 2 "checkpoint(DP)"), so lookahead
+    // pipelines freely within a segment and synchronizes at its edge.
+    const int interval = opt_.checkpoint_interval;
+    const int seg_len = interval > 0 ? interval : r_;
+    int seg_index = 0;
+    for (int s = 0; s < r_; s += seg_len, ++seg_index) {
+      const int e = std::min(s + seg_len, r_);
+      if (seg_index > 0) recover_carried(seg_index);
+      run_segment(s, e, ranges);
+      if (interval > 0 && e % interval == 0) {
+        checkpoint_snapshot();
+      } else {
+        register_carried_blocks();
+      }
+      drop_stale_outs();
+    }
+
+    std::vector<DPPair> entries;
+    entries.reserve(static_cast<std::size_t>(r_) * static_cast<std::size_t>(r_));
+    std::size_t total_bytes = 0;
+    for (int i = 0; i < r_; ++i) {
+      for (int j = 0; j < r_; ++j) {
+        const Node& nd = nodes_[latest_node({i, j})];
+        GS_CHECK_MSG(nd.out != nullptr, "final tile missing");
+        entries.push_back({nd.key, nd.out});
+        total_bytes += nd.bytes;
+      }
+    }
+    sc_.charge_collect(total_bytes);  // gatherResult
+    return entries;
+  }
+
+ private:
+  static constexpr bool kUsesW = Spec::kUsesW;
+
+  /// One immutable tile version plus its lineage (the kernel call that made
+  /// it). Consumers reference producer nodes, never keys, so overlapping
+  /// iterations can hold several live versions of one grid cell.
+  struct Node {
+    gs::KernelKind kind = gs::KernelKind::A;
+    bool source = false;
+    int k = -1;  ///< producing iteration (-1 for sources)
+    gs::TileKey key{0, 0};
+    int self = -1, u = -1, v = -1, w = -1;  ///< input node ids
+    TileR out;  ///< materialized tile; empty = lost, recomputable
+    bool pinned = false;  ///< survives anything (source / checkpoint snapshot)
+    std::size_t bytes = 0;
+    int executor = 0;
+  };
+
+  int add_node(Node nd) {
+    nodes_.push_back(std::move(nd));
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  int latest_node(gs::TileKey key) const { return latest_.at(key); }
+
+  int executor_of_key(gs::TileKey key) const {
+    return sc_.executor_of(part_->partition_of(sparklet::key_hash(key)));
+  }
+
+  static const char* task_label(gs::KernelKind kind) {
+    switch (kind) {
+      case gs::KernelKind::A: return "ARecGE";
+      case gs::KernelKind::B:
+      case gs::KernelKind::C: return "BCRecGE";
+      case gs::KernelKind::D: return "DRecGE";
+    }
+    return "?";
+  }
+
+  static const char* kind_name(gs::KernelKind kind) {
+    switch (kind) {
+      case gs::KernelKind::A: return "A";
+      case gs::KernelKind::B: return "B";
+      case gs::KernelKind::C: return "C";
+      case gs::KernelKind::D: return "D";
+    }
+    return "?";
+  }
+
+  TileR run_kernel(const Node& nd) const {
+    auto in = [&](int id) -> TileR {
+      return id >= 0 ? nodes_[static_cast<std::size_t>(id)].out : nullptr;
+    };
+    return gs::apply_tile_kernel<Spec>(*kernels_, nd.kind, in(nd.self),
+                                       in(nd.u), in(nd.v), in(nd.w));
+  }
+
+  sparklet::BlockId block_id(gs::TileKey key) const {
+    return {store_rdd_, key.i * r_ + key.j};
+  }
+
+  // ------------------------- segment execution -------------------------
+
+  void run_segment(int s, int e, const GridRanges& ranges) {
+    const int num_exec = sc_.config().num_executors();
+    const bool im = opt_.strategy == Strategy::kInMemory;
+
+    std::vector<sparklet::DataflowTaskSpec> specs;
+    std::vector<int> spec_node;  // node id per graph task, -1 for xfer/fence
+    std::unordered_map<int, int> task_of_node;
+    std::unordered_map<int, int> xfer_memo;  // producer*num_exec+dest → task
+    std::vector<int> fences;  // fence task per iteration offset (k - s)
+    std::size_t shuffle_bytes = 0;
+    std::vector<std::size_t> a_bytes(static_cast<std::size_t>(e - s), 0);
+    std::vector<std::size_t> bc_bytes(static_cast<std::size_t>(e - s), 0);
+
+    std::vector<int> iter_tasks;
+
+    // Route one data edge (producer node → consumer executor). Carried
+    // tiles from earlier segments are already resident — no edge needed. IM
+    // cross-executor edges go through a modeled transfer task (one per
+    // producer × destination, like a map output fetched once per reducer).
+    auto route = [&](int node_id, int consumer_exec, std::vector<int>& deps) {
+      auto it = task_of_node.find(node_id);
+      if (it == task_of_node.end()) return;
+      const int producer = it->second;
+      if (!im || specs[static_cast<std::size_t>(producer)].executor ==
+                     consumer_exec) {
+        deps.push_back(producer);
+        return;
+      }
+      const int memo_key = producer * num_exec + consumer_exec;
+      auto mit = xfer_memo.find(memo_key);
+      if (mit != xfer_memo.end()) {
+        deps.push_back(mit->second);
+        return;
+      }
+      const std::size_t bytes =
+          nodes_[static_cast<std::size_t>(node_id)].bytes;
+      sparklet::DataflowTaskSpec t;
+      t.label = "shuffleXfer";
+      t.deps = {producer};
+      t.executor = consumer_exec;
+      t.category = sparklet::TimeCategory::kShuffle;
+      t.transfer = true;
+      t.model_s = sc_.config().network.latency_s +
+                  static_cast<double>(bytes) /
+                      sc_.config().network.bandwidth_Bps;
+      shuffle_bytes += bytes;
+      specs.push_back(std::move(t));
+      spec_node.push_back(-1);
+      const int idx = static_cast<int>(specs.size() - 1);
+      iter_tasks.push_back(idx);
+      xfer_memo.emplace(memo_key, idx);
+      deps.push_back(idx);
+    };
+
+    auto add_task = [&](int node_id, int k) {
+      const Node& nd = nodes_[static_cast<std::size_t>(node_id)];
+      sparklet::DataflowTaskSpec t;
+      t.label = task_label(nd.kind);
+      t.executor = nd.executor;
+      route(nd.self, nd.executor, t.deps);
+      route(nd.u, nd.executor, t.deps);
+      route(nd.v, nd.executor, t.deps);
+      if (nd.w >= 0 && nd.w != nd.u && nd.w != nd.v) {
+        route(nd.w, nd.executor, t.deps);
+      }
+      // Pivot lookahead: iteration k may not start before the fence of
+      // iteration k - lookahead - 1 (when that fence is in this segment).
+      const int gate = k - opt_.lookahead - 1;
+      if (gate >= s) t.deps.push_back(fences[static_cast<std::size_t>(gate - s)]);
+      specs.push_back(std::move(t));
+      spec_node.push_back(node_id);
+      const int idx = static_cast<int>(specs.size() - 1);
+      task_of_node.emplace(node_id, idx);
+      iter_tasks.push_back(idx);
+    };
+
+    for (int k = s; k < e; ++k) {
+      iter_tasks.clear();
+      const gs::TileKey pivot{k, k};
+      Node a;
+      a.kind = gs::KernelKind::A;
+      a.k = k;
+      a.key = pivot;
+      a.self = latest_node(pivot);
+      a.bytes = nodes_[static_cast<std::size_t>(a.self)].bytes;
+      a.executor = executor_of_key(pivot);
+      const int a_node = add_node(std::move(a));
+      add_task(a_node, k);
+      latest_[pivot] = a_node;
+      a_bytes[static_cast<std::size_t>(k - s)] =
+          nodes_[static_cast<std::size_t>(a_node)].bytes;
+
+      for (const auto& key : ranges.b_keys(k)) {
+        Node b;
+        b.kind = gs::KernelKind::B;
+        b.k = k;
+        b.key = key;
+        b.self = latest_node(key);
+        b.u = a_node;
+        if (kUsesW) b.w = a_node;
+        b.bytes = nodes_[static_cast<std::size_t>(b.self)].bytes;
+        b.executor = executor_of_key(key);
+        const int id = add_node(std::move(b));
+        add_task(id, k);
+        latest_[key] = id;
+        bc_bytes[static_cast<std::size_t>(k - s)] +=
+            nodes_[static_cast<std::size_t>(id)].bytes;
+      }
+      for (const auto& key : ranges.c_keys(k)) {
+        Node c;
+        c.kind = gs::KernelKind::C;
+        c.k = k;
+        c.key = key;
+        c.self = latest_node(key);
+        c.v = a_node;
+        if (kUsesW) c.w = a_node;
+        c.bytes = nodes_[static_cast<std::size_t>(c.self)].bytes;
+        c.executor = executor_of_key(key);
+        const int id = add_node(std::move(c));
+        add_task(id, k);
+        latest_[key] = id;
+        bc_bytes[static_cast<std::size_t>(k - s)] +=
+            nodes_[static_cast<std::size_t>(id)].bytes;
+      }
+      for (const auto& key : ranges.d_keys(k)) {
+        Node d;
+        d.kind = gs::KernelKind::D;
+        d.k = k;
+        d.key = key;
+        d.self = latest_node(key);
+        d.u = latest_node({key.i, k});  // post-C pivot column
+        d.v = latest_node({k, key.j});  // post-B pivot row
+        if (kUsesW) d.w = a_node;
+        d.bytes = nodes_[static_cast<std::size_t>(d.self)].bytes;
+        d.executor = executor_of_key(key);
+        const int id = add_node(std::move(d));
+        add_task(id, k);
+        latest_[key] = id;
+      }
+
+      // Zero-cost fence summarizing iteration k, the lookahead anchor.
+      sparklet::DataflowTaskSpec f;
+      f.label = "fence";
+      f.deps = iter_tasks;
+      f.transfer = true;  // exempt from chaos/metrics, zero modeled cost
+      specs.push_back(std::move(f));
+      spec_node.push_back(-1);
+      fences.push_back(static_cast<int>(specs.size() - 1));
+    }
+
+    obs::Tracer* tr = &sc_.tracer();
+    auto body = [&](int ti) {
+      const int node_id = spec_node[static_cast<std::size_t>(ti)];
+      if (node_id < 0) return;  // transfer or fence
+      Node& nd = nodes_[static_cast<std::size_t>(node_id)];
+      obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                  kind_name(nd.kind), nd.k);
+      nd.out = run_kernel(nd);
+    };
+    if (graph_log_ != nullptr) graph_log_->push_back(specs);
+    sc_.run_task_graph(gs::strfmt("dataflow(k=%d..%d)", s, e - 1), specs, body,
+                       im ? shuffle_bytes : 0);
+
+    if (!im) {
+      // CB ships pivots through the driver: collect + shared-storage
+      // broadcast per iteration for A and for the B/C pivot sets.
+      for (int k = s; k < e; ++k) {
+        const std::size_t ab = a_bytes[static_cast<std::size_t>(k - s)];
+        const std::size_t bcb = bc_bytes[static_cast<std::size_t>(k - s)];
+        sc_.charge_collect(ab);
+        sc_.charge_broadcast(ab);
+        if (bcb > 0) {
+          sc_.charge_collect(bcb);
+          sc_.charge_broadcast(bcb);
+        }
+      }
+    }
+  }
+
+  // ------------------------- recovery & snapshots -------------------------
+
+  /// Segment entry: chaos may have lost carried tiles since the last graph
+  /// ran (executor kill dropped their blocks, memory pressure evicted them,
+  /// or an injected fetch failure claims one outright). Anything missing is
+  /// recomputed through the node lineage down to pinned data.
+  void recover_carried(int seg_index) {
+    const sparklet::ChaosPlan& chaos = sc_.chaos_plan();
+    std::vector<int> unpinned;
+    for (int i = 0; i < r_; ++i) {
+      for (int j = 0; j < r_; ++j) {
+        const int id = latest_node({i, j});
+        if (!nodes_[static_cast<std::size_t>(id)].pinned) unpinned.push_back(id);
+      }
+    }
+    if (chaos.fetch_failure_prob > 0.0 && !unpinned.empty()) {
+      gs::Rng rng(sparklet::chaos_event_seed(
+          chaos.seed, sparklet::kChaosFetch,
+          static_cast<std::uint64_t>(store_rdd_),
+          static_cast<std::uint64_t>(seg_index), 0));
+      if (rng.bernoulli(chaos.fetch_failure_prob)) {
+        Node& nd = nodes_[static_cast<std::size_t>(
+            unpinned[rng.uniform_u64(unpinned.size())])];
+        nd.out.reset();
+        sc_.executor_store().remove_block(block_id(nd.key));
+        sc_.metrics().note_fetch_failure();
+        sc_.metrics().note_partitions_dropped(1);
+        sc_.timeline().add_marker("fetch-failure");
+        sc_.timeline().add_serial("stage-retry-backoff",
+                                  sc_.config().stage_overhead_s,
+                                  sparklet::TimeCategory::kRecovery);
+      }
+    }
+    for (int id : unpinned) {
+      Node& nd = nodes_[static_cast<std::size_t>(id)];
+      if (nd.out != nullptr && !sc_.executor_store().has_block(block_id(nd.key))) {
+        nd.out.reset();  // lost to a kill or an eviction
+        sc_.metrics().note_partitions_dropped(1);
+      }
+    }
+    gs::Stopwatch sw;
+    int recomputed = 0;
+    for (int i = 0; i < r_; ++i) {
+      for (int j = 0; j < r_; ++j) {
+        recomputed += recompute_now(latest_node({i, j}));
+      }
+    }
+    if (recomputed > 0) {
+      sc_.metrics().note_partitions_recomputed(recomputed);
+      sc_.timeline().add_serial(
+          "recompute",
+          sw.seconds() + recomputed * sc_.config().task_overhead_s,
+          sparklet::TimeCategory::kRecovery);
+    }
+  }
+
+  /// Re-run the pure kernel chain for a lost tile version. Inputs recurse;
+  /// the chain bottoms out at sources or checkpoint snapshots (pinned, out
+  /// always present). Purity ⇒ the recomputed tile is bit-identical.
+  int recompute_now(int id) {
+    Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.out != nullptr) return 0;
+    GS_CHECK_MSG(!nd.source, "source tile cannot be lost");
+    int count = 0;
+    for (int dep : {nd.self, nd.u, nd.v, nd.w}) {
+      if (dep >= 0) count += recompute_now(dep);
+    }
+    nd.out = run_kernel(nd);
+    return count + 1;
+  }
+
+  /// Non-checkpoint segment boundary: carried tiles become unpinned cached
+  /// blocks in the executor store, giving kills and memory pressure
+  /// something concrete to lose.
+  void register_carried_blocks() {
+    for (int i = 0; i < r_; ++i) {
+      for (int j = 0; j < r_; ++j) {
+        const Node& nd = nodes_[static_cast<std::size_t>(latest_node({i, j}))];
+        if (nd.pinned) continue;
+        try {
+          sc_.executor_store().put_block(nd.executor, block_id(nd.key),
+                                         nd.bytes, /*checksum=*/0,
+                                         /*pinned=*/false);
+        } catch (const gs::CapacityError&) {
+          // Executor memory is full even after eviction: the tile simply
+          // goes untracked and will be recomputed next segment (graceful
+          // degradation, like MEMORY_ONLY caching).
+        }
+      }
+    }
+  }
+
+  /// Checkpoint boundary: write every carried tile checksummed + pinned into
+  /// the shared store, healing injected corruption through lineage, then
+  /// truncate — the snapshot becomes the new recomputation floor.
+  void checkpoint_snapshot() {
+    obs::ScopedSpan span(&sc_.tracer(), obs::SpanLevel::kStage, "checkpoint",
+                         store_rdd_);
+    const sparklet::ChaosPlan& chaos = sc_.chaos_plan();
+    const int max_attempts = std::max(1, chaos.max_stage_attempts);
+    double io_s = 0.0;
+    int recomputed = 0;
+    for (int i = 0; i < r_; ++i) {
+      for (int j = 0; j < r_; ++j) {
+        const int id = latest_node({i, j});
+        Node& nd = nodes_[static_cast<std::size_t>(id)];
+        if (nd.pinned) continue;  // already snapshotted (untouched tile)
+        const sparklet::BlockId bid = block_id(nd.key);
+        std::uint64_t sum_state = static_cast<std::uint64_t>(id) ^
+                                  (static_cast<std::uint64_t>(store_rdd_) << 32);
+        const std::uint64_t sum = gs::splitmix64(sum_state);
+        for (int attempt = 1;; ++attempt) {
+          std::uint64_t stored = sum;
+          if (sc_.chaos_corrupt_block(static_cast<std::uint64_t>(store_rdd_),
+                                      static_cast<std::uint64_t>(bid.partition),
+                                      static_cast<std::uint64_t>(attempt))) {
+            stored ^= 0xbad0bad0bad0bad0ULL;
+          }
+          io_s += sc_.shared_fs().put_block(0, bid, nd.bytes, stored,
+                                            /*pinned=*/true);
+          io_s += sc_.shared_fs().read(0, nd.bytes);  // verification read-back
+          if (sc_.shared_fs().verify_block(bid, sum)) {
+            sc_.metrics().note_checkpoint_block(nd.bytes);
+            break;
+          }
+          // Corrupted write: treat the tile as lost, heal through lineage,
+          // write again.
+          sc_.metrics().note_corrupted_block();
+          sc_.timeline().add_marker("checkpoint-corruption");
+          sc_.shared_fs().remove_block(bid);
+          GS_THROW_IF(attempt >= max_attempts, gs::JobAbortedError,
+                      gs::strfmt("checkpoint block (%d,%d) failed "
+                                 "verification %d times",
+                                 store_rdd_, bid.partition, attempt));
+          nd.out.reset();
+          sc_.metrics().note_partitions_dropped(1);
+          recomputed += recompute_now(id);
+        }
+        nd.pinned = true;
+      }
+    }
+    sc_.timeline().add_serial("checkpoint", io_s,
+                              sparklet::TimeCategory::kRecovery);
+    if (recomputed > 0) sc_.metrics().note_partitions_recomputed(recomputed);
+    // The snapshot lives pinned in shared storage; cached-block entries for
+    // the carried tiles are obsolete.
+    sc_.executor_store().remove_rdd_blocks(store_rdd_);
+  }
+
+  /// Lineage truncation: superseded, unpinned tile versions drop their
+  /// payloads (recomputable from the latest snapshot if recovery ever needs
+  /// them again).
+  void drop_stale_outs() {
+    std::vector<char> is_latest(nodes_.size(), 0);
+    for (const auto& [key, id] : latest_) {
+      is_latest[static_cast<std::size_t>(id)] = 1;
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!is_latest[i] && !nodes_[i].pinned) nodes_[i].out.reset();
+    }
+  }
+
+  sparklet::SparkContext& sc_;
+  const SolverOptions& opt_;
+  std::shared_ptr<const gs::GepKernels<Spec>> kernels_;
+  sparklet::PartitionerPtr part_;
+  const int store_rdd_;  ///< block/chaos namespace for this engine
+  int r_ = 0;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<gs::TileKey, int, gs::TileKeyHash> latest_;
+  std::vector<std::vector<sparklet::DataflowTaskSpec>>* graph_log_ = nullptr;
+};
+
+}  // namespace gepspark

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "gepspark/copy_plan.hpp"
+#include "gepspark/dataflow.hpp"
 #include "gepspark/options.hpp"
 #include "grid/tile_grid.hpp"
 #include "kernels/tile_ops.hpp"
@@ -106,11 +107,22 @@ class GepDriver {
     {
       obs::ScopedSpan job_span(&sc_.tracer(), obs::SpanLevel::kJob,
                                opt_.describe());
-      DpRdd dp = sparklet::parallelize_pairs(sc_, grid.entries(), part_, "DP");
-      dp = (opt_.strategy == Strategy::kInMemory) ? solve_im(dp, layout)
-                                                  : solve_cb(dp, layout);
-      auto entries = dp.collect("gatherResult");
-      result.matrix = gs::TileGrid<T>::from_entries(layout, entries).gather();
+      if (opt_.schedule == ScheduleMode::kDataflow) {
+        // Tile-level dataflow: same kernels on the same input versions, but
+        // released per-task the moment dependencies are ready instead of
+        // through the per-phase barrier loop below.
+        DataflowEngine<Spec> engine(sc_, opt_, kernels_, part_);
+        result.matrix =
+            gs::TileGrid<T>::from_entries(layout, engine.solve(grid, layout))
+                .gather();
+      } else {
+        DpRdd dp =
+            sparklet::parallelize_pairs(sc_, grid.entries(), part_, "DP");
+        dp = (opt_.strategy == Strategy::kInMemory) ? solve_im(dp, layout)
+                                                    : solve_cb(dp, layout);
+        auto entries = dp.collect("gatherResult");
+        result.matrix = gs::TileGrid<T>::from_entries(layout, entries).gather();
+      }
     }
     result.profile =
         obs::build_job_profile(scope.delta(), sc_.timeline(), &sc_.tracer());

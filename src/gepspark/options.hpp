@@ -23,6 +23,15 @@ inline const char* strategy_name(Strategy s) {
   return s == Strategy::kInMemory ? "IM" : "CB";
 }
 
+enum class ScheduleMode : int {
+  kBarrier = 0,   ///< per-phase barrier loop (A, then B/C, then D) — reference
+  kDataflow = 1,  ///< tile-level dependency DAG with pivot lookahead
+};
+
+inline const char* schedule_name(ScheduleMode m) {
+  return m == ScheduleMode::kBarrier ? "barrier" : "dataflow";
+}
+
 struct SolverOptions {
   /// Tile side b; the grid side r = ceil(n / b) is the paper's top-level
   /// decomposition parameter.
@@ -49,18 +58,36 @@ struct SolverOptions {
   /// intervals trade checkpoint I/O against recovery depth.
   int checkpoint_interval = 1;
 
+  /// Barrier (the paper's listings) vs the tile-level dataflow scheduler,
+  /// which releases each tile task the moment its inputs are ready. Output
+  /// is bit-identical either way — the dataflow DAG encodes exactly the
+  /// dependencies the barrier loop over-approximates.
+  ScheduleMode schedule = ScheduleMode::kBarrier;
+
+  /// Pivot lookahead depth under kDataflow: tiles of iteration k+lookahead
+  /// may start while iteration k's trailing update still runs. 0 pins a
+  /// barrier between iterations (but still overlaps phases within one);
+  /// higher depths overlap more iterations at the cost of holding more tile
+  /// versions live. Ignored under kBarrier.
+  int lookahead = 1;
+
   void validate() const {
     GS_THROW_IF(block_size == 0, gs::ConfigError, "block_size must be > 0");
     GS_THROW_IF(num_partitions < 0, gs::ConfigError,
                 "num_partitions must be >= 0");
     GS_THROW_IF(checkpoint_interval < 0, gs::ConfigError,
                 "checkpoint_interval must be >= 0");
+    GS_THROW_IF(lookahead < 0, gs::ConfigError, "lookahead must be >= 0");
     kernel.validate();
   }
 
   std::string describe() const {
-    return gs::strfmt("%s b=%zu %s%s", strategy_name(strategy), block_size,
-                      kernel.describe().c_str(),
+    std::string sched;
+    if (schedule == ScheduleMode::kDataflow) {
+      sched = gs::strfmt(" dataflow(lookahead=%d)", lookahead);
+    }
+    return gs::strfmt("%s b=%zu %s%s%s", strategy_name(strategy), block_size,
+                      kernel.describe().c_str(), sched.c_str(),
                       use_grid_partitioner ? " grid-partitioner" : "");
   }
 };

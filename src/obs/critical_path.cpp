@@ -75,9 +75,10 @@ void CriticalPathReport::print(std::ostream& os) const {
   auto pct = [&](double s) { return window_s > 0.0 ? 100.0 * s / window_s : 0.0; };
   os << gs::strfmt(
       "  by category: compute %.1f%% | shuffle %.1f%% | collect %.1f%% | "
-      "broadcast %.1f%% | recovery %.1f%%  (%.1f%% attributed)\n",
+      "broadcast %.1f%% | recovery %.1f%% | stall %.1f%%  "
+      "(%.1f%% attributed)\n",
       pct(buckets.compute_s), pct(buckets.shuffle_s), pct(buckets.collect_s),
-      pct(buckets.broadcast_s), pct(buckets.recovery_s),
+      pct(buckets.broadcast_s), pct(buckets.recovery_s), pct(buckets.stall_s),
       100.0 * attributed_fraction());
   if (!top.empty()) {
     os << "  costliest records:\n";

@@ -53,9 +53,10 @@ void write_profile_json(const JobProfile& p, std::ostream& out) {
   out << gs::strfmt(
       "  \"breakdown\": {\"compute_s\": %.9g, \"shuffle_s\": %.9g, "
       "\"collect_s\": %.9g, \"broadcast_s\": %.9g, \"recovery_s\": %.9g, "
-      "\"attributed_fraction\": %.9g},\n",
+      "\"stall_s\": %.9g, \"attributed_fraction\": %.9g},\n",
       p.buckets.compute_s, p.buckets.shuffle_s, p.buckets.collect_s,
-      p.buckets.broadcast_s, p.buckets.recovery_s, p.attributed_fraction());
+      p.buckets.broadcast_s, p.buckets.recovery_s, p.buckets.stall_s,
+      p.attributed_fraction());
   out << gs::strfmt(
       "  \"phases\": {\"a_s\": %.9g, \"bc_s\": %.9g, \"d_s\": %.9g, "
       "\"prep_s\": %.9g, \"other_s\": %.9g},\n",
@@ -68,10 +69,10 @@ void write_profile_json(const JobProfile& p, std::ostream& out) {
     out << gs::strfmt(
         "    {\"k\": %lld, \"virtual_s\": %.9g, \"compute_s\": %.9g, "
         "\"shuffle_s\": %.9g, \"collect_s\": %.9g, \"broadcast_s\": %.9g, "
-        "\"recovery_s\": %.9g}",
+        "\"recovery_s\": %.9g, \"stall_s\": %.9g}",
         static_cast<long long>(it.k), it.virtual_seconds, it.buckets.compute_s,
         it.buckets.shuffle_s, it.buckets.collect_s, it.buckets.broadcast_s,
-        it.buckets.recovery_s);
+        it.buckets.recovery_s, it.buckets.stall_s);
   }
   out << (p.iterations.empty() ? "],\n" : "\n  ],\n");
   const auto& r = p.recovery;
@@ -101,18 +102,18 @@ void write_profile_json(const JobProfile& profile, const std::string& path) {
 
 void write_profile_csv(const JobProfile& p, std::ostream& out) {
   out << kProfileCsvHeader << "\n";
-  out << gs::strfmt("job,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%zu,%zu,%zu,%d,%d\n",
-                    p.wall_seconds, p.virtual_seconds, p.buckets.compute_s,
-                    p.buckets.shuffle_s, p.buckets.collect_s,
-                    p.buckets.broadcast_s, p.buckets.recovery_s,
-                    p.shuffle_bytes, p.collect_bytes, p.broadcast_bytes,
-                    p.stages, p.tasks);
+  out << gs::strfmt(
+      "job,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%zu,%zu,%zu,%d,%d\n",
+      p.wall_seconds, p.virtual_seconds, p.buckets.compute_s,
+      p.buckets.shuffle_s, p.buckets.collect_s, p.buckets.broadcast_s,
+      p.buckets.recovery_s, p.buckets.stall_s, p.shuffle_bytes,
+      p.collect_bytes, p.broadcast_bytes, p.stages, p.tasks);
   for (const auto& it : p.iterations) {
-    out << gs::strfmt("iteration,%lld,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,,,,,\n",
-                      static_cast<long long>(it.k), it.virtual_seconds,
-                      it.buckets.compute_s, it.buckets.shuffle_s,
-                      it.buckets.collect_s, it.buckets.broadcast_s,
-                      it.buckets.recovery_s);
+    out << gs::strfmt(
+        "iteration,%lld,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,,,,,\n",
+        static_cast<long long>(it.k), it.virtual_seconds, it.buckets.compute_s,
+        it.buckets.shuffle_s, it.buckets.collect_s, it.buckets.broadcast_s,
+        it.buckets.recovery_s, it.buckets.stall_s);
   }
 }
 

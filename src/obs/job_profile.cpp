@@ -15,6 +15,7 @@ double& PhaseBuckets::of(sparklet::TimeCategory category) {
     case sparklet::TimeCategory::kCollect: return collect_s;
     case sparklet::TimeCategory::kBroadcast: return broadcast_s;
     case sparklet::TimeCategory::kRecovery: return recovery_s;
+    case sparklet::TimeCategory::kStall: return stall_s;
   }
   return compute_s;
 }
@@ -172,9 +173,10 @@ void JobProfile::print(std::ostream& os) const {
   };
   os << gs::strfmt(
       "  breakdown: compute %.1f%% | shuffle %.1f%% | collect %.1f%% | "
-      "broadcast %.1f%% | recovery %.1f%%  (%.1f%% attributed)\n",
+      "broadcast %.1f%% | recovery %.1f%% | stall %.1f%%  "
+      "(%.1f%% attributed)\n",
       pct(buckets.compute_s), pct(buckets.shuffle_s), pct(buckets.collect_s),
-      pct(buckets.broadcast_s), pct(buckets.recovery_s),
+      pct(buckets.broadcast_s), pct(buckets.recovery_s), pct(buckets.stall_s),
       100.0 * attributed_fraction());
   if (phases.total() > 0.0) {
     auto cpct = [&](double s) {

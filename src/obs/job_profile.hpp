@@ -1,6 +1,7 @@
 #pragma once
 // JobProfile — structured aggregation of one job's execution: virtual-time
-// bucket breakdown (compute / shuffle / collect / broadcast / recovery),
+// bucket breakdown (compute / shuffle / collect / broadcast / recovery /
+// stall),
 // GEP-phase attribution of compute time, per-iteration slices (when the
 // tracer ran), byte counters, and recovery work. Built from a MetricsDelta
 // (scoped counter capture) + the matching VirtualTimeline window, optionally
@@ -31,9 +32,11 @@ struct PhaseBuckets {
   double collect_s = 0.0;
   double broadcast_s = 0.0;
   double recovery_s = 0.0;
+  double stall_s = 0.0;  ///< dataflow ready-wait (lanes idle on dependencies)
 
   double total() const {
-    return compute_s + shuffle_s + collect_s + broadcast_s + recovery_s;
+    return compute_s + shuffle_s + collect_s + broadcast_s + recovery_s +
+           stall_s;
   }
   double& of(sparklet::TimeCategory category);
   double of(sparklet::TimeCategory category) const;
@@ -100,7 +103,7 @@ struct JobProfile {
   std::size_t record_begin = 0;
   std::size_t record_end = 0;
 
-  /// Fraction of virtual_seconds landing in the five buckets.
+  /// Fraction of virtual_seconds landing in the six buckets.
   double attributed_fraction() const {
     return virtual_seconds > 0.0 ? buckets.total() / virtual_seconds : 1.0;
   }

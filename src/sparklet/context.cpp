@@ -1,6 +1,9 @@
 #include "sparklet/context.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <iterator>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -88,21 +91,6 @@ PartitionerPtr SparkContext::default_partitioner() const {
 int SparkContext::current_stage_id() const {
   return current_stage_ != nullptr ? current_stage_->stage_id : -1;
 }
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-void SparkContext::set_fault_plan(const FaultPlan& plan) {
-  ChaosPlan cp;
-  cp.task_failure_prob = plan.task_failure_prob;
-  cp.max_task_attempts = plan.max_attempts;
-  cp.seed = plan.seed;
-  set_chaos_plan(cp);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 void SparkContext::set_chaos_plan(const ChaosPlan& plan) {
   chaos_ = plan;
@@ -564,6 +552,263 @@ void SparkContext::run_tasks_internal(RddBase& node,
     // lineage when (and only when) those partitions are next read.
     drop_executor_blocks(kill_victim, &node);
   }
+}
+
+TaskGraphResult SparkContext::run_task_graph(
+    const std::string& name, const std::vector<DataflowTaskSpec>& tasks,
+    const std::function<void(int)>& body, std::size_t shuffle_bytes) {
+  const std::size_t n = tasks.size();
+  TaskGraphResult result;
+  if (n == 0) return result;
+  const std::uint64_t graph_id = static_cast<std::uint64_t>(next_graph_id_++);
+  const int num_exec = cfg_.num_executors();
+
+  // Successor lists + pending-dependency counts; deps[j] < own index is the
+  // DAG guarantee (checked here, relied on everywhere below).
+  std::vector<std::vector<int>> succs(n);
+  std::vector<int> pending(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    GS_THROW_IF(tasks[i].executor < 0 || tasks[i].executor >= num_exec,
+                gs::ConfigError,
+                "task graph '" + name + "': executor index out of range");
+    for (int d : tasks[i].deps) {
+      GS_THROW_IF(d < 0 || static_cast<std::size_t>(d) >= i, gs::ConfigError,
+                  "task graph '" + name + "': dep must precede its consumer");
+      succs[static_cast<std::size_t>(d)].push_back(static_cast<int>(i));
+    }
+    pending[i] = static_cast<int>(tasks[i].deps.size());
+  }
+
+  StageMetric sm;
+  sm.stage_id = next_stage_id_++;
+  sm.name = name;
+  sm.shuffle_input = shuffle_bytes > 0;
+  sm.shuffle_write_bytes = shuffle_bytes;
+  obs::ScopedSpan stage_span(&tracer_, obs::SpanLevel::kStage, name,
+                             sm.stage_id);
+  timeline_.add_serial(gs::strfmt("stage-%d-overhead", sm.stage_id),
+                       cfg_.stage_overhead_s);
+  gs::Stopwatch graph_sw;
+
+  // --- Ready-queue execution on the pool: a task is submitted the moment
+  // its last dependency completes. Chaos decisions are pure in
+  // (seed, tag, graph, task, attempt), so results never depend on which
+  // thread ran what when.
+  std::vector<double> durations(n, 0.0);
+  std::vector<int> attempts(n, 1);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;
+  std::size_t submitted = 0;
+  bool stop = false;
+  std::exception_ptr error;
+  std::vector<int> order;
+  order.reserve(n);
+
+  std::function<void(int)> run_one = [&](int ti) {
+    const std::size_t i = static_cast<std::size_t>(ti);
+    try {
+      obs::ScopedSpan task_span(&tracer_, obs::SpanLevel::kTask,
+                                tasks[i].label, ti);
+      gs::Stopwatch sw;
+      for (int attempt = 1;; ++attempt) {
+        if (!tasks[i].transfer && chaos_.task_failure_prob > 0.0) {
+          gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosTask, graph_id,
+                                       static_cast<std::uint64_t>(ti),
+                                       static_cast<std::uint64_t>(attempt)));
+          if (rng.bernoulli(chaos_.task_failure_prob)) {
+            injected_failures_.fetch_add(1);
+            metrics_.note_task_failure();
+            if (attempt >= chaos_.max_task_attempts) {
+              throw gs::JobAbortedError(gs::strfmt(
+                  "task %d of graph %llu (%s) failed %d times — aborting job",
+                  ti, static_cast<unsigned long long>(graph_id),
+                  tasks[i].label.c_str(), attempt));
+            }
+            metrics_.note_task_retry();
+            continue;  // same-task retry
+          }
+        }
+        body(ti);
+        attempts[i] = attempt;
+        break;
+      }
+      durations[i] = sw.seconds();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = std::current_exception();
+      stop = true;  // in-flight tasks drain; nothing new launches
+      ++done;
+      cv.notify_all();
+      return;
+    }
+    std::vector<int> newly;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(ti);
+      if (!stop) {
+        for (int s : succs[i]) {
+          if (--pending[static_cast<std::size_t>(s)] == 0) newly.push_back(s);
+        }
+        submitted += newly.size();
+      }
+      ++done;
+      cv.notify_all();
+    }
+    for (int s : newly) {
+      pool_.submit([&run_one, s] { run_one(s); });
+    }
+  };
+
+  {
+    std::vector<int> roots;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pending[i] == 0) roots.push_back(static_cast<int>(i));
+    }
+    GS_CHECK_MSG(!roots.empty(), "task graph '" + name + "' has no sources");
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      submitted = roots.size();
+    }
+    for (int r : roots) {
+      pool_.submit([&run_one, r] { run_one(r); });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == submitted; });
+  }
+  if (error) std::rethrow_exception(error);
+  sm.wall_s = graph_sw.seconds();
+
+  // --- Virtual replay (driver-side, deterministic). Transfers are charged
+  // their modeled cost; compute tasks get wall time + per-task overhead,
+  // stretched for injected stragglers.
+  std::vector<char> straggler(n, 0);
+  std::vector<double> vdur(n, 0.0);
+  std::size_t compute_tasks = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tasks[i].transfer) {
+      vdur[i] = tasks[i].model_s;
+      continue;
+    }
+    ++compute_tasks;
+    if (chaos_.straggler_prob > 0.0) {
+      gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosStraggler, graph_id,
+                                   static_cast<std::uint64_t>(i), 0));
+      straggler[i] = rng.bernoulli(chaos_.straggler_prob) ? 1 : 0;
+    }
+    const double clean = durations[i] + cfg_.task_overhead_s;
+    vdur[i] = clean * (straggler[i] ? chaos_.straggler_factor : 1.0);
+  }
+
+  // --- One optional executor kill per graph (budgeted): its tasks rerun on
+  // survivors, its cached blocks are lost, and the work in flight when it
+  // died shows up as dead lane time.
+  int kill_victim = -1;
+  double kill_fraction = 0.0;
+  if (chaos_.executor_kill_prob > 0.0 && num_exec > 1 &&
+      executor_kills_done_ < chaos_.max_executor_kills) {
+    gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosKill, graph_id, 0, 0));
+    if (rng.bernoulli(chaos_.executor_kill_prob)) {
+      gs::Rng place(
+          chaos_event_seed(chaos_.seed, kChaosKillPlace, graph_id, 0, 0));
+      kill_victim = static_cast<int>(
+          place.uniform_u64(static_cast<std::uint64_t>(num_exec)));
+      kill_fraction = place.uniform(0.2, 0.9);
+      ++executor_kills_done_;
+    }
+  }
+
+  // --- Speculation over the compute tasks, same policy as barrier stages.
+  double spec_thr = 0.0;
+  std::vector<char> spec_launch(n, 0), spec_win(n, 0);
+  if (spec_.enabled && static_cast<int>(compute_tasks) >= spec_.min_tasks) {
+    std::vector<double> sorted;
+    sorted.reserve(compute_tasks);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!tasks[i].transfer) sorted.push_back(vdur[i]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    spec_thr = spec_.multiplier * sorted[sorted.size() / 2];
+    if (spec_thr > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (tasks[i].transfer || vdur[i] <= spec_thr) continue;
+        spec_launch[i] = 1;
+        const double clean = durations[i] + cfg_.task_overhead_s;
+        if (spec_thr + clean < vdur[i]) spec_win[i] = 1;
+      }
+    }
+  }
+
+  // Entries 0..n-1 of the dataflow schedule mirror the input tasks so dep
+  // indices stay valid; lost-work and speculative-copy entries append after.
+  std::vector<VirtualTimeline::DataflowTask> sched(n);
+  std::vector<VirtualTimeline::DataflowTask> extras;
+  result.executors.resize(n);
+  int rescheduled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    int exec = tasks[i].executor;
+    if (exec == kill_victim) {
+      exec = (kill_victim + 1 + static_cast<int>(i) % (num_exec - 1)) %
+             num_exec;
+      if (!tasks[i].transfer) {
+        ++rescheduled;
+        // Lost in-flight work occupies the dead executor's lanes.
+        extras.push_back({"lost-work", kill_fraction * vdur[i], kill_victim,
+                          {}, TimeCategory::kRecovery});
+      }
+    }
+    result.executors[i] = exec;
+    const double effective = spec_win[i]
+                                 ? spec_thr + durations[i] + cfg_.task_overhead_s
+                                 : vdur[i];
+    sched[i] =
+        {tasks[i].label, effective, exec, tasks[i].deps, tasks[i].category};
+    if (tasks[i].transfer) continue;
+    TaskMetric tm;
+    tm.stage_id = sm.stage_id;
+    tm.partition = static_cast<int>(i);
+    tm.executor = exec;
+    tm.duration_s = effective;
+    tm.attempt = attempts[i];
+    tm.straggler = straggler[i] != 0;
+    metrics_.add_task(tm);
+    if (straggler[i]) metrics_.note_straggler();
+    if (spec_launch[i]) {
+      int copy_exec = num_exec > 1 ? (exec + 1) % num_exec : exec;
+      if (copy_exec == kill_victim) copy_exec = (copy_exec + 1) % num_exec;
+      TaskMetric ct;
+      ct.stage_id = sm.stage_id;
+      ct.partition = static_cast<int>(i);
+      ct.executor = copy_exec;
+      ct.duration_s = durations[i];
+      ct.speculative = true;
+      metrics_.add_task(ct);
+      // The copy races the straggler from the flagging threshold on.
+      extras.push_back({tasks[i].label, durations[i] + cfg_.task_overhead_s,
+                        copy_exec, tasks[i].deps, tasks[i].category});
+      metrics_.note_speculative_launch();
+      if (spec_win[i]) metrics_.note_speculative_win();
+    }
+  }
+  sched.insert(sched.end(), std::make_move_iterator(extras.begin()),
+               std::make_move_iterator(extras.end()));
+  result.makespan_s = timeline_.add_dataflow(name, sched);
+  sm.num_tasks = static_cast<int>(compute_tasks);
+  metrics_.add_stage(sm);
+
+  if (kill_victim >= 0) {
+    metrics_.note_executor_kill();
+    metrics_.note_tasks_rescheduled(rescheduled);
+    timeline_.add_marker(gs::strfmt("executor-%d-kill", kill_victim));
+    drop_executor_blocks(kill_victim, nullptr);
+  }
+
+  result.completion_order = std::move(order);
+  result.kill_victim = kill_victim;
+  result.tasks_run = static_cast<int>(compute_tasks);
+  return result;
 }
 
 void SparkContext::checkpoint_node(RddBase& node) {

@@ -29,23 +29,11 @@
 #include "sparklet/item_bytes.hpp"
 #include "sparklet/metrics.hpp"
 #include "sparklet/rdd_base.hpp"
+#include "sparklet/task_graph.hpp"
 #include "sparklet/virtual_timeline.hpp"
 #include "support/thread_pool.hpp"
 
 namespace sparklet {
-
-/// Fault-injection plan: every task attempt fails independently with
-/// `task_failure_prob`; sparklet retries a failed task up to `max_attempts`
-/// times (Spark's spark.task.maxFailures) before aborting the job.
-///
-/// DEPRECATED: use ChaosPlan directly — it covers the same three fields
-/// (task_failure_prob, max_task_attempts, seed) plus the rest of the fault
-/// taxonomy. This shim survives one release for out-of-tree callers.
-struct [[deprecated("use ChaosPlan / set_chaos_plan()")]] FaultPlan {
-  double task_failure_prob = 0.0;
-  int max_attempts = 4;
-  std::uint64_t seed = 1;
-};
 
 /// Full chaos taxonomy. Every decision is a pure function of (seed, event
 /// tag, rdd id, partition, epoch/attempt) via chaos_event_seed(), so runs
@@ -158,27 +146,6 @@ class SparkContext {
   /// Default partitioner: hash over config().effective_partitions().
   PartitionerPtr default_partitioner() const;
 
-  /// Install (or clear, with a default-constructed plan) fault injection.
-  /// Compatibility shim over set_chaos_plan().
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  [[deprecated("use set_chaos_plan()")]]
-  void set_fault_plan(const FaultPlan& plan);
-  /// The task-failure slice of the current chaos plan, in FaultPlan form.
-  [[deprecated("use chaos_plan()")]]
-  FaultPlan fault_plan() const {
-    FaultPlan p;
-    p.task_failure_prob = chaos_.task_failure_prob;
-    p.max_attempts = chaos_.max_task_attempts;
-    p.seed = chaos_.seed;
-    return p;
-  }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
   /// Install the full chaos plan (resets kill/corruption budgets).
   void set_chaos_plan(const ChaosPlan& plan);
   const ChaosPlan& chaos_plan() const { return chaos_; }
@@ -188,6 +155,20 @@ class SparkContext {
 
   /// Total injected task failures observed so far.
   int injected_failures() const { return injected_failures_.load(); }
+
+  /// Budgeted checkpoint-corruption decision, pure in (a, b, c) under the
+  /// current plan. Exposed so alternative drivers (task-graph checkpointing)
+  /// draw from the same corruption budget as checkpoint_node().
+  bool chaos_corrupt_block(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+    if (chaos_.checkpoint_corruption_prob <= 0.0 ||
+        block_corruptions_done_ >= chaos_.max_block_corruptions) {
+      return false;
+    }
+    gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosCorrupt, a, b, c));
+    if (!rng.bernoulli(chaos_.checkpoint_corruption_prob)) return false;
+    ++block_corruptions_done_;
+    return true;
+  }
 
   int next_rdd_id() { return next_rdd_id_++; }
 
@@ -226,6 +207,21 @@ class SparkContext {
   /// already-degraded cluster view.
   void run_recovery_tasks(RddBase& node, const std::vector<int>& parts,
                           const std::function<void(int)>& body);
+
+  /// Execute a dependency DAG of tasks on the executor pool with no phase
+  /// barriers: a task is submitted the moment its last dependency completes.
+  /// Chaos task failures are injected per attempt (retried up to
+  /// max_task_attempts); stragglers, one optional executor kill, and
+  /// speculation are applied to the virtual replay, which lands on the
+  /// timeline as one dataflow stage via add_dataflow(). Tasks flagged
+  /// `transfer` model data movement: they run `body` too (usually a no-op),
+  /// are charged their modeled `model_s` instead of wall time, and are exempt
+  /// from failure/straggler/speculation injection. Returns the deterministic
+  /// completion order plus the virtual schedule summary.
+  TaskGraphResult run_task_graph(const std::string& name,
+                                 const std::vector<DataflowTaskSpec>& tasks,
+                                 const std::function<void(int)>& body,
+                                 std::size_t shuffle_bytes = 0);
 
   /// Persist `node`'s partitions into the shared block store with per-block
   /// checksums, verifying each write (a corrupted block is treated as lost
@@ -296,6 +292,7 @@ class SparkContext {
   std::atomic<int> next_rdd_id_{0};
   int next_stage_id_ = 0;
   int next_job_id_ = 0;
+  int next_graph_id_ = 0;  ///< chaos-event namespace for run_task_graph
 
   StageMetric* current_stage_ = nullptr;  // valid only inside run_job
 

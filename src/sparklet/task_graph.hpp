@@ -1,0 +1,47 @@
+// task_graph.hpp — task-level dataflow execution specs for sparklet.
+//
+// A task graph is a DAG of labeled tasks, each pinned to a virtual executor;
+// SparkContext::run_task_graph() executes it on the thread pool with a ready
+// queue (no phase barriers: a task launches the moment its last dependency
+// completes) and replays the measured durations onto the virtual cluster via
+// VirtualTimeline::add_dataflow(). The GEP dataflow driver
+// (gepspark/dataflow.hpp) builds one graph per checkpoint segment.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sparklet/virtual_timeline.hpp"
+
+namespace sparklet {
+
+/// One task of a dependency graph handed to SparkContext::run_task_graph().
+/// Dependencies are indices into the same vector and must precede the task
+/// (deps[j] < own index), so any spec vector is a DAG by construction.
+struct DataflowTaskSpec {
+  std::string label;  ///< stage-style label ("ARecGE", "shuffleXfer", …)
+  std::vector<int> deps;
+  int executor = 0;
+  TimeCategory category = TimeCategory::kCompute;
+  /// Transfer tasks model data movement: virtual cost is `model_s` (not wall
+  /// time) and no chaos failures / stragglers / speculation apply to them.
+  bool transfer = false;
+  double model_s = 0.0;
+};
+
+/// What run_task_graph() observed and scheduled.
+struct TaskGraphResult {
+  /// Task indices in the order they completed on the pool. Deterministic in
+  /// content (every valid order is a topological order); the exact order
+  /// depends on thread interleaving and is NOT part of any result value —
+  /// tests use it to assert dependency-respecting execution.
+  std::vector<int> completion_order;
+  /// Executor each task's final (post-kill reassignment) attempt ran on.
+  std::vector<int> executors;
+  int kill_victim = -1;  ///< executor killed mid-graph, -1 if none
+  double makespan_s = 0.0;  ///< virtual makespan of the dataflow schedule
+  int tasks_run = 0;  ///< compute tasks executed (excludes transfers)
+};
+
+}  // namespace sparklet

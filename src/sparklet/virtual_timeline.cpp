@@ -15,6 +15,7 @@ const char* time_category_name(TimeCategory category) {
     case TimeCategory::kCollect: return "collect";
     case TimeCategory::kBroadcast: return "broadcast";
     case TimeCategory::kRecovery: return "recovery";
+    case TimeCategory::kStall: return "stall";
   }
   return "?";
 }
@@ -58,6 +59,84 @@ void VirtualTimeline::add_serial(const std::string& name, double seconds,
   GS_CHECK(seconds >= 0.0);
   records_.push_back({name, now_, now_ + seconds, 0, category});
   now_ += seconds;
+}
+
+double VirtualTimeline::add_dataflow(const std::string& name,
+                                     const std::vector<DataflowTask>& tasks) {
+  const std::size_t n = tasks.size();
+  if (n == 0) return 0.0;
+  // Dependency-aware list schedule: a task starts once all deps finished AND
+  // a slot on its pinned executor frees up. deps[i] < i guarantees a DAG.
+  std::vector<std::vector<double>> lanes(
+      static_cast<std::size_t>(num_executors_),
+      std::vector<double>(static_cast<std::size_t>(slots_), now_));
+  struct Placed {
+    int executor = 0;
+    int slot = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+  };
+  std::vector<Placed> placed(n);
+  double end_max = now_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& t = tasks[i];
+    GS_CHECK_MSG(t.executor >= 0 && t.executor < num_executors_,
+                 "dataflow '" + name + "': executor index out of range");
+    GS_CHECK_MSG(t.duration_s >= 0.0, "dataflow '" + name + "': negative cost");
+    double ready = now_;
+    for (int d : t.deps) {
+      GS_CHECK_MSG(d >= 0 && static_cast<std::size_t>(d) < i,
+                   "dataflow '" + name + "': dep must precede its consumer");
+      ready = std::max(ready, placed[static_cast<std::size_t>(d)].end_s);
+    }
+    auto& ex = lanes[static_cast<std::size_t>(t.executor)];
+    auto slot = std::min_element(ex.begin(), ex.end());
+    const double start = std::max(*slot, ready);
+    *slot = start + t.duration_s;
+    placed[i] = {t.executor, static_cast<int>(slot - ex.begin()), start, *slot};
+    end_max = std::max(end_max, *slot);
+  }
+  const double makespan = end_max - now_;
+
+  // Flatten into records that partition [now, now + makespan]: one
+  // normalized-area record per (label, category) group in first-appearance
+  // order, then a kStall "ready-wait" record for the lane-idle remainder.
+  const double total_lanes =
+      static_cast<double>(num_executors_) * static_cast<double>(slots_);
+  struct Group {
+    std::vector<std::size_t> members;
+    double busy = 0.0;
+  };
+  std::vector<std::pair<std::pair<std::string, TimeCategory>, Group>> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto key = std::make_pair(tasks[i].label, tasks[i].category);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == key; });
+    if (it == groups.end()) {
+      groups.push_back({key, {}});
+      it = groups.end() - 1;
+    }
+    it->second.members.push_back(i);
+    it->second.busy += tasks[i].duration_s;
+  }
+  double cursor = now_;
+  for (const auto& [key, group] : groups) {
+    const double dur = group.busy / total_lanes;
+    const int stage_index = static_cast<int>(records_.size());
+    records_.push_back({key.first, cursor, cursor + dur,
+                        static_cast<int>(group.members.size()), key.second});
+    for (std::size_t i : group.members) {
+      spans_.push_back({stage_index, placed[i].executor, placed[i].slot,
+                        placed[i].start_s, placed[i].end_s});
+    }
+    cursor += dur;
+  }
+  // Lane-idle time = lanes * makespan - total busy; pinned to end exactly at
+  // now + makespan so the partition-of-now invariant holds bit-exactly.
+  records_.push_back({"ready-wait", std::min(cursor, end_max), end_max, 0,
+                      TimeCategory::kStall});
+  now_ = end_max;
+  return makespan;
 }
 
 void VirtualTimeline::add_marker(const std::string& name) {

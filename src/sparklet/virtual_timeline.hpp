@@ -16,7 +16,7 @@
 namespace sparklet {
 
 /// What a slice of virtual time was spent on. Every timeline record carries
-/// exactly one category, so the records partition `now()` into these five
+/// exactly one category, so the records partition `now()` into these six
 /// buckets with no residue — the invariant the critical-path analyzer and
 /// JobProfile attribution rely on.
 enum class TimeCategory : std::uint8_t {
@@ -25,9 +25,10 @@ enum class TimeCategory : std::uint8_t {
   kCollect = 2,  ///< action results returned to the driver
   kBroadcast = 3,  ///< driver -> executors distribution
   kRecovery = 4,  ///< recompute stages, retry backoff, checkpoint I/O
+  kStall = 5,  ///< dataflow lanes idle waiting on dependencies (ready-wait)
 };
 
-inline constexpr int kNumTimeCategories = 5;
+inline constexpr int kNumTimeCategories = 6;
 
 const char* time_category_name(TimeCategory category);
 
@@ -64,6 +65,28 @@ class VirtualTimeline {
   /// Driver-side serial time (collect, broadcast, shuffle staging…).
   void add_serial(const std::string& name, double seconds,
                   TimeCategory category = TimeCategory::kCompute);
+
+  /// One node of a dependency-scheduled task graph (see add_dataflow).
+  struct DataflowTask {
+    std::string label;  ///< groups tasks into per-label stage records
+    double duration_s = 0.0;
+    int executor = 0;
+    std::vector<int> deps;  ///< indices into the same task vector, each < own
+    TimeCategory category = TimeCategory::kCompute;
+  };
+
+  /// Schedule a dependency DAG of tasks (no per-phase barriers): each task
+  /// starts at max(its deps' finish times, earliest-free slot on its pinned
+  /// executor). Unlike add_stage, tasks with different labels overlap freely.
+  ///
+  /// Because stage records must still partition `now()` exactly (the
+  /// attribution invariant), the overlapped schedule is flattened into
+  /// "normalized-area" records: for every (label, category) group one record
+  /// of duration busy/lanes, then one "ready-wait" kStall record covering the
+  /// lane-idle remainder, summing exactly to the makespan. TaskSpans keep the
+  /// true overlapping start/end times for trace export. Returns the makespan.
+  double add_dataflow(const std::string& name,
+                      const std::vector<DataflowTask>& tasks);
 
   /// Zero-duration recovery event (executor kill, stage resubmit, corrupted
   /// checkpoint…) stamped at the current virtual time; exported as a Chrome

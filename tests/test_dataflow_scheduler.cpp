@@ -1,0 +1,392 @@
+// Dataflow scheduler tests (ISSUE 4): the tile-level dependency DAG the
+// DataflowEngine builds for small r (exact edge sets against an independent
+// model of the A → B/C → D rules plus cross-iteration and lookahead-fence
+// edges), randomized stress over SparkContext::run_task_graph (200+ seeded
+// random DAGs must execute in topological order and terminate, with and
+// without chaos), and lookahead-depth sweeps (every depth bit-identical to
+// barrier, dataflow beating the barrier's virtual makespan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gepspark/dataflow.hpp"
+#include "gepspark/driver.hpp"
+#include "gepspark/solver.hpp"
+#include "sparklet/context.hpp"
+#include "sparklet/task_graph.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using sparklet::ChaosPlan;
+using sparklet::ClusterConfig;
+using sparklet::DataflowTaskSpec;
+using sparklet::SparkContext;
+using sparklet::TaskGraphResult;
+
+// ---------------------------------------------------------------------------
+// DAG construction: edge sets for small r
+// ---------------------------------------------------------------------------
+
+struct ModelTask {
+  std::string label;
+  std::set<int> deps;
+};
+
+// Independent reconstruction of the engine's per-segment DAG under the CB
+// strategy (no transfer tasks, so task indices line up 1:1): per iteration
+// A, then B row-major, then C, then D, then the fence; `self` edges come
+// from the latest writer of the tile, u/v/w from this iteration's A/B/C,
+// and the lookahead gate from fence[k - lookahead - 1].
+std::vector<ModelTask> model_graph(int r, bool strict, bool uses_w,
+                                   int lookahead) {
+  gepspark::GridRanges ranges(r, strict);
+  std::map<std::pair<int, int>, int> latest;  // absent → source (no edge)
+  std::vector<ModelTask> out;
+  std::vector<int> fences;
+
+  auto self_dep = [&](int i, int j, std::set<int>& deps) {
+    auto it = latest.find({i, j});
+    if (it != latest.end()) deps.insert(it->second);
+  };
+
+  for (int k = 0; k < r; ++k) {
+    std::vector<int> iter;
+    auto push = [&](const char* label, std::set<int> deps) {
+      const int gate = k - lookahead - 1;
+      if (gate >= 0) deps.insert(fences[static_cast<std::size_t>(gate)]);
+      out.push_back({label, std::move(deps)});
+      iter.push_back(static_cast<int>(out.size()) - 1);
+      return static_cast<int>(out.size()) - 1;
+    };
+
+    std::set<int> a_deps;
+    self_dep(k, k, a_deps);
+    const int a = push("ARecGE", std::move(a_deps));
+    latest[{k, k}] = a;
+
+    for (const auto& key : ranges.b_keys(k)) {
+      std::set<int> deps{a};  // u (and w, identical) = this iteration's A
+      self_dep(key.i, key.j, deps);
+      latest[{key.i, key.j}] = push("BCRecGE", std::move(deps));
+    }
+    for (const auto& key : ranges.c_keys(k)) {
+      std::set<int> deps{a};
+      self_dep(key.i, key.j, deps);
+      latest[{key.i, key.j}] = push("BCRecGE", std::move(deps));
+    }
+    for (const auto& key : ranges.d_keys(k)) {
+      std::set<int> deps;
+      self_dep(key.i, key.j, deps);
+      deps.insert(latest.at({key.i, k}));  // u: post-C pivot column
+      deps.insert(latest.at({k, key.j}));  // v: post-B pivot row
+      if (uses_w) deps.insert(a);
+      latest[{key.i, key.j}] = push("DRecGE", std::move(deps));
+    }
+
+    out.push_back({"fence", std::set<int>(iter.begin(), iter.end())});
+    fences.push_back(static_cast<int>(out.size()) - 1);
+  }
+  return out;
+}
+
+template <typename Spec>
+std::vector<std::vector<DataflowTaskSpec>> engine_graphs(int n, int block,
+                                                         int lookahead) {
+  SparkContext sc(ClusterConfig::local(2, 2));
+  gepspark::SolverOptions opt;
+  opt.block_size = static_cast<std::size_t>(block);
+  opt.strategy = gepspark::Strategy::kCollectBroadcast;
+  opt.schedule = gepspark::ScheduleMode::kDataflow;
+  opt.lookahead = lookahead;
+  opt.checkpoint_interval = 0;  // one graph covering every iteration
+  opt.validate();
+
+  auto input = gs::testutil::random_input<Spec>(static_cast<std::size_t>(n));
+  const auto layout = gs::BlockLayout::for_problem(
+      input.rows(), opt.block_size);
+  gs::TileGrid<typename Spec::value_type> grid(
+      input, opt.block_size, Spec::pad_diag(), Spec::pad_off());
+  auto kernels =
+      std::make_shared<const gs::GepKernels<Spec>>(opt.kernel);
+  auto part = std::make_shared<sparklet::HashPartitioner>(4);
+
+  std::vector<std::vector<DataflowTaskSpec>> log;
+  gepspark::DataflowEngine<Spec> engine(sc, opt, kernels, part);
+  engine.set_graph_log(&log);
+  (void)engine.solve(grid, layout);
+  return log;
+}
+
+template <typename Spec>
+void expect_graph_matches_model(int r, int block, int lookahead) {
+  const auto log = engine_graphs<Spec>(r * block, block, lookahead);
+  ASSERT_EQ(log.size(), 1u);  // interval 0 → single segment
+  const auto& specs = log[0];
+  const auto model = model_graph(r, Spec::kStrictSigma, Spec::kUsesW,
+                                 lookahead);
+  ASSERT_EQ(specs.size(), model.size());
+  for (std::size_t t = 0; t < model.size(); ++t) {
+    EXPECT_EQ(specs[t].label, model[t].label) << "task " << t;
+    const std::set<int> got(specs[t].deps.begin(), specs[t].deps.end());
+    EXPECT_EQ(got, model[t].deps)
+        << "task " << t << " (" << model[t].label << ")";
+    for (int d : specs[t].deps) {
+      EXPECT_LT(d, static_cast<int>(t));  // DAG-by-construction invariant
+    }
+  }
+}
+
+TEST(DataflowDag, FloydWarshallEdgesMatchModel) {
+  // Full Σ, no w input: D depends only on self + row + column tiles.
+  expect_graph_matches_model<gs::FloydWarshallSpec>(2, 16, 8);
+  expect_graph_matches_model<gs::FloydWarshallSpec>(3, 16, 8);
+}
+
+TEST(DataflowDag, GaussianEliminationEdgesMatchModel) {
+  // Strict Σ, kUsesW: B/C/D all take the pivot tile, trailing set shrinks.
+  expect_graph_matches_model<gs::GaussianEliminationSpec>(2, 16, 8);
+  expect_graph_matches_model<gs::GaussianEliminationSpec>(4, 16, 8);
+}
+
+TEST(DataflowDag, LookaheadZeroGatesEveryIterationOnPreviousFence) {
+  expect_graph_matches_model<gs::FloydWarshallSpec>(3, 16, 0);
+  expect_graph_matches_model<gs::GaussianEliminationSpec>(4, 16, 0);
+}
+
+TEST(DataflowDag, LookaheadOneGatesOnFenceTwoIterationsBack) {
+  expect_graph_matches_model<gs::FloydWarshallSpec>(4, 16, 1);
+}
+
+TEST(DataflowDag, CheckpointIntervalSplitsIntoSegments) {
+  SparkContext sc(ClusterConfig::local(2, 2));
+  gepspark::SolverOptions opt;
+  opt.block_size = 16;
+  opt.strategy = gepspark::Strategy::kCollectBroadcast;
+  opt.schedule = gepspark::ScheduleMode::kDataflow;
+  opt.checkpoint_interval = 2;
+  auto input = gs::testutil::random_input<gs::FloydWarshallSpec>(80);  // r = 5
+  const auto layout = gs::BlockLayout::for_problem(input.rows(), 16);
+  gs::TileGrid<double> grid(input, 16, gs::FloydWarshallSpec::pad_diag(),
+                            gs::FloydWarshallSpec::pad_off());
+  auto kernels = std::make_shared<const gs::GepKernels<gs::FloydWarshallSpec>>(
+      opt.kernel);
+  auto part = std::make_shared<sparklet::HashPartitioner>(4);
+  std::vector<std::vector<DataflowTaskSpec>> log;
+  gepspark::DataflowEngine<gs::FloydWarshallSpec> engine(sc, opt, kernels,
+                                                         part);
+  engine.set_graph_log(&log);
+  (void)engine.solve(grid, layout);
+  ASSERT_EQ(log.size(), 3u);  // iterations {0,1}, {2,3}, {4}
+  // Segment graphs restart fence indexing: no lookahead edge may reach
+  // across a checkpoint boundary.
+  for (const auto& specs : log) {
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+      for (int d : specs[t].deps) EXPECT_LT(d, static_cast<int>(t));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized stress: run_task_graph on 200+ seeded random DAGs
+// ---------------------------------------------------------------------------
+
+void expect_topological(const std::vector<DataflowTaskSpec>& tasks,
+                        const TaskGraphResult& result) {
+  ASSERT_EQ(result.completion_order.size(), tasks.size());
+  std::vector<int> position(tasks.size(), -1);
+  for (std::size_t p = 0; p < result.completion_order.size(); ++p) {
+    const int t = result.completion_order[p];
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, static_cast<int>(tasks.size()));
+    ASSERT_EQ(position[static_cast<std::size_t>(t)], -1)
+        << "task completed twice";
+    position[static_cast<std::size_t>(t)] = static_cast<int>(p);
+  }
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    for (int d : tasks[t].deps) {
+      EXPECT_LT(position[static_cast<std::size_t>(d)],
+                position[t])
+          << "task " << t << " ran before its dependency " << d;
+    }
+  }
+}
+
+std::vector<DataflowTaskSpec> random_dag(gs::Rng& rng, int num_exec) {
+  const int n = 1 + static_cast<int>(rng.uniform_u64(40));
+  std::vector<DataflowTaskSpec> tasks(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto& t = tasks[static_cast<std::size_t>(i)];
+    t.label = (i % 3 == 0) ? "stress-a" : "stress-b";
+    t.executor = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(num_exec)));
+    if (i > 0 && rng.bernoulli(0.15)) {
+      t.transfer = true;
+      t.model_s = 1e-4;
+      t.label = "stress-xfer";
+    }
+    // Sparse random predecessors; expected degree ~2 keeps wide and deep
+    // graphs both likely across seeds.
+    for (int j = 0; j < i; ++j) {
+      if (rng.bernoulli(2.0 / static_cast<double>(i))) t.deps.push_back(j);
+    }
+  }
+  return tasks;
+}
+
+TEST(DataflowStress, RandomDagsExecuteInTopologicalOrder) {
+  SparkContext sc(ClusterConfig::local(3, 2));
+  const int num_exec = sc.config().num_executors();
+  int total_tasks = 0;
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    gs::Rng rng(7000 + seed);
+    const auto tasks = random_dag(rng, num_exec);
+    std::vector<int> hits(tasks.size(), 0);
+    const TaskGraphResult result = sc.run_task_graph(
+        "stress", tasks, [&](int ti) { ++hits[static_cast<std::size_t>(ti)]; });
+    expect_topological(tasks, result);
+    int compute = 0;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      EXPECT_EQ(hits[i], 1) << "task body must run exactly once";
+      if (!tasks[i].transfer) ++compute;
+    }
+    EXPECT_EQ(result.tasks_run, compute);
+    EXPECT_GT(result.makespan_s, 0.0);
+    total_tasks += static_cast<int>(tasks.size());
+  }
+  EXPECT_GT(total_tasks, 1000);  // the sweep actually exercised real graphs
+}
+
+TEST(DataflowStress, RandomDagsSurviveChaosAndStayTopological) {
+  SparkContext sc(ClusterConfig::local(3, 2));
+  ChaosPlan plan;
+  plan.task_failure_prob = 0.2;
+  plan.max_task_attempts = 10;
+  plan.executor_kill_prob = 0.3;
+  plan.max_executor_kills = 100;  // let kills keep firing across graphs
+  plan.straggler_prob = 0.2;
+  plan.straggler_factor = 4.0;
+  plan.seed = 77;
+  sc.set_chaos_plan(plan);
+  sc.set_speculation({.enabled = true});
+
+  const int num_exec = sc.config().num_executors();
+  int kills = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    gs::Rng rng(9000 + seed);
+    const auto tasks = random_dag(rng, num_exec);
+    const TaskGraphResult result =
+        sc.run_task_graph("stress-chaos", tasks, [](int) {});
+    expect_topological(tasks, result);
+    if (result.kill_victim >= 0) {
+      ++kills;
+      // Reassigned tasks must avoid the dead executor.
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (!tasks[i].transfer) {
+          EXPECT_NE(result.executors[i], result.kill_victim);
+        }
+      }
+    }
+  }
+  EXPECT_GT(sc.metrics().recovery().task_failures, 0);
+  EXPECT_GT(kills, 0);
+}
+
+TEST(DataflowStress, DeterministicChaosIsScheduleInvariant) {
+  // The same (graph, chaos plan) pair must inject the same failures no
+  // matter how the pool interleaves: counters after two identical runs on
+  // fresh contexts agree exactly.
+  auto run_once = [] {
+    SparkContext sc(ClusterConfig::local(3, 2));
+    ChaosPlan plan;
+    plan.task_failure_prob = 0.3;
+    plan.max_task_attempts = 10;
+    plan.seed = 5;
+    sc.set_chaos_plan(plan);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+      gs::Rng rng(100 + seed);
+      const auto tasks = random_dag(rng, sc.config().num_executors());
+      (void)sc.run_task_graph("det", tasks, [](int) {});
+    }
+    return sc.metrics().recovery().task_failures;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(DataflowStress, InvalidGraphsAreRejected) {
+  SparkContext sc(ClusterConfig::local(2, 2));
+  std::vector<DataflowTaskSpec> fwd(2);
+  fwd[0].label = "t0";
+  fwd[0].deps = {1};  // forward reference breaks the DAG invariant
+  fwd[1].label = "t1";
+  EXPECT_THROW((void)sc.run_task_graph("bad", fwd, [](int) {}),
+               std::exception);
+}
+
+// ---------------------------------------------------------------------------
+// Lookahead sweep
+// ---------------------------------------------------------------------------
+
+TEST(Lookahead, EveryDepthBitIdenticalToBarrier) {
+  auto input = gs::testutil::random_input<gs::FloydWarshallSpec>(64, 11);
+  gepspark::SolverOptions opt;
+  opt.block_size = 16;
+  opt.checkpoint_interval = 0;
+
+  SparkContext ref_sc(ClusterConfig::local(3, 2));
+  auto expected = gepspark::spark_floyd_warshall(ref_sc, input, opt);
+
+  opt.schedule = gepspark::ScheduleMode::kDataflow;
+  for (int depth : {0, 1, 2, 3, 4}) {
+    SparkContext sc(ClusterConfig::local(3, 2));
+    opt.lookahead = depth;
+    auto got = gepspark::spark_floyd_warshall(sc, input, opt);
+    EXPECT_TRUE(got == expected) << "lookahead " << depth;
+  }
+}
+
+TEST(Lookahead, DataflowBeatsBarrierMakespan) {
+  auto input = gs::testutil::random_input<gs::GaussianEliminationSpec>(96, 3);
+  auto virt = [&](gepspark::ScheduleMode mode, int depth) {
+    SparkContext sc(ClusterConfig::local(4, 2));
+    gepspark::SolverOptions opt;
+    opt.block_size = 16;
+    opt.schedule = mode;
+    opt.lookahead = depth;
+    opt.checkpoint_interval = 0;
+    auto res = gepspark::spark_gaussian_elimination(sc, input, opt,
+                                                    gepspark::with_profile);
+    return res.profile.virtual_seconds;
+  };
+  const double barrier = virt(gepspark::ScheduleMode::kBarrier, 0);
+  const double dataflow = virt(gepspark::ScheduleMode::kDataflow, 1);
+  // Releasing tasks as dependencies resolve removes the per-phase stage
+  // barriers entirely; the win is far larger than scheduling noise.
+  EXPECT_LT(dataflow, barrier);
+}
+
+TEST(Lookahead, DeeperPipelineDoesNotRegressMakespan) {
+  auto input = gs::testutil::random_input<gs::FloydWarshallSpec>(96, 5);
+  auto virt = [&](int depth) {
+    SparkContext sc(ClusterConfig::local(4, 4));
+    gepspark::SolverOptions opt;
+    opt.block_size = 16;
+    opt.schedule = gepspark::ScheduleMode::kDataflow;
+    opt.lookahead = depth;
+    opt.checkpoint_interval = 0;
+    auto res = gepspark::spark_floyd_warshall(sc, input, opt,
+                                              gepspark::with_profile);
+    return res.profile.virtual_seconds;
+  };
+  // Wall-clock task durations vary run to run, so compare with generous
+  // slack: a depth-3 pipeline must not be materially slower than depth 0.
+  EXPECT_LT(virt(3), virt(0) * 1.5);
+}
+
+}  // namespace

@@ -373,12 +373,15 @@ TEST(ChaosRecovery, TraceExportsRecoveryMarkers) {
 
 template <typename Spec>
 void expect_bit_identical_under_chaos(gepspark::Strategy strategy,
+                                      gepspark::ScheduleMode schedule,
                                       std::uint64_t seed,
                                       RecoveryCounters& total) {
   auto input = gs::testutil::random_input<Spec>(40, 100 + seed);
   gepspark::SolverOptions opt;
   opt.block_size = 16;
   opt.strategy = strategy;
+  opt.schedule = schedule;
+  opt.lookahead = static_cast<int>(seed % 3);  // sweep depths 0..2 for free
 
   SparkContext clean(ClusterConfig::local(3, 2));
   auto expected = gepspark::solve_gep<Spec>(clean, input, opt);
@@ -389,25 +392,30 @@ void expect_bit_identical_under_chaos(gepspark::Strategy strategy,
   auto got = gepspark::solve_gep<Spec>(chaotic, input, opt);
 
   EXPECT_TRUE(got == expected)
-      << gepspark::strategy_name(strategy) << " seed " << seed;
+      << gepspark::strategy_name(strategy) << " "
+      << gepspark::schedule_name(schedule) << " seed " << seed;
   accumulate(total, chaotic.metrics().recovery());
 }
 
 TEST(ChaosProperty, GepSolvesBitIdenticalUnderHeavyChaos) {
-  // The acceptance bar: FW / GE / TC on both strategies, several seeds, with
-  // ≥20% task failure plus kills, fetch failures, stragglers, speculation,
-  // and a corrupted checkpoint block — results must equal the fault-free run
-  // bit for bit, and the recovery machinery must demonstrably fire.
+  // The acceptance bar: FW / GE / TC on both strategies and both schedulers,
+  // several seeds, with ≥20% task failure plus kills, fetch failures,
+  // stragglers, speculation, and a corrupted checkpoint block — results must
+  // equal the fault-free run bit for bit, and the recovery machinery must
+  // demonstrably fire.
   RecoveryCounters total;
-  for (auto strategy : {gepspark::Strategy::kInMemory,
-                        gepspark::Strategy::kCollectBroadcast}) {
-    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
-      expect_bit_identical_under_chaos<gs::FloydWarshallSpec>(strategy, seed,
-                                                              total);
-      expect_bit_identical_under_chaos<gs::GaussianEliminationSpec>(
-          strategy, seed, total);
-      expect_bit_identical_under_chaos<gs::TransitiveClosureSpec>(strategy,
-                                                                  seed, total);
+  for (auto schedule : {gepspark::ScheduleMode::kBarrier,
+                        gepspark::ScheduleMode::kDataflow}) {
+    for (auto strategy : {gepspark::Strategy::kInMemory,
+                          gepspark::Strategy::kCollectBroadcast}) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        expect_bit_identical_under_chaos<gs::FloydWarshallSpec>(
+            strategy, schedule, seed, total);
+        expect_bit_identical_under_chaos<gs::GaussianEliminationSpec>(
+            strategy, schedule, seed, total);
+        expect_bit_identical_under_chaos<gs::TransitiveClosureSpec>(
+            strategy, schedule, seed, total);
+      }
     }
   }
   EXPECT_GT(total.task_failures, 0);

@@ -1,9 +1,8 @@
 // Observability subsystem: span tracer semantics (nesting, thread safety,
 // ring buffer, disable switch), MetricsScope deltas vs hand-diffed counters,
 // JobProfile attribution (the ISSUE 3 acceptance bound: >=95% of virtual
-// time in the five buckets for FW and GE under both strategies), exporter
-// schema goldens, the critical-path analyzer, and the deprecated FaultPlan
-// shim's mapping onto ChaosPlan.
+// time in the six buckets for FW and GE under both strategies), exporter
+// schema goldens, and the critical-path analyzer.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -427,7 +426,7 @@ TEST(Exporters, JsonSchemaGolden) {
   obs::write_profile_json(p, out);
   const std::string json = out.str();
   // Stable schema contract: version tag plus every top-level key, in order.
-  EXPECT_NE(json.find("\"schema\": \"gepspark.profile/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"gepspark.profile/v2\""), std::string::npos);
   const char* keys[] = {"\"schema\"",    "\"job\"",        "\"bytes\"",
                         "\"breakdown\"", "\"phases\"",     "\"iterations\"",
                         "\"recovery\"",  "\"spans\""};
@@ -439,8 +438,9 @@ TEST(Exporters, JsonSchemaGolden) {
   }
   for (const char* key :
        {"\"config\"", "\"wall_seconds\"", "\"virtual_seconds\"", "\"grid_r\"",
-        "\"shuffle\"", "\"compute_s\"", "\"attributed_fraction\"", "\"a_s\"",
-        "\"task_failures\"", "\"recorded\"", "\"dropped\""}) {
+        "\"shuffle\"", "\"compute_s\"", "\"stall_s\"",
+        "\"attributed_fraction\"", "\"a_s\"", "\"task_failures\"",
+        "\"recorded\"", "\"dropped\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // One iteration object per outer iteration.
@@ -462,10 +462,10 @@ TEST(Exporters, CsvSchemaGolden) {
   const std::string header(obs::kProfileCsvHeader);
   EXPECT_EQ(header,
             "row,k,wall_s,virtual_s,compute_s,shuffle_s,collect_s,"
-            "broadcast_s,recovery_s,shuffle_bytes,collect_bytes,"
+            "broadcast_s,recovery_s,stall_s,shuffle_bytes,collect_bytes,"
             "broadcast_bytes,stages,tasks");
   ASSERT_EQ(csv.rfind(header + "\n", 0), 0u);  // starts with the header
-  // One "job" row and grid_r "iteration" rows, all with 14 columns.
+  // One "job" row and grid_r "iteration" rows, all with 15 columns.
   std::istringstream lines(csv);
   std::string line;
   std::getline(lines, line);  // header
@@ -474,7 +474,7 @@ TEST(Exporters, CsvSchemaGolden) {
     if (line.empty()) continue;
     ++rows;
     if (line.rfind("iteration,", 0) == 0) ++iteration_rows;
-    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 13) << line;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 14) << line;
   }
   EXPECT_EQ(rows, 1 + p.iterations.size());
   EXPECT_EQ(iteration_rows, p.iterations.size());
@@ -526,38 +526,5 @@ TEST(CriticalPath, WindowedReportCoversProfileWindow) {
     EXPECT_GE(cp.top[i - 1].seconds, cp.top[i].seconds);
   }
 }
-
-// ---------------------------------------------------------------------------
-// Deprecated FaultPlan shim
-// ---------------------------------------------------------------------------
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(DeprecatedFaultPlan, ShimMapsOntoChaosPlan) {
-  SparkContext sc(ClusterConfig::local(2, 2));
-  sparklet::FaultPlan plan;
-  plan.task_failure_prob = 0.3;
-  plan.max_attempts = 9;
-  plan.seed = 21;
-  sc.set_fault_plan(plan);
-
-  const sparklet::FaultPlan back = sc.fault_plan();
-  EXPECT_DOUBLE_EQ(back.task_failure_prob, 0.3);
-  EXPECT_EQ(back.max_attempts, 9);
-  EXPECT_EQ(back.seed, 21u);
-
-  // The shim feeds the same machinery as set_chaos_plan: failures inject
-  // deterministically and recover.
-  std::vector<int> xs(100, 1);
-  auto sum = sparklet::parallelize(sc, xs, 8).reduce(
-      [](int a, const int& b) { return a + b; });
-  EXPECT_EQ(sum, 100);
-  EXPECT_GT(sc.injected_failures(), 0);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace
