@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "align/align_driver.hpp"
+#include "analysis/hb_detector.hpp"
 #include "baseline/reference.hpp"
 #include "gepspark/solver.hpp"
 #include "gepspark/workload.hpp"
@@ -42,6 +43,8 @@ struct CliArgs {
   std::string chaos;             // fault-injection spec (key=value CSV)
   int checkpoint_interval = 1;   // 0 = never checkpoint
   bool speculate = false;        // enable speculative execution
+  bool validate_schedule = false;  // static schedule soundness checker
+  bool race_check = false;         // happens-before race detector
 };
 
 void usage() {
@@ -70,6 +73,11 @@ void usage() {
       "  --checkpoint-interval <k>           checkpoint DP every k iterations\n"
       "                                      (default 1; 0 = never)\n"
       "  --speculate                         enable speculative execution\n"
+      "  --validate-schedule                 statically verify every emitted\n"
+      "                                      task graph against the symbolic\n"
+      "                                      GEP footprints (dataflow only)\n"
+      "  --race-check                        happens-before race detection\n"
+      "                                      over the executed task graphs\n"
       "  --chaos <spec>                      seeded fault injection, e.g.\n"
       "      tasks=0.2,kills=2,killp=0.5,fetch=0.2,straggle=0.2,factor=8,\n"
       "      corrupt=1.0,attempts=6,stageattempts=4,seed=42\n"
@@ -122,6 +130,10 @@ bool parse(int argc, char** argv, CliArgs& a) {
       a.checkpoint_interval = std::stoi(argv[++i]);
     } else if (flag == "--speculate") {
       a.speculate = true;
+    } else if (flag == "--validate-schedule") {
+      a.validate_schedule = true;
+    } else if (flag == "--race-check") {
+      a.race_check = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -215,6 +227,7 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
                           " (want barrier|dataflow)");
   }
   opt.lookahead = a.lookahead;
+  opt.validate_schedule = a.validate_schedule;
 
   obs::JobProfile prof;
   double diff = 0.0;
@@ -255,6 +268,10 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
       gs::human_bytes(double(prof.collect_bytes)).c_str(),
       gs::human_bytes(double(prof.broadcast_bytes)).c_str(),
       a.verify ? gs::strfmt(" | verified (max err %.2e)", diff).c_str() : "");
+  if (a.validate_schedule) {
+    std::printf("  schedule check: SOUND (every emitted task graph matches "
+                "the symbolic GEP footprints)\n");
+  }
   prof.print(std::cout);
   const obs::CriticalPathReport cp = obs::analyze_critical_path(
       sc.timeline(), prof.record_begin, prof.record_end);
@@ -314,6 +331,12 @@ int main(int argc, char** argv) {
         sparklet::ClusterConfig::local(args.nodes, args.cores));
     if (!args.chaos.empty()) sc.set_chaos_plan(parse_chaos(args.chaos));
     if (args.speculate) sc.set_speculation({.enabled = true});
+    analysis::HbDetector detector;
+    if (args.race_check) {
+      GS_THROW_IF(!analysis::kAnalysisEnabled, gs::ConfigError,
+                  "--race-check needs a build with GS_ANALYSIS=ON");
+      sc.set_race_detector(&detector);
+    }
     // Spans are only collected when asked for: profiling uses them for
     // per-iteration attribution, tracing renders them alongside the schedule.
     if (!args.trace.empty() || !args.profile_json.empty() ||
@@ -335,6 +358,10 @@ int main(int argc, char** argv) {
     }
     if (!args.chaos.empty() || args.speculate) {
       print_recovery(sc.metrics().recovery());
+    }
+    if (args.race_check) {
+      std::printf("  %s\n", detector.summary().c_str());
+      if (detector.races_found() > 0 && rc == 0) rc = 1;
     }
     if (!args.trace.empty()) {
       obs::write_chrome_trace(sc.timeline(), &sc.tracer(), args.trace);

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # verify.sh — the full pre-merge gate: configure + build + test the Release
-# tree, then repeat under AddressSanitizer/UBSanitizer. The chaos and
-# pipeline-differential suites run in both, so every recovery path and both
-# schedulers are exercised with memory checking on.
+# tree, run the schedule-soundness / race-detection analysis stage, then
+# repeat the suite under AddressSanitizer/UBSanitizer and ThreadSanitizer.
+# The chaos and pipeline-differential suites run in every tree, so all
+# recovery paths and both schedulers are exercised with memory AND thread
+# checking on.
 #
-#   scripts/verify.sh             # both builds
-#   scripts/verify.sh --fast      # Release build only
+#   scripts/verify.sh             # all three builds + analysis stage
+#   scripts/verify.sh --fast      # Release build + analysis stage only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,17 +18,22 @@ FAST=0
 run_tree() {
   local dir="$1"
   shift
+  local timeout=300
+  if [[ "${1:-}" == --timeout=* ]]; then
+    timeout="${1#--timeout=}"
+    shift
+  fi
   echo "== configure ${dir} ($*) =="
   cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@"
   echo "== build ${dir} =="
   cmake --build "${dir}" -j "${JOBS}"
   echo "== test ${dir} =="
-  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" --timeout 300)
+  (cd "${dir}" && ctest --output-on-failure -j "${JOBS}" --timeout "${timeout}")
   # The dataflow-vs-barrier differential suite is the bit-identity acceptance
   # gate for the scheduler — run it by name so a filtered/cached ctest setup
   # can never silently skip it.
   echo "== differential suite ${dir} =="
-  (cd "${dir}" && ctest --output-on-failure --timeout 300 \
+  (cd "${dir}" && ctest --output-on-failure --timeout "${timeout}" \
     -R 'PipelineDifferential|DataflowDag|DataflowStress|Lookahead')
 }
 
@@ -64,8 +71,38 @@ profile_smoke cb barrier
 profile_smoke im dataflow
 profile_smoke cb dataflow
 
+# Analysis stage: the static schedule checker must hold on every shipped
+# schedule shape (benchmark × strategy × lookahead), and the happens-before
+# race detector must come back clean on real dataflow runs — including a
+# chaos run that exercises the recovery paths' driver-era accesses.
+echo "== analysis: schedule soundness sweep =="
+for bench in fw ge tc; do
+  for strategy in im cb; do
+    for lookahead in 0 1 2 3; do
+      ./build/examples/gepspark_cli --benchmark "${bench}" --n 128 --block 32 \
+        --strategy "${strategy}" --schedule dataflow \
+        --lookahead "${lookahead}" --kernel iter --no-verify \
+        --validate-schedule >/dev/null
+    done
+  done
+done
+echo "analysis: 24 schedules sound (fw/ge/tc x im/cb x lookahead 0-3)"
+
+echo "== analysis: race detection on dataflow runs =="
+./build/examples/gepspark_cli --benchmark fw --n 256 --block 64 \
+  --strategy im --schedule dataflow --lookahead 3 --kernel iter \
+  --race-check >/dev/null
+./build/examples/gepspark_cli --benchmark ge --n 256 --block 64 \
+  --strategy cb --schedule dataflow --lookahead 2 --kernel iter \
+  --checkpoint-interval 2 --race-check \
+  --chaos tasks=0.05,killp=0.3,kills=1,fetch=0.2,seed=7 --no-verify >/dev/null
+echo "analysis: race detector clean (incl. chaos recovery paths)"
+
 if [[ "${FAST}" == "0" ]]; then
-  run_tree build-asan -DGS_SANITIZE=ON
+  run_tree build-asan -DGS_SANITIZE=address
+  # TSan slows tests 10-20x; the tree also applies tsan.supp (libgomp is
+  # un-annotated) through the GS_TEST_ENVIRONMENT property.
+  run_tree build-tsan --timeout=900 -DGS_SANITIZE=thread
 fi
 
 echo "verify: all suites passed"

@@ -1,0 +1,179 @@
+// hb_detector.hpp — dynamic happens-before race detector for sparklet task
+// graphs.
+//
+// Every task executed by SparkContext::run_task_graph carries a vector
+// clock: at task start the clock joins the clocks of all dependencies and
+// ticks the task's own component, so clock inclusion is exactly reachability
+// in the executed DAG. Instrumented accesses (tile-version buffers in the
+// dataflow engine, named blocks in BlockStore) record per-location access
+// sets; an access that conflicts (at least one write) with a previous access
+// whose task is NOT in the current clock is an unordered conflict — a data
+// race the schedule's edge set failed to prevent — and is reported with both
+// tasks' labels, tile identity, and the enclosing span context from
+// src/obs/.
+//
+// Driver-side accesses (lineage recomputation, checkpoint snapshots, carried
+// -block registration) run between graphs on the single driver thread; the
+// detector models them with an *era* counter that advances at every graph
+// boundary: accesses in different eras are ordered by construction (the
+// driver joins the graph before touching anything), so recovery paths are
+// checked against in-graph accesses without false positives.
+//
+// Cost gating: instrumentation sites are `if (detector != nullptr)` branches
+// wired through SparkContext::race_detector(), which is null unless a
+// detector was explicitly attached — and constant-null when the build sets
+// GS_ANALYSIS=OFF (GS_ANALYSIS_DISABLED), making every site dead code.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sparklet/block_store.hpp"
+#include "sparklet/task_graph.hpp"
+
+namespace obs {
+class Tracer;
+}
+
+namespace analysis {
+
+/// True when the instrumentation hooks are compiled in (GS_ANALYSIS=ON, the
+/// default). When false, SparkContext::race_detector() is constant null and
+/// every instrumentation branch folds away.
+#ifdef GS_ANALYSIS_DISABLED
+inline constexpr bool kAnalysisEnabled = false;
+#else
+inline constexpr bool kAnalysisEnabled = true;
+#endif
+
+/// Component-wise max vector clock over the tasks of one graph.
+class VectorClock {
+ public:
+  void reset(std::size_t size) { c_.assign(size, 0); }
+  void join(const VectorClock& other) {
+    for (std::size_t i = 0; i < c_.size() && i < other.c_.size(); ++i) {
+      if (other.c_[i] > c_[i]) c_[i] = other.c_[i];
+    }
+  }
+  void tick(std::size_t i) {
+    if (i < c_.size()) ++c_[i];
+  }
+  std::uint32_t at(std::size_t i) const { return i < c_.size() ? c_[i] : 0; }
+
+ private:
+  std::vector<std::uint32_t> c_;
+};
+
+/// One recorded conflicting-access pair.
+struct RaceReport {
+  std::uint64_t location = 0;
+  std::string what;  ///< location family ("tile", "block", ...)
+  std::string prev;  ///< formatted context of the earlier access
+  std::string cur;   ///< formatted context of the later access
+  bool prev_write = false;
+  bool cur_write = false;
+
+  std::string to_string() const;
+};
+
+class HbDetector {
+ public:
+  HbDetector() = default;
+  HbDetector(const HbDetector&) = delete;
+  HbDetector& operator=(const HbDetector&) = delete;
+
+  /// Optional: racy accesses are reported with the innermost open
+  /// driver-side span (stage context) from this tracer.
+  void set_tracer(const obs::Tracer* tracer) { tracer_ = tracer; }
+
+  // ---- graph lifecycle (called by SparkContext::run_task_graph) ----------
+  void begin_graph(const std::string& name,
+                   const std::vector<sparklet::DataflowTaskSpec>& tasks);
+  void end_graph();
+
+  /// Establish the calling thread as executing graph task `ti`: joins the
+  /// dependencies' clocks, ticks the own component, and routes subsequent
+  /// instrumented accesses on this thread to the task. Restores the previous
+  /// attribution (normally "driver") on destruction.
+  class TaskScope {
+   public:
+    TaskScope(HbDetector* det, int ti);
+    ~TaskScope();
+    TaskScope(const TaskScope&) = delete;
+    TaskScope& operator=(const TaskScope&) = delete;
+
+   private:
+    HbDetector* det_ = nullptr;
+    int prev_task_ = -1;
+    HbDetector* prev_det_ = nullptr;
+  };
+
+  // ---- instrumentation sites --------------------------------------------
+  void on_read(std::uint64_t location, const char* what);
+  void on_write(std::uint64_t location, const char* what);
+
+  /// Location ids for the two instrumented families. Tile versions are
+  /// namespaced by the owning engine's rdd id; named blocks by (rdd,
+  /// partition). The top bit separates the families.
+  static std::uint64_t tile_location(int rdd_namespace, int node_id) {
+    return (std::uint64_t{1} << 63) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                rdd_namespace))
+            << 32) |
+           static_cast<std::uint32_t>(node_id);
+  }
+  static std::uint64_t block_location(const sparklet::BlockId& id) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.rdd))
+            << 32) |
+           static_cast<std::uint32_t>(id.partition);
+  }
+
+  // ---- results -----------------------------------------------------------
+  std::size_t races_found() const;
+  /// Recorded reports (capped at kMaxReports; races_found keeps counting).
+  std::vector<RaceReport> races() const;
+  std::size_t accesses_checked() const;
+  std::size_t tasks_tracked() const;
+  /// One-line verdict plus every recorded race.
+  std::string summary() const;
+  void clear();
+
+  static constexpr std::size_t kMaxReports = 64;
+
+ private:
+  struct Access {
+    std::uint64_t era = 0;
+    int task = -1;  ///< graph task index, -1 = driver
+    std::string desc;
+  };
+  struct Location {
+    std::string what;
+    Access last_write;
+    bool written = false;
+    std::vector<Access> reads;  ///< since the last write
+  };
+
+  bool happens_before(const Access& prev, int cur_task) const;
+  Access current_access(bool write, const char* what, std::uint64_t location);
+  std::string describe_current(int task) const;
+  void record_race(const Location& loc, const Access& prev, bool prev_write,
+                   const Access& cur, bool cur_write, std::uint64_t location);
+
+  const obs::Tracer* tracer_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::uint64_t era_ = 0;  ///< even: driver window, odd: a graph is running
+  std::string graph_name_;
+  std::vector<sparklet::DataflowTaskSpec> graph_tasks_;  // labels + metadata
+  std::vector<VectorClock> clocks_;
+  std::unordered_map<std::uint64_t, Location> locations_;
+  std::vector<RaceReport> reports_;
+  std::size_t races_ = 0;
+  std::size_t accesses_ = 0;
+  std::size_t tasks_tracked_ = 0;
+};
+
+}  // namespace analysis

@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/hb_detector.hpp"
 #include "gepspark/copy_plan.hpp"
 #include "gepspark/options.hpp"
 #include "grid/tile_grid.hpp"
@@ -240,14 +241,18 @@ class DataflowEngine {
         deps.push_back(mit->second);
         return;
       }
-      const std::size_t bytes =
-          nodes_[static_cast<std::size_t>(node_id)].bytes;
+      const Node& src = nodes_[static_cast<std::size_t>(node_id)];
+      const std::size_t bytes = src.bytes;
       sparklet::DataflowTaskSpec t;
       t.label = "shuffleXfer";
       t.deps = {producer};
       t.executor = consumer_exec;
       t.category = sparklet::TimeCategory::kShuffle;
       t.transfer = true;
+      t.gep_kind = 'X';
+      t.gep_k = src.k;
+      t.tile_i = src.key.i;
+      t.tile_j = src.key.j;
       t.model_s = sc_.config().network.latency_s +
                   static_cast<double>(bytes) /
                       sc_.config().network.bandwidth_Bps;
@@ -265,6 +270,10 @@ class DataflowEngine {
       sparklet::DataflowTaskSpec t;
       t.label = task_label(nd.kind);
       t.executor = nd.executor;
+      t.gep_kind = kind_name(nd.kind)[0];
+      t.gep_k = k;
+      t.tile_i = nd.key.i;
+      t.tile_j = nd.key.j;
       route(nd.self, nd.executor, t.deps);
       route(nd.u, nd.executor, t.deps);
       route(nd.v, nd.executor, t.deps);
@@ -351,6 +360,8 @@ class DataflowEngine {
       f.label = "fence";
       f.deps = iter_tasks;
       f.transfer = true;  // exempt from chaos/metrics, zero modeled cost
+      f.gep_kind = 'F';
+      f.gep_k = k;
       specs.push_back(std::move(f));
       spec_node.push_back(-1);
       fences.push_back(static_cast<int>(specs.size() - 1));
@@ -363,7 +374,19 @@ class DataflowEngine {
       Node& nd = nodes_[static_cast<std::size_t>(node_id)];
       obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
                                   kind_name(nd.kind), nd.k);
+      if (analysis::HbDetector* det = sc_.race_detector()) {
+        for (int dep : {nd.self, nd.u, nd.v, nd.w}) {
+          if (dep >= 0) {
+            det->on_read(analysis::HbDetector::tile_location(store_rdd_, dep),
+                         "tile");
+          }
+        }
+      }
       nd.out = run_kernel(nd);
+      if (analysis::HbDetector* det = sc_.race_detector()) {
+        det->on_write(analysis::HbDetector::tile_location(store_rdd_, node_id),
+                      "tile");
+      }
     };
     if (graph_log_ != nullptr) graph_log_->push_back(specs);
     sc_.run_task_graph(gs::strfmt("dataflow(k=%d..%d)", s, e - 1), specs, body,
@@ -452,7 +475,21 @@ class DataflowEngine {
     for (int dep : {nd.self, nd.u, nd.v, nd.w}) {
       if (dep >= 0) count += recompute_now(dep);
     }
+    if (analysis::HbDetector* det = sc_.race_detector()) {
+      // Driver-side lineage recomputation between graphs: reads the dep
+      // versions and rewrites this one, all in the current driver era.
+      for (int dep : {nd.self, nd.u, nd.v, nd.w}) {
+        if (dep >= 0) {
+          det->on_read(analysis::HbDetector::tile_location(store_rdd_, dep),
+                       "tile");
+        }
+      }
+    }
     nd.out = run_kernel(nd);
+    if (analysis::HbDetector* det = sc_.race_detector()) {
+      det->on_write(analysis::HbDetector::tile_location(store_rdd_, id),
+                    "tile");
+    }
     return count + 1;
   }
 

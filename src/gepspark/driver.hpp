@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/schedule_check.hpp"
 #include "gepspark/copy_plan.hpp"
 #include "gepspark/dataflow.hpp"
 #include "gepspark/options.hpp"
@@ -112,9 +113,24 @@ class GepDriver {
         // released per-task the moment dependencies are ready instead of
         // through the per-phase barrier loop below.
         DataflowEngine<Spec> engine(sc_, opt_, kernels_, part_);
+        std::vector<std::vector<sparklet::DataflowTaskSpec>> graph_log;
+        if (opt_.validate_schedule) engine.set_graph_log(&graph_log);
         result.matrix =
             gs::TileGrid<T>::from_entries(layout, engine.solve(grid, layout))
                 .gather();
+        if (opt_.validate_schedule) {
+          analysis::ScheduleCheckOptions copt;
+          copt.lookahead = opt_.lookahead;
+          copt.in_memory = opt_.strategy == Strategy::kInMemory;
+          copt.checkpoint_interval = opt_.checkpoint_interval;
+          const analysis::ScheduleCheckReport check_report =
+              analysis::check_dataflow_schedule(
+                  analysis::make_schedule_workload<Spec>(
+                      static_cast<int>(layout.r)),
+                  copt, graph_log);
+          GS_THROW_IF(!check_report.ok(), analysis::ScheduleViolationError,
+                      check_report.summary());
+        }
       } else {
         DpRdd dp =
             sparklet::parallelize_pairs(sc_, grid.entries(), part_, "DP");

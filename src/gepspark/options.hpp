@@ -71,6 +71,12 @@ struct SolverOptions {
   /// versions live. Ignored under kBarrier.
   int lookahead = 1;
 
+  /// Run the static schedule soundness checker (analysis::ScheduleChecker)
+  /// on every task graph the dataflow engine emits, after the solve; an
+  /// unsound schedule throws analysis::ScheduleViolationError. Requires
+  /// kDataflow (the barrier loop emits no task graphs to check).
+  bool validate_schedule = false;
+
   void validate() const {
     GS_THROW_IF(block_size == 0, gs::ConfigError, "block_size must be > 0");
     GS_THROW_IF(num_partitions < 0, gs::ConfigError,
@@ -78,6 +84,9 @@ struct SolverOptions {
     GS_THROW_IF(checkpoint_interval < 0, gs::ConfigError,
                 "checkpoint_interval must be >= 0");
     GS_THROW_IF(lookahead < 0, gs::ConfigError, "lookahead must be >= 0");
+    GS_THROW_IF(validate_schedule && schedule != ScheduleMode::kDataflow,
+                gs::ConfigError,
+                "validate_schedule requires the dataflow schedule");
     kernel.validate();
   }
 

@@ -119,16 +119,22 @@ double BlockStore::put_block(int node, const BlockId& id, std::size_t bytes,
   if (evict_hook_) {
     for (const auto& b : evicted) evict_hook_(b);
   }
+  if (access_observer_) {
+    for (const auto& b : evicted) access_observer_(b, /*is_write=*/true);
+    access_observer_(id, /*is_write=*/true);
+  }
   return spec_.seek_s + static_cast<double>(bytes) / spec_.write_Bps;
 }
 
 bool BlockStore::has_block(const BlockId& id) const {
+  if (access_observer_) access_observer_(id, /*is_write=*/false);
   std::lock_guard<std::mutex> lock(mu_);
   return std::any_of(blocks_.begin(), blocks_.end(),
                      [&](const BlockInfo& b) { return b.id == id; });
 }
 
 bool BlockStore::verify_block(const BlockId& id, std::uint64_t expect) const {
+  if (access_observer_) access_observer_(id, /*is_write=*/false);
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& b : blocks_) {
     if (b.id == id) return b.checksum == expect;
@@ -137,6 +143,7 @@ bool BlockStore::verify_block(const BlockId& id, std::uint64_t expect) const {
 }
 
 void BlockStore::corrupt_block(const BlockId& id) {
+  if (access_observer_) access_observer_(id, /*is_write=*/true);
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& b : blocks_) {
     if (b.id == id) {
@@ -147,6 +154,7 @@ void BlockStore::corrupt_block(const BlockId& id) {
 }
 
 void BlockStore::remove_block(const BlockId& id) {
+  if (access_observer_) access_observer_(id, /*is_write=*/true);
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
     if (it->id == id) {
@@ -159,15 +167,22 @@ void BlockStore::remove_block(const BlockId& id) {
 }
 
 void BlockStore::remove_rdd_blocks(int rdd) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = blocks_.begin(); it != blocks_.end();) {
-    if (it->id.rdd == rdd) {
-      auto& u = used_[static_cast<std::size_t>(it->node)];
-      u = (it->bytes >= u) ? 0 : u - it->bytes;
-      it = blocks_.erase(it);
-    } else {
-      ++it;
+  std::vector<BlockId> removed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = blocks_.begin(); it != blocks_.end();) {
+      if (it->id.rdd == rdd) {
+        auto& u = used_[static_cast<std::size_t>(it->node)];
+        u = (it->bytes >= u) ? 0 : u - it->bytes;
+        if (access_observer_) removed.push_back(it->id);
+        it = blocks_.erase(it);
+      } else {
+        ++it;
+      }
     }
+  }
+  if (access_observer_) {
+    for (const auto& id : removed) access_observer_(id, /*is_write=*/true);
   }
 }
 

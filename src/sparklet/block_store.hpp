@@ -46,6 +46,10 @@ class BlockStore {
   using EvictionFilter = std::function<bool(const BlockId&)>;
   /// Invoked (outside the store lock) for every block evicted by pressure.
   using EvictHook = std::function<void(const BlockId&)>;
+  /// Analysis hook (outside the store lock): every named-block access, with
+  /// is_write = true for put/remove/corrupt. Wired by
+  /// SparkContext::set_race_detector(); unset costs one branch per access.
+  using AccessObserver = std::function<void(const BlockId&, bool is_write)>;
 
   BlockStore(DiskSpec spec, int num_nodes);
 
@@ -88,6 +92,7 @@ class BlockStore {
 
   void set_evict_hook(EvictHook hook) { evict_hook_ = std::move(hook); }
   void set_eviction_filter(EvictionFilter f) { evict_filter_ = std::move(f); }
+  void set_access_observer(AccessObserver o) { access_observer_ = std::move(o); }
 
   const DiskSpec& spec() const { return spec_; }
   int num_nodes() const { return static_cast<int>(used_.size()); }
@@ -113,6 +118,7 @@ class BlockStore {
   int evictions_ = 0;
   EvictHook evict_hook_;
   EvictionFilter evict_filter_;
+  AccessObserver access_observer_;  ///< set before use, never concurrently
 };
 
 }  // namespace sparklet

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/hb_detector.hpp"
 #include "support/format.hpp"
 #include "support/stopwatch.hpp"
 
@@ -96,6 +97,29 @@ void SparkContext::set_chaos_plan(const ChaosPlan& plan) {
   chaos_ = plan;
   executor_kills_done_ = 0;
   block_corruptions_done_ = 0;
+}
+
+void SparkContext::set_race_detector(analysis::HbDetector* detector) {
+#ifdef GS_ANALYSIS_DISABLED
+  (void)detector;
+#else
+  race_detector_ = detector;
+  for (BlockStore* store : {&executor_store_, &shared_fs_}) {
+    if (detector != nullptr) {
+      store->set_access_observer([detector](const BlockId& id, bool is_write) {
+        const std::uint64_t loc = analysis::HbDetector::block_location(id);
+        if (is_write) {
+          detector->on_write(loc, "block");
+        } else {
+          detector->on_read(loc, "block");
+        }
+      });
+    } else {
+      store->set_access_observer(nullptr);
+    }
+  }
+  if (detector != nullptr) detector->set_tracer(&tracer_);
+#endif
 }
 
 void SparkContext::register_rdd(RddBase* node) {
@@ -605,11 +629,18 @@ TaskGraphResult SparkContext::run_task_graph(
   std::vector<int> order;
   order.reserve(n);
 
+  analysis::HbDetector* const detector = race_detector();
+  if (detector != nullptr) detector->begin_graph(name, tasks);
+
   std::function<void(int)> run_one = [&](int ti) {
     const std::size_t i = static_cast<std::size_t>(ti);
     try {
       obs::ScopedSpan task_span(&tracer_, obs::SpanLevel::kTask,
                                 tasks[i].label, ti);
+      // Vector-clock attribution: joins dependency clocks (their writes were
+      // published by the completion lock below before this task launched)
+      // and routes instrumented accesses on this thread to task ti.
+      analysis::HbDetector::TaskScope hb_scope(detector, ti);
       gs::Stopwatch sw;
       for (int attempt = 1;; ++attempt) {
         if (!tasks[i].transfer && chaos_.task_failure_prob > 0.0) {
@@ -678,6 +709,7 @@ TaskGraphResult SparkContext::run_task_graph(
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return done == submitted; });
   }
+  if (detector != nullptr) detector->end_graph();
   if (error) std::rethrow_exception(error);
   sm.wall_s = graph_sw.seconds();
 

@@ -33,6 +33,10 @@
 #include "sparklet/virtual_timeline.hpp"
 #include "support/thread_pool.hpp"
 
+namespace analysis {
+class HbDetector;
+}
+
 namespace sparklet {
 
 /// Full chaos taxonomy. Every decision is a pure function of (seed, event
@@ -152,6 +156,21 @@ class SparkContext {
 
   void set_speculation(const SpeculationPolicy& policy) { spec_ = policy; }
   const SpeculationPolicy& speculation() const { return spec_; }
+
+  /// Attach a happens-before race detector (analysis::HbDetector): task
+  /// graphs thread vector clocks through execution and the block stores
+  /// report access sets. Pass nullptr to detach. No-op when the build set
+  /// GS_ANALYSIS=OFF.
+  void set_race_detector(analysis::HbDetector* detector);
+  /// The attached detector, or nullptr. Constant nullptr under
+  /// GS_ANALYSIS=OFF so every instrumentation branch folds away.
+  analysis::HbDetector* race_detector() const {
+#ifdef GS_ANALYSIS_DISABLED
+    return nullptr;
+#else
+    return race_detector_;
+#endif
+  }
 
   /// Total injected task failures observed so far.
   int injected_failures() const { return injected_failures_.load(); }
@@ -297,6 +316,7 @@ class SparkContext {
   StageMetric* current_stage_ = nullptr;  // valid only inside run_job
 
   obs::Tracer tracer_;
+  analysis::HbDetector* race_detector_ = nullptr;
   ChaosPlan chaos_;
   SpeculationPolicy spec_;
   std::atomic<int> injected_failures_{0};

@@ -28,6 +28,18 @@ struct DataflowTaskSpec {
   /// time) and no chaos failures / stragglers / speculation apply to them.
   bool transfer = false;
   double model_s = 0.0;
+
+  // --- analysis metadata (optional; src/analysis/) -------------------------
+  // Structured identity of the work a task performs, so the static schedule
+  // checker (analysis::ScheduleChecker) and the happens-before race detector
+  // can name tasks without parsing labels. Zero/-1 means "not a tile task"
+  // (e.g. the random stress graphs in tests); the scheduler itself never
+  // reads these fields.
+  char gep_kind = 0;  ///< 'A'/'B'/'C'/'D' kernel, 'F' fence, 'X' transfer
+  int gep_k = -1;     ///< GEP iteration: producing k ('A'..'D'/'F'), or the
+                      ///< transferred version's producing k ('X')
+  int tile_i = -1;    ///< grid row of the written (or transferred) tile
+  int tile_j = -1;    ///< grid column of the written (or transferred) tile
 };
 
 /// What run_task_graph() observed and scheduled.
