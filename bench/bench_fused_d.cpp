@@ -1,0 +1,188 @@
+// bench_fused_d — per-tile D dispatch vs the fused batched backend.
+//
+// The D phase of step k is (r-k-1)² (or (r-1)² for full-Σ workloads)
+// independent tile MMAs that all consume the same pivot row/column panels.
+// The fused backend packs those panels once per executor, walks the
+// executor's trailing tiles with a register-blocked batched semiring GEMM,
+// and charges the per-task scheduling overhead once per (executor, k)
+// instead of once per tile. This bench runs real solves at the acceptance
+// point (n=4096, b=256, dataflow scheduler) and reports D-phase items/s per
+// k-step for per-tile vs fused dispatch — fused results are verified
+// bit-identical before their numbers are reported. For GE it also shows the
+// opt-in one-level Strassen split of the trailing update (tolerance-equal,
+// not bit-equal — kept out of the speedup claim).
+//
+// Dispatch is priced at real-Spark task latency (0.1 s/task), the
+// companion figure to the paper-cluster presets' stage_overhead_s = 0.15 —
+// batching is a task-count optimization, so the dispatch price is the
+// variable under test. The in-process testing value (4 ms) makes D
+// kernel-bound at b=256 and the same runs measure 1.1x/1.0x (FW/GE); see
+// EXPERIMENTS.md for that caveat.
+//
+// Writes results/ablation_fused_d.csv and BENCH_fused_d.json.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gepspark/copy_plan.hpp"
+#include "gepspark/solver.hpp"
+#include "gepspark/workload.hpp"
+#include "grid/matrix.hpp"
+
+namespace {
+
+using gepspark::ScheduleMode;
+using gepspark::SolverOptions;
+using gepspark::Strategy;
+using sparklet::ClusterConfig;
+using sparklet::SparkContext;
+
+constexpr std::size_t kN = 4096;
+constexpr std::size_t kBlock = 256;  // r = 16
+// Real-Spark per-task dispatch latency at the paper's scale (launch +
+// serialization + result fetch); the presets' stage_overhead_s = 0.15 is
+// the calibrated per-stage companion.
+constexpr double kSparkTaskOverheadS = 0.1;
+
+// Σ_k |D(k)| for the workload's Σ shape.
+std::size_t total_d_items(int r, bool strict_sigma) {
+  const gepspark::GridRanges ranges(r, strict_sigma);
+  std::size_t items = 0;
+  for (int k = 0; k < r; ++k) items += ranges.d_keys(k).size();
+  return items;
+}
+
+struct Point {
+  std::string workload;
+  std::string mode;
+  double d_s = 0.0;
+  std::size_t d_items = 0;
+  double items_per_s = 0.0;          // whole D phase
+  double kstep_items_per_s = 0.0;    // mean per outer iteration
+  double speedup = 0.0;              // items/s vs per-tile dispatch
+  std::string equal;                 // "bit-identical" / "|Δ|<=…" / "WRONG"
+};
+
+struct ModeSpec {
+  const char* name;
+  bool fused;
+  bool strassen;
+};
+
+template <typename Solve, typename M>
+void sweep(const char* workload, bool strict_sigma, const Solve& solve,
+           const M& input, const std::vector<ModeSpec>& modes,
+           std::vector<Point>& points) {
+  const int r = static_cast<int>(kN / kBlock);
+  const std::size_t items = total_d_items(r, strict_sigma);
+  gs::TextTable table(
+      {"D dispatch", "d phase (s)", "items/s", "items/s per k-step",
+       "speedup", "answer"});
+  M expected;
+  double base_rate = 0.0;
+  for (const ModeSpec& m : modes) {
+    auto cluster = ClusterConfig::local(4, 2);
+    cluster.task_overhead_s = kSparkTaskOverheadS;
+    SparkContext sc(cluster);
+    SolverOptions opt;
+    opt.block_size = kBlock;
+    opt.strategy = Strategy::kInMemory;
+    opt.schedule = ScheduleMode::kDataflow;
+    opt.lookahead = 1;
+    opt.fused_d = m.fused;
+    opt.kernel.strassen_d = m.strassen;
+    auto res = solve(sc, input, opt);
+
+    Point p;
+    p.workload = workload;
+    p.mode = m.name;
+    p.d_s = res.profile.phases.d_s;
+    p.d_items = items;
+    p.items_per_s = p.d_s > 0.0 ? static_cast<double>(items) / p.d_s : 0.0;
+    p.kstep_items_per_s =
+        p.d_s > 0.0 ? (static_cast<double>(items) / r) / (p.d_s / r) : 0.0;
+    if (base_rate == 0.0) {
+      base_rate = p.items_per_s;
+      expected = res.matrix;
+    }
+    p.speedup = base_rate > 0.0 ? p.items_per_s / base_rate : 0.0;
+    if (m.strassen) {
+      const double diff = gs::max_abs_diff(res.matrix, expected);
+      p.equal = diff <= 1e-6 ? gs::strfmt("|diff|=%.1e", diff) : "WRONG";
+    } else {
+      p.equal = res.matrix == expected ? "bit-identical" : "WRONG";
+    }
+    points.push_back(p);
+    table.add_row({m.name, gs::strfmt("%.3f", p.d_s),
+                   gs::strfmt("%.0f", p.items_per_s),
+                   gs::strfmt("%.0f", p.kstep_items_per_s),
+                   gs::strfmt("%.2fx", p.speedup), p.equal});
+  }
+  benchutil::print_table(
+      gs::strfmt("Fused D ablation — %s n=%zu b=%zu IM dataflow, local(4,2)",
+                 workload, kN, kBlock),
+      table, "ablation_fused_d.csv");
+}
+
+void write_summary_json(const std::vector<Point>& points) {
+  std::ofstream out("BENCH_fused_d.json");
+  out << "{\n  \"bench\": \"fused_d\",\n"
+      << "  \"config\": {\"n\": " << kN << ", \"block\": " << kBlock
+      << ", \"strategy\": \"IM\", \"schedule\": \"dataflow\", "
+         "\"cluster\": \"local(4,2)\", \"task_overhead_s\": "
+      << gs::strfmt("%.3f", kSparkTaskOverheadS) << "},\n"
+      << "  \"metric\": \"D-phase items/s per k-step\",\n"
+      << "  \"baseline\": \"per-tile\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    out << gs::strfmt(
+        "    {\"workload\": \"%s\", \"mode\": \"%s\", \"d_phase_s\": %.6f, "
+        "\"d_items\": %zu, \"items_per_s\": %.1f, "
+        "\"items_per_s_per_kstep\": %.1f, \"speedup_vs_per_tile\": %.3f, "
+        "\"answer\": \"%s\"}%s\n",
+        p.workload.c_str(), p.mode.c_str(), p.d_s, p.d_items, p.items_per_s,
+        p.kstep_items_per_s, p.speedup, p.equal.c_str(),
+        i + 1 < points.size() ? "," : "");
+  }
+  out << "  ]\n}\n";
+  std::printf("summary written to BENCH_fused_d.json\n");
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Point> points;
+
+  const auto fw_input = gs::workload::random_digraph({.n = kN, .seed = 1});
+  const auto ge_input = gs::workload::diagonally_dominant_matrix(kN, 1);
+
+  auto fw = [](SparkContext& sc, const gs::Matrix<double>& in,
+               const SolverOptions& opt) {
+    return gepspark::spark_floyd_warshall(sc, in, opt, gepspark::with_profile);
+  };
+  auto ge = [](SparkContext& sc, const gs::Matrix<double>& in,
+               const SolverOptions& opt) {
+    return gepspark::spark_gaussian_elimination(sc, in, opt,
+                                                gepspark::with_profile);
+  };
+
+  const std::vector<ModeSpec> plain{{"per-tile", false, false},
+                                    {"fused batch", true, false}};
+  const std::vector<ModeSpec> field{{"per-tile", false, false},
+                                    {"fused batch", true, false},
+                                    {"fused + strassen", true, true}};
+
+  sweep("FW", /*strict_sigma=*/false, fw, fw_input, plain, points);
+  sweep("GE", /*strict_sigma=*/true, ge, ge_input, field, points);
+
+  write_summary_json(points);
+
+  std::printf(
+      "\ntakeaway: the D phase is many tiny tile tasks sharing two panels; "
+      "packing the panels once per executor and batching the trailing tiles "
+      "into one task per (executor, k) amortizes the per-task dispatch "
+      "overhead across the whole batch — same bits, fewer tasks.\n");
+  return 0;
+}

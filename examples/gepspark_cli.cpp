@@ -45,6 +45,8 @@ struct CliArgs {
   bool speculate = false;        // enable speculative execution
   bool validate_schedule = false;  // static schedule soundness checker
   bool race_check = false;         // happens-before race detector
+  bool fused_d = false;            // batched fused D phase (panel packing)
+  bool strassen_d = false;         // one-level Strassen split (fields only)
 };
 
 void usage() {
@@ -78,6 +80,13 @@ void usage() {
       "                                      GEP footprints (dataflow only)\n"
       "  --race-check                        happens-before race detection\n"
       "                                      over the executed task graphs\n"
+      "  --fused-d                           batched fused D phase: pack the\n"
+      "                                      step-k pivot panels once and\n"
+      "                                      batch each executor's trailing\n"
+      "                                      tiles into one task\n"
+      "  --strassen-d                        one-level Strassen split of the\n"
+      "                                      fused trailing update (GE only;\n"
+      "                                      tolerance- not bit-identical)\n"
       "  --chaos <spec>                      seeded fault injection, e.g.\n"
       "      tasks=0.2,kills=2,killp=0.5,fetch=0.2,straggle=0.2,factor=8,\n"
       "      corrupt=1.0,attempts=6,stageattempts=4,seed=42\n"
@@ -134,6 +143,10 @@ bool parse(int argc, char** argv, CliArgs& a) {
       a.validate_schedule = true;
     } else if (flag == "--race-check") {
       a.race_check = true;
+    } else if (flag == "--fused-d") {
+      a.fused_d = true;
+    } else if (flag == "--strassen-d") {
+      a.strassen_d = true;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -228,6 +241,8 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
   }
   opt.lookahead = a.lookahead;
   opt.validate_schedule = a.validate_schedule;
+  opt.fused_d = a.fused_d;
+  opt.kernel.strassen_d = a.strassen_d;
 
   obs::JobProfile prof;
   double diff = 0.0;

@@ -35,6 +35,18 @@ run_tree() {
   echo "== differential suite ${dir} =="
   (cd "${dir}" && ctest --output-on-failure --timeout "${timeout}" \
     -R 'PipelineDifferential|DataflowDag|DataflowStress|Lookahead')
+  # Fused-D gate: the batched backend must stay bit-identical across the
+  # kernel, scheduler, and chaos matrices. TSan pays 10-20x per test, so that
+  # tree runs one real fused solve instead of the whole differential sweep.
+  if [[ "${dir}" == *tsan* ]]; then
+    echo "== fused-D solve (TSan) ${dir} =="
+    "./${dir}/examples/gepspark_cli" --benchmark fw --n 256 --block 64 \
+      --strategy im --schedule dataflow --fused-d --kernel iter >/dev/null
+  else
+    echo "== fused-D differential suite ${dir} =="
+    (cd "${dir}" && ctest --output-on-failure --timeout "${timeout}" \
+      -R 'FusedD|FusedDifferential|ScheduleCheckFused')
+  fi
 }
 
 run_tree build
@@ -87,6 +99,19 @@ for bench in fw ge tc; do
   done
 done
 echo "analysis: 24 schedules sound (fw/ge/tc x im/cb x lookahead 0-3)"
+
+# Batched variants of the same sweep: fused D emits one task per
+# (executor, k) whose footprint the checker derives as the union of the
+# batch members.
+echo "== analysis: fused batched schedule soundness =="
+for bench in fw ge; do
+  for strategy in im cb; do
+    ./build/examples/gepspark_cli --benchmark "${bench}" --n 128 --block 32 \
+      --strategy "${strategy}" --schedule dataflow --lookahead 1 \
+      --fused-d --kernel iter --no-verify --validate-schedule >/dev/null
+  done
+done
+echo "analysis: 4 batched schedules sound (fw/ge x im/cb, fused D)"
 
 echo "== analysis: race detection on dataflow runs =="
 ./build/examples/gepspark_cli --benchmark fw --n 256 --block 64 \

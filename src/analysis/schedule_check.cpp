@@ -95,6 +95,11 @@ std::string task_desc(const std::vector<sparklet::DataflowTaskSpec>& tasks,
   if (s.gep_kind == 'F') {
     return gs::strfmt("#%d %s(k=%d)", t, s.label.c_str(), s.gep_k);
   }
+  if (!s.batch.empty()) {
+    return gs::strfmt("#%d %s[%s batch of %zu tile(s)@k=%d]", t,
+                      s.label.c_str(), kind_str(s.gep_kind), s.batch.size(),
+                      s.gep_k);
+  }
   return gs::strfmt("#%d %s[%s(%d,%d)@k=%d]", t, s.label.c_str(),
                     kind_str(s.gep_kind), s.tile_i, s.tile_j, s.gep_k);
 }
@@ -147,6 +152,53 @@ void ScheduleChecker::check_segment(
       case 'B':
       case 'C':
       case 'D': {
+        if (!t.batch.empty()) {
+          // Batched task (fused D): its footprint is the union of the member
+          // tiles' read/write sets. Each member registers as the writer of
+          // its own (tile, k), so per-tile read coverage, write ordering,
+          // duplicate detection, and the unexpected-task sweep all still see
+          // tile granularity.
+          if (t.gep_kind != 'D') {
+            add(ViolationKind::kBadMetadata, static_cast<int>(i), -1,
+                gs::strfmt("%s batches tiles but only D tasks may batch",
+                           task_desc(tasks, static_cast<int>(i)).c_str()));
+            break;
+          }
+          if (t.gep_k < seg_begin || t.gep_k >= seg_end) {
+            add(ViolationKind::kBadMetadata, static_cast<int>(i), -1,
+                gs::strfmt("%s carries iteration %d outside the segment "
+                           "[%d,%d)",
+                           task_desc(tasks, static_cast<int>(i)).c_str(),
+                           t.gep_k, seg_begin, seg_end));
+            break;
+          }
+          bool any_registered = false;
+          for (const auto& [bi, bj] : t.batch) {
+            if (bi < 0 || bi >= w_.r || bj < 0 || bj >= w_.r) {
+              add(ViolationKind::kBadMetadata, static_cast<int>(i), -1,
+                  gs::strfmt("%s member tile (%d,%d) lies outside the grid "
+                             "%dx%d",
+                             task_desc(tasks, static_cast<int>(i)).c_str(), bi,
+                             bj, w_.r, w_.r));
+              continue;
+            }
+            const auto id = std::make_pair(std::make_pair(bi, bj), t.gep_k);
+            auto [wit, inserted] = writer_of.emplace(id, static_cast<int>(i));
+            if (!inserted) {
+              add(ViolationKind::kDuplicateWrite, static_cast<int>(i),
+                  wit->second,
+                  gs::strfmt("%s and %s both write tile (%d,%d) at "
+                             "iteration %d",
+                             task_desc(tasks, static_cast<int>(i)).c_str(),
+                             task_desc(tasks, wit->second).c_str(), bi, bj,
+                             t.gep_k));
+              continue;
+            }
+            any_registered = true;
+          }
+          if (any_registered) compute_tasks.push_back(static_cast<int>(i));
+          break;
+        }
         if (t.gep_k < seg_begin || t.gep_k >= seg_end || t.tile_i < 0 ||
             t.tile_i >= w_.r || t.tile_j < 0 || t.tile_j >= w_.r) {
           add(ViolationKind::kBadMetadata, static_cast<int>(i), -1,
@@ -343,9 +395,23 @@ void ScheduleChecker::check_segment(
     }
   }
 
-  // Any writer not demanded by the schedule is an unexpected task.
+  // Any writer not demanded by the schedule is an unexpected task. Batched
+  // tasks are vetted member by member, so a batch that smuggles in a tile
+  // outside its iteration's D range is named precisely.
   for (int ti : compute_tasks) {
     const auto& t = tasks[static_cast<std::size_t>(ti)];
+    if (!t.batch.empty()) {
+      for (const auto& [bi, bj] : t.batch) {
+        if (bi < 0 || bi >= w_.r || bj < 0 || bj >= w_.r) continue;  // reported
+        if (!ranges.is_d(gs::TileKey{bi, bj}, t.gep_k)) {
+          add(ViolationKind::kUnexpectedTask, ti, -1,
+              gs::strfmt("%s member tile (%d,%d) is not part of the D range "
+                         "of iteration %d",
+                         task_desc(tasks, ti).c_str(), bi, bj, t.gep_k));
+        }
+      }
+      continue;
+    }
     const gs::TileKey key{t.tile_i, t.tile_j};
     const bool demanded =
         (t.gep_kind == 'A' && ranges.is_a(key, t.gep_k)) ||

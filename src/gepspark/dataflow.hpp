@@ -35,6 +35,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -197,8 +198,54 @@ class DataflowEngine {
     auto in = [&](int id) -> TileR {
       return id >= 0 ? nodes_[static_cast<std::size_t>(id)].out : nullptr;
     };
+    if (nd.kind == gs::KernelKind::D && opt_.fused_d &&
+        kernels_->config().strassen_d) {
+      // Strassen reassociates sums, so per-tile recomputation must go
+      // through the same split the batch used. strassen_field_tile is
+      // tile-local, so a single-member batch reproduces the member's bits
+      // regardless of the original batch composition.
+      std::vector<gs::FusedDMember<T>> members{
+          {in(nd.self), in(nd.u), in(nd.v)}};
+      return gs::apply_fused_d_batch<Spec>(*kernels_, members, in(nd.w))[0];
+    }
     return gs::apply_tile_kernel<Spec>(*kernels_, nd.kind, in(nd.self),
                                        in(nd.u), in(nd.v), in(nd.w));
+  }
+
+  /// Execute one fused D batch task: per-member race-detector footprints are
+  /// unchanged from the per-tile path; only the kernel invocation coalesces.
+  void run_d_batch(const std::vector<int>& group, int k) {
+    obs::ScopedSpan kernel_span(&sc_.tracer(), obs::SpanLevel::kKernel,
+                                "Dbatch", k);
+    analysis::HbDetector* det = sc_.race_detector();
+    std::vector<gs::FusedDMember<T>> members;
+    members.reserve(group.size());
+    TileR w;
+    for (int id : group) {
+      const Node& nd = nodes_[static_cast<std::size_t>(id)];
+      if (det != nullptr) {
+        for (int dep : {nd.self, nd.u, nd.v, nd.w}) {
+          if (dep >= 0) {
+            det->on_read(analysis::HbDetector::tile_location(store_rdd_, dep),
+                         "tile");
+          }
+        }
+      }
+      auto in = [&](int nid) -> TileR {
+        return nid >= 0 ? nodes_[static_cast<std::size_t>(nid)].out : nullptr;
+      };
+      members.push_back({in(nd.self), in(nd.u), in(nd.v)});
+      if (nd.w >= 0) w = in(nd.w);
+    }
+    auto outs = gs::apply_fused_d_batch<Spec>(*kernels_, members, w);
+    for (std::size_t m = 0; m < group.size(); ++m) {
+      Node& nd = nodes_[static_cast<std::size_t>(group[m])];
+      nd.out = std::move(outs[m]);
+      if (det != nullptr) {
+        det->on_write(analysis::HbDetector::tile_location(store_rdd_, group[m]),
+                      "tile");
+      }
+    }
   }
 
   sparklet::BlockId block_id(gs::TileKey key) const {
@@ -213,6 +260,7 @@ class DataflowEngine {
 
     std::vector<sparklet::DataflowTaskSpec> specs;
     std::vector<int> spec_node;  // node id per graph task, -1 for xfer/fence
+    std::unordered_map<int, std::vector<int>> batch_of_task;  // fused D members
     std::unordered_map<int, int> task_of_node;
     std::unordered_map<int, int> xfer_memo;  // producer*num_exec+dest → task
     std::vector<int> fences;  // fence task per iteration offset (k - s)
@@ -291,6 +339,39 @@ class DataflowEngine {
       iter_tasks.push_back(idx);
     };
 
+    // Fused D: ONE task per (executor, k) covering every trailing tile that
+    // executor owns at step k. The spec keeps per-tile identity in `batch`
+    // (union footprint for ScheduleChecker), deps are the deduped union of
+    // the members' routed edges, and downstream consumers of any member
+    // route to the batch task. Nodes/lineage stay per-tile.
+    auto add_batch_task = [&](const std::vector<int>& group, int exec, int k) {
+      sparklet::DataflowTaskSpec t;
+      t.label = "DBatchGE";
+      t.executor = exec;
+      t.gep_kind = 'D';
+      t.gep_k = k;
+      for (int node_id : group) {
+        const Node& nd = nodes_[static_cast<std::size_t>(node_id)];
+        t.batch.push_back({nd.key.i, nd.key.j});
+        route(nd.self, exec, t.deps);
+        route(nd.u, exec, t.deps);
+        route(nd.v, exec, t.deps);
+        if (nd.w >= 0 && nd.w != nd.u && nd.w != nd.v) {
+          route(nd.w, exec, t.deps);
+        }
+      }
+      std::sort(t.deps.begin(), t.deps.end());
+      t.deps.erase(std::unique(t.deps.begin(), t.deps.end()), t.deps.end());
+      const int gate = k - opt_.lookahead - 1;
+      if (gate >= s) t.deps.push_back(fences[static_cast<std::size_t>(gate - s)]);
+      specs.push_back(std::move(t));
+      spec_node.push_back(-1);
+      const int idx = static_cast<int>(specs.size() - 1);
+      batch_of_task.emplace(idx, group);
+      for (int node_id : group) task_of_node.emplace(node_id, idx);
+      iter_tasks.push_back(idx);
+    };
+
     for (int k = s; k < e; ++k) {
       iter_tasks.clear();
       const gs::TileKey pivot{k, k};
@@ -339,6 +420,7 @@ class DataflowEngine {
         bc_bytes[static_cast<std::size_t>(k - s)] +=
             nodes_[static_cast<std::size_t>(id)].bytes;
       }
+      std::map<int, std::vector<int>> d_groups;  // executor → member nodes
       for (const auto& key : ranges.d_keys(k)) {
         Node d;
         d.kind = gs::KernelKind::D;
@@ -351,9 +433,14 @@ class DataflowEngine {
         d.bytes = nodes_[static_cast<std::size_t>(d.self)].bytes;
         d.executor = executor_of_key(key);
         const int id = add_node(std::move(d));
-        add_task(id, k);
+        if (opt_.fused_d) {
+          d_groups[nodes_[static_cast<std::size_t>(id)].executor].push_back(id);
+        } else {
+          add_task(id, k);
+        }
         latest_[key] = id;
       }
+      for (const auto& [exec, group] : d_groups) add_batch_task(group, exec, k);
 
       // Zero-cost fence summarizing iteration k, the lookahead anchor.
       sparklet::DataflowTaskSpec f;
@@ -370,7 +457,12 @@ class DataflowEngine {
     obs::Tracer* tr = &sc_.tracer();
     auto body = [&](int ti) {
       const int node_id = spec_node[static_cast<std::size_t>(ti)];
-      if (node_id < 0) return;  // transfer or fence
+      if (node_id < 0) {
+        auto bit = batch_of_task.find(ti);
+        if (bit == batch_of_task.end()) return;  // transfer or fence
+        run_d_batch(bit->second, specs[static_cast<std::size_t>(ti)].gep_k);
+        return;
+      }
       Node& nd = nodes_[static_cast<std::size_t>(node_id)];
       obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
                                   kind_name(nd.kind), nd.k);

@@ -294,38 +294,77 @@ class GepDriver {
             },
             "diagForD"));
       }
+      auto d_grouped = sparklet::union_all<Tagged>(d_inputs, "unionD")
+                           .group_by_key(part_, "combineByKeyD");
+      // Fused: each partition's trailing tiles run as ONE batched call per
+      // task against a shared panel pack, instead of one kernel dispatch per
+      // tile. Same copy-on-write outputs, bit-identical values.
+      auto d_batched = [kern, k, tr](
+                           int /*p*/,
+                           const std::vector<std::pair<
+                               gs::TileKey, std::vector<TaggedTile<T>>>>& items) {
+        std::vector<DPPair> out;
+        out.reserve(items.size());
+        if (items.empty()) return out;
+        std::vector<gs::FusedDMember<T>> members;
+        members.reserve(items.size());
+        TileR shared_diag;
+        for (const auto& [key, group] : items) {
+          TileR self, diag, row, col;
+          for (const auto& tt : group) {
+            switch (tt.role) {
+              case Role::kSelf: self = tt.tile; break;
+              case Role::kDiag: diag = tt.tile; break;
+              case Role::kRowPiv: row = tt.tile; break;
+              case Role::kColPiv: col = tt.tile; break;
+            }
+          }
+          GS_CHECK_MSG(self && row && col && (!kUsesW || diag),
+                       "D group missing an input tile");
+          members.push_back({self, col, row});
+          if (kUsesW) shared_diag = diag;  // one pivot copy serves the batch
+        }
+        obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel, "Dbatch", k);
+        auto updated = gs::apply_fused_d_batch<Spec>(
+            *kern, members, kUsesW ? shared_diag : nullptr);
+        for (std::size_t m = 0; m < items.size(); ++m) {
+          out.push_back({items[m].first, std::move(updated[m])});
+        }
+        return out;
+      };
+      auto d_per_tile = [kern, k, tr](
+                            int /*p*/,
+                            const std::vector<std::pair<
+                                gs::TileKey, std::vector<TaggedTile<T>>>>& items) {
+        std::vector<DPPair> out;
+        out.reserve(items.size());
+        for (const auto& [key, group] : items) {
+          TileR self, diag, row, col;
+          for (const auto& tt : group) {
+            switch (tt.role) {
+              case Role::kSelf: self = tt.tile; break;
+              case Role::kDiag: diag = tt.tile; break;
+              case Role::kRowPiv: row = tt.tile; break;
+              case Role::kColPiv: col = tt.tile; break;
+            }
+          }
+          GS_CHECK_MSG(self && row && col && (!kUsesW || diag),
+                       "D group missing an input tile");
+          obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel, "D", k);
+          out.push_back({key, gs::apply_tile_kernel<Spec>(
+                                  *kern, gs::KernelKind::D, self, col, row,
+                                  kUsesW ? diag : nullptr)});
+        }
+        return out;
+      };
       auto d_out =
-          sparklet::union_all<Tagged>(d_inputs, "unionD")
-              .group_by_key(part_, "combineByKeyD")
-              .map_partitions(
-                  [kern, k, tr](
-                      int /*p*/,
-                      const std::vector<std::pair<
-                          gs::TileKey, std::vector<TaggedTile<T>>>>& items) {
-                    std::vector<DPPair> out;
-                    out.reserve(items.size());
-                    for (const auto& [key, group] : items) {
-                      TileR self, diag, row, col;
-                      for (const auto& tt : group) {
-                        switch (tt.role) {
-                          case Role::kSelf: self = tt.tile; break;
-                          case Role::kDiag: diag = tt.tile; break;
-                          case Role::kRowPiv: row = tt.tile; break;
-                          case Role::kColPiv: col = tt.tile; break;
-                        }
-                      }
-                      GS_CHECK_MSG(self && row && col && (!kUsesW || diag),
-                                   "D group missing an input tile");
-                      obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
-                                                  "D", k);
-                      out.push_back({key, gs::apply_tile_kernel<Spec>(
-                                              *kern, gs::KernelKind::D, self,
-                                              col, row,
-                                              kUsesW ? diag : nullptr)});
-                    }
-                    return out;
-                  },
-                  /*preserves_partitioning=*/true, "DRecGE")
+          (opt_.fused_d
+               ? d_grouped.map_partitions(d_batched,
+                                          /*preserves_partitioning=*/true,
+                                          "DBatchGE")
+               : d_grouped.map_partitions(d_per_tile,
+                                          /*preserves_partitioning=*/true,
+                                          "DRecGE"))
               .partition_by(part_, "partitionByD");
 
       phase.reset();
@@ -420,23 +459,51 @@ class GepDriver {
 
       phase.emplace(tr, obs::SpanLevel::kPhase, "D", k);
       // ---- Stage 3: kernel D against broadcast pivot row/column ----
-      auto d_rdd =
-          dp.filter(
-                [ranges, k](const DPPair& kv) { return ranges.is_d(kv.first, k); },
-                "FilterD")
-              .map(
-                  [kern, pivots_bc, diag_bc, k, tr](const DPPair& kv) {
-                    const auto& pivots = pivots_bc.value();
-                    const TileR& col = pivots.at(gs::TileKey{kv.first.i, k});
-                    const TileR& row = pivots.at(gs::TileKey{k, kv.first.j});
-                    obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
-                                                "D", k);
-                    return DPPair{kv.first,
-                                  gs::apply_tile_kernel<Spec>(
-                                      *kern, gs::KernelKind::D, kv.second, col,
-                                      row, kUsesW ? diag_bc.value() : nullptr)};
-                  },
-                  "DRecGE");
+      auto d_filtered = dp.filter(
+          [ranges, k](const DPPair& kv) { return ranges.is_d(kv.first, k); },
+          "FilterD");
+      DpRdd d_rdd =
+          opt_.fused_d
+              // Fused: the partition's tiles share one panel pack built from
+              // the broadcast pivot maps, one batched call per task.
+              ? d_filtered.map_partitions(
+                    [kern, pivots_bc, diag_bc, k, tr](
+                        int /*p*/, const std::vector<DPPair>& items) {
+                      std::vector<DPPair> out;
+                      out.reserve(items.size());
+                      if (items.empty()) return out;
+                      const auto& pivots = pivots_bc.value();
+                      std::vector<gs::FusedDMember<T>> members;
+                      members.reserve(items.size());
+                      for (const auto& kv : items) {
+                        members.push_back(
+                            {kv.second, pivots.at(gs::TileKey{kv.first.i, k}),
+                             pivots.at(gs::TileKey{k, kv.first.j})});
+                      }
+                      obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                                  "Dbatch", k);
+                      auto updated = gs::apply_fused_d_batch<Spec>(
+                          *kern, members, kUsesW ? diag_bc.value() : nullptr);
+                      for (std::size_t m = 0; m < items.size(); ++m) {
+                        out.push_back({items[m].first, std::move(updated[m])});
+                      }
+                      return out;
+                    },
+                    /*preserves_partitioning=*/true, "DBatchGE")
+              : d_filtered.map(
+                    [kern, pivots_bc, diag_bc, k, tr](const DPPair& kv) {
+                      const auto& pivots = pivots_bc.value();
+                      const TileR& col = pivots.at(gs::TileKey{kv.first.i, k});
+                      const TileR& row = pivots.at(gs::TileKey{k, kv.first.j});
+                      obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                                  "D", k);
+                      return DPPair{
+                          kv.first,
+                          gs::apply_tile_kernel<Spec>(
+                              *kern, gs::KernelKind::D, kv.second, col, row,
+                              kUsesW ? diag_bc.value() : nullptr)};
+                    },
+                    "DRecGE");
       phase.reset();
 
       // ---- Listing 2 lines 13-19: reassemble and repartition once ----

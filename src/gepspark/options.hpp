@@ -71,6 +71,15 @@ struct SolverOptions {
   /// versions live. Ignored under kBarrier.
   int lookahead = 1;
 
+  /// Fused D phase: pack the step-k pivot panels once (kernels/panel_pack)
+  /// and walk each executor's trailing tiles with the batched semiring GEMM
+  /// (kernels/fused_d) instead of one kernel dispatch per tile. Under
+  /// kDataflow the engine emits one "DBatchGE" task per (executor, k); the
+  /// barrier drivers batch per partition. Bit-identical to the per-tile path
+  /// (unless kernel.strassen_d additionally opts a field spec into the
+  /// reassociated Strassen split).
+  bool fused_d = false;
+
   /// Run the static schedule soundness checker (analysis::ScheduleChecker)
   /// on every task graph the dataflow engine emits, after the solve; an
   /// unsound schedule throws analysis::ScheduleViolationError. Requires
@@ -95,8 +104,9 @@ struct SolverOptions {
     if (schedule == ScheduleMode::kDataflow) {
       sched = gs::strfmt(" dataflow(lookahead=%d)", lookahead);
     }
-    return gs::strfmt("%s b=%zu %s%s%s", strategy_name(strategy), block_size,
+    return gs::strfmt("%s b=%zu %s%s%s%s", strategy_name(strategy), block_size,
                       kernel.describe().c_str(), sched.c_str(),
+                      fused_d ? " fused-d" : "",
                       use_grid_partitioner ? " grid-partitioner" : "");
   }
 };

@@ -11,9 +11,18 @@
 #include <utility>
 
 #include "grid/matrix.hpp"
+#include "support/buffer.hpp"
 #include "support/span2d.hpp"
 
 namespace gs {
+
+/// Tile payloads live in AlignedBuffer storage, so every tile base pointer
+/// is cache-line aligned. The SIMD micro-kernels and the fused D backend's
+/// panel packing rely on this: a 64-byte base plus cache-line-padded packed
+/// strides means vector loads never split a line.
+inline constexpr std::size_t kTileAlignment = kCacheLineBytes;
+static_assert(kTileAlignment == 64 && (kTileAlignment & (kTileAlignment - 1)) == 0,
+              "tile storage must be 64-byte (cache line) aligned");
 
 /// Grid coordinate of a tile: (block-row, block-col).
 struct TileKey {
@@ -61,6 +70,14 @@ class Tile {
   /// Serialized payload size — what Spark would move over the wire for this
   /// block. Used by sparklet's shuffle accounting and the simulators.
   std::size_t bytes() const { return m_.size() * sizeof(T) + 64; }
+
+  /// True when the backing storage honours the kTileAlignment contract
+  /// (always, by construction — asserted by the alignment unit tests).
+  bool storage_aligned() const {
+    const auto addr = reinterpret_cast<std::uintptr_t>(
+        static_cast<const void*>(m_.span().data()));
+    return empty() || addr % kTileAlignment == 0;
+  }
 
   friend bool operator==(const Tile& a, const Tile& b) { return a.m_ == b.m_; }
 

@@ -3,9 +3,13 @@
 // and exposes uniform A/B/C/D entry points on spans.
 #pragma once
 
+#include <vector>
+
+#include "kernels/fused_d.hpp"
 #include "kernels/iterative.hpp"
 #include "kernels/kernel_config.hpp"
 #include "kernels/kernel_kind.hpp"
+#include "kernels/panel_pack.hpp"
 #include "kernels/recursive.hpp"
 #include "kernels/simd.hpp"
 
@@ -58,6 +62,14 @@ class GepKernels {
     } else {
       rec_.run_d(x, u, v, w, cfg_.omp_threads);
     }
+  }
+
+  /// Fused D batch: apply one DPanelPack (the step-k pivot panels, packed
+  /// once) to every member tile. Bit-identical to per-tile d() unless the
+  /// config opts into the Strassen field split (see fused_d.hpp).
+  void d_batch(const DPanelPack<Spec>& panels,
+               const std::vector<FusedDItem<Spec>>& items) const {
+    fused_d_batch<Spec>(cfg_, panels, items);
   }
 
  private:

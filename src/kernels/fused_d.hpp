@@ -1,0 +1,335 @@
+// fused_d.hpp — batched semiring-GEMM backend for the D phase.
+//
+// Per outer step k every trailing tile (i,j) runs the same semiring MMA
+// against the pivot panels. The per-tile path (base_d / the recursive
+// kernels) re-streams u and v from the block store for every tile;
+// fused_d_batch instead walks a whole batch of trailing tiles against ONE
+// DPanelPack (panel_pack.hpp): each distinct pivot-column tile is packed
+// transposed once, each pivot-row tile once, and the pivot diagonal once.
+//
+// Bit-identity: every element x(i,j) of a D tile is updated by a pure chain
+//   x = f(... f(f(x, u(i,0), v(0,j), w(0,0)), u(i,1), v(1,j), w(1,1)) ...)
+// with kk ascending — there is no cross-element arithmetic — so ANY loop
+// geometry that applies the full ascending-kk chain per element produces the
+// same bits. The fused micro-kernels below (register-tiled panels with kk
+// innermost, scalar kk-outer fallback) all preserve that chain, so fused
+// results are bit-identical to iter_d / simd_d / the recursive kernels for
+// every spec. That identity is what lets the dataflow engine recompute a
+// lost batch member through its per-tile lineage.
+//
+// The one deliberate exception is the Strassen split: for FIELD workloads
+// (exact subtraction — GE), KernelConfig::strassen_d reformulates the tile
+// update x -= u·v/w as x -= U × V' (V' = V with row kk scaled by 1/w(kk,kk))
+// and computes the product with one level of Strassen's seven half-size
+// multiplications. That reassociates floating-point sums, so it is NOT
+// bit-identical — it is an opt-in experiment validated against the reference
+// within tolerance. Semirings without additive inverses (min-plus, or-and,
+// max-min) cannot express Strassen's subtractions at all; FusedFieldOps
+// gates the split per spec and everything else falls back to the standard
+// fused path, as does an odd tile side.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/iterative.hpp"
+#include "kernels/kernel_config.hpp"
+#include "kernels/panel_pack.hpp"
+#include "kernels/simd.hpp"
+#include "semiring/gep_spec.hpp"
+#include "support/span2d.hpp"
+
+namespace gs {
+
+/// Specs whose update is an exact field expression x - (u·v)/w, eligible for
+/// the Strassen split of the trailing update. The primary template keeps
+/// every semiring without additive inverses on the standard fused path.
+template <GepSpecType Spec>
+struct FusedFieldOps {
+  static constexpr bool kEnabled = false;
+};
+
+template <>
+struct FusedFieldOps<GaussianEliminationSpec> {
+  static constexpr bool kEnabled = true;
+};
+
+/// One batch member: the (already copied, mutable) destination tile plus the
+/// pack slots of its pivot-column and pivot-row operands.
+template <GepSpecType Spec>
+struct FusedDItem {
+  Span2D<typename Spec::value_type> x;
+  std::size_t u_slot = 0;
+  std::size_t v_slot = 0;
+};
+
+namespace fused_detail {
+
+/// Register-tiled packed D panel: the twin of simd_detail::d_panel with the
+/// pivot-column operand transposed (ut(kk, i) == u(i, kk)) and the pivot
+/// diagonal flat. The kk-sweep reads ONE sequential stream of broadcasts
+/// instead of MR tile-row-strided streams.
+template <GepSpecType Spec, std::size_t MR>
+inline void d_panel_packed(Span2D<typename Spec::value_type> x,
+                           Span2D<const typename Spec::value_type> ut,
+                           Span2D<const typename Spec::value_type> v,
+                           const typename Spec::value_type* wdiag,
+                           std::size_t i0, std::size_t j0) {
+  using T = typename Spec::value_type;
+  using Ops = SimdSpecOps<Spec>;
+  using V = typename Ops::V;
+  constexpr std::size_t W = V::kLanes;
+  const std::size_t n = x.rows();
+
+  V acc[MR][2];
+  for (std::size_t r = 0; r < MR; ++r) {
+    T* xr = x.row(i0 + r);
+    acc[r][0] = V::load(xr + j0);
+    acc[r][1] = V::load(xr + j0 + W);
+  }
+  V wb = V::broadcast(T{});
+  for (std::size_t k = 0; k < n; ++k) {
+    const T* GS_RESTRICT utk = ut.row(k) + i0;
+    const T* GS_RESTRICT vk = v.row(k);
+    const V v0 = V::load(vk + j0);
+    const V v1 = V::load(vk + j0 + W);
+    if constexpr (Spec::kUsesW) wb = V::broadcast(wdiag[k]);
+    for (std::size_t r = 0; r < MR; ++r) {
+      const V ub = V::broadcast(utk[r]);
+      acc[r][0] = Ops::update(acc[r][0], ub, v0, wb);
+      acc[r][1] = Ops::update(acc[r][1], ub, v1, wb);
+    }
+  }
+  for (std::size_t r = 0; r < MR; ++r) {
+    T* xr = x.row(i0 + r);
+    acc[r][0].store(xr + j0);
+    acc[r][1].store(xr + j0 + W);
+  }
+}
+
+/// Vectorized packed D tile: simd_d's geometry over packed operands.
+template <GepSpecType Spec>
+void simd_d_packed(Span2D<typename Spec::value_type> x,
+                   Span2D<const typename Spec::value_type> ut,
+                   Span2D<const typename Spec::value_type> v,
+                   const typename Spec::value_type* wdiag) {
+  static_assert(SimdSpecOps<Spec>::kEnabled);
+  using T = typename Spec::value_type;
+  using V = typename SimdSpecOps<Spec>::V;
+  constexpr std::size_t kMR = 4;
+  constexpr std::size_t kPanelCols = 2 * V::kLanes;
+  const std::size_t n = x.rows();
+
+  const std::size_t jmain = (n / kPanelCols) * kPanelCols;
+  std::size_t i0 = 0;
+  for (; i0 + kMR <= n; i0 += kMR) {
+    for (std::size_t j0 = 0; j0 < jmain; j0 += kPanelCols) {
+      d_panel_packed<Spec, kMR>(x, ut, v, wdiag, i0, j0);
+    }
+  }
+  for (; i0 < n; ++i0) {
+    for (std::size_t j0 = 0; j0 < jmain; j0 += kPanelCols) {
+      d_panel_packed<Spec, 1>(x, ut, v, wdiag, i0, j0);
+    }
+  }
+  if (jmain < n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const T wkk = Spec::kUsesW ? wdiag[k] : T{};
+      const T* utk = ut.row(k);
+      const T* vk = v.row(k);
+      for (std::size_t i = 0; i < n; ++i) {
+        simd_detail::row_update<Spec>(x.row(i), vk, jmain, n, utk[i], wkk);
+      }
+    }
+  }
+}
+
+/// Scalar packed D tile: iter_d's kk-outer loop nest over packed operands —
+/// the fallback for specs without vector ops and for KernelBase::kScalar.
+template <GepSpecType Spec>
+void scalar_d_packed(Span2D<typename Spec::value_type> x,
+                     Span2D<const typename Spec::value_type> ut,
+                     Span2D<const typename Spec::value_type> v,
+                     const typename Spec::value_type* wdiag) {
+  using T = typename Spec::value_type;
+  const std::size_t n = x.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    const T wkk = Spec::kUsesW ? wdiag[k] : T{};
+    const T* GS_RESTRICT utk = ut.row(k);
+    const T* GS_RESTRICT vk = v.row(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      const T uik = utk[i];
+      T* GS_RESTRICT xi = x.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        xi[j] = Spec::update(xi[j], uik, vk[j], wkk);
+      }
+    }
+  }
+}
+
+// ------------------------- Strassen split (fields) -------------------------
+
+/// Scratch for the one-level Strassen split of a b×b tile update, reusable
+/// across the members of a batch. All buffers are 64-byte aligned.
+struct StrassenScratch {
+  explicit StrassenScratch(std::size_t b)
+      : h(b / 2),
+        vs(packed_stride<double>(b)),
+        hs(packed_stride<double>(b / 2)),
+        vp(b * vs),
+        ta(h * hs),
+        tb(h * hs) {
+    for (auto& m : ms) m = AlignedBuffer<double>(h * hs);
+  }
+  std::size_t h;   ///< half tile side
+  std::size_t vs;  ///< packed stride of the scaled row panel
+  std::size_t hs;  ///< packed stride of the half-size blocks
+  AlignedBuffer<double> vp;      ///< V' = V row-scaled by 1/w(kk,kk)
+  AlignedBuffer<double> ta, tb;  ///< quadrant-sum operands
+  AlignedBuffer<double> ms[7];   ///< Strassen products M1..M7
+
+  Span2D<double> vp_span(std::size_t b) { return {vp.data(), b, b, vs}; }
+  Span2D<double> m_span(int i) { return {ms[i].data(), h, h, hs}; }
+};
+
+/// C = A × B where A is handed TRANSPOSED (at(kk, i) == A(i, kk)): the
+/// packed column-panel layout makes the kk-outer axpy form natural.
+inline void strassen_mm_t(Span2D<double> c, Span2D<const double> at,
+                          Span2D<const double> b) {
+  const std::size_t h = c.rows();
+  fill_span(c, 0.0);
+  for (std::size_t kk = 0; kk < h; ++kk) {
+    const double* GS_RESTRICT atk = at.row(kk);
+    const double* GS_RESTRICT bk = b.row(kk);
+    for (std::size_t i = 0; i < h; ++i) {
+      const double a = atk[i];
+      double* GS_RESTRICT ci = c.row(i);
+      for (std::size_t j = 0; j < h; ++j) ci[j] += a * bk[j];
+    }
+  }
+}
+
+/// dst = a + sign * b, elementwise over h×h views.
+inline void strassen_add(Span2D<double> dst, Span2D<const double> a,
+                         Span2D<const double> b, double sign) {
+  for (std::size_t i = 0; i < dst.rows(); ++i) {
+    const double* GS_RESTRICT ar = a.row(i);
+    const double* GS_RESTRICT br = b.row(i);
+    double* GS_RESTRICT d = dst.row(i);
+    for (std::size_t j = 0; j < dst.cols(); ++j) d[j] = ar[j] + sign * br[j];
+  }
+}
+
+/// One-level Strassen trailing update for a field tile: x -= U × V' with
+/// V'(kk,j) = v(kk,j) / w(kk,kk). `ut` is the packed transposed U; quadrant
+/// (qi,qj) of U is therefore ut.block(qj, qi). Requires an even tile side.
+inline void strassen_field_tile(Span2D<double> x, Span2D<const double> ut,
+                                Span2D<const double> v, const double* wdiag,
+                                StrassenScratch& s) {
+  const std::size_t b = x.rows();
+  const std::size_t h = s.h;
+
+  Span2D<double> vp = s.vp_span(b);
+  for (std::size_t kk = 0; kk < b; ++kk) {
+    const double inv_w = 1.0 / wdiag[kk];
+    const double* GS_RESTRICT src = v.row(kk);
+    double* GS_RESTRICT dst = vp.row(kk);
+    for (std::size_t j = 0; j < b; ++j) dst[j] = src[j] * inv_w;
+  }
+
+  // Transposed U quadrants ((A ± B)ᵀ = Aᵀ ± Bᵀ, so sums stay transposed).
+  auto uq = [&](std::size_t qi, std::size_t qj) { return ut.block(qj, qi, 2); };
+  auto bq = [&](std::size_t qi, std::size_t qj) {
+    return Span2D<const double>(vp.block(qi, qj, 2).data(), h, h, vp.stride());
+  };
+  Span2D<double> ta{s.ta.data(), h, h, s.hs};
+  Span2D<double> tb{s.tb.data(), h, h, s.hs};
+
+  strassen_add(ta, uq(0, 0), uq(1, 1), +1.0);  // A11 + A22
+  strassen_add(tb, bq(0, 0), bq(1, 1), +1.0);  // B11 + B22
+  strassen_mm_t(s.m_span(0), ta, tb);          // M1
+  strassen_add(ta, uq(1, 0), uq(1, 1), +1.0);  // A21 + A22
+  strassen_mm_t(s.m_span(1), ta, bq(0, 0));    // M2
+  strassen_add(tb, bq(0, 1), bq(1, 1), -1.0);  // B12 - B22
+  strassen_mm_t(s.m_span(2), uq(0, 0), tb);    // M3
+  strassen_add(tb, bq(1, 0), bq(0, 0), -1.0);  // B21 - B11
+  strassen_mm_t(s.m_span(3), uq(1, 1), tb);    // M4
+  strassen_add(ta, uq(0, 0), uq(0, 1), +1.0);  // A11 + A12
+  strassen_mm_t(s.m_span(4), ta, bq(1, 1));    // M5
+  strassen_add(ta, uq(1, 0), uq(0, 0), -1.0);  // A21 - A11
+  strassen_add(tb, bq(0, 0), bq(0, 1), +1.0);  // B11 + B12
+  strassen_mm_t(s.m_span(5), ta, tb);          // M6
+  strassen_add(ta, uq(0, 1), uq(1, 1), -1.0);  // A12 - A22
+  strassen_add(tb, bq(1, 0), bq(1, 1), +1.0);  // B21 + B22
+  strassen_mm_t(s.m_span(6), ta, tb);          // M7
+
+  auto m = [&](int i) { return Span2D<const double>(s.m_span(i)); };
+  auto sub_into = [&](std::size_t qi, std::size_t qj, auto&&... terms) {
+    Span2D<double> xq = x.block(qi, qj, 2);
+    const auto apply = [&](Span2D<const double> t, double sign) {
+      for (std::size_t i = 0; i < h; ++i) {
+        const double* GS_RESTRICT tr = t.row(i);
+        double* GS_RESTRICT xr = xq.row(i);
+        // x -= P quadrant: the product terms accumulate with their Strassen
+        // signs, negated into the subtraction.
+        for (std::size_t j = 0; j < h; ++j) xr[j] -= sign * tr[j];
+      }
+    };
+    (apply(terms.first, terms.second), ...);
+  };
+  using Term = std::pair<Span2D<const double>, double>;
+  sub_into(0, 0, Term{m(0), 1.0}, Term{m(3), 1.0}, Term{m(4), -1.0},
+           Term{m(6), 1.0});                          // C11 = M1+M4-M5+M7
+  sub_into(0, 1, Term{m(2), 1.0}, Term{m(4), 1.0});   // C12 = M3+M5
+  sub_into(1, 0, Term{m(1), 1.0}, Term{m(3), 1.0});   // C21 = M2+M4
+  sub_into(1, 1, Term{m(0), 1.0}, Term{m(1), -1.0}, Term{m(2), 1.0},
+           Term{m(5), 1.0});                          // C22 = M1-M2+M3+M6
+}
+
+}  // namespace fused_detail
+
+/// One packed trailing-tile update: dispatches the packed SIMD micro-kernel
+/// or the scalar packed loop nest per the resolved base. Bit-identical to
+/// base_d on the same operand values.
+template <GepSpecType Spec>
+void fused_d_tile(KernelBase base, Span2D<typename Spec::value_type> x,
+                  Span2D<const typename Spec::value_type> ut,
+                  Span2D<const typename Spec::value_type> v,
+                  const typename Spec::value_type* wdiag) {
+  if constexpr (SimdSpecOps<Spec>::kEnabled) {
+    if (resolve_base<Spec>(base) == KernelBase::kSimd) {
+      return fused_detail::simd_d_packed<Spec>(x, ut, v, wdiag);
+    }
+  }
+  fused_detail::scalar_d_packed<Spec>(x, ut, v, wdiag);
+}
+
+/// Apply the packed step-k panels to a batch of trailing tiles. The Strassen
+/// split runs only when the config asks for it AND the spec is a field AND
+/// the tile side is even; everything else takes the standard fused path.
+template <GepSpecType Spec>
+void fused_d_batch(const KernelConfig& cfg, const DPanelPack<Spec>& panels,
+                   const std::vector<FusedDItem<Spec>>& items) {
+  const std::size_t b = panels.b();
+  if constexpr (FusedFieldOps<Spec>::kEnabled) {
+    if (cfg.strassen_d && b % 2 == 0 && b >= 2) {
+      fused_detail::StrassenScratch scratch(b);
+      for (const auto& it : items) {
+        GS_CHECK_MSG(it.x.rows() == b && it.x.cols() == b,
+                     "fused D batch member shape mismatch");
+        fused_detail::strassen_field_tile(it.x, panels.col(it.u_slot),
+                                          panels.row(it.v_slot),
+                                          panels.wdiag(), scratch);
+      }
+      return;
+    }
+  }
+  for (const auto& it : items) {
+    GS_CHECK_MSG(it.x.rows() == b && it.x.cols() == b,
+                 "fused D batch member shape mismatch");
+    fused_d_tile<Spec>(cfg.base, it.x, panels.col(it.u_slot),
+                       panels.row(it.v_slot), panels.wdiag());
+  }
+}
+
+}  // namespace gs

@@ -59,6 +59,13 @@ struct KernelConfig {
   /// 1 disables the OpenMP parallel region entirely.
   int omp_threads = 1;
 
+  /// One-level Strassen split of the fused trailing update for FIELD
+  /// workloads (exact subtraction — GE). Reassociates floating-point sums,
+  /// so results match the reference within tolerance instead of bitwise;
+  /// semirings without additive inverses (and odd tile sides) always fall
+  /// back to the standard fused path. Only the fused D batch path reads it.
+  bool strassen_d = false;
+
   static KernelConfig iterative() { return KernelConfig{}; }
 
   /// Same configuration with an explicit base-case backend.
@@ -97,8 +104,9 @@ struct KernelConfig {
 
   std::string describe() const {
     // kAuto (the default) is elided so seed-era descriptions are unchanged.
-    const std::string suffix =
+    std::string suffix =
         base == KernelBase::kAuto ? "" : std::string("+") + kernel_base_name(base);
+    if (strassen_d) suffix += "+strassen";
     if (impl == KernelImpl::kIterative) return "iterative" + suffix;
     if (impl == KernelImpl::kTiled) {
       return strfmt("tiled(tile=%zu, omp=%d)", base_size, omp_threads) + suffix;

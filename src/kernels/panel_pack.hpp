@@ -1,0 +1,134 @@
+// panel_pack.hpp — operand packing for the fused D-phase backend.
+//
+// Per outer step k the trailing update reads the same pivot row panel (tiles
+// (k,j)) and pivot column panel (tiles (i,k)) for every trailing tile (i,j).
+// DPanelPack copies each distinct panel tile ONCE into contiguous, 64-byte-
+// aligned, micro-kernel-native storage shared by the whole batch:
+//
+//   * pivot COLUMN tiles (D's u input) are packed TRANSPOSED: the fused
+//     micro-kernel broadcasts u(i, kk) with kk ascending, so the transposed
+//     layout turns MR strided broadcast streams (one per register row, each
+//     striding a whole tile row apart) into a single sequential stream
+//     ut.row(kk)[i..i+MR).
+//   * pivot ROW tiles (D's v input) are packed verbatim row-major — already
+//     the vector-load-native layout — but re-based into the pack so every
+//     packed row starts on a 64-byte boundary.
+//   * the pivot tile w contributes only its diagonal (f reads c[k,k] alone),
+//     packed once as a flat wdiag[] vector instead of b² elements per batch
+//     member.
+//
+// Every packed row stride is padded up to a whole number of cache lines
+// (kCacheLineBytes / sizeof(T), a multiple of the simd_vec.hpp lane width),
+// so base-aligned AlignedBuffer storage keeps EVERY packed row 64-byte
+// aligned — SIMD loads in the fused kernel never split a cache line.
+//
+// Packing copies values verbatim and never reorders arithmetic, so the fused
+// kernels consuming a pack stay bit-identical to the per-tile paths.
+#pragma once
+
+#include <cstddef>
+
+#include "semiring/gep_spec.hpp"
+#include "support/buffer.hpp"
+#include "support/simd_vec.hpp"
+#include "support/span2d.hpp"
+
+namespace gs {
+
+// A cache line must hold a whole number of vectors, or padded strides could
+// not be simultaneously line-aligned and lane-aligned.
+static_assert(kCacheLineBytes % (simd::VecD::kLanes * sizeof(double)) == 0,
+              "cache line must be a multiple of the double vector width");
+static_assert(kCacheLineBytes % simd::VecB::kLanes == 0,
+              "cache line must be a multiple of the byte vector width");
+
+/// Row stride (in elements) that keeps successive rows of a packed b-wide
+/// tile 64-byte aligned: b rounded up to a whole number of cache lines.
+template <typename T>
+constexpr std::size_t packed_stride(std::size_t b) {
+  constexpr std::size_t kLine = kCacheLineBytes / sizeof(T);
+  static_assert(kCacheLineBytes % sizeof(T) == 0,
+                "element size must divide the cache line");
+  return (b + kLine - 1) / kLine * kLine;
+}
+
+/// Packed step-k pivot panels for one fused D batch: `num_cols` transposed
+/// pivot-column tiles, `num_rows` verbatim pivot-row tiles, and the pivot
+/// diagonal. Slots are assigned by the caller in pack order.
+template <GepSpecType Spec>
+class DPanelPack {
+ public:
+  using T = typename Spec::value_type;
+
+  DPanelPack(std::size_t b, std::size_t num_cols, std::size_t num_rows)
+      : b_(b),
+        stride_(packed_stride<T>(b)),
+        cols_(num_cols * stride_ * b),
+        rows_(num_rows * stride_ * b),
+        wdiag_(stride_) {
+    GS_CHECK_MSG(b > 0, "panel pack needs a positive tile side");
+  }
+
+  std::size_t b() const { return b_; }
+  std::size_t stride() const { return stride_; }
+
+  /// Pack pivot-column tile `u` transposed into the next column slot:
+  /// col(slot)(kk, i) == u(i, kk). Returns the slot index.
+  std::size_t pack_col(Span2D<const T> u) {
+    GS_CHECK_MSG(u.rows() == b_ && u.cols() == b_, "panel tile shape mismatch");
+    const std::size_t slot = next_col_++;
+    T* dst = cols_.data() + slot * stride_ * b_;
+    for (std::size_t i = 0; i < b_; ++i) {
+      const T* src = u.row(i);
+      for (std::size_t kk = 0; kk < b_; ++kk) dst[kk * stride_ + i] = src[kk];
+    }
+    return slot;
+  }
+
+  /// Pack pivot-row tile `v` verbatim (row-major, aligned rows) into the
+  /// next row slot. Returns the slot index.
+  std::size_t pack_row(Span2D<const T> v) {
+    GS_CHECK_MSG(v.rows() == b_ && v.cols() == b_, "panel tile shape mismatch");
+    const std::size_t slot = next_row_++;
+    T* dst = rows_.data() + slot * stride_ * b_;
+    for (std::size_t i = 0; i < b_; ++i) {
+      const T* src = v.row(i);
+      T* d = dst + i * stride_;
+      for (std::size_t j = 0; j < b_; ++j) d[j] = src[j];
+    }
+    return slot;
+  }
+
+  /// Extract the pivot tile's diagonal (all that f ever reads of c[k,k]).
+  void pack_pivot(Span2D<const T> w) {
+    GS_CHECK_MSG(w.rows() == b_ && w.cols() == b_, "pivot tile shape mismatch");
+    for (std::size_t kk = 0; kk < b_; ++kk) wdiag_[kk] = w(kk, kk);
+  }
+
+  /// Transposed pivot-column tile in slot `slot`: (kk, i) -> u(i, kk).
+  Span2D<const T> col(std::size_t slot) const {
+    GS_DCHECK(slot < next_col_);
+    return {cols_.data() + slot * stride_ * b_, b_, b_, stride_};
+  }
+
+  /// Pivot-row tile in slot `slot`, row-major with aligned rows.
+  Span2D<const T> row(std::size_t slot) const {
+    GS_DCHECK(slot < next_row_);
+    return {rows_.data() + slot * stride_ * b_, b_, b_, stride_};
+  }
+
+  /// Pivot diagonal, wdiag[kk] == w(kk, kk). Valid only after pack_pivot()
+  /// (specs with kUsesW == false never read it).
+  const T* wdiag() const { return wdiag_.data(); }
+
+ private:
+  std::size_t b_;
+  std::size_t stride_;
+  AlignedBuffer<T> cols_;   ///< transposed pivot-column tiles, slot-major
+  AlignedBuffer<T> rows_;   ///< verbatim pivot-row tiles, slot-major
+  AlignedBuffer<T> wdiag_;  ///< pivot diagonal
+  std::size_t next_col_ = 0;
+  std::size_t next_row_ = 0;
+};
+
+}  // namespace gs

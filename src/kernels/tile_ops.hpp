@@ -2,6 +2,9 @@
 // DP tile. This is the unit of work a Spark task executes in the drivers.
 #pragma once
 
+#include <unordered_map>
+#include <vector>
+
 #include "grid/tile.hpp"
 #include "kernels/dispatch.hpp"
 #include "kernels/kernel_kind.hpp"
@@ -51,6 +54,77 @@ TileRef<typename Spec::value_type> apply_tile_kernel(
       break;
   }
   return TileRef<T>(std::move(out));
+}
+
+/// One member of a fused D batch: the trailing tile (i,j) plus its pivot
+/// column (i,k) and pivot row (k,j) operands. The pivot tile (k,k) is shared
+/// by the whole batch and passed separately.
+template <typename T>
+struct FusedDMember {
+  TileRef<T> x;  ///< trailing tile to update
+  TileRef<T> u;  ///< pivot-column operand
+  TileRef<T> v;  ///< pivot-row operand
+};
+
+/// Apply the step-k D update to a whole batch of trailing tiles through the
+/// fused backend: each distinct pivot operand tile is packed exactly once
+/// (members sharing a tile row/column share the packed panel), then
+/// fused_d_batch walks the members. Returns the updated tiles in member
+/// order. Output value i is bit-identical to
+/// apply_tile_kernel(D, members[i]...) unless cfg.strassen_d opts a field
+/// spec into the reassociated split.
+template <GepSpecType Spec>
+std::vector<TileRef<typename Spec::value_type>> apply_fused_d_batch(
+    const GepKernels<Spec>& kernels,
+    const std::vector<FusedDMember<typename Spec::value_type>>& members,
+    const TileRef<typename Spec::value_type>& w) {
+  using T = typename Spec::value_type;
+  if (members.empty()) return {};
+
+  const std::size_t b = members.front().x->rows();
+  auto square_b = [&](const TileRef<T>& t) {
+    return t != nullptr && t->rows() == b && t->cols() == b;
+  };
+
+  // Assign pack slots, deduplicating operands shared across members (one
+  // pivot-column tile serves a whole tile row of the trailing submatrix).
+  std::unordered_map<const Tile<T>*, std::size_t> col_slot, row_slot;
+  for (const auto& m : members) {
+    GS_CHECK_MSG(square_b(m.x) && square_b(m.u) && square_b(m.v),
+                 "fused D batch needs uniform square b x b tiles");
+    col_slot.emplace(m.u.get(), col_slot.size());
+    row_slot.emplace(m.v.get(), row_slot.size());
+  }
+
+  DPanelPack<Spec> pack(b, col_slot.size(), row_slot.size());
+  {
+    // Pack in slot order so slot indices and pack order agree.
+    std::vector<const Tile<T>*> cols(col_slot.size()), rows(row_slot.size());
+    for (const auto& [tile, slot] : col_slot) cols[slot] = tile;
+    for (const auto& [tile, slot] : row_slot) rows[slot] = tile;
+    for (const Tile<T>* t : cols) pack.pack_col(t->span());
+    for (const Tile<T>* t : rows) pack.pack_row(t->span());
+  }
+  if constexpr (Spec::kUsesW) {
+    GS_CHECK_MSG(square_b(w), "spec reads c[k,k] but pivot tile missing");
+    pack.pack_pivot(w->span());
+  }
+
+  std::vector<std::shared_ptr<Tile<T>>> outs;
+  std::vector<FusedDItem<Spec>> items;
+  outs.reserve(members.size());
+  items.reserve(members.size());
+  for (const auto& m : members) {
+    outs.push_back(std::make_shared<Tile<T>>(*m.x));  // copy-on-write
+    items.push_back({outs.back()->span(), col_slot.at(m.u.get()),
+                     row_slot.at(m.v.get())});
+  }
+  kernels.d_batch(pack, items);
+
+  std::vector<TileRef<T>> result;
+  result.reserve(outs.size());
+  for (auto& o : outs) result.push_back(TileRef<T>(std::move(o)));
+  return result;
 }
 
 }  // namespace gs

@@ -67,6 +67,7 @@ GepPhase classify_gep_phase(std::string_view label) {
     if (open == std::string_view::npos) break;
     label = label.substr(0, open);
   }
+  if (label == "DBatchGE") return GepPhase::kD;  // fused D batch tasks
   if (ends_with(label, "RecGE")) label.remove_suffix(5);  // {A,BC,D}RecGE
   if (label.empty()) return GepPhase::kOther;
   if (ends_with(label, "BC")) return GepPhase::kBC;

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sparklet/virtual_timeline.hpp"
@@ -40,6 +41,11 @@ struct DataflowTaskSpec {
                       ///< transferred version's producing k ('X')
   int tile_i = -1;    ///< grid row of the written (or transferred) tile
   int tile_j = -1;    ///< grid column of the written (or transferred) tile
+  /// Batched task (fused D): the (tile_i, tile_j) coordinates of EVERY
+  /// member tile the task writes, so per-tile audit footprints survive
+  /// coalescing. Non-empty ⇒ tile_i/tile_j are -1 and the checker derives
+  /// the footprint as the union over members; empty ⇒ single-tile task.
+  std::vector<std::pair<int, int>> batch;
 };
 
 /// What run_task_graph() observed and scheduled.

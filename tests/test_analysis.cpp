@@ -21,6 +21,7 @@
 #include "semiring/gep_spec.hpp"
 #include "sparklet/context.hpp"
 #include "sparklet/task_graph.hpp"
+#include "support/format.hpp"
 #include "support/rng.hpp"
 #include "test_util.hpp"
 
@@ -40,7 +41,7 @@ using Graphs = std::vector<std::vector<DataflowTaskSpec>>;
 // Run the real engine and capture the per-segment graphs it emits.
 template <typename Spec>
 Graphs engine_graphs(int r, gepspark::Strategy strategy, int lookahead,
-                     int checkpoint_interval) {
+                     int checkpoint_interval, bool fused_d = false) {
   const int block = 16;
   SparkContext sc(ClusterConfig::local(2, 2));
   gepspark::SolverOptions opt;
@@ -49,6 +50,7 @@ Graphs engine_graphs(int r, gepspark::Strategy strategy, int lookahead,
   opt.schedule = gepspark::ScheduleMode::kDataflow;
   opt.lookahead = lookahead;
   opt.checkpoint_interval = checkpoint_interval;
+  opt.fused_d = fused_d;
   opt.validate();
 
   auto input = gs::testutil::random_input<Spec>(
@@ -69,14 +71,16 @@ Graphs engine_graphs(int r, gepspark::Strategy strategy, int lookahead,
 
 template <typename Spec>
 ScheduleCheckReport check_engine(int r, gepspark::Strategy strategy,
-                                 int lookahead, int checkpoint_interval) {
+                                 int lookahead, int checkpoint_interval,
+                                 bool fused_d = false) {
   ScheduleCheckOptions opt;
   opt.lookahead = lookahead;
   opt.in_memory = strategy == gepspark::Strategy::kInMemory;
   opt.checkpoint_interval = checkpoint_interval;
   return analysis::check_dataflow_schedule(
       analysis::make_schedule_workload<Spec>(r), opt,
-      engine_graphs<Spec>(r, strategy, lookahead, checkpoint_interval));
+      engine_graphs<Spec>(r, strategy, lookahead, checkpoint_interval,
+                          fused_d));
 }
 
 std::vector<ViolationKind> kinds(const ScheduleCheckReport& report) {
@@ -350,6 +354,124 @@ TEST(ScheduleCheckNegative, StrippedMetadataIsBadMetadata) {
   const auto report = fx.check();
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.violations.front().kind, ViolationKind::kBadMetadata);
+}
+
+// ---------------------------------------------------------------------------
+// Static checker: batched D tasks (fused backend)
+// ---------------------------------------------------------------------------
+
+// A batched graph's D tasks write many tiles each; the checker derives the
+// footprint as the union over members, so every shipped batched schedule
+// must pass unchanged.
+template <typename Spec>
+void expect_fused_schedules_sound() {
+  for (auto strategy : {gepspark::Strategy::kCollectBroadcast,
+                        gepspark::Strategy::kInMemory}) {
+    for (int lookahead : {0, 1, 2}) {
+      for (int interval : {0, 2}) {
+        const auto report = check_engine<Spec>(5, strategy, lookahead,
+                                               interval, /*fused_d=*/true);
+        EXPECT_TRUE(report.ok())
+            << gepspark::strategy_name(strategy) << " lookahead=" << lookahead
+            << " interval=" << interval << " fused\n"
+            << report.summary();
+      }
+    }
+  }
+}
+
+TEST(ScheduleCheckFused, FloydWarshallBatchedSchedulesAreSound) {
+  expect_fused_schedules_sound<gs::FloydWarshallSpec>();
+}
+
+TEST(ScheduleCheckFused, GaussianEliminationBatchedSchedulesAreSound) {
+  expect_fused_schedules_sound<gs::GaussianEliminationSpec>();
+}
+
+TEST(ScheduleCheckFused, BatchedGraphsActuallyContainBatches) {
+  auto log = engine_graphs<gs::FloydWarshallSpec>(
+      4, gepspark::Strategy::kCollectBroadcast, 1, 0, /*fused_d=*/true);
+  ASSERT_EQ(log.size(), 1u);
+  std::size_t batches = 0, members = 0;
+  for (const auto& t : log.front()) {
+    if (t.batch.empty()) {
+      EXPECT_NE(t.gep_kind, 'D') << "per-tile D task in a fused graph";
+      continue;
+    }
+    EXPECT_EQ(t.gep_kind, 'D');
+    EXPECT_EQ(t.tile_i, -1);
+    EXPECT_EQ(t.tile_j, -1);
+    ++batches;
+    members += t.batch.size();
+  }
+  EXPECT_GT(batches, 0u);
+  // Every per-tile D task became a batch member: Σ_k |D(k)|, nothing lost.
+  std::size_t expected_members = 0;
+  const gepspark::GridRanges ranges(4, /*strict_sigma=*/false);
+  for (int k = 0; k < 4; ++k) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        if (ranges.is_d(gs::TileKey{i, j}, k)) ++expected_members;
+      }
+    }
+  }
+  EXPECT_EQ(members, expected_members);
+}
+
+TEST(ScheduleCheckFused, SmuggledWrongIterationMemberIsCaught) {
+  // Batch footprints are audited member by member: moving a trailing tile
+  // from its k=0 batch into a k=1 batch must surface as exactly one
+  // duplicate write at k=1 (the tile's legitimate k=1 writer registers it
+  // too) plus one missing task at k=0 (the schedule still demands the tile
+  // there).
+  auto log = engine_graphs<gs::GaussianEliminationSpec>(
+      4, gepspark::Strategy::kCollectBroadcast, 1, 0, /*fused_d=*/true);
+  ASSERT_EQ(log.size(), 1u);
+  auto& g = log.front();
+
+  // Source: a k=0 batch with >=2 members, one of which (i,j >= 2) is also in
+  // the D range of k=1 so the smuggled write collides there rather than
+  // falling outside the range. Destination: any k=1 batch.
+  int src = -1, dst = -1;
+  std::size_t victim = 0;
+  for (std::size_t t = 0; t < g.size(); ++t) {
+    if (g[t].batch.empty() || g[t].gep_kind != 'D') continue;
+    if (g[t].gep_k == 0 && g[t].batch.size() >= 2 && src < 0) {
+      for (std::size_t m = 0; m < g[t].batch.size(); ++m) {
+        if (g[t].batch[m].first >= 2 && g[t].batch[m].second >= 2) {
+          src = static_cast<int>(t);
+          victim = m;
+          break;
+        }
+      }
+    }
+    if (g[t].gep_k == 1 && dst < 0) dst = static_cast<int>(t);
+  }
+  ASSERT_GE(src, 0);
+  ASSERT_GE(dst, 0);
+
+  auto& sb = g[static_cast<std::size_t>(src)].batch;
+  const auto smuggled = sb[victim];
+  sb.erase(sb.begin() + static_cast<std::ptrdiff_t>(victim));
+  g[static_cast<std::size_t>(dst)].batch.push_back(smuggled);
+
+  ScheduleCheckOptions opt;
+  opt.lookahead = 1;
+  opt.in_memory = false;
+  opt.checkpoint_interval = 0;
+  const auto report = analysis::check_dataflow_schedule(
+      analysis::make_schedule_workload<gs::GaussianEliminationSpec>(4), opt,
+      log);
+  ASSERT_FALSE(report.ok());
+  auto ks = kinds(report);
+  std::sort(ks.begin(), ks.end());
+  EXPECT_EQ(ks, (std::vector<ViolationKind>{ViolationKind::kMissingTask,
+                                            ViolationKind::kDuplicateWrite}))
+      << report.summary();
+  const auto tile = gs::strfmt("(%d,%d)", smuggled.first, smuggled.second);
+  for (const auto& v : report.violations) {
+    EXPECT_NE(v.message.find(tile), std::string::npos) << v.message;
+  }
 }
 
 // ---------------------------------------------------------------------------

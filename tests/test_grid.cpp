@@ -86,6 +86,33 @@ TEST(Tile, BytesAccountsPayload) {
   EXPECT_EQ(t.bytes(), 16u * 16u * sizeof(double) + 64u);
 }
 
+TEST(Tile, StorageIsCacheLineAligned) {
+  // The SIMD micro-kernels and the fused D panel packing rely on every tile
+  // base pointer being 64-byte aligned (kTileAlignment contract).
+  static_assert(kTileAlignment == kCacheLineBytes);
+  for (std::size_t n : {1u, 7u, 16u, 33u, 100u}) {
+    Tile<double> d(n, n, 0.5);
+    Tile<std::uint8_t> b(n, n, std::uint8_t{1});
+    EXPECT_TRUE(d.storage_aligned()) << "double n=" << n;
+    EXPECT_TRUE(b.storage_aligned()) << "byte n=" << n;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.span().data()) %
+                  kTileAlignment, 0u);
+  }
+  // Copies allocate fresh aligned storage too.
+  Tile<double> src(33, 33, 2.0);
+  Tile<double> copy = src;
+  EXPECT_TRUE(copy.storage_aligned());
+}
+
+TEST(TileGrid, AllScatteredTilesAreAligned) {
+  auto m = random_matrix(100, 100);
+  TileGrid<double> g(m, 16, /*pad_diag=*/0.0, /*pad_off=*/-1.0);
+  for (const auto& [key, tile] : g.entries()) {
+    EXPECT_TRUE(tile->storage_aligned())
+        << "tile (" << key.i << "," << key.j << ")";
+  }
+}
+
 // ---------------------------------------------------------------- layout
 
 TEST(BlockLayout, ExactDivision) {

@@ -6,7 +6,10 @@
 // combination through the blocked harness.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "kernels/simd.hpp"
+#include "kernels/tile_ops.hpp"
 #include "test_util.hpp"
 
 namespace {
@@ -173,6 +176,160 @@ TEST(SimdDispatch, TransitiveClosureAllCombos) {
 }
 TEST(SimdDispatch, WidestPathAllCombos) {
   expect_all_dispatch_combos_agree<WidestPathSpec>(63, 16, 9);
+}
+
+// ------------------------------------------- fused D batch (panel packing)
+
+// A fused batch of trailing tiles sharing pivot panels: a 2x2 trailing block
+// where members pairwise share their pivot-column (per row) and pivot-row
+// (per column) operands, exercising the pack's slot deduplication. Every
+// member must be bit-identical to its per-tile apply_tile_kernel(D, ...)
+// twin on the same operand values.
+template <typename Spec>
+void expect_fused_d_matches_per_tile(std::size_t b, std::uint64_t seed,
+                                     KernelConfig cfg) {
+  using T = typename Spec::value_type;
+  BcdInputs<Spec> in(b, seed);
+  auto tile_of = [&](const Matrix<T>& m) {
+    return make_tile<T>(Matrix<T>(m));
+  };
+  const TileRef<T> u0 = tile_of(in.u), v0 = tile_of(in.v);
+  const TileRef<T> u1 = tile_of(random_input<Spec>(b, seed + 404));
+  const TileRef<T> v1 = tile_of(random_input<Spec>(b, seed + 505));
+  const TileRef<T> w = tile_of(in.w);
+  const TileRef<T> wt = Spec::kUsesW ? w : nullptr;
+
+  std::vector<FusedDMember<T>> members;
+  std::uint64_t s = seed;
+  for (const auto& u : {u0, u1}) {
+    for (const auto& v : {v0, v1}) {
+      members.push_back({tile_of(random_input<Spec>(b, ++s)), u, v});
+    }
+  }
+
+  GepKernels<Spec> kernels(cfg);
+  auto fused = apply_fused_d_batch<Spec>(kernels, members, wt);
+  ASSERT_EQ(fused.size(), members.size());
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    auto ref = apply_tile_kernel<Spec>(kernels, KernelKind::D, members[m].x,
+                                       members[m].u, members[m].v, wt);
+    EXPECT_TRUE(*fused[m] == *ref)
+        << Spec::name() << " b=" << b << " member " << m << " "
+        << cfg.describe();
+  }
+}
+
+template <typename Spec>
+void fused_d_size_sweep(std::uint64_t seed) {
+  for (std::size_t b : {std::size_t{64}, std::size_t{128}, std::size_t{256}}) {
+    for (KernelBase base : {KernelBase::kScalar, KernelBase::kSimd}) {
+      expect_fused_d_matches_per_tile<Spec>(
+          b, seed + b, KernelConfig::iterative().with_base(base));
+    }
+  }
+  // Ragged vector edges + the recursive per-tile reference path.
+  for (std::size_t b : kAwkwardSizes) {
+    expect_fused_d_matches_per_tile<Spec>(b, seed + 1000 + b,
+                                          KernelConfig::iterative());
+  }
+  expect_fused_d_matches_per_tile<Spec>(64, seed + 2000,
+                                        KernelConfig::recursive(2, 1, 16));
+}
+
+TEST(FusedD, FloydWarshallBitIdenticalToPerTile) {
+  fused_d_size_sweep<FloydWarshallSpec>(51);
+}
+TEST(FusedD, GaussianEliminationBitIdenticalToPerTile) {
+  fused_d_size_sweep<GaussianEliminationSpec>(52);
+}
+TEST(FusedD, TransitiveClosureBitIdenticalToPerTile) {
+  fused_d_size_sweep<TransitiveClosureSpec>(53);
+}
+TEST(FusedD, WidestPathBitIdenticalToPerTile) {
+  fused_d_size_sweep<WidestPathSpec>(54);
+}
+
+TEST(FusedD, PackedPanelRowsAreCacheLineAligned) {
+  // Every packed row must start on a 64-byte boundary — the core claim of
+  // the packing layout (loads in the fused micro-kernel never split a line).
+  for (std::size_t b : {std::size_t{7}, std::size_t{64}, std::size_t{100}}) {
+    DPanelPack<FloydWarshallSpec> pack(b, 2, 2);
+    auto tile = random_input<FloydWarshallSpec>(b, b);
+    pack.pack_col(Span2D<const double>(tile.span()));
+    pack.pack_row(Span2D<const double>(tile.span()));
+    EXPECT_EQ(pack.stride() * sizeof(double) % kCacheLineBytes, 0u);
+    for (std::size_t i = 0; i < b; ++i) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(pack.col(0).row(i)) %
+                    kCacheLineBytes, 0u);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(pack.row(0).row(i)) %
+                    kCacheLineBytes, 0u);
+    }
+  }
+}
+
+TEST(FusedD, PackColIsTransposedPackRowIsVerbatim) {
+  const std::size_t b = 5;
+  auto tile = random_input<FloydWarshallSpec>(b, b);
+  DPanelPack<FloydWarshallSpec> pack(b, 1, 1);
+  pack.pack_col(Span2D<const double>(tile.span()));
+  pack.pack_row(Span2D<const double>(tile.span()));
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      EXPECT_EQ(pack.col(0)(j, i), tile(i, j));
+      EXPECT_EQ(pack.row(0)(i, j), tile(i, j));
+    }
+  }
+}
+
+// --------------------------------------------- Strassen field split (GE)
+
+TEST(FusedDStrassen, GaussianEliminationWithinTolerance) {
+  // The split reassociates sums, so it is tolerance- not bit-identical.
+  using Spec = GaussianEliminationSpec;
+  for (std::size_t b : {std::size_t{64}, std::size_t{128}, std::size_t{256}}) {
+    BcdInputs<Spec> in(b, 77 + b);
+    const auto x = make_tile<double>(Matrix<double>(in.x));
+    const auto u = make_tile<double>(Matrix<double>(in.u));
+    const auto v = make_tile<double>(Matrix<double>(in.v));
+    const auto w = make_tile<double>(Matrix<double>(in.w));
+    KernelConfig cfg;
+    cfg.strassen_d = true;
+    GepKernels<Spec> strassen(cfg);
+    GepKernels<Spec> standard{KernelConfig{}};
+    auto got = apply_fused_d_batch<Spec>(strassen, {{x, u, v}}, w);
+    auto ref = apply_tile_kernel<Spec>(standard, KernelKind::D, x, u, v, w);
+    double max_rel = 0.0;
+    for (std::size_t i = 0; i < b; ++i) {
+      for (std::size_t j = 0; j < b; ++j) {
+        const double denom = std::max(1.0, std::abs((*ref)(i, j)));
+        max_rel = std::max(max_rel,
+                           std::abs((*got[0])(i, j) - (*ref)(i, j)) / denom);
+      }
+    }
+    EXPECT_LE(max_rel, 1e-9) << "b=" << b;
+  }
+}
+
+TEST(FusedDStrassen, OddTileSideFallsBackBitIdentical) {
+  // b odd cannot split into quadrants: guaranteed standard-path fallback.
+  KernelConfig cfg;
+  cfg.strassen_d = true;
+  expect_fused_d_matches_per_tile<GaussianEliminationSpec>(33, 88, cfg);
+}
+
+TEST(FusedDStrassen, NonRingSemiringsFallBackBitIdentical) {
+  // min-plus / or-and / max-min have no additive inverse — FusedFieldOps
+  // keeps them on the standard fused path even with the knob on, and the
+  // result stays bit-identical to per-tile D.
+  static_assert(!FusedFieldOps<FloydWarshallSpec>::kEnabled);
+  static_assert(!FusedFieldOps<TransitiveClosureSpec>::kEnabled);
+  static_assert(!FusedFieldOps<WidestPathSpec>::kEnabled);
+  static_assert(FusedFieldOps<GaussianEliminationSpec>::kEnabled);
+  KernelConfig cfg;
+  cfg.strassen_d = true;
+  expect_fused_d_matches_per_tile<FloydWarshallSpec>(64, 91, cfg);
+  expect_fused_d_matches_per_tile<TransitiveClosureSpec>(64, 92, cfg);
+  expect_fused_d_matches_per_tile<WidestPathSpec>(64, 93, cfg);
 }
 
 // ------------------------------------------------------------- plumbing

@@ -122,6 +122,107 @@ TEST(PipelineDifferential, CheckpointIntervalsAgreeUnderDataflow) {
   }
 }
 
+// ----------------------------------------------------- fused D batching
+
+// The fused D backend (panel packing + batched semiring GEMM, one task per
+// executor per k under dataflow) must be bit-identical to the per-tile
+// reference in every mode: both strategies, both schedulers, clean and under
+// heavy chaos (killed batch tasks recover through the per-tile lineage).
+template <typename Spec>
+void run_fused_differential(gepspark::Strategy strategy, std::uint64_t seed,
+                            bool chaos) {
+  auto input = gs::testutil::random_input<Spec>(40, 300 + seed);
+
+  auto solve = [&](gepspark::ScheduleMode mode, bool fused, int lookahead,
+                   bool validate) {
+    SparkContext sc(ClusterConfig::local(3, 2));
+    if (chaos) {
+      sc.set_chaos_plan(differential_chaos(seed));
+      sc.set_speculation({.enabled = true});
+    }
+    gepspark::SolverOptions opt;
+    opt.block_size = 16;
+    opt.strategy = strategy;
+    opt.schedule = mode;
+    opt.lookahead = lookahead;
+    opt.fused_d = fused;
+    opt.validate_schedule = validate;
+    gepspark::GepDriver<Spec> driver(sc, opt);
+    return driver.solve(input);
+  };
+
+  const auto expected =
+      solve(gepspark::ScheduleMode::kBarrier, /*fused=*/false, 0, false);
+  EXPECT_TRUE(solve(gepspark::ScheduleMode::kBarrier, true, 0, false) ==
+              expected)
+      << gepspark::strategy_name(strategy) << " barrier fused seed " << seed
+      << (chaos ? " chaos" : "");
+  for (int lookahead : {0, 2}) {
+    // --validate-schedule must accept the batched graphs (clean runs; the
+    // graph shape is chaos-independent).
+    const auto got = solve(gepspark::ScheduleMode::kDataflow, true, lookahead,
+                           /*validate=*/!chaos);
+    EXPECT_TRUE(got == expected)
+        << gepspark::strategy_name(strategy) << " dataflow fused lookahead "
+        << lookahead << " seed " << seed << (chaos ? " chaos" : "");
+  }
+}
+
+template <typename Spec>
+void run_fused_matrix(bool chaos) {
+  for (auto strategy : {gepspark::Strategy::kInMemory,
+                        gepspark::Strategy::kCollectBroadcast}) {
+    for (std::uint64_t seed : {1ull, 2ull}) {
+      run_fused_differential<Spec>(strategy, seed, chaos);
+    }
+  }
+}
+
+TEST(FusedDifferential, FloydWarshallCleanRuns) {
+  run_fused_matrix<gs::FloydWarshallSpec>(false);
+}
+TEST(FusedDifferential, FloydWarshallKilledBatchRecoversBitIdentical) {
+  run_fused_matrix<gs::FloydWarshallSpec>(true);
+}
+TEST(FusedDifferential, GaussianEliminationCleanRuns) {
+  run_fused_matrix<gs::GaussianEliminationSpec>(false);
+}
+TEST(FusedDifferential, GaussianEliminationKilledBatchRecoversBitIdentical) {
+  run_fused_matrix<gs::GaussianEliminationSpec>(true);
+}
+TEST(FusedDifferential, TransitiveClosureCleanRuns) {
+  run_fused_matrix<gs::TransitiveClosureSpec>(false);
+}
+TEST(FusedDifferential, TransitiveClosureKilledBatchRecoversBitIdentical) {
+  run_fused_matrix<gs::TransitiveClosureSpec>(true);
+}
+
+TEST(FusedDifferential, StrassenDataflowMatchesBarrierBitwise) {
+  // The Strassen split is tolerance-identical to the standard path but must
+  // stay bit-identical ACROSS schedulers (the split is tile-local and
+  // deterministic), including recovery under chaos.
+  auto input = gs::testutil::random_input<gs::GaussianEliminationSpec>(48, 21);
+  auto solve = [&](gepspark::ScheduleMode mode, bool strassen, bool chaos) {
+    SparkContext sc(ClusterConfig::local(3, 2));
+    if (chaos) sc.set_chaos_plan(differential_chaos(5));
+    gepspark::SolverOptions opt;
+    opt.block_size = 16;
+    opt.schedule = mode;
+    opt.fused_d = true;
+    opt.kernel.strassen_d = strassen;
+    gepspark::GepDriver<gs::GaussianEliminationSpec> driver(sc, opt);
+    return driver.solve(input);
+  };
+  const auto barrier = solve(gepspark::ScheduleMode::kBarrier, true, false);
+  const auto dataflow = solve(gepspark::ScheduleMode::kDataflow, true, false);
+  EXPECT_TRUE(dataflow == barrier);
+  const auto chaotic = solve(gepspark::ScheduleMode::kDataflow, true, true);
+  EXPECT_TRUE(chaotic == barrier);
+  // ... and stays within tolerance of the non-Strassen answer.
+  const auto standard = solve(gepspark::ScheduleMode::kBarrier, false, false);
+  EXPECT_LE(gs::max_abs_diff(barrier, standard), 1e-6);
+}
+
 TEST(PipelineDifferential, WidestPathDataflowMatchesBarrier) {
   // Fourth spec (full Σ like FW but a different semiring) as a sentinel that
   // nothing in the engine is FW/GE/TC-specific.
