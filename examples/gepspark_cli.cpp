@@ -21,6 +21,7 @@
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "paren/paren_driver.hpp"
+#include "sparklet/storage_level.hpp"
 
 namespace {
 
@@ -47,6 +48,8 @@ struct CliArgs {
   bool race_check = false;         // happens-before race detector
   bool fused_d = false;            // batched fused D phase (panel packing)
   bool strassen_d = false;         // one-level Strassen split (fields only)
+  std::string storage_level = "memory_only";  // persist() level for DP tiles
+  double memory_cap = 0.0;         // executor memory bytes (0 = default)
 };
 
 void usage() {
@@ -68,7 +71,7 @@ void usage() {
       "  --trace <file.json>                 export Chrome trace (schedule "
       "+ spans)\n"
       "  --profile-json <file.json>          export JobProfile "
-      "(gepspark.profile/v2)\n"
+      "(gepspark.profile/v3)\n"
       "  --profile-csv <file.csv>            export JobProfile rows "
       "(job + per-k)\n"
       "  --no-verify                         skip reference validation\n"
@@ -87,12 +90,43 @@ void usage() {
       "  --strassen-d                        one-level Strassen split of the\n"
       "                                      fused trailing update (GE only;\n"
       "                                      tolerance- not bit-identical)\n"
+      "  --storage-level <level>             persist() level for the DP tiles:\n"
+      "                                      memory_only | memory_only_ser |\n"
+      "                                      memory_and_disk |\n"
+      "                                      memory_and_disk_ser | disk_only\n"
+      "                                      (default memory_only)\n"
+      "  --memory-cap <bytes>                executor memory budget, accepts\n"
+      "                                      k/m/g suffixes (e.g. 64m); under\n"
+      "                                      pressure blocks demote down the\n"
+      "                                      storage ladder instead of being\n"
+      "                                      dropped (0 = cluster default)\n"
       "  --chaos <spec>                      seeded fault injection, e.g.\n"
       "      tasks=0.2,kills=2,killp=0.5,fetch=0.2,straggle=0.2,factor=8,\n"
-      "      corrupt=1.0,attempts=6,stageattempts=4,seed=42\n"
+      "      corrupt=1.0,attempts=6,stageattempts=4,spillcorrupt=0.5,\n"
+      "      torn=0.5,enospc=0.5,slowdisk=0.5,slowfactor=4,seed=42\n"
       "      (tasks/fetch/killp/straggle/corrupt are probabilities; kills =\n"
       "      max executor kills; attempts = task retries; factor = straggler\n"
-      "      slowdown)\n");
+      "      slowdown; spillcorrupt/torn corrupt or truncate spill files,\n"
+      "      enospc refuses a node's spill writes, slowdisk slows a node's\n"
+      "      spill device by slowfactor)\n");
+}
+
+// "64m" → 64 MiB, "1g" → 1 GiB, "4096" → bytes.
+double parse_bytes(const std::string& s) {
+  GS_THROW_IF(s.empty(), gs::ConfigError, "empty byte size");
+  std::size_t idx = 0;
+  const double v = std::stod(s, &idx);
+  double mult = 1.0;
+  if (idx < s.size()) {
+    switch (s[idx]) {
+      case 'k': case 'K': mult = 1024.0; break;
+      case 'm': case 'M': mult = 1024.0 * 1024.0; break;
+      case 'g': case 'G': mult = 1024.0 * 1024.0 * 1024.0; break;
+      default:
+        throw gs::ConfigError("bad byte-size suffix: " + s);
+    }
+  }
+  return v * mult;
 }
 
 bool parse(int argc, char** argv, CliArgs& a) {
@@ -147,6 +181,10 @@ bool parse(int argc, char** argv, CliArgs& a) {
       a.fused_d = true;
     } else if (flag == "--strassen-d") {
       a.strassen_d = true;
+    } else if (flag == "--storage-level" && (i + 1) < argc) {
+      a.storage_level = argv[++i];
+    } else if (flag == "--memory-cap" && (i + 1) < argc) {
+      a.memory_cap = parse_bytes(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -182,6 +220,14 @@ sparklet::ChaosPlan parse_chaos(const std::string& spec) {
     else if (key == "factor") plan.straggler_factor = std::stod(val);
     else if (key == "corrupt") plan.checkpoint_corruption_prob = std::stod(val);
     else if (key == "corruptmax") plan.max_block_corruptions = std::stoi(val);
+    else if (key == "spillcorrupt") plan.spill_corruption_prob = std::stod(val);
+    else if (key == "spillcorruptmax") plan.max_spill_corruptions = std::stoi(val);
+    else if (key == "torn") plan.torn_write_prob = std::stod(val);
+    else if (key == "tornmax") plan.max_torn_writes = std::stoi(val);
+    else if (key == "enospc") plan.enospc_prob = std::stod(val);
+    else if (key == "enospcmax") plan.max_enospc_nodes = std::stoi(val);
+    else if (key == "slowdisk") plan.slow_spill_prob = std::stod(val);
+    else if (key == "slowfactor") plan.slow_spill_factor = std::stod(val);
     else if (key == "seed") plan.seed = std::stoull(val);
     else
       throw gs::ConfigError("unknown chaos key: " + key);
@@ -202,6 +248,16 @@ void print_recovery(const sparklet::RecoveryCounters& rc) {
       gs::human_bytes(double(rc.checkpoint_bytes)).c_str(),
       rc.corrupted_blocks, rc.evictions, rc.stragglers_injected,
       rc.speculative_launches, rc.speculative_wins);
+  if (rc.spilled_blocks || rc.spill_readbacks || rc.corrupt_spills ||
+      rc.spill_write_failures) {
+    std::printf(
+        "            %d blocks spilled (%s), %d readbacks (%s), %d corrupt "
+        "spills, %d refused spill writes\n",
+        rc.spilled_blocks, gs::human_bytes(double(rc.spilled_bytes)).c_str(),
+        rc.spill_readbacks,
+        gs::human_bytes(double(rc.spill_readback_bytes)).c_str(),
+        rc.corrupt_spills, rc.spill_write_failures);
+  }
 }
 
 gs::KernelBase parse_base(const std::string& base) {
@@ -243,6 +299,10 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
   opt.validate_schedule = a.validate_schedule;
   opt.fused_d = a.fused_d;
   opt.kernel.strassen_d = a.strassen_d;
+  const auto level = sparklet::parse_storage_level(a.storage_level);
+  GS_THROW_IF(!level, gs::ConfigError,
+              "unknown storage level: " + a.storage_level);
+  opt.storage_level = *level;
 
   obs::JobProfile prof;
   double diff = 0.0;
@@ -342,8 +402,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
-    sparklet::SparkContext sc(
-        sparklet::ClusterConfig::local(args.nodes, args.cores));
+    sparklet::ClusterConfig cfg =
+        sparklet::ClusterConfig::local(args.nodes, args.cores);
+    if (args.memory_cap > 0.0) cfg.executor_mem_bytes = args.memory_cap;
+    sparklet::SparkContext sc(cfg);
     if (!args.chaos.empty()) sc.set_chaos_plan(parse_chaos(args.chaos));
     if (args.speculate) sc.set_speculation({.enabled = true});
     analysis::HbDetector detector;
@@ -371,7 +433,8 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    if (!args.chaos.empty() || args.speculate) {
+    if (!args.chaos.empty() || args.speculate ||
+        args.storage_level != "memory_only") {
       print_recovery(sc.metrics().recovery());
     }
     if (args.race_check) {

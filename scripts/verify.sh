@@ -15,6 +15,12 @@ JOBS=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
+# Spill files from the out-of-core / disk-chaos stages land under this
+# scratch TMPDIR so a failed (or crashed) run never leaves stray spill
+# directories behind.
+SPILL_SCRATCH="$(mktemp -d)"
+trap 'rm -rf "${SPILL_SCRATCH}"' EXIT
+
 run_tree() {
   local dir="$1"
   shift
@@ -66,7 +72,7 @@ profile_smoke() {
 import json, sys
 p = json.load(open(sys.argv[1]))
 strategy = sys.argv[2]
-assert p["schema"] == "gepspark.profile/v2", p["schema"]
+assert p["schema"] == "gepspark.profile/v3", p["schema"]
 if strategy == "im":
     assert p["bytes"]["shuffle"] > 0, p["bytes"]
 else:
@@ -123,8 +129,49 @@ echo "== analysis: race detection on dataflow runs =="
   --chaos tasks=0.05,killp=0.3,kills=1,fetch=0.2,seed=7 --no-verify >/dev/null
 echo "analysis: race detector clean (incl. chaos recovery paths)"
 
+# Storage-level stage: a hard --memory-cap forces the DP tiles down the
+# storage ladder (serialize in place, then spill to real per-node files); the
+# solve must still verify against the reference and actually hit the spill
+# and readback paths. The disk-fault chaos runs then corrupt / truncate spill
+# files, refuse writes (ENOSPC), and slow spill devices while killing an
+# executor — recovery must stay correct under both schedulers.
+storage_stage() {
+  local dir="$1"
+  echo "== out-of-core solve (${dir}) =="
+  local out="${dir}/profile_outofcore.json"
+  TMPDIR="${SPILL_SCRATCH}" "./${dir}/examples/gepspark_cli" \
+    --benchmark fw --n 512 --block 128 --strategy im --kernel iter \
+    --storage-level memory_and_disk --memory-cap 256k \
+    --profile-json "${out}" >/dev/null
+  python3 - "${out}" <<'PY'
+import json, sys
+p = json.load(open(sys.argv[1]))
+r = p["recovery"]
+assert r["spilled_blocks"] > 0, r
+assert r["spill_readbacks"] > 0, r
+print(f"out-of-core: ok — {r['spilled_blocks']} blocks spilled, "
+      f"{r['spill_readbacks']} readbacks")
+PY
+  echo "== disk-fault chaos (${dir}) =="
+  # Dataflow runs with checkpoint-interval 0 so carried tiles live in the
+  # executor store (a checkpoint every iteration would pin them in shared
+  # storage and never exercise the spill tier).
+  for schedule_ckpt in barrier:1 dataflow:0; do
+    TMPDIR="${SPILL_SCRATCH}" "./${dir}/examples/gepspark_cli" \
+      --benchmark ge --n 256 --block 64 --strategy cb \
+      --schedule "${schedule_ckpt%:*}" \
+      --checkpoint-interval "${schedule_ckpt#*:}" --kernel iter \
+      --storage-level memory_and_disk --memory-cap 64k \
+      --chaos "killp=0.3,kills=1,spillcorrupt=1.0,torn=1.0,enospc=0.5,slowdisk=0.5,seed=11" \
+      >/dev/null
+  done
+  echo "storage (${dir}): out-of-core + disk-fault chaos ok"
+}
+storage_stage build
+
 if [[ "${FAST}" == "0" ]]; then
   run_tree build-asan -DGS_SANITIZE=address
+  storage_stage build-asan
   # TSan slows tests 10-20x; the tree also applies tsan.supp (libgomp is
   # un-annotated) through the GS_TEST_ENVIRONMENT property.
   run_tree build-tsan --timeout=900 -DGS_SANITIZE=thread

@@ -50,7 +50,9 @@
 #include "obs/span.hpp"
 #include "semiring/gep_spec.hpp"
 #include "sparklet/context.hpp"
+#include "sparklet/item_codec.hpp"
 #include "sparklet/partitioner.hpp"
+#include "sparklet/storage_level.hpp"
 #include "support/check.hpp"
 #include "support/format.hpp"
 #include "support/rng.hpp"
@@ -59,7 +61,7 @@
 namespace gepspark {
 
 template <gs::GepSpecType Spec>
-class DataflowEngine {
+class DataflowEngine : public sparklet::BlockSource {
  public:
   using T = typename Spec::value_type;
   using TileR = gs::TileRef<T>;
@@ -72,10 +74,15 @@ class DataflowEngine {
         opt_(opt),
         kernels_(std::move(kernels)),
         part_(std::move(part)),
-        store_rdd_(sc_.next_rdd_id()) {}
+        store_rdd_(sc_.next_rdd_id()) {
+    // The engine is the block source for its carried tiles: when the store
+    // demotes one down the storage ladder (serialize / spill), the payload
+    // comes from — and readbacks restore into — the Node table.
+    sc_.set_block_source(store_rdd_, this);
+  }
 
-  ~DataflowEngine() {
-    sc_.executor_store().remove_rdd_blocks(store_rdd_);
+  ~DataflowEngine() override {
+    sc_.clear_block_source(store_rdd_);  // also removes executor-store blocks
     sc_.shared_fs().remove_rdd_blocks(store_rdd_);
   }
 
@@ -129,6 +136,11 @@ class DataflowEngine {
       }
       drop_stale_outs();
     }
+
+    // Registering the final segment's tiles may have demoted some of them
+    // down the storage ladder (releasing the in-memory copy); read them back
+    // before the gather.
+    restore_latest_outs();
 
     std::vector<DPPair> entries;
     entries.reserve(static_cast<std::size_t>(r_) * static_cast<std::size_t>(r_));
@@ -250,6 +262,52 @@ class DataflowEngine {
 
   sparklet::BlockId block_id(gs::TileKey key) const {
     return {store_rdd_, key.i * r_ + key.j};
+  }
+
+  gs::TileKey key_of_block(const sparklet::BlockId& id) const {
+    return {id.partition / r_, id.partition % r_};
+  }
+
+  // --------------------- storage-tier block source ---------------------
+  //
+  // Demotions and readbacks always target the *latest* version of a grid
+  // cell — that is the only version register_carried_blocks tracks in the
+  // executor store, so block ids map 1:1 onto latest_ entries.
+
+  std::optional<std::vector<std::uint8_t>> encode_block(
+      const sparklet::BlockId& id) const override {
+    if (r_ == 0) return std::nullopt;
+    auto it = latest_.find(key_of_block(id));
+    if (it == latest_.end()) return std::nullopt;
+    const Node& nd = nodes_[static_cast<std::size_t>(it->second)];
+    if (nd.out == nullptr) return std::nullopt;
+    sparklet::ByteBuffer raw;
+    sparklet::encode_item(raw, nd.out);
+    return sparklet::pack_payload(std::move(raw));
+  }
+
+  bool restore_block(const sparklet::BlockId& id,
+                     const std::vector<std::uint8_t>& payload) override {
+    if (r_ == 0) return false;
+    auto it = latest_.find(key_of_block(id));
+    if (it == latest_.end()) return false;
+    Node& nd = nodes_[static_cast<std::size_t>(it->second)];
+    if (nd.out != nullptr) return true;  // idempotent (concurrent readback)
+    auto raw = sparklet::unpack_payload(payload);
+    if (!raw) return false;
+    sparklet::DecodeCursor cur{raw->data(), raw->data() + raw->size()};
+    TileR tile;
+    if (!sparklet::decode_item(cur, tile) || cur.remaining() != 0) return false;
+    nd.out = std::move(tile);
+    return true;
+  }
+
+  void release_block(const sparklet::BlockId& id) override {
+    if (r_ == 0) return;
+    auto it = latest_.find(key_of_block(id));
+    if (it == latest_.end()) return;
+    Node& nd = nodes_[static_cast<std::size_t>(it->second)];
+    if (!nd.pinned) nd.out.reset();
   }
 
   // ------------------------- segment execution -------------------------
@@ -540,13 +598,25 @@ class DataflowEngine {
         sc_.metrics().note_partitions_dropped(1);
       }
     }
+    restore_latest_outs();
+  }
+
+  /// Bring every latest tile back in memory: readback first (a demoted copy
+  /// on the serialized or disk tier restores the tile without touching
+  /// lineage), recomputation for anything genuinely lost.
+  void restore_latest_outs() {
     gs::Stopwatch sw;
     int recomputed = 0;
     for (int i = 0; i < r_; ++i) {
       for (int j = 0; j < r_; ++j) {
-        recomputed += recompute_now(latest_node({i, j}));
+        const int id = latest_node({i, j});
+        if (nodes_[static_cast<std::size_t>(id)].out == nullptr) {
+          sc_.try_block_readback(block_id({i, j}));
+        }
+        recomputed += recompute_now(id);
       }
     }
+    sc_.flush_storage_charges();
     if (recomputed > 0) {
       sc_.metrics().note_partitions_recomputed(recomputed);
       sc_.timeline().add_serial(
@@ -596,14 +666,15 @@ class DataflowEngine {
         try {
           sc_.executor_store().put_block(nd.executor, block_id(nd.key),
                                          nd.bytes, /*checksum=*/0,
-                                         /*pinned=*/false);
+                                         /*pinned=*/false, opt_.storage_level);
         } catch (const gs::CapacityError&) {
-          // Executor memory is full even after eviction: the tile simply
-          // goes untracked and will be recomputed next segment (graceful
-          // degradation, like MEMORY_ONLY caching).
+          // Executor memory is full even after demotion down the storage
+          // ladder: the tile goes untracked and will be recomputed next
+          // segment (graceful degradation, like MEMORY_ONLY caching).
         }
       }
     }
+    sc_.flush_storage_charges();
   }
 
   /// Checkpoint boundary: write every carried tile checksummed + pinned into

@@ -525,6 +525,9 @@ class GepDriver {
     // In IM this phase is where the whole iteration's lazy graph executes.
     obs::ScopedSpan phase_span(&sc_.tracer(), obs::SpanLevel::kPhase,
                                "persist", k);
+    // The iteration's table carries the configured storage level, so under a
+    // memory cap its tiles demote (serialize, spill) instead of dropping.
+    dp.node()->set_storage_level(opt_.storage_level);
     const int interval = opt_.checkpoint_interval;
     if (interval > 0 && (k + 1) % interval == 0) {
       dp.checkpoint();

@@ -10,6 +10,7 @@
 #include "grid/matrix.hpp"
 #include "kernels/kernel_config.hpp"
 #include "obs/job_profile.hpp"
+#include "sparklet/storage_level.hpp"
 #include "support/format.hpp"
 
 namespace gepspark {
@@ -86,6 +87,13 @@ struct SolverOptions {
   /// kDataflow (the barrier loop emits no task graphs to check).
   bool validate_schedule = false;
 
+  /// Storage level for the DP table's cached tiles (Spark's persist()).
+  /// Under executor-memory pressure blocks demote down the level's ladder —
+  /// serialize in place, then spill to real per-node files — instead of
+  /// being dropped and recomputed. MEMORY_AND_DISK(+_SER) / DISK_ONLY enable
+  /// out-of-core solves under a --memory-cap smaller than the table.
+  sparklet::StorageLevel storage_level = sparklet::StorageLevel::kMemoryOnly;
+
   void validate() const {
     GS_THROW_IF(block_size == 0, gs::ConfigError, "block_size must be > 0");
     GS_THROW_IF(num_partitions < 0, gs::ConfigError,
@@ -104,10 +112,15 @@ struct SolverOptions {
     if (schedule == ScheduleMode::kDataflow) {
       sched = gs::strfmt(" dataflow(lookahead=%d)", lookahead);
     }
-    return gs::strfmt("%s b=%zu %s%s%s%s", strategy_name(strategy), block_size,
-                      kernel.describe().c_str(), sched.c_str(),
+    std::string storage;
+    if (storage_level != sparklet::StorageLevel::kMemoryOnly) {
+      storage = gs::strfmt(" %s", sparklet::storage_level_name(storage_level));
+    }
+    return gs::strfmt("%s b=%zu %s%s%s%s%s", strategy_name(strategy),
+                      block_size, kernel.describe().c_str(), sched.c_str(),
                       fused_d ? " fused-d" : "",
-                      use_grid_partitioner ? " grid-partitioner" : "");
+                      use_grid_partitioner ? " grid-partitioner" : "",
+                      storage.c_str());
   }
 };
 

@@ -80,6 +80,10 @@ void CriticalPathReport::print(std::ostream& os) const {
       pct(buckets.compute_s), pct(buckets.shuffle_s), pct(buckets.collect_s),
       pct(buckets.broadcast_s), pct(buckets.recovery_s), pct(buckets.stall_s),
       100.0 * attributed_fraction());
+  if (buckets.spill_s > 0.0 || buckets.readback_s > 0.0) {
+    os << gs::strfmt("  storage tiers: spill %.1f%% | readback %.1f%%\n",
+                     pct(buckets.spill_s), pct(buckets.readback_s));
+  }
   if (!top.empty()) {
     os << "  costliest records:\n";
     for (const auto& c : top) {

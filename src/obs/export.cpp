@@ -53,10 +53,11 @@ void write_profile_json(const JobProfile& p, std::ostream& out) {
   out << gs::strfmt(
       "  \"breakdown\": {\"compute_s\": %.9g, \"shuffle_s\": %.9g, "
       "\"collect_s\": %.9g, \"broadcast_s\": %.9g, \"recovery_s\": %.9g, "
-      "\"stall_s\": %.9g, \"attributed_fraction\": %.9g},\n",
+      "\"stall_s\": %.9g, \"spill_s\": %.9g, \"readback_s\": %.9g, "
+      "\"attributed_fraction\": %.9g},\n",
       p.buckets.compute_s, p.buckets.shuffle_s, p.buckets.collect_s,
       p.buckets.broadcast_s, p.buckets.recovery_s, p.buckets.stall_s,
-      p.attributed_fraction());
+      p.buckets.spill_s, p.buckets.readback_s, p.attributed_fraction());
   out << gs::strfmt(
       "  \"phases\": {\"a_s\": %.9g, \"bc_s\": %.9g, \"d_s\": %.9g, "
       "\"prep_s\": %.9g, \"other_s\": %.9g},\n",
@@ -69,10 +70,12 @@ void write_profile_json(const JobProfile& p, std::ostream& out) {
     out << gs::strfmt(
         "    {\"k\": %lld, \"virtual_s\": %.9g, \"compute_s\": %.9g, "
         "\"shuffle_s\": %.9g, \"collect_s\": %.9g, \"broadcast_s\": %.9g, "
-        "\"recovery_s\": %.9g, \"stall_s\": %.9g}",
+        "\"recovery_s\": %.9g, \"stall_s\": %.9g, \"spill_s\": %.9g, "
+        "\"readback_s\": %.9g}",
         static_cast<long long>(it.k), it.virtual_seconds, it.buckets.compute_s,
         it.buckets.shuffle_s, it.buckets.collect_s, it.buckets.broadcast_s,
-        it.buckets.recovery_s, it.buckets.stall_s);
+        it.buckets.recovery_s, it.buckets.stall_s, it.buckets.spill_s,
+        it.buckets.readback_s);
   }
   out << (p.iterations.empty() ? "],\n" : "\n  ],\n");
   const auto& r = p.recovery;
@@ -84,12 +87,17 @@ void write_profile_json(const JobProfile& p, std::ostream& out) {
       "\"checkpoint_blocks\": %d, \"checkpoint_bytes\": %zu, "
       "\"corrupted_blocks\": %d, \"evictions\": %d, "
       "\"stragglers_injected\": %d, \"speculative_launches\": %d, "
-      "\"speculative_wins\": %d},\n",
+      "\"speculative_wins\": %d, \"spilled_blocks\": %d, "
+      "\"spilled_bytes\": %zu, \"spill_readbacks\": %d, "
+      "\"spill_readback_bytes\": %zu, \"corrupt_spills\": %d, "
+      "\"spill_write_failures\": %d},\n",
       r.task_failures, r.task_retries, r.executor_kills, r.tasks_rescheduled,
       r.partitions_dropped, r.partitions_recomputed, r.fetch_failures,
       r.stage_resubmissions, r.checkpoint_blocks, r.checkpoint_bytes,
       r.corrupted_blocks, r.evictions, r.stragglers_injected,
-      r.speculative_launches, r.speculative_wins);
+      r.speculative_launches, r.speculative_wins, r.spilled_blocks,
+      r.spilled_bytes, r.spill_readbacks, r.spill_readback_bytes,
+      r.corrupt_spills, r.spill_write_failures);
   out << gs::strfmt("  \"spans\": {\"recorded\": %zu, \"dropped\": %zu}\n",
                     p.spans_recorded, p.spans_dropped);
   out << "}\n";
@@ -103,17 +111,20 @@ void write_profile_json(const JobProfile& profile, const std::string& path) {
 void write_profile_csv(const JobProfile& p, std::ostream& out) {
   out << kProfileCsvHeader << "\n";
   out << gs::strfmt(
-      "job,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%zu,%zu,%zu,%d,%d\n",
+      "job,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%zu,%zu,%zu,"
+      "%d,%d\n",
       p.wall_seconds, p.virtual_seconds, p.buckets.compute_s,
       p.buckets.shuffle_s, p.buckets.collect_s, p.buckets.broadcast_s,
-      p.buckets.recovery_s, p.buckets.stall_s, p.shuffle_bytes,
-      p.collect_bytes, p.broadcast_bytes, p.stages, p.tasks);
+      p.buckets.recovery_s, p.buckets.stall_s, p.buckets.spill_s,
+      p.buckets.readback_s, p.shuffle_bytes, p.collect_bytes,
+      p.broadcast_bytes, p.stages, p.tasks);
   for (const auto& it : p.iterations) {
     out << gs::strfmt(
-        "iteration,%lld,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,,,,,\n",
+        "iteration,%lld,,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,,,,,\n",
         static_cast<long long>(it.k), it.virtual_seconds, it.buckets.compute_s,
         it.buckets.shuffle_s, it.buckets.collect_s, it.buckets.broadcast_s,
-        it.buckets.recovery_s, it.buckets.stall_s);
+        it.buckets.recovery_s, it.buckets.stall_s, it.buckets.spill_s,
+        it.buckets.readback_s);
   }
 }
 

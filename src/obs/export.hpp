@@ -1,12 +1,12 @@
 #pragma once
 // Profile / trace exporters with stable schemas.
 //
-// JSON: one object, schema tag "gepspark.profile/v2" (v1 + the dataflow
-// "stall" bucket). Key set and nesting are fixed; additions bump the schema
-// version. CSV: fixed 15-column header
-// (see kProfileCsvHeader), one "job" row plus one "iteration" row per traced
-// iteration. The verify.sh smoke check and the golden-schema tests parse
-// these — change them only with a version bump.
+// JSON: one object, schema tag "gepspark.profile/v3" (v2 + the storage-tier
+// "spill"/"readback" buckets and spill recovery counters). Key set and
+// nesting are fixed; additions bump the schema version. CSV: fixed 17-column
+// header (see kProfileCsvHeader), one "job" row plus one "iteration" row per
+// traced iteration. The verify.sh smoke check and the golden-schema tests
+// parse these — change them only with a version bump.
 //
 // Chrome trace: the VirtualTimeline's executor/slot slices plus, when a
 // tracer is supplied, its span hierarchy — driver spans (virtual time) on
@@ -22,11 +22,11 @@
 
 namespace obs {
 
-inline constexpr const char* kProfileJsonSchema = "gepspark.profile/v2";
+inline constexpr const char* kProfileJsonSchema = "gepspark.profile/v3";
 inline constexpr const char* kProfileCsvHeader =
     "row,k,wall_s,virtual_s,compute_s,shuffle_s,collect_s,broadcast_s,"
-    "recovery_s,stall_s,shuffle_bytes,collect_bytes,broadcast_bytes,stages,"
-    "tasks";
+    "recovery_s,stall_s,spill_s,readback_s,shuffle_bytes,collect_bytes,"
+    "broadcast_bytes,stages,tasks";
 
 void write_profile_json(const JobProfile& profile, std::ostream& out);
 void write_profile_json(const JobProfile& profile, const std::string& path);

@@ -16,6 +16,8 @@ double& PhaseBuckets::of(sparklet::TimeCategory category) {
     case sparklet::TimeCategory::kBroadcast: return broadcast_s;
     case sparklet::TimeCategory::kRecovery: return recovery_s;
     case sparklet::TimeCategory::kStall: return stall_s;
+    case sparklet::TimeCategory::kSpill: return spill_s;
+    case sparklet::TimeCategory::kReadback: return readback_s;
   }
   return compute_s;
 }
@@ -179,6 +181,10 @@ void JobProfile::print(std::ostream& os) const {
       pct(buckets.compute_s), pct(buckets.shuffle_s), pct(buckets.collect_s),
       pct(buckets.broadcast_s), pct(buckets.recovery_s), pct(buckets.stall_s),
       100.0 * attributed_fraction());
+  if (buckets.spill_s > 0.0 || buckets.readback_s > 0.0) {
+    os << gs::strfmt("  storage tiers: spill %.1f%% | readback %.1f%%\n",
+                     pct(buckets.spill_s), pct(buckets.readback_s));
+  }
   if (phases.total() > 0.0) {
     auto cpct = [&](double s) {
       return phases.total() > 0.0 ? 100.0 * s / phases.total() : 0.0;
@@ -207,6 +213,17 @@ void JobProfile::print(std::ostream& os) const {
         recovery.task_failures, recovery.executor_kills,
         recovery.fetch_failures, recovery.partitions_recomputed,
         recovery.checkpoint_blocks);
+  }
+  if (recovery.spilled_blocks || recovery.spill_readbacks ||
+      recovery.corrupt_spills || recovery.spill_write_failures) {
+    os << gs::strfmt(
+        "  storage: %d blocks spilled (%s), %d readbacks (%s), %d corrupt "
+        "spills, %d refused spill writes\n",
+        recovery.spilled_blocks,
+        gs::human_bytes(double(recovery.spilled_bytes)).c_str(),
+        recovery.spill_readbacks,
+        gs::human_bytes(double(recovery.spill_readback_bytes)).c_str(),
+        recovery.corrupt_spills, recovery.spill_write_failures);
   }
 }
 

@@ -33,10 +33,12 @@ struct PhaseBuckets {
   double broadcast_s = 0.0;
   double recovery_s = 0.0;
   double stall_s = 0.0;  ///< dataflow ready-wait (lanes idle on dependencies)
+  double spill_s = 0.0;     ///< storage-ladder demotion writes to disk
+  double readback_s = 0.0;  ///< reloading demoted blocks (decode / disk read)
 
   double total() const {
     return compute_s + shuffle_s + collect_s + broadcast_s + recovery_s +
-           stall_s;
+           stall_s + spill_s + readback_s;
   }
   double& of(sparklet::TimeCategory category);
   double of(sparklet::TimeCategory category) const;

@@ -48,6 +48,11 @@ void BlockStore::release(int node, std::size_t bytes) {
 void BlockStore::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& u : used_) u = 0;
+  if (hooks_.spill_remove) {
+    for (const auto& b : blocks_) {
+      if (b.tier == StorageTier::kDisk) hooks_.spill_remove(b.id, b.spill_node);
+    }
+  }
   blocks_.clear();
 }
 
@@ -68,62 +73,265 @@ std::size_t BlockStore::total_written() const {
   return total_written_;
 }
 
+std::size_t BlockStore::mem_charge(const BlockInfo& b) {
+  switch (b.tier) {
+    case StorageTier::kDeserialized: return b.bytes;
+    case StorageTier::kSerialized: return b.payload.size();
+    case StorageTier::kDisk: return 0;
+  }
+  return 0;
+}
+
+void BlockStore::erase_block_locked(std::vector<BlockInfo>::iterator it) {
+  auto& u = used_[static_cast<std::size_t>(it->node)];
+  const std::size_t charge = mem_charge(*it);
+  u = (charge >= u) ? 0 : u - charge;
+  if (it->tier == StorageTier::kDisk && hooks_.spill_remove) {
+    hooks_.spill_remove(it->id, it->spill_node);
+  }
+  blocks_.erase(it);
+}
+
+bool BlockStore::try_spill_locked(BlockInfo& b,
+                                  std::vector<StorageEvent>& events) {
+  if (!hooks_.spill_write) return false;
+  const int snode = hooks_.spill_node_of ? hooks_.spill_node_of(b.node) : b.node;
+  if (!hooks_.spill_write(b.id, snode, b.payload)) {
+    events.push_back(
+        {StorageEvent::kSpillRefused, b.id, snode, b.payload.size()});
+    return false;
+  }
+  auto& u = used_[static_cast<std::size_t>(b.node)];
+  const std::size_t freed = b.payload.size();
+  u = (freed >= u) ? 0 : u - freed;
+  b.disk_bytes = b.payload.size();
+  b.payload.clear();
+  b.payload.shrink_to_fit();
+  b.tier = StorageTier::kDisk;
+  b.spill_node = snode;
+  events.push_back({StorageEvent::kSpillWrite, b.id, snode, b.disk_bytes});
+  return true;
+}
+
+bool BlockStore::shrink_node_locked(int node, std::vector<BlockId>& evicted,
+                                    std::vector<StorageEvent>& events) {
+  auto& u = used_[static_cast<std::size_t>(node)];
+  // Ids that can neither demote further nor be evicted this round.
+  std::vector<BlockId> stuck;
+  auto is_stuck = [&](const BlockId& id) {
+    return std::find(stuck.begin(), stuck.end(), id) != stuck.end();
+  };
+  while (static_cast<double>(u) > spec_.capacity_bytes) {
+    // Least-recently-written victim among this node's unpinned blocks that
+    // still hold memory. Disk-tier blocks charge nothing and are skipped.
+    auto victim = blocks_.end();
+    for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+      if (it->node != node || it->pinned || mem_charge(*it) == 0) continue;
+      if (is_stuck(it->id)) continue;
+      if (victim == blocks_.end() || it->stamp < victim->stamp) victim = it;
+    }
+    if (victim == blocks_.end()) return false;
+
+    // Rung 1: deserialized → serialized. Lossless, so it bypasses the
+    // eviction filter — a protected lineage block may still compact.
+    if (victim->tier == StorageTier::kDeserialized &&
+        level_allows_serialized_tier(victim->level) && hooks_.encode &&
+        hooks_.restore && hooks_.release) {
+      if (auto payload = hooks_.encode(victim->id)) {
+        hooks_.release(victim->id);
+        const std::size_t freed = victim->bytes;
+        u = (freed >= u) ? 0 : u - freed;
+        u += payload->size();
+        victim->payload = std::move(*payload);
+        victim->tier = StorageTier::kSerialized;
+        events.push_back({StorageEvent::kDemoteToSer, victim->id, node,
+                          victim->payload.size()});
+        continue;
+      }
+      // No codec for this block: fall through to the lossy path.
+    }
+
+    // Rung 2: serialized → disk. Also lossless; a refused spill (ENOSPC,
+    // fs error) falls through to the lossy path.
+    if (victim->tier == StorageTier::kSerialized &&
+        level_allows_disk_tier(victim->level)) {
+      if (try_spill_locked(*victim, events)) continue;
+    }
+
+    // Lossy path: eviction. The filter protects the running job's lineage;
+    // a protected block that cannot demote is simply stuck.
+    if (evict_filter_ && !evict_filter_(victim->id)) {
+      stuck.push_back(victim->id);
+      continue;
+    }
+    const std::size_t charge = mem_charge(*victim);
+    u = (charge >= u) ? 0 : u - charge;
+    evicted.push_back(victim->id);
+    blocks_.erase(victim);
+    ++evictions_;
+  }
+  return true;
+}
+
+gs::CapacityError BlockStore::capacity_error_locked(
+    int node, std::size_t requested) const {
+  const auto& u = used_[static_cast<std::size_t>(node)];
+  int n_deser = 0, n_ser = 0, n_disk = 0, n_protected = 0;
+  std::size_t b_deser = 0, b_ser = 0, b_disk = 0, pinned_bytes = 0;
+  for (const auto& b : blocks_) {
+    if (b.node != node) continue;
+    switch (b.tier) {
+      case StorageTier::kDeserialized: ++n_deser; b_deser += b.bytes; break;
+      case StorageTier::kSerialized: ++n_ser; b_ser += b.payload.size(); break;
+      case StorageTier::kDisk: ++n_disk; b_disk += b.disk_bytes; break;
+    }
+    if (b.pinned) pinned_bytes += mem_charge(b);
+    if (!b.pinned && evict_filter_ && !evict_filter_(b.id)) ++n_protected;
+  }
+  return gs::CapacityError(gs::strfmt(
+      "%s on node %d overflows and no block is evictable: %s used + %s "
+      "requested > %s capacity [tiers: %d deserialized (%s), %d serialized "
+      "(%s), %d on disk (%s); pinned %s; %d filter-protected]",
+      spec_.kind.c_str(), node, gs::human_bytes(double(u)).c_str(),
+      gs::human_bytes(double(requested)).c_str(),
+      gs::human_bytes(spec_.capacity_bytes).c_str(), n_deser,
+      gs::human_bytes(double(b_deser)).c_str(), n_ser,
+      gs::human_bytes(double(b_ser)).c_str(), n_disk,
+      gs::human_bytes(double(b_disk)).c_str(),
+      gs::human_bytes(double(pinned_bytes)).c_str(), n_protected));
+}
+
 double BlockStore::put_block(int node, const BlockId& id, std::size_t bytes,
-                             std::uint64_t checksum, bool pinned) {
+                             std::uint64_t checksum, bool pinned,
+                             StorageLevel level) {
   GS_CHECK(node >= 0 && node < num_nodes());
   std::vector<BlockId> evicted;
+  std::vector<StorageEvent> events;
+  std::optional<gs::CapacityError> capacity_error;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Overwrite semantics: drop the old registration first.
+    // Overwrite semantics: drop the old registration (and spill file) first.
     for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
       if (it->id == id) {
-        auto& old_u = used_[static_cast<std::size_t>(it->node)];
-        old_u = (it->bytes >= old_u) ? 0 : old_u - it->bytes;
-        blocks_.erase(it);
+        erase_block_locked(it);
         break;
       }
     }
-    auto& u = used_[static_cast<std::size_t>(node)];
-    // Capacity pressure: evict least-recently-written unpinned blocks that
-    // the filter allows, instead of failing outright — they are recomputable
-    // from lineage.
-    while (static_cast<double>(u) + static_cast<double>(bytes) >
-           spec_.capacity_bytes) {
-      auto victim = blocks_.end();
-      for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
-        if (it->node != node || it->pinned) continue;
-        if (evict_filter_ && !evict_filter_(it->id)) continue;
-        if (victim == blocks_.end() || it->stamp < victim->stamp) victim = it;
+    BlockInfo info;
+    info.id = id;
+    info.node = node;
+    info.bytes = bytes;
+    info.checksum = checksum;
+    info.pinned = pinned;
+    info.stamp = ++clock_;
+    info.level = level;
+    // _SER levels serialize at put; without a codec they degrade to
+    // deserialized residency (same graceful fallback as eviction).
+    if (level_serializes_at_put(level) && hooks_.encode && hooks_.restore &&
+        hooks_.release) {
+      if (auto payload = hooks_.encode(id)) {
+        hooks_.release(id);
+        info.payload = std::move(*payload);
+        info.tier = StorageTier::kSerialized;
       }
-      if (victim == blocks_.end()) {
-        throw gs::CapacityError(gs::strfmt(
-            "%s on node %d overflows and no block is evictable: %s used + %s "
-            "requested > %s capacity",
-            spec_.kind.c_str(), node, gs::human_bytes(double(u)).c_str(),
-            gs::human_bytes(double(bytes)).c_str(),
-            gs::human_bytes(spec_.capacity_bytes).c_str()));
-      }
-      u = (victim->bytes >= u) ? 0 : u - victim->bytes;
-      evicted.push_back(victim->id);
-      blocks_.erase(victim);
-      ++evictions_;
     }
-    u += bytes;
-    auto& p = peak_[static_cast<std::size_t>(node)];
-    if (u > p) p = u;
-    total_written_ += bytes;
-    blocks_.push_back({id, node, bytes, checksum, pinned, ++clock_});
+    blocks_.push_back(std::move(info));
+    {
+      BlockInfo& fresh = blocks_.back();
+      // Charge the resident tier first so a DISK_ONLY spill's refund of
+      // payload.size() inside try_spill_locked nets to zero instead of
+      // draining other blocks' charges out of used_.
+      used_[static_cast<std::size_t>(node)] += mem_charge(fresh);
+      if (level == StorageLevel::kDiskOnly &&
+          fresh.tier == StorageTier::kSerialized) {
+        try_spill_locked(fresh, events);  // failure → stays serialized
+      }
+    }
+    // Capacity pressure: walk blocks down their demotion ladders (possibly
+    // including the block just put), evicting only when a ladder ends.
+    if (!shrink_node_locked(node, evicted, events)) {
+      // Leave the store consistent: unregister the incoming block. The
+      // events that led here (refused spills, demotions) still happened and
+      // are delivered below before the failure is reported.
+      for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+        if (it->id == id) {
+          erase_block_locked(it);
+          break;
+        }
+      }
+      capacity_error = capacity_error_locked(node, bytes);
+    } else {
+      total_written_ += bytes;  // failed puts never count
+      auto& u = used_[static_cast<std::size_t>(node)];
+      auto& p = peak_[static_cast<std::size_t>(node)];
+      if (u > p) p = u;
+    }
   }
   // Hooks run outside the lock: they drop the owning RDD's partition, which
   // must never re-enter this store's mutex.
   if (evict_hook_) {
     for (const auto& b : evicted) evict_hook_(b);
   }
+  if (hooks_.observer) {
+    for (const auto& ev : events) hooks_.observer(ev);
+  }
   if (access_observer_) {
     for (const auto& b : evicted) access_observer_(b, /*is_write=*/true);
-    access_observer_(id, /*is_write=*/true);
+    if (!capacity_error) access_observer_(id, /*is_write=*/true);
   }
+  if (capacity_error) throw *capacity_error;
   return spec_.seek_s + static_cast<double>(bytes) / spec_.write_Bps;
+}
+
+BlockStore::Readback BlockStore::readback_block(const BlockId& id) {
+  std::vector<StorageEvent> events;
+  Readback result = Readback::kNoBlock;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blocks_.begin();
+    for (; it != blocks_.end(); ++it) {
+      if (it->id == id) break;
+    }
+    if (it == blocks_.end()) {
+      result = Readback::kNoBlock;
+    } else if (it->tier == StorageTier::kDeserialized) {
+      result = Readback::kOk;  // owner copy is live by definition
+    } else if (it->tier == StorageTier::kSerialized) {
+      if (hooks_.restore && hooks_.restore(it->id, it->payload)) {
+        events.push_back(
+            {StorageEvent::kReadbackMem, id, it->node, it->payload.size()});
+        result = Readback::kOk;
+      } else {
+        events.push_back(
+            {StorageEvent::kCorruptSpill, id, it->node, it->payload.size()});
+        erase_block_locked(it);
+        result = Readback::kFailed;
+      }
+    } else {  // disk
+      auto payload = hooks_.spill_read
+                         ? hooks_.spill_read(it->id, it->spill_node)
+                         : std::nullopt;
+      if (payload && hooks_.restore && hooks_.restore(it->id, *payload)) {
+        events.push_back(
+            {StorageEvent::kReadbackDisk, id, it->spill_node, payload->size()});
+        result = Readback::kOk;
+      } else {
+        // Corrupt, torn, or missing spill file: drop the block so the caller
+        // heals via lineage recomputation — never silent wrong data.
+        events.push_back(
+            {StorageEvent::kCorruptSpill, id, it->spill_node, it->disk_bytes});
+        erase_block_locked(it);
+        result = Readback::kFailed;
+      }
+    }
+  }
+  if (hooks_.observer) {
+    for (const auto& ev : events) hooks_.observer(ev);
+  }
+  // A readback is semantically a *read* of the block (the reinstall is an
+  // idempotent internal detail), so the race detector sees it as one.
+  if (access_observer_) access_observer_(id, /*is_write=*/false);
+  return result;
 }
 
 bool BlockStore::has_block(const BlockId& id) const {
@@ -158,9 +366,7 @@ void BlockStore::remove_block(const BlockId& id) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
     if (it->id == id) {
-      auto& u = used_[static_cast<std::size_t>(it->node)];
-      u = (it->bytes >= u) ? 0 : u - it->bytes;
-      blocks_.erase(it);
+      erase_block_locked(it);
       return;
     }
   }
@@ -170,14 +376,12 @@ void BlockStore::remove_rdd_blocks(int rdd) {
   std::vector<BlockId> removed;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto it = blocks_.begin(); it != blocks_.end();) {
-      if (it->id.rdd == rdd) {
-        auto& u = used_[static_cast<std::size_t>(it->node)];
-        u = (it->bytes >= u) ? 0 : u - it->bytes;
-        if (access_observer_) removed.push_back(it->id);
-        it = blocks_.erase(it);
+    for (std::size_t i = 0; i < blocks_.size();) {
+      if (blocks_[i].id.rdd == rdd) {
+        if (access_observer_) removed.push_back(blocks_[i].id);
+        erase_block_locked(blocks_.begin() + static_cast<std::ptrdiff_t>(i));
       } else {
-        ++it;
+        ++i;
       }
     }
   }
@@ -210,6 +414,25 @@ std::size_t BlockStore::num_blocks() const {
 int BlockStore::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+std::optional<StorageTier> BlockStore::block_tier(const BlockId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : blocks_) {
+    if (b.id == id) return b.tier;
+  }
+  return std::nullopt;
+}
+
+BlockStore::TierUsage BlockStore::tier_usage(int node, StorageTier tier) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TierUsage out;
+  for (const auto& b : blocks_) {
+    if (b.node != node || b.tier != tier) continue;
+    ++out.blocks;
+    out.bytes += tier == StorageTier::kDisk ? b.disk_bytes : mem_charge(b);
+  }
+  return out;
 }
 
 }  // namespace sparklet

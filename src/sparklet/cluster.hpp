@@ -54,6 +54,13 @@ struct ClusterConfig {
   NetworkSpec network;
   DiskSpec local_disk = DiskSpec::ssd();   ///< shuffle staging
   DiskSpec shared_fs = DiskSpec::ssd();    ///< CB's shared persistent storage
+  /// Device behind the storage-level spill tier (demoted cache blocks).
+  /// Virtual-time charges use these rates; the payloads are real files.
+  DiskSpec spill_disk = DiskSpec::ssd();
+  /// Root for spill files: one subdirectory per *physical node* (so spill
+  /// files survive executor kills, like Spark's external shuffle service).
+  /// Empty → a unique temp dir owned (and removed) by the SparkContext.
+  std::string spill_dir;
 
   // --- Spark settings (paper §V-B) ---
   int executors_per_node = 1;

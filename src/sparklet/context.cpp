@@ -66,8 +66,10 @@ SparkContext::SparkContext(ClusterConfig cfg)
       local_disks_(cfg_.local_disk, cfg_.num_nodes),
       shared_fs_(cfg_.shared_fs, 1),
       executor_store_(executor_mem_spec(cfg_), cfg_.num_executors()),
-      pool_(physical_pool_size(cfg_)) {
+      pool_(physical_pool_size(cfg_)),
+      spill_store_(cfg_.spill_dir) {
   cfg_.validate();
+  node_spill_factor_.assign(static_cast<std::size_t>(cfg_.num_nodes), 1.0);
   // Driver-side spans stamp the virtual clock; safe because only the driver
   // thread advances it.
   tracer_.set_virtual_clock([this] { return timeline_.now(); });
@@ -80,6 +82,28 @@ SparkContext::SparkContext(ClusterConfig cfg)
   });
   executor_store_.set_evict_hook(
       [this](const BlockId& b) { on_block_evicted(b); });
+  // Tier ladder delegates: encode/restore/release route to the owning RDD
+  // node (or a registered BlockSource); the disk tier lands in spill_store_.
+  BlockStore::TierHooks th;
+  th.encode = [this](const BlockId& id) { return source_encode(id); };
+  th.restore = [this](const BlockId& id,
+                      const std::vector<std::uint8_t>& payload) {
+    return source_restore(id, payload);
+  };
+  th.release = [this](const BlockId& id) { source_release(id); };
+  th.spill_write = [this](const BlockId& id, int node,
+                          const std::vector<std::uint8_t>& payload) {
+    return spill_write(id, node, payload);
+  };
+  th.spill_read = [this](const BlockId& id, int node) {
+    return spill_read(id, node);
+  };
+  th.spill_remove = [this](const BlockId& id, int node) {
+    spill_store_.remove(id, node);
+  };
+  th.spill_node_of = [this](int executor) { return node_of_executor(executor); };
+  th.observer = [this](const StorageEvent& ev) { on_storage_event(ev); };
+  executor_store_.set_tier_hooks(std::move(th));
 }
 
 SparkContext::~SparkContext() = default;
@@ -97,6 +121,35 @@ void SparkContext::set_chaos_plan(const ChaosPlan& plan) {
   chaos_ = plan;
   executor_kills_done_ = 0;
   block_corruptions_done_ = 0;
+  spill_corruptions_done_ = 0;
+  torn_writes_done_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    spill_attempts_.clear();
+  }
+  // Node-level disk faults are decided once per plan (pure in seed + node),
+  // so every spill on a node sees the same device for the whole run.
+  spill_store_.clear_enospc();
+  node_spill_factor_.assign(static_cast<std::size_t>(cfg_.num_nodes), 1.0);
+  int full_nodes = 0;
+  for (int node = 0; node < cfg_.num_nodes; ++node) {
+    if (chaos_.enospc_prob > 0.0 && full_nodes < chaos_.max_enospc_nodes) {
+      gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosEnospc,
+                                   static_cast<std::uint64_t>(node), 0, 0));
+      if (rng.bernoulli(chaos_.enospc_prob)) {
+        spill_store_.set_enospc(node, true);
+        ++full_nodes;
+      }
+    }
+    if (chaos_.slow_spill_prob > 0.0) {
+      gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosSlowSpill,
+                                   static_cast<std::uint64_t>(node), 0, 0));
+      if (rng.bernoulli(chaos_.slow_spill_prob)) {
+        node_spill_factor_[static_cast<std::size_t>(node)] =
+            chaos_.slow_spill_factor;
+      }
+    }
+  }
 }
 
 void SparkContext::set_race_detector(analysis::HbDetector* detector) {
@@ -152,14 +205,17 @@ void SparkContext::register_node_blocks(RddBase& node) {
     try {
       executor_store_.put_block(executor_of(p), {node.id(), p},
                                 node.partition_bytes(p),
-                                node.partition_checksum(p), /*pinned=*/false);
+                                node.partition_checksum(p), /*pinned=*/false,
+                                node.storage_level());
     } catch (const gs::CapacityError&) {
-      // Even after evicting every unprotected block the executor is full —
-      // the running job's own working set exceeds memory. Degrade instead of
-      // failing: the partition simply goes untracked by the cache model
-      // (Spark's MEMORY_ONLY drops what doesn't fit and recomputes later).
+      // Even after demoting down the tier ladder and evicting every
+      // unprotected block the executor is full — the running job's own
+      // working set exceeds memory. Degrade instead of failing: the
+      // partition simply goes untracked by the cache model (Spark's
+      // MEMORY_ONLY drops what doesn't fit and recomputes later).
     }
   }
+  flush_storage_charges();
 }
 
 void SparkContext::drop_executor_blocks(int executor,
@@ -167,6 +223,24 @@ void SparkContext::drop_executor_blocks(int executor,
   int dropped = 0;
   for (const BlockId& b : executor_store_.blocks_on(executor)) {
     if (running_node != nullptr && b.rdd == running_node->id()) continue;
+    if (executor_store_.block_tier(b) == StorageTier::kDisk) {
+      // The spill file lives in a per-physical-node directory and survives
+      // the executor (like Spark's external shuffle service). Only a
+      // transient in-memory copy is lost; the next reader restores from disk.
+      auto it = live_rdds_.find(b.rdd);
+      if (it != live_rdds_.end()) {
+        if (it->second->materialized() && !it->second->checkpointed() &&
+            it->second->partition_available(b.partition)) {
+          it->second->drop_partition(b.partition);
+        }
+      } else {
+        // Block-source blocks (dataflow carried tiles) lose their transient
+        // copy the same way; the owner heals via readback or recompute.
+        auto s = block_sources_.find(b.rdd);
+        if (s != block_sources_.end()) s->second->release_block(b);
+      }
+      continue;
+    }
     auto it = live_rdds_.find(b.rdd);
     if (it != live_rdds_.end()) {
       RddBase* nd = it->second;
@@ -576,6 +650,7 @@ void SparkContext::run_tasks_internal(RddBase& node,
     // lineage when (and only when) those partitions are next read.
     drop_executor_blocks(kill_victim, &node);
   }
+  flush_storage_charges();  // readbacks performed by the task bodies above
 }
 
 TaskGraphResult SparkContext::run_task_graph(
@@ -836,6 +911,7 @@ TaskGraphResult SparkContext::run_task_graph(
     timeline_.add_marker(gs::strfmt("executor-%d-kill", kill_victim));
     drop_executor_blocks(kill_victim, nullptr);
   }
+  flush_storage_charges();  // readbacks performed by the task bodies above
 
   result.completion_order = std::move(order);
   result.kill_victim = kill_victim;
@@ -901,6 +977,183 @@ void SparkContext::checkpoint_node(RddBase& node) {
   // The data now lives pinned in shared storage; executor kills and memory
   // pressure can no longer lose it, so its cached-block entries go away.
   executor_store_.remove_rdd_blocks(node.id());
+  flush_storage_charges();
+}
+
+// ---------------- storage-level tier plumbing ----------------
+//
+// encode/restore/release run inside the executor store's mutex, so they must
+// never call back into the store. They consult live_rdds_/block_sources_
+// without a lock: both maps are mutated only driver-side, and the driver is
+// parked (parallel_for / cv wait) whenever task threads can reach here.
+
+std::optional<std::vector<std::uint8_t>> SparkContext::source_encode(
+    const BlockId& id) {
+  auto s = block_sources_.find(id.rdd);
+  if (s != block_sources_.end()) return s->second->encode_block(id);
+  auto it = live_rdds_.find(id.rdd);
+  if (it == live_rdds_.end()) return std::nullopt;
+  return it->second->encode_partition(id.partition);
+}
+
+bool SparkContext::source_restore(const BlockId& id,
+                                  const std::vector<std::uint8_t>& payload) {
+  auto s = block_sources_.find(id.rdd);
+  if (s != block_sources_.end()) return s->second->restore_block(id, payload);
+  auto it = live_rdds_.find(id.rdd);
+  if (it == live_rdds_.end()) return false;
+  return it->second->restore_partition(id.partition, payload);
+}
+
+void SparkContext::source_release(const BlockId& id) {
+  auto s = block_sources_.find(id.rdd);
+  if (s != block_sources_.end()) {
+    s->second->release_block(id);
+    return;
+  }
+  auto it = live_rdds_.find(id.rdd);
+  if (it != live_rdds_.end()) it->second->release_partition_data(id.partition);
+}
+
+bool SparkContext::spill_write(const BlockId& id, int node,
+                               const std::vector<std::uint8_t>& payload) {
+  std::uint64_t attempt = 0;
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.rdd)) << 32) |
+        static_cast<std::uint32_t>(id.partition);
+    attempt = spill_attempts_[key]++;
+  }
+  if (!spill_store_.write(id, node, payload)) return false;
+  // Budgeted disk faults, applied at write time so each decision is pure in
+  // (seed, tag, rdd, partition, spill attempt) — never in interleaving.
+  bool corrupt = false, torn = false;
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    if (chaos_.spill_corruption_prob > 0.0 &&
+        spill_corruptions_done_ < chaos_.max_spill_corruptions) {
+      gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosSpillCorrupt,
+                                   static_cast<std::uint64_t>(id.rdd),
+                                   static_cast<std::uint64_t>(id.partition),
+                                   attempt));
+      if (rng.bernoulli(chaos_.spill_corruption_prob)) {
+        ++spill_corruptions_done_;
+        corrupt = true;
+      }
+    }
+    if (!corrupt && chaos_.torn_write_prob > 0.0 &&
+        torn_writes_done_ < chaos_.max_torn_writes) {
+      gs::Rng rng(chaos_event_seed(chaos_.seed, kChaosTornWrite,
+                                   static_cast<std::uint64_t>(id.rdd),
+                                   static_cast<std::uint64_t>(id.partition),
+                                   attempt));
+      if (rng.bernoulli(chaos_.torn_write_prob)) {
+        ++torn_writes_done_;
+        torn = true;
+      }
+    }
+  }
+  if (corrupt) spill_store_.corrupt_file(id, node);
+  if (torn) spill_store_.truncate_file(id, node);
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> SparkContext::spill_read(
+    const BlockId& id, int node) {
+  return spill_store_.read(id, node);
+}
+
+void SparkContext::on_storage_event(const StorageEvent& ev) {
+  const double factor =
+      (ev.node >= 0 &&
+       static_cast<std::size_t>(ev.node) < node_spill_factor_.size())
+          ? node_spill_factor_[static_cast<std::size_t>(ev.node)]
+          : 1.0;
+  switch (ev.kind) {
+    case StorageEvent::kDemoteToSer:
+      // Memory-to-memory re-encode; cost is folded into the eventual spill
+      // or readback, matching Spark's free unroll/serialize accounting.
+      break;
+    case StorageEvent::kSpillWrite: {
+      metrics_.note_spill(ev.bytes);
+      const double s = (cfg_.spill_disk.seek_s +
+                        static_cast<double>(ev.bytes) /
+                            cfg_.spill_disk.write_Bps) *
+                       factor;
+      std::lock_guard<std::mutex> lock(storage_mu_);
+      pending_spill_s_ += s;
+      ++pending_spills_;
+      break;
+    }
+    case StorageEvent::kSpillRefused:
+      metrics_.note_spill_write_failure();
+      break;
+    case StorageEvent::kReadbackMem: {
+      metrics_.note_spill_readback(ev.bytes);
+      // Decode from the in-memory serialized tier at memory speed.
+      const double s = static_cast<double>(ev.bytes) / 30.0e9;
+      std::lock_guard<std::mutex> lock(storage_mu_);
+      pending_readback_s_ += s;
+      ++pending_readbacks_;
+      break;
+    }
+    case StorageEvent::kReadbackDisk: {
+      metrics_.note_spill_readback(ev.bytes);
+      const double s = (cfg_.spill_disk.seek_s +
+                        static_cast<double>(ev.bytes) /
+                            cfg_.spill_disk.read_Bps) *
+                       factor;
+      std::lock_guard<std::mutex> lock(storage_mu_);
+      pending_readback_s_ += s;
+      ++pending_readbacks_;
+      break;
+    }
+    case StorageEvent::kCorruptSpill: {
+      metrics_.note_corrupt_spill();
+      std::lock_guard<std::mutex> lock(storage_mu_);
+      ++pending_corrupt_spills_;
+      break;
+    }
+  }
+}
+
+bool SparkContext::try_block_readback(const BlockId& id) {
+  // One readback at a time: restore_partition on an already-available
+  // partition no-ops, and the serialization makes that check race-free.
+  std::lock_guard<std::mutex> lock(readback_mu_);
+  return executor_store_.readback_block(id) == BlockStore::Readback::kOk;
+}
+
+void SparkContext::flush_storage_charges() {
+  double spill_s = 0.0, readback_s = 0.0;
+  int spills = 0, readbacks = 0, corrupt = 0;
+  {
+    std::lock_guard<std::mutex> lock(storage_mu_);
+    std::swap(spill_s, pending_spill_s_);
+    std::swap(readback_s, pending_readback_s_);
+    std::swap(spills, pending_spills_);
+    std::swap(readbacks, pending_readbacks_);
+    std::swap(corrupt, pending_corrupt_spills_);
+  }
+  if (spills > 0) {
+    timeline_.add_serial("spill", spill_s, TimeCategory::kSpill);
+    timeline_.add_marker(gs::strfmt("spill x%d", spills));
+  }
+  if (readbacks > 0) {
+    timeline_.add_serial("spill-readback", readback_s, TimeCategory::kReadback);
+    timeline_.add_marker(gs::strfmt("spill-readback x%d", readbacks));
+  }
+  for (int i = 0; i < corrupt; ++i) timeline_.add_marker("spill-corrupt");
+}
+
+void SparkContext::set_block_source(int rdd, BlockSource* source) {
+  block_sources_[rdd] = source;
+}
+
+void SparkContext::clear_block_source(int rdd) {
+  executor_store_.remove_rdd_blocks(rdd);  // also removes spill files
+  block_sources_.erase(rdd);
 }
 
 double SparkContext::charge_shuffle(std::size_t bytes) {

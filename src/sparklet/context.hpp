@@ -17,6 +17,8 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -29,6 +31,7 @@
 #include "sparklet/item_bytes.hpp"
 #include "sparklet/metrics.hpp"
 #include "sparklet/rdd_base.hpp"
+#include "sparklet/spill_store.hpp"
 #include "sparklet/task_graph.hpp"
 #include "sparklet/virtual_timeline.hpp"
 #include "support/thread_pool.hpp"
@@ -71,6 +74,31 @@ struct ChaosPlan {
   double checkpoint_corruption_prob = 0.0;
   int max_block_corruptions = 1;
 
+  // ---- disk faults (storage-level spill tier) ----
+
+  /// Probability (per spill write) that the spill file is silently corrupted
+  /// on disk. Detected by checksum at readback; the block falls back to
+  /// lineage recomputation, never silent wrong data.
+  double spill_corruption_prob = 0.0;
+  int max_spill_corruptions = 2;
+
+  /// Probability (per spill write) of a torn write: the file is truncated
+  /// mid-payload, as if the writer died between write and rename. Detected
+  /// by the length header at readback.
+  double torn_write_prob = 0.0;
+  int max_torn_writes = 2;
+
+  /// Probability (per node, decided once at set_chaos_plan) that a node's
+  /// spill volume is full: every spill write there fails with ENOSPC and the
+  /// block stays in memory (graceful degradation to lossy eviction).
+  double enospc_prob = 0.0;
+  int max_enospc_nodes = 1;
+
+  /// Probability (per node) of a slow spill disk: spill/readback virtual
+  /// time on that node is multiplied by slow_spill_factor.
+  double slow_spill_prob = 0.0;
+  double slow_spill_factor = 4.0;
+
   std::uint64_t seed = 1;
 };
 
@@ -91,6 +119,10 @@ enum ChaosTag : std::uint64_t {
   kChaosFetch = 4,
   kChaosStraggler = 5,
   kChaosCorrupt = 6,
+  kChaosSpillCorrupt = 7,
+  kChaosTornWrite = 8,
+  kChaosEnospc = 9,
+  kChaosSlowSpill = 10,
 };
 
 /// Derive a decision seed from (seed, tag, a, b, c) by absorbing each field
@@ -126,6 +158,20 @@ class Broadcast {
   std::shared_ptr<const T> value_;
 };
 
+/// Producer of block payloads for cached data not owned by an RddBase node
+/// (e.g. the dataflow engine's carried tiles). Registered per rdd-id; the
+/// tier hooks route encode/restore/release through it before consulting the
+/// live-node registry.
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+  virtual std::optional<std::vector<std::uint8_t>> encode_block(
+      const BlockId& id) const = 0;
+  virtual bool restore_block(const BlockId& id,
+                             const std::vector<std::uint8_t>& payload) = 0;
+  virtual void release_block(const BlockId& id) = 0;
+};
+
 class SparkContext {
  public:
   explicit SparkContext(ClusterConfig cfg);
@@ -145,6 +191,8 @@ class SparkContext {
   /// Per-executor memory modeling cached RDD partitions; overflow evicts
   /// LRU unpinned blocks (graceful degradation) instead of failing.
   BlockStore& executor_store() { return executor_store_; }
+  /// Real spill files backing the disk tier (per-physical-node directories).
+  SpillStore& spill_store() { return spill_store_; }
   gs::ThreadPool& pool() { return pool_; }
 
   /// Default partitioner: hash over config().effective_partitions().
@@ -262,6 +310,26 @@ class SparkContext {
 
   int current_stage_id() const;
 
+  // ------- storage-level tiers (spill / readback) -------
+
+  /// Restore a demoted block's deserialized data for a reading task. The
+  /// block's tier and memory charge are unchanged (the transient copy models
+  /// Spark's task-side unroll memory); the payload / spill file stays
+  /// authoritative. Returns false when the block is gone or its payload is
+  /// corrupt/torn/missing — the caller falls back to lineage recomputation.
+  /// Safe to call from task threads; readbacks serialize on readback_mu_.
+  bool try_block_readback(const BlockId& id);
+
+  /// Drain accumulated spill/readback virtual time + counts onto the
+  /// timeline (driver-side only; storage events fire from task threads and
+  /// under store locks, so they can't touch the timeline directly).
+  void flush_storage_charges();
+
+  /// Route encode/restore/release for blocks of `rdd` through `source`
+  /// instead of the live-node registry (dataflow engine's carried tiles).
+  void set_block_source(int rdd, BlockSource* source);
+  void clear_block_source(int rdd);
+
   // ------- live-node registry (called by RddBase ctor/dtor) -------
   void register_rdd(RddBase* node);
   void forget_rdd(RddBase* node);
@@ -300,6 +368,19 @@ class SparkContext {
 
   void on_block_evicted(const BlockId& id);
 
+  // ---- tier-hook plumbing (see block_store.hpp for locking rules) ----
+  std::optional<std::vector<std::uint8_t>> source_encode(const BlockId& id);
+  bool source_restore(const BlockId& id,
+                      const std::vector<std::uint8_t>& payload);
+  void source_release(const BlockId& id);
+  /// Write a spill payload (with budgeted chaos corruption/torn-write/ENOSPC
+  /// applied at write time, keyed by per-(rdd,partition) attempt counters).
+  bool spill_write(const BlockId& id, int node,
+                   const std::vector<std::uint8_t>& payload);
+  std::optional<std::vector<std::uint8_t>> spill_read(const BlockId& id,
+                                                      int node);
+  void on_storage_event(const StorageEvent& ev);
+
   ClusterConfig cfg_;
   MetricsRegistry metrics_;
   VirtualTimeline timeline_;
@@ -327,6 +408,27 @@ class SparkContext {
   bool recovering_ = false;
   int executor_kills_done_ = 0;
   int block_corruptions_done_ = 0;
+
+  // ---- storage-level tier state ----
+  SpillStore spill_store_;
+  std::unordered_map<int, BlockSource*> block_sources_;  // driver-side
+  /// Serializes all transient readbacks (restore may race with readers of
+  /// the same partition otherwise). Ordered before the store's own mutex.
+  std::mutex readback_mu_;
+  /// Guards the pending charge accumulators below (events fire from task
+  /// threads and inside the store lock; the timeline is driver-only).
+  std::mutex storage_mu_;
+  double pending_spill_s_ = 0.0;
+  double pending_readback_s_ = 0.0;
+  int pending_spills_ = 0;
+  int pending_readbacks_ = 0;
+  int pending_corrupt_spills_ = 0;
+  /// Spill-attempt counter per (rdd, partition): keys the disk-fault chaos
+  /// stream so decisions are pure in (seed, tag, rdd, partition, attempt).
+  std::unordered_map<std::uint64_t, std::uint64_t> spill_attempts_;
+  std::vector<double> node_spill_factor_;  // per-node slow-disk multiplier
+  int spill_corruptions_done_ = 0;
+  int torn_writes_done_ = 0;
 };
 
 }  // namespace sparklet

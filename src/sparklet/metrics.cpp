@@ -22,6 +22,12 @@ RecoveryCounters operator-(const RecoveryCounters& a,
   d.stragglers_injected = a.stragglers_injected - b.stragglers_injected;
   d.speculative_launches = a.speculative_launches - b.speculative_launches;
   d.speculative_wins = a.speculative_wins - b.speculative_wins;
+  d.spilled_blocks = a.spilled_blocks - b.spilled_blocks;
+  d.spilled_bytes = a.spilled_bytes - b.spilled_bytes;
+  d.spill_readbacks = a.spill_readbacks - b.spill_readbacks;
+  d.spill_readback_bytes = a.spill_readback_bytes - b.spill_readback_bytes;
+  d.corrupt_spills = a.corrupt_spills - b.corrupt_spills;
+  d.spill_write_failures = a.spill_write_failures - b.spill_write_failures;
   return d;
 }
 
@@ -157,6 +163,28 @@ void MetricsRegistry::note_speculative_win() {
   ++recovery_.speculative_wins;
 }
 
+void MetricsRegistry::note_spill(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.spilled_blocks;
+  recovery_.spilled_bytes += bytes;
+}
+
+void MetricsRegistry::note_spill_readback(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.spill_readbacks;
+  recovery_.spill_readback_bytes += bytes;
+}
+
+void MetricsRegistry::note_corrupt_spill() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.corrupt_spills;
+}
+
+void MetricsRegistry::note_spill_write_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recovery_.spill_write_failures;
+}
+
 std::vector<TaskMetric> MetricsRegistry::tasks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tasks_;
@@ -255,6 +283,16 @@ void MetricsRegistry::print_summary(std::ostream& os) const {
         gs::human_bytes(double(r.checkpoint_bytes)).c_str(),
         r.corrupted_blocks, r.stragglers_injected, r.speculative_launches,
         r.speculative_wins);
+  }
+  if (r.spilled_blocks || r.spill_readbacks || r.corrupt_spills ||
+      r.spill_write_failures) {
+    os << gs::strfmt(
+        "  storage:  %d blocks spilled (%s), %d readbacks (%s), "
+        "%d corrupt spills, %d refused spill writes\n",
+        r.spilled_blocks, gs::human_bytes(double(r.spilled_bytes)).c_str(),
+        r.spill_readbacks,
+        gs::human_bytes(double(r.spill_readback_bytes)).c_str(),
+        r.corrupt_spills, r.spill_write_failures);
   }
 }
 

@@ -47,6 +47,13 @@ struct RecoveryCounters {
   int stragglers_injected = 0;
   int speculative_launches = 0;
   int speculative_wins = 0;     ///< speculative copy finished first
+  // ---- storage-level tiers (spill / readback) ----
+  int spilled_blocks = 0;       ///< serialized payloads demoted to disk
+  std::size_t spilled_bytes = 0;
+  int spill_readbacks = 0;      ///< demoted blocks restored (ser or disk tier)
+  std::size_t spill_readback_bytes = 0;
+  int corrupt_spills = 0;       ///< spill payloads failing checksum/decode
+  int spill_write_failures = 0; ///< refused spill writes (ENOSPC, fs error)
 };
 
 /// Field-wise difference (a - b): the recovery work between two snapshots.
@@ -103,6 +110,10 @@ class MetricsRegistry {
   void note_straggler();
   void note_speculative_launch();
   void note_speculative_win();
+  void note_spill(std::size_t bytes);
+  void note_spill_readback(std::size_t bytes);
+  void note_corrupt_spill();
+  void note_spill_write_failure();
 
   /// Sum of per-stage task counts — Spark's "tasks launched" notion (one
   /// task per partition of each stage's final RDD).

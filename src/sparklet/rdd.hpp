@@ -27,6 +27,7 @@
 
 #include "sparklet/context.hpp"
 #include "sparklet/item_bytes.hpp"
+#include "sparklet/item_codec.hpp"
 #include "sparklet/rdd_base.hpp"
 #include "support/format.hpp"
 
@@ -101,11 +102,15 @@ class TypedRdd final : public RddBase {
 
   const std::vector<T>& partition(int p) const {
     GS_CHECK_MSG(materialized(), "partition() on unmaterialized RDD " + label());
-    if (!available_[static_cast<std::size_t>(p)]) {
-      // The cached data is gone (executor kill, eviction, injected fetch
-      // failure). The scheduler catches this and regenerates via lineage.
-      throw gs::FetchFailedError(gs::strfmt(
-          "partition %d of RDD %d (%s) is lost", p, id(), label().c_str()));
+    if (!avail_acquire(p)) {
+      // Maybe only demoted (serialized/disk tier), not lost: a readback
+      // restores the exact bytes from the payload or spill file.
+      if (!ctx_->try_block_readback({id(), p}) || !avail_acquire(p)) {
+        // The cached data is gone (executor kill, eviction, injected fetch
+        // failure). The scheduler catches this and regenerates via lineage.
+        throw gs::FetchFailedError(gs::strfmt(
+            "partition %d of RDD %d (%s) is lost", p, id(), label().c_str()));
+      }
     }
     return parts_[static_cast<std::size_t>(p)];
   }
@@ -170,7 +175,12 @@ class TypedRdd final : public RddBase {
     if (!materialized()) return 0;
     std::vector<int> missing;
     for (int p = 0; p < num_partitions(); ++p) {
-      if (!available_[static_cast<std::size_t>(p)]) missing.push_back(p);
+      if (avail_acquire(p)) continue;
+      // Readback first: a demoted block restores losslessly from its payload
+      // or spill file. Only genuinely lost (or corrupt-spill) partitions
+      // fall through to lineage recomputation.
+      if (ctx_->try_block_readback({id(), p}) && avail_acquire(p)) continue;
+      missing.push_back(p);
     }
     if (missing.empty()) return 0;
     GS_THROW_IF(!recomputable(), gs::JobAbortedError,
@@ -226,11 +236,62 @@ class TypedRdd final : public RddBase {
     bulk_ = nullptr;
   }
 
+  // ------------- storage-level tier delegates (see rdd_base.hpp) -------------
+
+  std::optional<std::vector<std::uint8_t>> encode_partition(
+      int p) const override {
+    if constexpr (has_item_codec_v<T>) {
+      if (!materialized() || !avail_acquire(p)) return std::nullopt;
+      ByteBuffer raw;
+      encode_item(raw, parts_[static_cast<std::size_t>(p)]);
+      return pack_payload(std::move(raw));
+    } else {
+      (void)p;
+      return std::nullopt;  // no codec: block stays deserialized
+    }
+  }
+
+  bool restore_partition(int p,
+                         const std::vector<std::uint8_t>& payload) override {
+    if constexpr (has_item_codec_v<T>) {
+      if (!materialized()) return false;
+      // Idempotent: a concurrent reader may have triggered the same readback
+      // (serialized by the context's readback_mu_); never clobber live data.
+      if (avail_acquire(p)) return true;
+      auto raw = unpack_payload(payload);
+      if (!raw) return false;
+      DecodeCursor cur{raw->data(), raw->data() + raw->size()};
+      std::vector<T> items;
+      if (!decode_item(cur, items) || cur.remaining() != 0) return false;
+      parts_[static_cast<std::size_t>(p)] = std::move(items);
+      set_avail_release(p);
+      return true;
+    } else {
+      (void)p;
+      (void)payload;
+      return false;
+    }
+  }
+
  private:
   TypedRdd(SparkContext* ctx, std::string label, int num_partitions, bool wide,
            std::vector<std::shared_ptr<RddBase>> parents, PartitionerPtr part)
       : RddBase(ctx, std::move(label), num_partitions, wide, std::move(parents),
                 std::move(part)) {}
+
+  // available_ is read by task threads (partition()) and written by readback
+  // restores on other task threads; the flag is the release/acquire handshake
+  // that also publishes parts_[p]. std::atomic_ref<const char> is ill-formed,
+  // hence the const_cast on the const reader.
+  bool avail_acquire(int p) const {
+    return std::atomic_ref<char>(
+               const_cast<char&>(available_[static_cast<std::size_t>(p)]))
+               .load(std::memory_order_acquire) != 0;
+  }
+  void set_avail_release(int p) {
+    std::atomic_ref<char>(available_[static_cast<std::size_t>(p)])
+        .store(1, std::memory_order_release);
+  }
 
   ComputeFn compute_;
   BulkFn bulk_;
@@ -624,6 +685,14 @@ class RDD {
                                 "cache");
     context().run_job(node_, "cache");
     return *this;
+  }
+
+  /// Spark's persist(level): cache() with an explicit storage level. Under
+  /// memory pressure the cached blocks demote down the level's tier ladder
+  /// (serialize in place, spill to disk) instead of being dropped outright.
+  const RDD& persist(StorageLevel level) const {
+    node_->set_storage_level(level);
+    return cache();
   }
 
   /// Materialize, persist all partitions into the shared block store with

@@ -16,10 +16,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sparklet/partitioner.hpp"
+#include "sparklet/storage_level.hpp"
 
 namespace sparklet {
 
@@ -76,6 +78,30 @@ class RddBase {
   /// Deterministic content fingerprint of partition p for block validation.
   virtual std::uint64_t partition_checksum(int p) const = 0;
 
+  // ----------------- storage levels (tiered caching) -----------------
+
+  /// How this node's cached partitions are held in the executor store.
+  StorageLevel storage_level() const { return storage_level_; }
+  void set_storage_level(StorageLevel level) { storage_level_ = level; }
+
+  /// Encode partition p's data into a compact byte payload (item_codec
+  /// envelope). nullopt when the element type has no codec — the store then
+  /// keeps the block deserialized regardless of the requested level.
+  virtual std::optional<std::vector<std::uint8_t>> encode_partition(
+      int /*p*/) const {
+    return std::nullopt;
+  }
+  /// Rebuild partition p's in-memory data from a payload produced by
+  /// encode_partition(). Returns false on decode failure (corrupt payload);
+  /// the caller falls back to lineage recomputation.
+  virtual bool restore_partition(int /*p*/,
+                                 const std::vector<std::uint8_t>& /*payload*/) {
+    return false;
+  }
+  /// Release partition p's deserialized data after a lossless demotion (the
+  /// payload or spill file stays authoritative). Default: same as losing it.
+  virtual void release_partition_data(int p) { drop_partition(p); }
+
   bool checkpointed() const { return checkpointed_; }
   void mark_checkpointed() { checkpointed_ = true; }
 
@@ -106,6 +132,7 @@ class RddBase {
  private:
   bool materialized_ = false;
   bool checkpointed_ = false;
+  StorageLevel storage_level_ = StorageLevel::kMemoryOnly;
   std::uint64_t run_epoch_ = 0;
 };
 

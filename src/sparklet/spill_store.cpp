@@ -1,0 +1,209 @@
+#include "sparklet/spill_store.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "sparklet/block_store.hpp"
+#include "sparklet/item_codec.hpp"
+#include "support/format.hpp"
+
+namespace sparklet {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'S', 'S', 'P', 'I', 'L', 'L', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 8 + 8;
+
+std::string unique_temp_root() {
+  // One counter per process keeps concurrent SparkContexts (tests run many)
+  // from sharing a root; the pid keeps concurrent *processes* apart.
+  static std::atomic<int> counter{0};
+  const int n = counter.fetch_add(1);
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) base = "/tmp";
+  return (base / gs::strfmt("sparklet-spill-%d-%d", static_cast<int>(getpid()),
+                            n))
+      .string();
+}
+
+void put_u64(std::ofstream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 8);
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+SpillStore::SpillStore(std::string root) : root_(std::move(root)) {
+  if (root_.empty()) {
+    root_ = unique_temp_root();
+    owns_root_ = true;
+  }
+}
+
+SpillStore::~SpillStore() {
+  std::error_code ec;
+  if (owns_root_) {
+    fs::remove_all(root_, ec);  // best effort; never throw from a dtor
+  }
+}
+
+std::string SpillStore::file_path(const BlockId& id, int node) const {
+  return (fs::path(root_) / gs::strfmt("node%d", node) /
+          gs::strfmt("b%d_p%d.spill", id.rdd, id.partition))
+      .string();
+}
+
+bool SpillStore::write(const BlockId& id, int node,
+                       const std::vector<std::uint8_t>& payload) {
+  if (node >= 0 && static_cast<std::size_t>(node) < enospc_.size() &&
+      enospc_[static_cast<std::size_t>(node)]) {
+    return false;  // injected ENOSPC: the node's spill volume is full
+  }
+  const fs::path path = file_path(id, node);
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) return false;
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kMagic, 8);
+    put_u64(out, payload.size());
+    put_u64(out, payload_checksum(payload));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  // Atomic publish: readers see the complete old file or the complete new
+  // one, never a partial write.
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  ++files_written_;
+  bytes_written_ += payload.size();
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> SpillStore::read(const BlockId& id,
+                                                          int node) const {
+  const fs::path path = file_path(id, node);
+  std::error_code ec;
+  const std::uintmax_t file_size = fs::file_size(path, ec);
+  if (ec || file_size < kHeaderBytes) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char header[kHeaderBytes];
+  in.read(header, kHeaderBytes);
+  if (in.gcount() != static_cast<std::streamsize>(kHeaderBytes)) {
+    return std::nullopt;  // torn inside the header
+  }
+  if (std::memcmp(header, kMagic, 8) != 0) return std::nullopt;
+  const std::uint64_t len = get_u64(header + 8);
+  const std::uint64_t expect = get_u64(header + 16);
+  if (len > file_size - kHeaderBytes) {
+    // The checksum covers only the payload, so a bit-flipped length field
+    // would otherwise turn into a giant allocation instead of a clean miss.
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(len));
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(len));
+  if (in.gcount() != static_cast<std::streamsize>(len)) {
+    return std::nullopt;  // torn inside the payload
+  }
+  if (payload_checksum(payload) != expect) return std::nullopt;  // bit rot
+  return payload;
+}
+
+void SpillStore::remove(const BlockId& id, int node) {
+  std::error_code ec;
+  fs::remove(file_path(id, node), ec);
+}
+
+void SpillStore::remove_rdd(int rdd) {
+  const std::string prefix = gs::strfmt("b%d_p", rdd);
+  std::error_code ec;
+  if (!fs::exists(root_, ec)) return;
+  for (const auto& node_dir : fs::directory_iterator(root_, ec)) {
+    if (!node_dir.is_directory(ec)) continue;
+    for (const auto& entry : fs::directory_iterator(node_dir.path(), ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) == 0) fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+void SpillStore::set_enospc(int node, bool full) {
+  if (node < 0) return;
+  if (static_cast<std::size_t>(node) >= enospc_.size()) {
+    enospc_.resize(static_cast<std::size_t>(node) + 1, 0);
+  }
+  enospc_[static_cast<std::size_t>(node)] = full ? 1 : 0;
+}
+
+void SpillStore::clear_enospc() { enospc_.clear(); }
+
+bool SpillStore::corrupt_file(const BlockId& id, int node) {
+  const fs::path path = file_path(id, node);
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size <= kHeaderBytes) return false;
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) return false;
+  // Flip one bit mid-payload; the header stays valid so only the checksum
+  // catches it.
+  const std::streamoff at =
+      static_cast<std::streamoff>(kHeaderBytes + (size - kHeaderBytes) / 2);
+  f.seekg(at);
+  char byte = 0;
+  f.read(&byte, 1);
+  if (!f) return false;
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(at);
+  f.write(&byte, 1);
+  return static_cast<bool>(f);
+}
+
+bool SpillStore::truncate_file(const BlockId& id, int node) {
+  const fs::path path = file_path(id, node);
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec || size <= kHeaderBytes) return false;
+  // Keep the header + half the payload: the length field now promises more
+  // bytes than exist, which read() detects as a short read.
+  fs::resize_file(path, kHeaderBytes + (size - kHeaderBytes) / 2, ec);
+  return !ec;
+}
+
+bool SpillStore::contains(const BlockId& id, int node) const {
+  std::error_code ec;
+  return fs::exists(file_path(id, node), ec);
+}
+
+}  // namespace sparklet

@@ -1,0 +1,94 @@
+// storage_level.hpp — Spark's persist() storage-level hierarchy for sparklet.
+//
+// A StorageLevel is a *policy* attached to an RDD (or any block producer): it
+// decides which tiers a cached block may occupy and what happens under memory
+// pressure. A StorageTier is the *state* of one block right now. The
+// BlockStore walks blocks down the ladder deserialized → serialized → disk
+// instead of dropping them, so an out-of-core solve degrades to disk traffic
+// rather than O(n³) lineage recomputation. Only when a level forbids the next
+// tier (or the spill write fails) does pressure fall back to today's lossy
+// eviction + lineage recovery.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sparklet {
+
+/// Mirror of Spark's StorageLevel constants (replication is always 1 —
+/// sparklet models a single application).
+enum class StorageLevel : std::uint8_t {
+  kMemoryOnly = 0,      ///< deserialized in memory; pressure evicts (legacy)
+  kMemoryOnlySer = 1,   ///< serialized (compact + compressed); pressure evicts
+  kMemoryAndDisk = 2,   ///< deserialized; pressure demotes → serialized → disk
+  kMemoryAndDiskSer = 3,///< serialized; pressure demotes → disk
+  kDiskOnly = 4,        ///< spilled at put; memory holds nothing
+};
+
+/// Current residency of one block.
+enum class StorageTier : std::uint8_t {
+  kDeserialized = 0,  ///< live object graph in the owner; store charges bytes
+  kSerialized = 1,    ///< compact payload held by the store; owner copy freed
+  kDisk = 2,          ///< checksummed spill file on the node; no memory charge
+};
+
+inline const char* storage_level_name(StorageLevel level) {
+  switch (level) {
+    case StorageLevel::kMemoryOnly: return "MEMORY_ONLY";
+    case StorageLevel::kMemoryOnlySer: return "MEMORY_ONLY_SER";
+    case StorageLevel::kMemoryAndDisk: return "MEMORY_AND_DISK";
+    case StorageLevel::kMemoryAndDiskSer: return "MEMORY_AND_DISK_SER";
+    case StorageLevel::kDiskOnly: return "DISK_ONLY";
+  }
+  return "?";
+}
+
+inline const char* storage_tier_name(StorageTier tier) {
+  switch (tier) {
+    case StorageTier::kDeserialized: return "deserialized";
+    case StorageTier::kSerialized: return "serialized";
+    case StorageTier::kDisk: return "disk";
+  }
+  return "?";
+}
+
+/// Case-insensitive parse; accepts '-' for '_' (CLI friendliness).
+inline std::optional<StorageLevel> parse_storage_level(std::string_view s) {
+  std::string norm;
+  norm.reserve(s.size());
+  for (char c : s) {
+    norm.push_back(c == '-' ? '_'
+                            : static_cast<char>(
+                                  std::toupper(static_cast<unsigned char>(c))));
+  }
+  if (norm == "MEMORY_ONLY") return StorageLevel::kMemoryOnly;
+  if (norm == "MEMORY_ONLY_SER") return StorageLevel::kMemoryOnlySer;
+  if (norm == "MEMORY_AND_DISK") return StorageLevel::kMemoryAndDisk;
+  if (norm == "MEMORY_AND_DISK_SER") return StorageLevel::kMemoryAndDiskSer;
+  if (norm == "DISK_ONLY") return StorageLevel::kDiskOnly;
+  return std::nullopt;
+}
+
+/// Does the level store blocks serialized from the moment they are put?
+inline bool level_serializes_at_put(StorageLevel level) {
+  return level == StorageLevel::kMemoryOnlySer ||
+         level == StorageLevel::kMemoryAndDiskSer ||
+         level == StorageLevel::kDiskOnly;
+}
+
+/// May a deserialized block demote to the serialized in-memory tier?
+inline bool level_allows_serialized_tier(StorageLevel level) {
+  return level != StorageLevel::kMemoryOnly;
+}
+
+/// May a serialized block demote to the disk-spill tier?
+inline bool level_allows_disk_tier(StorageLevel level) {
+  return level == StorageLevel::kMemoryAndDisk ||
+         level == StorageLevel::kMemoryAndDiskSer ||
+         level == StorageLevel::kDiskOnly;
+}
+
+}  // namespace sparklet

@@ -16,6 +16,8 @@ const char* time_category_name(TimeCategory category) {
     case TimeCategory::kBroadcast: return "broadcast";
     case TimeCategory::kRecovery: return "recovery";
     case TimeCategory::kStall: return "stall";
+    case TimeCategory::kSpill: return "spill";
+    case TimeCategory::kReadback: return "readback";
   }
   return "?";
 }

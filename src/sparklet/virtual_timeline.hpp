@@ -16,7 +16,7 @@
 namespace sparklet {
 
 /// What a slice of virtual time was spent on. Every timeline record carries
-/// exactly one category, so the records partition `now()` into these six
+/// exactly one category, so the records partition `now()` into these eight
 /// buckets with no residue — the invariant the critical-path analyzer and
 /// JobProfile attribution rely on.
 enum class TimeCategory : std::uint8_t {
@@ -26,9 +26,11 @@ enum class TimeCategory : std::uint8_t {
   kBroadcast = 3,  ///< driver -> executors distribution
   kRecovery = 4,  ///< recompute stages, retry backoff, checkpoint I/O
   kStall = 5,  ///< dataflow lanes idle waiting on dependencies (ready-wait)
+  kSpill = 6,  ///< storage-level demotions written to the disk tier
+  kReadback = 7,  ///< demoted blocks restored from serialized/disk tiers
 };
 
-inline constexpr int kNumTimeCategories = 6;
+inline constexpr int kNumTimeCategories = 8;
 
 const char* time_category_name(TimeCategory category);
 

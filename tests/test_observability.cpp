@@ -426,7 +426,7 @@ TEST(Exporters, JsonSchemaGolden) {
   obs::write_profile_json(p, out);
   const std::string json = out.str();
   // Stable schema contract: version tag plus every top-level key, in order.
-  EXPECT_NE(json.find("\"schema\": \"gepspark.profile/v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"gepspark.profile/v3\""), std::string::npos);
   const char* keys[] = {"\"schema\"",    "\"job\"",        "\"bytes\"",
                         "\"breakdown\"", "\"phases\"",     "\"iterations\"",
                         "\"recovery\"",  "\"spans\""};
@@ -438,9 +438,10 @@ TEST(Exporters, JsonSchemaGolden) {
   }
   for (const char* key :
        {"\"config\"", "\"wall_seconds\"", "\"virtual_seconds\"", "\"grid_r\"",
-        "\"shuffle\"", "\"compute_s\"", "\"stall_s\"",
-        "\"attributed_fraction\"", "\"a_s\"", "\"task_failures\"",
-        "\"recorded\"", "\"dropped\""}) {
+        "\"shuffle\"", "\"compute_s\"", "\"stall_s\"", "\"spill_s\"",
+        "\"readback_s\"", "\"attributed_fraction\"", "\"a_s\"",
+        "\"task_failures\"", "\"spilled_blocks\"", "\"spill_readbacks\"",
+        "\"corrupt_spills\"", "\"recorded\"", "\"dropped\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   // One iteration object per outer iteration.
@@ -462,10 +463,10 @@ TEST(Exporters, CsvSchemaGolden) {
   const std::string header(obs::kProfileCsvHeader);
   EXPECT_EQ(header,
             "row,k,wall_s,virtual_s,compute_s,shuffle_s,collect_s,"
-            "broadcast_s,recovery_s,stall_s,shuffle_bytes,collect_bytes,"
-            "broadcast_bytes,stages,tasks");
+            "broadcast_s,recovery_s,stall_s,spill_s,readback_s,"
+            "shuffle_bytes,collect_bytes,broadcast_bytes,stages,tasks");
   ASSERT_EQ(csv.rfind(header + "\n", 0), 0u);  // starts with the header
-  // One "job" row and grid_r "iteration" rows, all with 15 columns.
+  // One "job" row and grid_r "iteration" rows, all with 17 columns.
   std::istringstream lines(csv);
   std::string line;
   std::getline(lines, line);  // header
@@ -474,7 +475,7 @@ TEST(Exporters, CsvSchemaGolden) {
     if (line.empty()) continue;
     ++rows;
     if (line.rfind("iteration,", 0) == 0) ++iteration_rows;
-    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 14) << line;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 16) << line;
   }
   EXPECT_EQ(rows, 1 + p.iterations.size());
   EXPECT_EQ(iteration_rows, p.iterations.size());

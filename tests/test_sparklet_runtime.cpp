@@ -145,6 +145,96 @@ TEST(BlockStoreTest, HddSlowerThanSsd) {
   EXPECT_LT(ssd.read(0, 100 << 20), hdd.read(0, 100 << 20));
 }
 
+// Tier interactions under pressure: pinned checkpoints are immovable, and
+// the eviction filter gates only the lossy path — lossless demotions down a
+// block's storage-level ladder bypass it. (The ladder itself is covered in
+// test_storage_levels.cpp; these pin down the policy interactions.)
+
+BlockStore::TierHooks shrink_by_half_hooks() {
+  BlockStore::TierHooks h;
+  h.encode = [](const BlockId& id) -> std::optional<std::vector<std::uint8_t>> {
+    return std::vector<std::uint8_t>(50, static_cast<std::uint8_t>(id.partition));
+  };
+  h.restore = [](const BlockId&, const std::vector<std::uint8_t>&) {
+    return true;
+  };
+  h.release = [](const BlockId&) {};
+  return h;
+}
+
+TEST(StorageTiers, PinnedBlocksNeverDemoteOrEvict) {
+  BlockStore store(DiskSpec::ssd(250), 1);
+  store.set_tier_hooks(shrink_by_half_hooks());
+  const BlockId pinned{1, 0}, cached{1, 1}, incoming{1, 2};
+
+  store.put_block(0, pinned, 100, 1, /*pinned=*/true,
+                  StorageLevel::kMemoryAndDisk);
+  store.put_block(0, cached, 100, 2, /*pinned=*/false,
+                  StorageLevel::kMemoryAndDisk);
+  // Pressure: the pinned block is older but must be skipped — the unpinned
+  // one compacts instead (no disk hooks wired, so its ladder ends there).
+  store.put_block(0, incoming, 100, 3, /*pinned=*/false,
+                  StorageLevel::kMemoryAndDisk);
+  EXPECT_EQ(store.block_tier(pinned), StorageTier::kDeserialized);
+  EXPECT_NE(store.block_tier(cached), StorageTier::kDeserialized);
+
+  // When pins alone exceed capacity, the put must fail with the per-tier
+  // breakdown — pinned bytes are never sacrificed.
+  try {
+    store.put_block(0, BlockId{1, 3}, 200, 4, /*pinned=*/true,
+                    StorageLevel::kMemoryAndDisk);
+    FAIL() << "expected CapacityError";
+  } catch (const gs::CapacityError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no block is evictable"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("deserialized"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("serialized"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("on disk"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("pinned"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("filter-protected"), std::string::npos) << msg;
+  }
+  // The failed put left the store consistent: the pins survive, the
+  // incoming block is unregistered (no ghost), and the unpinned blocks were
+  // sacrificed in the attempt (their ladders end without a disk hook).
+  EXPECT_TRUE(store.has_block(pinned));
+  EXPECT_FALSE(store.has_block(cached));
+  EXPECT_FALSE(store.has_block(BlockId{1, 3}));
+  EXPECT_EQ(store.evictions(), 2);
+}
+
+TEST(StorageTiers, EvictionFilterGatesOnlyTheLossyPath) {
+  // Filter says "nothing may be evicted". A MEMORY_AND_DISK block can still
+  // demote (lossless bypasses the filter); a MEMORY_ONLY block whose ladder
+  // is empty is stuck, and the put reports it as filter-protected.
+  BlockStore demotable(DiskSpec::ssd(150), 1);
+  demotable.set_tier_hooks(shrink_by_half_hooks());
+  demotable.set_eviction_filter([](const BlockId&) { return false; });
+  demotable.put_block(0, BlockId{1, 0}, 100, 1, false,
+                      StorageLevel::kMemoryAndDisk);
+  demotable.put_block(0, BlockId{1, 1}, 100, 2, false,
+                      StorageLevel::kMemoryAndDisk);  // no throw: demotes
+  EXPECT_EQ(demotable.block_tier(BlockId{1, 0}), StorageTier::kSerialized);
+  EXPECT_EQ(demotable.evictions(), 0);
+
+  BlockStore stuck(DiskSpec::ssd(150), 1);
+  stuck.set_tier_hooks(shrink_by_half_hooks());
+  stuck.set_eviction_filter([](const BlockId&) { return false; });
+  stuck.put_block(0, BlockId{2, 0}, 100, 1, false, StorageLevel::kMemoryOnly);
+  try {
+    stuck.put_block(0, BlockId{2, 1}, 100, 2, false, StorageLevel::kMemoryOnly);
+    FAIL() << "expected CapacityError";
+  } catch (const gs::CapacityError& e) {
+    EXPECT_NE(std::string(e.what()).find("1 filter-protected"),
+              std::string::npos)
+        << e.what();
+  }
+  // Same store, permissive filter: pressure now evicts instead of failing.
+  stuck.set_eviction_filter([](const BlockId&) { return true; });
+  stuck.put_block(0, BlockId{2, 2}, 100, 3, false, StorageLevel::kMemoryOnly);
+  EXPECT_EQ(stuck.evictions(), 1);
+  EXPECT_FALSE(stuck.has_block(BlockId{2, 0}));
+}
+
 TEST(ShuffleCapacity, SmallLocalDiskFailsBigShuffle) {
   // The paper's SSD-overflow failure mode, reproduced end-to-end: a shuffle
   // whose staged bytes exceed the per-node disk must abort the job.
