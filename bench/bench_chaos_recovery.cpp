@@ -42,13 +42,12 @@ RunResult run_fw(Strategy strategy, const ChaosPlan* chaos, bool speculate,
   opt.strategy = strategy;
   opt.checkpoint_interval = checkpoint_interval;
 
-  gepspark::SolveStats st;
-  auto out = gepspark::spark_floyd_warshall(sc, input, opt, &st);
+  auto out = gepspark::spark_floyd_warshall(sc, input, opt);
 
   RunResult r;
-  r.virtual_s = st.virtual_seconds;
+  r.virtual_s = out.stats.virtual_seconds;
   r.rc = sc.metrics().recovery();
-  r.correct = out == expected;
+  r.correct = out.matrix == expected;
   return r;
 }
 
@@ -164,7 +163,7 @@ int main() {
     SparkContext clean(ClusterConfig::local(4, 2));
     SolverOptions opt;
     opt.block_size = kBlock;
-    expected = gepspark::spark_floyd_warshall(clean, input, opt);
+    expected = gepspark::spark_floyd_warshall(clean, input, opt).matrix;
   }
 
   recovery_overhead_study(input, expected);

@@ -110,7 +110,7 @@ void real_small_scale_sweep() {
         opt.strategy = strat;
         opt.kernel = kc.cfg;
         gs::Stopwatch sw;
-        auto out = gepspark::spark_floyd_warshall(sc, fw_input, opt);
+        auto out = gepspark::spark_floyd_warshall(sc, fw_input, opt).matrix;
         const double wall = sw.seconds();
         GS_CHECK_MSG(gs::max_abs_diff(out, expected) < 1e-9,
                      "real sweep produced a wrong APSP result");

@@ -43,20 +43,18 @@ void measured_fanout() {
   {
     sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
     auto input = gs::workload::random_digraph({.n = n, .seed = 23});
-    gepspark::SolveStats st;
     gepspark::SolverOptions opt;
     opt.block_size = block;
-    gepspark::spark_floyd_warshall(sc, input, opt, &st);
+    const auto st = gepspark::spark_floyd_warshall(sc, input, opt).stats;
     std::printf("  FW-APSP: %zu tile records shuffled (diag feeds B,C only)\n",
                 st.shuffle_bytes / item);
   }
   {
     sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
     auto input = gs::workload::diagonally_dominant_matrix(n, 23);
-    gepspark::SolveStats st;
     gepspark::SolverOptions opt;
     opt.block_size = block;
-    gepspark::spark_gaussian_elimination(sc, input, opt, &st);
+    const auto st = gepspark::spark_gaussian_elimination(sc, input, opt).stats;
     std::printf(
         "  GE:      %zu tile records shuffled (diag also feeds every D)\n",
         st.shuffle_bytes / item);

@@ -92,12 +92,12 @@ void measured_weak_scaling() {
       opt.block_size = 96;
       opt.strategy = Strategy::kInMemory;
       opt.kernel = kernel;
-      gepspark::SolveStats st;
-      auto out = gepspark::spark_floyd_warshall(sc, input, opt, &st);
+      auto out = gepspark::spark_floyd_warshall(sc, input, opt);
       gs::Matrix<double> ref = input;
       gs::baseline::reference_floyd_warshall(ref);
-      GS_CHECK_MSG(gs::max_abs_diff(out, ref) < 1e-9, "wrong APSP result");
-      row.push_back(gs::strfmt("%.2fs", st.wall_seconds));
+      GS_CHECK_MSG(gs::max_abs_diff(out.matrix, ref) < 1e-9,
+                   "wrong APSP result");
+      row.push_back(gs::strfmt("%.2fs", out.stats.wall_seconds));
     }
     table.add_row(std::move(row));
   }

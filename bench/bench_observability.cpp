@@ -62,12 +62,11 @@ ModeResult run_mode(Mode mode, const gs::Matrix<double>& input) {
     const SolverOptions opt = make_options();
     gs::Stopwatch sw;
     if (mode == Mode::kProfiled) {
-      auto r = gepspark::spark_floyd_warshall(sc, input, opt,
-                                              gepspark::with_profile);
+      auto r = gepspark::spark_floyd_warshall(sc, input, opt);
       walls.push_back(sw.seconds());
       res.last_profile = std::move(r.profile);
     } else {
-      (void)gepspark::spark_floyd_warshall(sc, input, opt);
+      (void)gepspark::spark_floyd_warshall(sc, input, opt).matrix;
       walls.push_back(sw.seconds());
     }
     res.spans = sc.tracer().recorded();

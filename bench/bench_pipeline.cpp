@@ -128,12 +128,11 @@ int main() {
 
   auto fw = [](SparkContext& sc, const gs::Matrix<double>& in,
                const SolverOptions& opt) {
-    return gepspark::spark_floyd_warshall(sc, in, opt, gepspark::with_profile);
+    return gepspark::spark_floyd_warshall(sc, in, opt);
   };
   auto ge = [](SparkContext& sc, const gs::Matrix<double>& in,
                const SolverOptions& opt) {
-    return gepspark::spark_gaussian_elimination(sc, in, opt,
-                                                gepspark::with_profile);
+    return gepspark::spark_gaussian_elimination(sc, in, opt);
   };
 
   for (Strategy strategy : {Strategy::kInMemory, Strategy::kCollectBroadcast}) {

@@ -1,0 +1,198 @@
+// bench_serving — what DP-as-a-service costs. Two questions: how fast does
+// the JobServer drain multi-tenant solve traffic as the tenant count grows
+// (jobs/s, fair round-robin, 2 pooled contexts), and what latency does the
+// point-query front end add once a table is resident (dist-only and
+// dist+path reconstruction, measured per query). The resident-table design
+// means queries never touch Spark, so the acceptance bar asserted here is
+// query p99 < 1 ms.
+//
+// Writes results/ablation_serving.csv and BENCH_serving.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gepspark/workload.hpp"
+#include "serve/job_server.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kN = 128;       // per-job problem size (throughput)
+constexpr std::size_t kQueryN = 256;  // table size for the latency rounds
+constexpr int kQueries = 100000;
+
+struct ThroughputPoint {
+  int tenants = 0;
+  int jobs = 0;
+  double wall_s = 0.0;
+  double jobs_per_s = 0.0;
+};
+
+struct LatencyPoint {
+  std::string query;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+serve::SolveRequest fw_request(const std::string& tenant, std::uint64_t seed,
+                               std::size_t n, bool pred) {
+  serve::SolveRequest req;
+  req.kind = serve::ProblemKind::kFloydWarshall;
+  req.tenant = tenant;
+  req.matrix = gs::workload::random_digraph({.n = n, .seed = seed});
+  req.options.block_size = 32;
+  req.options.track_predecessors = pred;
+  return req;
+}
+
+ThroughputPoint run_throughput(int tenants) {
+  serve::ServerConfig cfg;
+  cfg.cluster = sparklet::ClusterConfig::local(2, 2);
+  cfg.num_contexts = 2;
+  cfg.tenant_budget_bytes = 1ull << 30;
+  serve::JobServer server(cfg);
+
+  // Two jobs per tenant so round-robin actually rotates the ring.
+  std::vector<serve::SolveTicket> tickets;
+  const auto t0 = Clock::now();
+  for (int round = 0; round < 2; ++round) {
+    for (int t = 0; t < tenants; ++t) {
+      tickets.push_back(server.submit(fw_request(
+          "tenant-" + std::to_string(t),
+          std::uint64_t(100 + 10 * round + t), kN, false)));
+    }
+  }
+  for (auto& t : tickets) {
+    GS_CHECK_MSG(t.await() == serve::JobStatus::kDone, "bench job failed");
+  }
+  ThroughputPoint p;
+  p.tenants = tenants;
+  p.jobs = static_cast<int>(tickets.size());
+  p.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  p.jobs_per_s = double(p.jobs) / p.wall_s;
+  return p;
+}
+
+double percentile(std::vector<double>& v, double p) {
+  std::sort(v.begin(), v.end());
+  return v[std::min(v.size() - 1, std::size_t(p * double(v.size())))];
+}
+
+std::vector<LatencyPoint> run_latency(serve::JobServer& server,
+                                      serve::JobId id) {
+  std::vector<LatencyPoint> out;
+  gs::Rng rng(11);
+  {
+    std::vector<double> us;
+    us.reserve(kQueries);
+    for (int q = 0; q < kQueries; ++q) {
+      const std::size_t u = rng.uniform_u64(kQueryN);
+      const std::size_t v = rng.uniform_u64(kQueryN);
+      const auto t0 = Clock::now();
+      (void)server.query_dist(id, u, v);
+      us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count());
+    }
+    out.push_back({"dist", percentile(us, 0.50), percentile(us, 0.99),
+                   us.back()});
+  }
+  {
+    std::vector<double> us;
+    us.reserve(kQueries);
+    for (int q = 0; q < kQueries; ++q) {
+      const std::size_t u = rng.uniform_u64(kQueryN);
+      const std::size_t v = rng.uniform_u64(kQueryN);
+      const auto t0 = Clock::now();
+      (void)server.query_path(id, u, v);
+      us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count());
+    }
+    out.push_back({"dist+path", percentile(us, 0.50), percentile(us, 0.99),
+                   us.back()});
+  }
+  return out;
+}
+
+void write_summary_json(const std::vector<ThroughputPoint>& tp,
+                        const std::vector<LatencyPoint>& lp) {
+  std::ofstream out("BENCH_serving.json");
+  out << "{\n"
+      << "  \"bench\": \"serving\",\n"
+      << "  \"config\": {\"n\": " << kN << ", \"query_n\": " << kQueryN
+      << ", \"block\": 32, \"contexts\": 2, \"queries\": " << kQueries
+      << "},\n"
+      << "  \"metric\": \"jobs/s vs tenant count; resident-table point-query "
+         "latency\",\n"
+      << "  \"acceptance\": \"query p99 < 1 ms\",\n"
+      << "  \"throughput\": [\n";
+  for (std::size_t i = 0; i < tp.size(); ++i) {
+    const auto& p = tp[i];
+    out << gs::strfmt(
+        "    {\"tenants\": %d, \"jobs\": %d, \"wall_s\": %.6f, "
+        "\"jobs_per_s\": %.2f}%s\n",
+        p.tenants, p.jobs, p.wall_s, p.jobs_per_s,
+        i + 1 < tp.size() ? "," : "");
+  }
+  out << "  ],\n  \"query_latency\": [\n";
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    const auto& p = lp[i];
+    out << gs::strfmt(
+        "    {\"query\": \"%s\", \"p50_us\": %.3f, \"p99_us\": %.3f, "
+        "\"max_us\": %.3f}%s\n",
+        p.query.c_str(), p.p50_us, p.p99_us, p.max_us,
+        i + 1 < lp.size() ? "," : "");
+  }
+  out << "  ]\n}\n";
+  std::printf("summary written to BENCH_serving.json\n");
+}
+
+}  // namespace
+
+int main() {
+  std::vector<ThroughputPoint> tp;
+  for (int tenants : {1, 2, 4, 8}) {
+    tp.push_back(run_throughput(tenants));
+  }
+
+  // One predecessor-tracked table stays resident for the latency rounds.
+  serve::ServerConfig cfg;
+  cfg.cluster = sparklet::ClusterConfig::local(2, 2);
+  cfg.num_contexts = 1;
+  serve::JobServer server(cfg);
+  auto ticket = server.submit(fw_request("latency", 7, kQueryN, true));
+  GS_CHECK_MSG(ticket.await() == serve::JobStatus::kDone,
+               "latency table solve failed");
+  auto lp = run_latency(server, ticket.id());
+
+  gs::TextTable table({"tenants", "jobs", "wall (s)", "jobs/s"});
+  for (const auto& p : tp) {
+    table.add_row({std::to_string(p.tenants), std::to_string(p.jobs),
+                   gs::strfmt("%.3f", p.wall_s),
+                   gs::strfmt("%.1f", p.jobs_per_s)});
+  }
+  benchutil::print_table(
+      gs::strfmt("Serving throughput — FW n=%zu b=32, 2 contexts, "
+                 "2 jobs/tenant",
+                 kN),
+      table, "ablation_serving.csv");
+
+  std::printf("\n== Point-query latency — resident FW table n=%zu, %d "
+              "queries ==\n",
+              kQueryN, kQueries);
+  for (const auto& p : lp) {
+    std::printf("  %-9s p50 %7.3fus  p99 %7.3fus  max %8.3fus\n",
+                p.query.c_str(), p.p50_us, p.p99_us, p.max_us);
+    GS_CHECK_MSG(p.p99_us < 1000.0, "query p99 exceeded the 1 ms bar");
+  }
+  std::printf("acceptance: query p99 < 1 ms holds for every query kind\n");
+  write_summary_json(tp, lp);
+  return 0;
+}

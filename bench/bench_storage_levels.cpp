@@ -45,19 +45,20 @@ struct Point {
   std::string status;
 };
 
-using SolveFn = gs::Matrix<double> (*)(SparkContext&,
-                                       const gs::Matrix<double>&,
-                                       const SolverOptions&,
-                                       gepspark::SolveStats*);
+using SolveFn = gepspark::SolveOutcome<double> (*)(SparkContext&,
+                                                   const gs::Matrix<double>&,
+                                                   const SolverOptions&);
 
-gs::Matrix<double> run_fw(SparkContext& sc, const gs::Matrix<double>& in,
-                          const SolverOptions& opt, gepspark::SolveStats* st) {
-  return gepspark::spark_floyd_warshall(sc, in, opt, st);
+gepspark::SolveOutcome<double> run_fw(SparkContext& sc,
+                                      const gs::Matrix<double>& in,
+                                      const SolverOptions& opt) {
+  return gepspark::spark_floyd_warshall(sc, in, opt);
 }
 
-gs::Matrix<double> run_ge(SparkContext& sc, const gs::Matrix<double>& in,
-                          const SolverOptions& opt, gepspark::SolveStats* st) {
-  return gepspark::spark_gaussian_elimination(sc, in, opt, st);
+gepspark::SolveOutcome<double> run_ge(SparkContext& sc,
+                                      const gs::Matrix<double>& in,
+                                      const SolverOptions& opt) {
+  return gepspark::spark_gaussian_elimination(sc, in, opt);
 }
 
 Point run_point(const std::string& workload, SolveFn solve,
@@ -82,10 +83,9 @@ Point run_point(const std::string& workload, SolveFn solve,
   opt.storage_level = level;
 
   try {
-    gepspark::SolveStats st;
-    auto out = solve(sc, input, opt, &st);
-    p.virtual_s = st.virtual_seconds;
-    p.status = out == expected ? "bit-identical" : "WRONG";
+    auto out = solve(sc, input, opt);
+    p.virtual_s = out.stats.virtual_seconds;
+    p.status = out.matrix == expected ? "bit-identical" : "WRONG";
   } catch (const gs::CapacityError&) {
     p.status = "OOM";
   }
@@ -139,7 +139,7 @@ int main() {
     SparkContext clean(ClusterConfig::local(4, 2));
     SolverOptions opt;
     opt.block_size = kBlock;
-    w.expected = w.solve(clean, w.input, opt, nullptr);
+    w.expected = w.solve(clean, w.input, opt).matrix;
   }
 
   // The caps bracket the working set: 16 tiles x 32 KiB spread over 4

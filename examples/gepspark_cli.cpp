@@ -6,12 +6,16 @@
 //   $ ./gepspark_cli --benchmark fw --n 512 --block 128 --strategy im
 //                     --kernel rec4 --omp 2 --trace fw.json
 //   $ ./gepspark_cli --benchmark align --n 2048 --block 512
+//   $ ./gepspark_cli --serve --n 256 --tenants 4 --queries 1000
 //   $ ./gepspark_cli --help
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "align/align_driver.hpp"
 #include "analysis/hb_detector.hpp"
@@ -21,6 +25,7 @@
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "paren/paren_driver.hpp"
+#include "serve/job_server.hpp"
 #include "sparklet/storage_level.hpp"
 
 namespace {
@@ -31,7 +36,9 @@ struct CliArgs {
   std::size_t block = 64;
   std::string strategy = "im";   // im | cb
   std::string schedule = "barrier";  // barrier | dataflow
-  int lookahead = 1;             // pivot lookahead depth under dataflow
+  // Pivot lookahead depth under dataflow; -1 = auto (1 under dataflow,
+  // ignored by the barrier loop).
+  int lookahead = gepspark::SolverOptions::kAutoLookahead;
   std::string kernel = "rec4";   // iter | tiled<T> | rec<R>
   std::string base = "auto";     // auto | scalar | simd
   int omp = 1;
@@ -50,39 +57,35 @@ struct CliArgs {
   bool strassen_d = false;         // one-level Strassen split (fields only)
   std::string storage_level = "memory_only";  // persist() level for DP tiles
   double memory_cap = 0.0;         // executor memory bytes (0 = default)
+  bool track_predecessors = false;  // fw only: keep predecessor tiles
+  bool serve = false;               // run the multi-tenant job-server demo
+  int tenants = 4;                  // --serve: concurrent tenants
+  int queries = 1000;               // --serve: point queries per table
 };
 
 void usage() {
   std::printf(
       "gepspark_cli — run a DP benchmark on the in-process Spark-style "
-      "engine\n\n"
+      "engine\n"
+      "\nsolve\n"
       "  --benchmark fw|ge|tc|paren|align   (default fw)\n"
       "  --n <size>                          problem size (default 256)\n"
       "  --block <b>                         tile side (default 64)\n"
       "  --strategy im|cb                    GEP distribution (default im)\n"
-      "  --schedule barrier|dataflow         per-phase barriers vs tile-level\n"
-      "                                      dataflow DAG (default barrier)\n"
-      "  --lookahead <d>                     pivot lookahead depth under\n"
-      "                                      --schedule dataflow (default 1)\n"
       "  --kernel iter|tiled<T>|rec<R>       e.g. rec16, tiled64 (default rec4)\n"
       "  --base auto|scalar|simd             base-case backend (default auto)\n"
       "  --omp <t>                           OMP_NUM_THREADS (default 1)\n"
       "  --nodes <n> --cores <c>             virtual cluster (default 4x2)\n"
-      "  --trace <file.json>                 export Chrome trace (schedule "
-      "+ spans)\n"
-      "  --profile-json <file.json>          export JobProfile "
-      "(gepspark.profile/v3)\n"
-      "  --profile-csv <file.csv>            export JobProfile rows "
-      "(job + per-k)\n"
       "  --no-verify                         skip reference validation\n"
-      "  --checkpoint-interval <k>           checkpoint DP every k iterations\n"
-      "                                      (default 1; 0 = never)\n"
-      "  --speculate                         enable speculative execution\n"
-      "  --validate-schedule                 statically verify every emitted\n"
-      "                                      task graph against the symbolic\n"
-      "                                      GEP footprints (dataflow only)\n"
-      "  --race-check                        happens-before race detection\n"
-      "                                      over the executed task graphs\n"
+      "  --track-predecessors                fw only: keep predecessor tiles\n"
+      "                                      so full shortest paths can be\n"
+      "                                      reconstructed per point query\n"
+      "\nschedule\n"
+      "  --schedule barrier|dataflow         per-phase barriers vs tile-level\n"
+      "                                      dataflow DAG (default barrier)\n"
+      "  --lookahead <d>                     pivot lookahead depth under\n"
+      "                                      --schedule dataflow (default:\n"
+      "                                      auto — 1 under dataflow)\n"
       "  --fused-d                           batched fused D phase: pack the\n"
       "                                      step-k pivot panels once and\n"
       "                                      batch each executor's trailing\n"
@@ -90,6 +93,8 @@ void usage() {
       "  --strassen-d                        one-level Strassen split of the\n"
       "                                      fused trailing update (GE only;\n"
       "                                      tolerance- not bit-identical)\n"
+      "  --speculate                         enable speculative execution\n"
+      "\nstorage\n"
       "  --storage-level <level>             persist() level for the DP tiles:\n"
       "                                      memory_only | memory_only_ser |\n"
       "                                      memory_and_disk |\n"
@@ -99,7 +104,11 @@ void usage() {
       "                                      k/m/g suffixes (e.g. 64m); under\n"
       "                                      pressure blocks demote down the\n"
       "                                      storage ladder instead of being\n"
-      "                                      dropped (0 = cluster default)\n"
+      "                                      dropped (0 = cluster default;\n"
+      "                                      needs a disk-backed level)\n"
+      "  --checkpoint-interval <k>           checkpoint DP every k iterations\n"
+      "                                      (default 1; 0 = never)\n"
+      "\nchaos\n"
       "  --chaos <spec>                      seeded fault injection, e.g.\n"
       "      tasks=0.2,kills=2,killp=0.5,fetch=0.2,straggle=0.2,factor=8,\n"
       "      corrupt=1.0,attempts=6,stageattempts=4,spillcorrupt=0.5,\n"
@@ -108,7 +117,32 @@ void usage() {
       "      max executor kills; attempts = task retries; factor = straggler\n"
       "      slowdown; spillcorrupt/torn corrupt or truncate spill files,\n"
       "      enospc refuses a node's spill writes, slowdisk slows a node's\n"
-      "      spill device by slowfactor)\n");
+      "      spill device by slowfactor)\n"
+      "\nobs\n"
+      "  --trace <file.json>                 export Chrome trace (schedule "
+      "+ spans)\n"
+      "  --profile-json <file.json>          export JobProfile "
+      "(gepspark.profile/v3)\n"
+      "  --profile-csv <file.csv>            export JobProfile rows "
+      "(job + per-k)\n"
+      "  --validate-schedule                 statically verify every emitted\n"
+      "                                      task graph against the symbolic\n"
+      "                                      GEP footprints (dataflow only)\n"
+      "  --race-check                        happens-before race detection\n"
+      "                                      over the executed task graphs\n"
+      "\nserve\n"
+      "  --serve                             DP-as-a-service quickstart: a\n"
+      "                                      JobServer solves one job per\n"
+      "                                      tenant concurrently, answers\n"
+      "                                      point queries (dist + paths)\n"
+      "                                      from the resident tables, then\n"
+      "                                      cancels a job mid-flight and\n"
+      "                                      shuts down cleanly\n"
+      "  --tenants <k>                       --serve: concurrent tenants\n"
+      "                                      (default 4)\n"
+      "  --queries <q>                       --serve: point queries against\n"
+      "                                      the first resident table\n"
+      "                                      (default 1000)\n");
 }
 
 // "64m" → 64 MiB, "1g" → 1 GiB, "4096" → bytes.
@@ -185,6 +219,14 @@ bool parse(int argc, char** argv, CliArgs& a) {
       a.storage_level = argv[++i];
     } else if (flag == "--memory-cap" && (i + 1) < argc) {
       a.memory_cap = parse_bytes(argv[++i]);
+    } else if (flag == "--track-predecessors") {
+      a.track_predecessors = true;
+    } else if (flag == "--serve") {
+      a.serve = true;
+    } else if (flag == "--tenants" && (i + 1) < argc) {
+      a.tenants = std::stoi(argv[++i]);
+    } else if (flag == "--queries" && (i + 1) < argc) {
+      a.queries = std::stoi(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", flag.c_str());
       return false;
@@ -303,13 +345,40 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
   GS_THROW_IF(!level, gs::ConfigError,
               "unknown storage level: " + a.storage_level);
   opt.storage_level = *level;
+  opt.memory_cap = static_cast<std::size_t>(a.memory_cap);
+  opt.track_predecessors = a.track_predecessors && a.benchmark == "fw";
+  opt.validate();
 
   obs::JobProfile prof;
   double diff = 0.0;
-  if (a.benchmark == "fw") {
+  if (a.benchmark == "fw" && opt.track_predecessors) {
+    serve::SolveRequest req;
+    req.kind = serve::ProblemKind::kFloydWarshall;
+    req.matrix = gs::workload::random_digraph({.n = a.n, .seed = 1});
+    req.options = opt;
+    auto table = serve::solve_now(sc, req);
+    prof = table->profile;
+    if (a.verify) {
+      auto ref = req.matrix;
+      gs::baseline::reference_floyd_warshall(ref);
+      diff = gs::max_abs_diff(table->values, ref);
+    }
+    // Show the point-query front end once: the first finite off-diagonal
+    // pair gets its full path reconstructed from the predecessor tiles.
+    for (std::size_t u = 0; u < a.n; ++u) {
+      std::size_t v = (u + a.n / 2) % a.n;
+      if (u == v || table->dist(u, v) ==
+                        std::numeric_limits<double>::infinity()) {
+        continue;
+      }
+      auto path = table->path(u, v);
+      std::printf("  path %zu -> %zu: %zu hops, dist %.1f\n", u, v,
+                  path.size() - 1, table->dist(u, v));
+      break;
+    }
+  } else if (a.benchmark == "fw") {
     auto input = gs::workload::random_digraph({.n = a.n, .seed = 1});
-    auto res = gepspark::spark_floyd_warshall(sc, input, opt,
-                                              gepspark::with_profile);
+    auto res = gepspark::spark_floyd_warshall(sc, input, opt);
     prof = std::move(res.profile);
     if (a.verify) {
       auto ref = input;
@@ -318,14 +387,12 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
     }
   } else if (a.benchmark == "ge") {
     auto input = gs::workload::diagonally_dominant_matrix(a.n, 1);
-    auto res = gepspark::spark_gaussian_elimination(sc, input, opt,
-                                                    gepspark::with_profile);
+    auto res = gepspark::spark_gaussian_elimination(sc, input, opt);
     prof = std::move(res.profile);
     if (a.verify) diff = gs::baseline::lu_residual(input, res.matrix);
   } else {  // tc
     auto input = gs::workload::random_bool_digraph(a.n, 0.05, 1);
-    auto res = gepspark::spark_transitive_closure(sc, input, opt,
-                                                  gepspark::with_profile);
+    auto res = gepspark::spark_transitive_closure(sc, input, opt);
     prof = std::move(res.profile);
     if (a.verify) {
       auto ref = input;
@@ -393,6 +460,114 @@ int run_align(sparklet::SparkContext& sc, const CliArgs& a) {
   return 0;
 }
 
+// --serve quickstart: the DP-as-a-service loop end to end — concurrent
+// tenants, resident tables, point queries at measured latency, a mid-flight
+// cancellation, and a graceful drain.
+int run_serve(const CliArgs& a) {
+  using Clock = std::chrono::steady_clock;
+  serve::ServerConfig cfg;
+  cfg.cluster = sparklet::ClusterConfig::local(a.nodes, a.cores);
+  cfg.num_contexts = 2;
+  serve::JobServer server(cfg);
+  std::printf("job server up: %d contexts (%dx%d each), queue cap %d\n",
+              server.num_contexts(), a.nodes, a.cores, cfg.max_queue_depth);
+
+  // One job per tenant: even tenants solve FW with predecessor tracking
+  // (so paths can be served), odd tenants run GE.
+  struct Submitted {
+    std::string tenant;
+    serve::SolveTicket ticket;
+  };
+  std::vector<Submitted> jobs;
+  for (int t = 0; t < a.tenants; ++t) {
+    serve::SolveRequest req;
+    req.tenant = "tenant-" + std::to_string(t);
+    req.options.block_size = a.block;
+    if (t % 2 == 0) {
+      req.kind = serve::ProblemKind::kFloydWarshall;
+      req.options.track_predecessors = true;
+      req.matrix = gs::workload::random_digraph(
+          {.n = a.n, .seed = 100 + std::uint64_t(t)});
+    } else {
+      req.kind = serve::ProblemKind::kGaussianElimination;
+      req.matrix =
+          gs::workload::diagonally_dominant_matrix(a.n, 100 + std::uint64_t(t));
+    }
+    jobs.push_back({req.tenant, server.submit(req)});
+  }
+  for (auto& j : jobs) {
+    const auto status = j.ticket.await();
+    const auto table = server.table(j.ticket.id());
+    std::printf("  job %lld (%s): %s — %.3fs, table %s\n",
+                static_cast<long long>(j.ticket.id()), j.tenant.c_str(),
+                serve::job_status_name(status),
+                table != nullptr ? table->profile.wall_seconds : 0.0,
+                table != nullptr
+                    ? gs::human_bytes(double(table->bytes())).c_str()
+                    : "-");
+    GS_THROW_IF(status != serve::JobStatus::kDone, gs::ConfigError,
+                "serve quickstart job failed");
+  }
+
+  // Point queries against the first tenant's FW table: dist + a path per
+  // round, latency measured per query.
+  const serve::JobId fw_id = jobs.front().ticket.id();
+  const auto table = server.table(fw_id);
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(a.queries));
+  std::size_t paths = 0, hops = 0;
+  gs::Rng rng(7);
+  for (int q = 0; q < a.queries; ++q) {
+    const std::size_t u = rng.uniform_u64(a.n), v = rng.uniform_u64(a.n);
+    const auto t0 = Clock::now();
+    const double d = server.query_dist(fw_id, u, v);
+    auto path = server.query_path(fw_id, u, v);
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+    if (d != std::numeric_limits<double>::infinity() && !path.empty()) {
+      ++paths;
+      hops += path.size() - 1;
+    }
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  const auto pct = [&](double p) {
+    return lat_us[std::min(lat_us.size() - 1,
+                           std::size_t(p * double(lat_us.size())))];
+  };
+  std::printf(
+      "  %d point queries (dist + path): p50 %.1fus p99 %.1fus max %.1fus — "
+      "%zu reachable pairs, %.1f hops avg\n",
+      a.queries, pct(0.50), pct(0.99), lat_us.back(), paths,
+      paths > 0 ? double(hops) / double(paths) : 0.0);
+
+  // Cancellation: a straggler job is aborted mid-flight; the server keeps
+  // serving and the next submit reuses the freed context.
+  serve::SolveRequest big;
+  big.tenant = "straggler";
+  big.kind = serve::ProblemKind::kFloydWarshall;
+  big.matrix = gs::workload::random_digraph({.n = std::max<std::size_t>(a.n, 256),
+                                             .seed = 999});
+  big.options.block_size = 32;
+  auto doomed = server.submit(big);
+  doomed.cancel();
+  std::printf("  cancelled job %lld: %s\n",
+              static_cast<long long>(doomed.id()),
+              serve::job_status_name(doomed.await()));
+
+  const auto st = server.stats();
+  std::printf(
+      "  server stats: %lld submitted, %lld done, %lld cancelled, "
+      "%lld rejected | %zu resident tables (%s)\n",
+      static_cast<long long>(st.submitted), static_cast<long long>(st.completed),
+      static_cast<long long>(st.cancelled), static_cast<long long>(st.rejected),
+      st.resident_tables, gs::human_bytes(double(st.resident_bytes)).c_str());
+  server.shutdown();
+  std::printf("  clean shutdown: workers joined, tables still queryable "
+              "(dist(0,0) = %.1f)\n",
+              server.query_dist(fw_id, 0, 0));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -402,6 +577,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (args.serve) return run_serve(args);
     sparklet::ClusterConfig cfg =
         sparklet::ClusterConfig::local(args.nodes, args.cores);
     if (args.memory_cap > 0.0) cfg.executor_mem_bytes = args.memory_cap;

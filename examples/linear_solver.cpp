@@ -64,8 +64,9 @@ int main() {
   opt.strategy = gepspark::Strategy::kCollectBroadcast;
   opt.kernel = gs::KernelConfig::recursive(/*r_shared=*/4, /*omp=*/2);
 
-  gepspark::SolveStats stats;
-  auto elim = gepspark::spark_gaussian_elimination(sc, a, opt, &stats);
+  auto outcome = gepspark::spark_gaussian_elimination(sc, a, opt);
+  const auto& stats = outcome.stats;
+  const auto& elim = outcome.matrix;
   std::printf("eliminated on the cluster: %d stages, %d tasks, collect %s, "
               "broadcast %s\n",
               stats.stages, stats.tasks,

@@ -35,11 +35,11 @@ int main() {
   opt.strategy = gepspark::Strategy::kInMemory;        // paper Listing 1
   opt.kernel = gs::KernelConfig::recursive(/*r_shared=*/2, /*omp=*/2);
 
-  // 4. Solve. The `with_profile` tag returns {matrix, JobProfile} instead of
-  //    the bare matrix; enabling the tracer first adds per-iteration rows.
+  // 4. Solve. solve_gep returns a SolveOutcome: the solved matrix plus the
+  //    JobProfile and SolveStats; enabling the tracer first adds
+  //    per-iteration rows to the profile.
   sc.tracer().set_enabled(true);
-  auto [dist, profile] =
-      gepspark::spark_floyd_warshall(sc, adj, opt, gepspark::with_profile);
+  auto [dist, profile, stats] = gepspark::spark_floyd_warshall(sc, adj, opt);
 
   // 5. Use the result.
   std::printf("all-pairs shortest paths (n=%zu):\n      ", n);

@@ -37,8 +37,9 @@ int main() {
   opt.strategy = gepspark::Strategy::kCollectBroadcast;
   opt.kernel = gs::KernelConfig::recursive(2, 2, 9);
 
-  gepspark::SolveStats stats;
-  auto closure = gepspark::spark_transitive_closure(sc, dep, opt, &stats);
+  auto res = gepspark::spark_transitive_closure(sc, dep, opt);
+  const auto& stats = res.stats;
+  const auto& closure = res.matrix;
   std::printf("transitive closure of %zu modules computed in %d stages\n", n,
               stats.stages);
 

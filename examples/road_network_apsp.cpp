@@ -56,7 +56,7 @@ int main() {
     opt.kernel = gs::KernelConfig::recursive(2, 2, 16);
 
     auto res =
-        gepspark::spark_floyd_warshall(sc, times, opt, gepspark::with_profile);
+        gepspark::spark_floyd_warshall(sc, times, opt);
     dist = std::move(res.matrix);
     const obs::JobProfile& p = res.profile;
     std::printf(

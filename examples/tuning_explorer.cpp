@@ -56,8 +56,7 @@ void validate_winner() {
   sparklet::SparkContext sc(cluster);
   sc.tracer().set_enabled(true);
   auto input = gs::workload::random_digraph({.n = n, .seed = 7});
-  auto res = gepspark::spark_floyd_warshall(sc, input, win.options,
-                                            gepspark::with_profile);
+  auto res = gepspark::spark_floyd_warshall(sc, input, win.options);
   const obs::JobProfile& p = res.profile;
 
   std::printf("\n== measured winner: FW %zu on %s ==\n", n,

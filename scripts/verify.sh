@@ -169,9 +169,26 @@ PY
 }
 storage_stage build
 
+# Serving stage: the DP-as-a-service loop end to end — a JobServer hosting
+# 4 concurrent tenants, 1000 point queries (dist + reconstructed paths)
+# answered from the resident tables, a mid-flight cancellation, and a clean
+# drain/shutdown. The predecessor-tracked one-shot solve then exercises the
+# same pair-valued FW spec through the ordinary driver path with reference
+# validation on. Repeated under ASan below so the whole server lifecycle is
+# leak-checked.
+serve_stage() {
+  local dir="$1"
+  echo "== serving smoke (${dir}) =="
+  "./${dir}/examples/gepspark_cli" --serve --n 192 --tenants 4     --queries 1000 >/dev/null
+  "./${dir}/examples/gepspark_cli" --benchmark fw --n 128 --block 32     --track-predecessors --kernel iter >/dev/null
+  echo "serve (${dir}): 4 tenants + 1000 queries + cancel + shutdown ok"
+}
+serve_stage build
+
 if [[ "${FAST}" == "0" ]]; then
   run_tree build-asan -DGS_SANITIZE=address
   storage_stage build-asan
+  serve_stage build-asan
   # TSan slows tests 10-20x; the tree also applies tsan.supp (libgomp is
   # un-annotated) through the GS_TEST_ENVIRONMENT property.
   run_tree build-tsan --timeout=900 -DGS_SANITIZE=thread

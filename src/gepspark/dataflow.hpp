@@ -388,7 +388,7 @@ class DataflowEngine : public sparklet::BlockSource {
       }
       // Pivot lookahead: iteration k may not start before the fence of
       // iteration k - lookahead - 1 (when that fence is in this segment).
-      const int gate = k - opt_.lookahead - 1;
+      const int gate = k - opt_.effective_lookahead() - 1;
       if (gate >= s) t.deps.push_back(fences[static_cast<std::size_t>(gate - s)]);
       specs.push_back(std::move(t));
       spec_node.push_back(node_id);
@@ -420,7 +420,7 @@ class DataflowEngine : public sparklet::BlockSource {
       }
       std::sort(t.deps.begin(), t.deps.end());
       t.deps.erase(std::unique(t.deps.begin(), t.deps.end()), t.deps.end());
-      const int gate = k - opt_.lookahead - 1;
+      const int gate = k - opt_.effective_lookahead() - 1;
       if (gate >= s) t.deps.push_back(fences[static_cast<std::size_t>(gate - s)]);
       specs.push_back(std::move(t));
       spec_node.push_back(-1);

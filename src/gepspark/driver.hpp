@@ -81,6 +81,17 @@ class GepDriver {
     return std::move(result.matrix);
   }
 
+  /// Unified result: the table, the structured profile, and its flat
+  /// SolveStats projection — what the public solve_gep returns.
+  SolveOutcome<T> solve_outcome(const gs::Matrix<T>& input) {
+    SolveResult<T> result = solve_profiled(input);
+    SolveOutcome<T> outcome;
+    outcome.matrix = std::move(result.matrix);
+    outcome.stats = to_solve_stats(result.profile);
+    outcome.profile = std::move(result.profile);
+    return outcome;
+  }
+
   /// Run the computation and return {matrix, JobProfile}. Metrics capture is
   /// scoped (MetricsScope), so the profile covers exactly this solve even on
   /// a reused context. Enable sc.tracer() beforehand to also get span
@@ -120,7 +131,7 @@ class GepDriver {
                 .gather();
         if (opt_.validate_schedule) {
           analysis::ScheduleCheckOptions copt;
-          copt.lookahead = opt_.lookahead;
+          copt.lookahead = opt_.effective_lookahead();
           copt.in_memory = opt_.strategy == Strategy::kInMemory;
           copt.checkpoint_interval = opt_.checkpoint_interval;
           const analysis::ScheduleCheckReport check_report =

@@ -69,8 +69,20 @@ struct SolverOptions {
   /// may start while iteration k's trailing update still runs. 0 pins a
   /// barrier between iterations (but still overlaps phases within one);
   /// higher depths overlap more iterations at the cost of holding more tile
-  /// versions live. Ignored under kBarrier.
-  int lookahead = 1;
+  /// versions live. -1 ("auto", the default) resolves to 1 under kDataflow
+  /// and is a no-op under kBarrier; an explicit value > 0 with the barrier
+  /// scheduler is rejected by validate() — the barrier loop cannot overlap
+  /// iterations, so the request would be silently ignored.
+  int lookahead = kAutoLookahead;
+
+  static constexpr int kAutoLookahead = -1;
+
+  /// The lookahead depth the dataflow engine actually runs with: resolves
+  /// the auto sentinel, and is 0 under kBarrier regardless of the field.
+  int effective_lookahead() const {
+    if (schedule != ScheduleMode::kDataflow) return 0;
+    return lookahead == kAutoLookahead ? 1 : lookahead;
+  }
 
   /// Fused D phase: pack the step-k pivot panels once (kernels/panel_pack)
   /// and walk each executor's trailing tiles with the batched semiring GEMM
@@ -94,23 +106,52 @@ struct SolverOptions {
   /// out-of-core solves under a --memory-cap smaller than the table.
   sparklet::StorageLevel storage_level = sparklet::StorageLevel::kMemoryOnly;
 
+  /// Record per-(u,v) predecessor hops alongside the DP values (FW only:
+  /// the solve runs the FwPredSpec pair-valued semiring, so every A/B/C/D
+  /// kernel carries the predecessor through unchanged machinery). Doubles
+  /// the tile payload; the serve layer needs it for path reconstruction.
+  bool track_predecessors = false;
+
+  /// Per-solve executor memory budget in bytes (0 = the cluster default).
+  /// Only meaningful with a disk-backed storage level — a cap under
+  /// MEMORY_ONLY would silently degrade to lossy eviction + recomputation,
+  /// so validate() rejects that combination.
+  std::size_t memory_cap = 0;
+
+  /// Reject incoherent option combinations once, at submission, with a
+  /// named message — instead of failing deep inside the drivers (or worse,
+  /// silently ignoring a knob). Every rejection here has a unit test.
   void validate() const {
     GS_THROW_IF(block_size == 0, gs::ConfigError, "block_size must be > 0");
     GS_THROW_IF(num_partitions < 0, gs::ConfigError,
                 "num_partitions must be >= 0");
     GS_THROW_IF(checkpoint_interval < 0, gs::ConfigError,
                 "checkpoint_interval must be >= 0");
-    GS_THROW_IF(lookahead < 0, gs::ConfigError, "lookahead must be >= 0");
+    GS_THROW_IF(lookahead < kAutoLookahead, gs::ConfigError,
+                "lookahead must be >= 0 (or -1 for auto)");
+    GS_THROW_IF(lookahead > 0 && schedule != ScheduleMode::kDataflow,
+                gs::ConfigError,
+                "lookahead > 0 requires the dataflow schedule (the barrier "
+                "loop cannot overlap iterations)");
     GS_THROW_IF(validate_schedule && schedule != ScheduleMode::kDataflow,
                 gs::ConfigError,
                 "validate_schedule requires the dataflow schedule");
+    GS_THROW_IF(kernel.strassen_d && !fused_d, gs::ConfigError,
+                "strassen_d requires fused_d (the Strassen split only exists "
+                "inside the batched D backend)");
+    GS_THROW_IF(
+        memory_cap > 0 && storage_level == sparklet::StorageLevel::kMemoryOnly,
+        gs::ConfigError,
+        "memory_cap requires a disk-backed storage level (MEMORY_ONLY evicts "
+        "under pressure instead of spilling; use memory_and_disk[_ser] or "
+        "disk_only)");
     kernel.validate();
   }
 
   std::string describe() const {
     std::string sched;
     if (schedule == ScheduleMode::kDataflow) {
-      sched = gs::strfmt(" dataflow(lookahead=%d)", lookahead);
+      sched = gs::strfmt(" dataflow(lookahead=%d)", effective_lookahead());
     }
     std::string storage;
     if (storage_level != sparklet::StorageLevel::kMemoryOnly) {
@@ -127,9 +168,8 @@ struct SolverOptions {
 /// Execution statistics for one solve, in both time domains.
 ///
 /// Compatibility surface: these fields are a flat projection of
-/// obs::JobProfile (see to_solve_stats). New code should prefer the
-/// `with_profile` overloads returning SolveResult — the profile carries the
-/// same numbers plus the bucket/phase/iteration breakdown.
+/// obs::JobProfile (see to_solve_stats). SolveOutcome carries both the
+/// profile and this flat view, so callers read whichever granularity fits.
 struct SolveStats {
   double wall_seconds = 0.0;     ///< real elapsed time on the host
   double virtual_seconds = 0.0;  ///< virtual-cluster makespan (timeline delta)
@@ -155,21 +195,32 @@ inline SolveStats to_solve_stats(const obs::JobProfile& profile) {
   return s;
 }
 
-/// Tag selecting the profiled overloads of solve_gep() and the named
-/// solvers: `solve_gep<Spec>(sc, input, opt, with_profile)` returns a
-/// SolveResult instead of a bare matrix.
+/// Tag selecting the legacy profiled overloads of solve_gep() and the named
+/// solvers. Deprecated: the unified entry point returns SolveOutcome, which
+/// always carries the profile — there is nothing left for the tag to select.
 struct with_profile_t {
   explicit with_profile_t() = default;
 };
 inline constexpr with_profile_t with_profile{};
 
-/// Result of a profiled solve: the processed table plus the structured
-/// execution profile (virtual-time buckets, GEP-phase split, per-iteration
-/// slices when tracing is enabled on the context, bytes, recovery work).
+/// Result of a legacy profiled solve (the with_profile_t overloads). New
+/// code receives SolveOutcome from the unified solve_gep.
 template <typename T>
 struct SolveResult {
   gs::Matrix<T> matrix;
   obs::JobProfile profile;
+};
+
+/// Result of one solve through the unified entry point: the processed table,
+/// the structured execution profile (virtual-time buckets, GEP-phase split,
+/// per-iteration slices when tracing is enabled on the context, bytes,
+/// recovery work), and the flat SolveStats projection of the same numbers
+/// for quick reads.
+template <typename T>
+struct SolveOutcome {
+  gs::Matrix<T> matrix;
+  obs::JobProfile profile;
+  SolveStats stats;
 };
 
 }  // namespace gepspark

@@ -6,10 +6,18 @@
 //   opt.block_size = 64;
 //   opt.strategy = gepspark::Strategy::kInMemory;
 //   opt.kernel = gs::KernelConfig::recursive(/*r_shared=*/4, /*omp=*/2);
-//   auto dist = gepspark::spark_floyd_warshall(sc, adjacency, opt);
+//   auto out = gepspark::spark_floyd_warshall(sc, adjacency, opt);
+//   // out.matrix — the DP table; out.profile / out.stats — execution data.
 //
 // The generic solve_gep<Spec>() runs any GepSpec; the named helpers bind the
 // paper's benchmarks (FW-APSP, GE) plus transitive closure and widest-path.
+// Every solve returns SolveOutcome{matrix, profile, stats}; the previous
+// `SolveStats*` out-param and `with_profile_t` tag overloads remain as
+// [[deprecated]] shims over the same path.
+//
+// Long-lived serving (resident tables + point queries + cancellation) lives
+// in serve/job_server.hpp; these one-shot entry points and the server's job
+// execution share GepDriver, so results are bit-identical either way.
 #pragma once
 
 #include "gepspark/driver.hpp"
@@ -18,21 +26,41 @@
 namespace gepspark {
 
 /// Run the GEP computation for `Spec` on `input` over the given Spark
-/// context. Returns the fully-processed DP table (padding stripped).
+/// context. Returns the fully-processed DP table (padding stripped), the
+/// structured execution profile, and its flat SolveStats projection. Enable
+/// sc.tracer() first for span nesting and per-iteration attribution in the
+/// profile.
 template <gs::GepSpecType Spec>
+SolveOutcome<typename Spec::value_type> solve_gep(
+    sparklet::SparkContext& sc,
+    const gs::Matrix<typename Spec::value_type>& input,
+    const SolverOptions& opt) {
+  GepDriver<Spec> driver(sc, opt);
+  return driver.solve_outcome(input);
+}
+
+/// Deprecated shim: the out-param form. The unified solve_gep's SolveOutcome
+/// carries the same stats; this wrapper exists so pre-redesign callers keep
+/// compiling (with a warning) until migrated.
+template <gs::GepSpecType Spec>
+[[deprecated("use solve_gep(sc, input, opt) returning SolveOutcome; "
+             ".stats replaces the SolveStats* out-param")]]
 gs::Matrix<typename Spec::value_type> solve_gep(
-    sparklet::SparkContext& sc, const gs::Matrix<typename Spec::value_type>& input,
-    const SolverOptions& opt, SolveStats* stats = nullptr) {
+    sparklet::SparkContext& sc,
+    const gs::Matrix<typename Spec::value_type>& input,
+    const SolverOptions& opt, SolveStats* stats) {
   GepDriver<Spec> driver(sc, opt);
   return driver.solve(input, stats);
 }
 
-/// Profiled variant: `solve_gep<Spec>(sc, input, opt, with_profile)` returns
-/// {matrix, JobProfile}. Enable sc.tracer() first for span nesting and
-/// per-iteration attribution in the profile.
+/// Deprecated shim: the tag-dispatched profiled form. The unified solve_gep
+/// always returns the profile; there is nothing left for the tag to select.
 template <gs::GepSpecType Spec>
+[[deprecated("use solve_gep(sc, input, opt) returning SolveOutcome; "
+             ".profile replaces the with_profile overload")]]
 SolveResult<typename Spec::value_type> solve_gep(
-    sparklet::SparkContext& sc, const gs::Matrix<typename Spec::value_type>& input,
+    sparklet::SparkContext& sc,
+    const gs::Matrix<typename Spec::value_type>& input,
     const SolverOptions& opt, with_profile_t) {
   GepDriver<Spec> driver(sc, opt);
   return driver.solve_profiled(input);
@@ -41,64 +69,98 @@ SolveResult<typename Spec::value_type> solve_gep(
 /// All-pairs shortest paths (min-plus semiring). `adjacency(i,j)` is the
 /// edge weight, +∞ for "no edge", and 0 on the diagonal. Requires no
 /// negative cycles.
-inline gs::Matrix<double> spark_floyd_warshall(sparklet::SparkContext& sc,
-                                               const gs::Matrix<double>& adjacency,
-                                               const SolverOptions& opt,
-                                               SolveStats* stats = nullptr) {
-  return solve_gep<gs::FloydWarshallSpec>(sc, adjacency, opt, stats);
-}
-
-inline SolveResult<double> spark_floyd_warshall(sparklet::SparkContext& sc,
-                                                const gs::Matrix<double>& adjacency,
-                                                const SolverOptions& opt,
-                                                with_profile_t tag) {
-  return solve_gep<gs::FloydWarshallSpec>(sc, adjacency, opt, tag);
+inline SolveOutcome<double> spark_floyd_warshall(
+    sparklet::SparkContext& sc, const gs::Matrix<double>& adjacency,
+    const SolverOptions& opt) {
+  return solve_gep<gs::FloydWarshallSpec>(sc, adjacency, opt);
 }
 
 /// Gaussian elimination without pivoting. Returns the eliminated table:
 /// U in the upper triangle; the strict lower triangle holds pre-elimination
 /// column values (multiplier L(i,k) = out(i,k)/out(k,k)). Numerically safe
 /// for diagonally dominant or symmetric positive-definite inputs.
+inline SolveOutcome<double> spark_gaussian_elimination(
+    sparklet::SparkContext& sc, const gs::Matrix<double>& system,
+    const SolverOptions& opt) {
+  return solve_gep<gs::GaussianEliminationSpec>(sc, system, opt);
+}
+
+/// Transitive closure (boolean semiring). `adjacency(i,j)` ∈ {0,1}; set the
+/// diagonal to 1 for reflexive reachability.
+inline SolveOutcome<std::uint8_t> spark_transitive_closure(
+    sparklet::SparkContext& sc, const gs::Matrix<std::uint8_t>& adjacency,
+    const SolverOptions& opt) {
+  return solve_gep<gs::TransitiveClosureSpec>(sc, adjacency, opt);
+}
+
+/// Widest (maximum-bottleneck) paths over the (max, min) semiring.
+/// `capacity(i,j)` is the link capacity, 0 for "no link", +∞ on the diagonal.
+inline SolveOutcome<double> spark_widest_path(sparklet::SparkContext& sc,
+                                              const gs::Matrix<double>& capacity,
+                                              const SolverOptions& opt) {
+  return solve_gep<gs::WidestPathSpec>(sc, capacity, opt);
+}
+
+// ---- deprecated named-helper shims (pre-redesign call forms) ----
+
+GS_PUSH_IGNORE_DEPRECATED
+[[deprecated("use spark_floyd_warshall(sc, adjacency, opt).matrix / .stats")]]
+inline gs::Matrix<double> spark_floyd_warshall(
+    sparklet::SparkContext& sc, const gs::Matrix<double>& adjacency,
+    const SolverOptions& opt, SolveStats* stats) {
+  return solve_gep<gs::FloydWarshallSpec>(sc, adjacency, opt, stats);
+}
+
+[[deprecated("use spark_floyd_warshall(sc, adjacency, opt).profile")]]
+inline SolveResult<double> spark_floyd_warshall(
+    sparklet::SparkContext& sc, const gs::Matrix<double>& adjacency,
+    const SolverOptions& opt, with_profile_t tag) {
+  return solve_gep<gs::FloydWarshallSpec>(sc, adjacency, opt, tag);
+}
+
+[[deprecated("use spark_gaussian_elimination(sc, system, opt).matrix / .stats")]]
 inline gs::Matrix<double> spark_gaussian_elimination(
     sparklet::SparkContext& sc, const gs::Matrix<double>& system,
-    const SolverOptions& opt, SolveStats* stats = nullptr) {
+    const SolverOptions& opt, SolveStats* stats) {
   return solve_gep<gs::GaussianEliminationSpec>(sc, system, opt, stats);
 }
 
+[[deprecated("use spark_gaussian_elimination(sc, system, opt).profile")]]
 inline SolveResult<double> spark_gaussian_elimination(
     sparklet::SparkContext& sc, const gs::Matrix<double>& system,
     const SolverOptions& opt, with_profile_t tag) {
   return solve_gep<gs::GaussianEliminationSpec>(sc, system, opt, tag);
 }
 
-/// Transitive closure (boolean semiring). `adjacency(i,j)` ∈ {0,1}; set the
-/// diagonal to 1 for reflexive reachability.
+[[deprecated("use spark_transitive_closure(sc, adjacency, opt).matrix / .stats")]]
 inline gs::Matrix<std::uint8_t> spark_transitive_closure(
     sparklet::SparkContext& sc, const gs::Matrix<std::uint8_t>& adjacency,
-    const SolverOptions& opt, SolveStats* stats = nullptr) {
+    const SolverOptions& opt, SolveStats* stats) {
   return solve_gep<gs::TransitiveClosureSpec>(sc, adjacency, opt, stats);
 }
 
+[[deprecated("use spark_transitive_closure(sc, adjacency, opt).profile")]]
 inline SolveResult<std::uint8_t> spark_transitive_closure(
     sparklet::SparkContext& sc, const gs::Matrix<std::uint8_t>& adjacency,
     const SolverOptions& opt, with_profile_t tag) {
   return solve_gep<gs::TransitiveClosureSpec>(sc, adjacency, opt, tag);
 }
 
-/// Widest (maximum-bottleneck) paths over the (max, min) semiring.
-/// `capacity(i,j)` is the link capacity, 0 for "no link", +∞ on the diagonal.
+[[deprecated("use spark_widest_path(sc, capacity, opt).matrix / .stats")]]
 inline gs::Matrix<double> spark_widest_path(sparklet::SparkContext& sc,
                                             const gs::Matrix<double>& capacity,
                                             const SolverOptions& opt,
-                                            SolveStats* stats = nullptr) {
+                                            SolveStats* stats) {
   return solve_gep<gs::WidestPathSpec>(sc, capacity, opt, stats);
 }
 
+[[deprecated("use spark_widest_path(sc, capacity, opt).profile")]]
 inline SolveResult<double> spark_widest_path(sparklet::SparkContext& sc,
                                              const gs::Matrix<double>& capacity,
                                              const SolverOptions& opt,
                                              with_profile_t tag) {
   return solve_gep<gs::WidestPathSpec>(sc, capacity, opt, tag);
 }
+GS_POP_IGNORE_DEPRECATED
 
 }  // namespace gepspark

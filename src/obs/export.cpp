@@ -40,12 +40,18 @@ std::ofstream open_or_throw(const std::string& path) {
 void write_profile_json(const JobProfile& p, std::ostream& out) {
   out << "{\n";
   out << gs::strfmt("  \"schema\": \"%s\",\n", kProfileJsonSchema);
+  std::string serve_tag;
+  if (!p.tenant.empty() || p.job_id >= 0) {
+    serve_tag = gs::strfmt(", \"tenant\": \"%s\", \"job_id\": %lld",
+                           json_escape(p.tenant).c_str(),
+                           static_cast<long long>(p.job_id));
+  }
   out << gs::strfmt(
       "  \"job\": {\"config\": \"%s\", \"wall_seconds\": %.9g, "
       "\"virtual_seconds\": %.9g, \"grid_r\": %d, \"stages\": %d, "
-      "\"tasks\": %d},\n",
+      "\"tasks\": %d%s},\n",
       json_escape(p.job).c_str(), p.wall_seconds, p.virtual_seconds, p.grid_r,
-      p.stages, p.tasks);
+      p.stages, p.tasks, serve_tag.c_str());
   out << gs::strfmt(
       "  \"bytes\": {\"shuffle\": %zu, \"collect\": %zu, \"broadcast\": "
       "%zu},\n",

@@ -86,6 +86,12 @@ struct IterationProfile {
 
 struct JobProfile {
   std::string job;  ///< free-form description (driver config string)
+  /// Serve-layer attribution: which tenant submitted the job and the
+  /// server-assigned job id. Empty / -1 for one-shot (non-served) solves;
+  /// exported inside the JSON "job" object only when set, so the v3 schema
+  /// is unchanged for existing consumers.
+  std::string tenant;
+  std::int64_t job_id = -1;
   double wall_seconds = 0.0;
   double virtual_seconds = 0.0;
   int stages = 0;

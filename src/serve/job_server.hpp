@@ -1,0 +1,210 @@
+// job_server.hpp — DP-as-a-service: a long-lived, multi-tenant job server.
+//
+// The server owns a pool of SparkContexts (one worker thread per context)
+// and accepts concurrent solve jobs through SolveRequest. Admission control
+// happens at submit():
+//   * a global queue-depth cap — past it, submit() throws gs::CapacityError
+//     (backpressure: the client retries later);
+//   * a per-tenant memory budget — the estimated resident-table footprint is
+//     charged up front, trued up to the real size on completion, refunded on
+//     cancel/failure/evict. A tenant over budget is rejected without
+//     touching anyone else's jobs.
+// Scheduling is fair round-robin across tenants: each tenant has a FIFO
+// queue and a cursor walks the tenant ring, so one tenant flooding the
+// server cannot starve the others.
+//
+// A submitted job returns a SolveTicket: await() blocks to a terminal
+// status, cancel() flips the per-job abort flag that sparklet's schedulers
+// poll at task-release points (the solve unwinds via gs::JobCancelledError,
+// RAII drops its blocks, and the context is immediately reusable).
+//
+// Completed tables enter the resident registry keyed by job id; point
+// queries (query_dist / query_path / query_reachable) answer from plain
+// driver-side matrices at sub-millisecond latency without re-touching
+// Spark. solve_now() runs the identical execution path synchronously —
+// results are bit-identical to the one-shot solve_gep entry points.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "serve/resident_table.hpp"
+#include "sparklet/context.hpp"
+
+namespace serve {
+
+struct ServerConfig {
+  /// Cluster shape of every pooled context.
+  sparklet::ClusterConfig cluster = sparklet::ClusterConfig::local(2, 2);
+  /// Contexts == concurrently-running jobs == worker threads.
+  int num_contexts = 2;
+  /// Admission cap on queued (not yet running) jobs across all tenants.
+  int max_queue_depth = 64;
+  /// Default per-tenant budget for resident + in-flight table bytes.
+  std::size_t tenant_budget_bytes = 256ull << 20;
+  /// Per-tenant overrides of tenant_budget_bytes.
+  std::unordered_map<std::string, std::size_t> tenant_budgets;
+};
+
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t failed = 0;
+  std::int64_t rejected = 0;  ///< admission-control rejections
+  int queued = 0;
+  int running = 0;
+  std::size_t resident_tables = 0;
+  std::size_t resident_bytes = 0;
+  /// Bytes currently charged against each tenant's budget.
+  std::unordered_map<std::string, std::size_t> tenant_bytes;
+  /// Job ids in the order the workers finished them (any terminal status) —
+  /// what the fairness tests assert round-robin interleaving on.
+  std::vector<JobId> completion_order;
+};
+
+namespace detail {
+/// Shared between the ticket (client side) and the server's queues/workers.
+struct JobState {
+  JobId id = -1;
+  std::string tenant;
+  ProblemKind kind = ProblemKind::kFloydWarshall;
+  std::size_t charge = 0;  ///< bytes held against the tenant budget
+  std::atomic<JobStatus> status{JobStatus::kQueued};
+  /// The per-job abort flag sparklet polls (SparkContext::set_cancel_flag).
+  std::atomic<bool> cancel{false};
+  mutable std::mutex mu;  ///< guards error + cv waits
+  std::condition_variable cv;
+  std::string error;
+};
+}  // namespace detail
+
+/// Client handle for one submitted job.
+class SolveTicket {
+ public:
+  SolveTicket() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  JobId id() const { return state_ != nullptr ? state_->id : -1; }
+
+  JobStatus status() const {
+    GS_CHECK_MSG(state_ != nullptr, "empty SolveTicket");
+    return state_->status.load(std::memory_order_acquire);
+  }
+
+  /// Block until the job reaches a terminal status and return it.
+  JobStatus await() const {
+    GS_CHECK_MSG(state_ != nullptr, "empty SolveTicket");
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] {
+      return is_terminal(state_->status.load(std::memory_order_acquire));
+    });
+    return state_->status.load(std::memory_order_acquire);
+  }
+
+  /// Request cancellation: a queued job is dropped at dequeue, a running job
+  /// unwinds at the scheduler's next task-release poll. Returns false when
+  /// the job had already reached a terminal status (too late to cancel).
+  bool cancel() const {
+    GS_CHECK_MSG(state_ != nullptr, "empty SolveTicket");
+    const JobStatus s = state_->status.load(std::memory_order_acquire);
+    state_->cancel.store(true, std::memory_order_release);
+    return !is_terminal(s);
+  }
+
+  /// Failure message (after status() == kFailed).
+  std::string error() const {
+    GS_CHECK_MSG(state_ != nullptr, "empty SolveTicket");
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->error;
+  }
+
+ private:
+  friend class JobServer;
+  explicit SolveTicket(std::shared_ptr<detail::JobState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::JobState> state_;
+};
+
+class JobServer {
+ public:
+  explicit JobServer(ServerConfig cfg = {});
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Admit a job. Throws gs::ConfigError on a malformed request or after
+  /// shutdown, gs::CapacityError when the admission queue is full or the
+  /// tenant's memory budget would be exceeded.
+  SolveTicket submit(SolveRequest req);
+
+  /// The resident table for a completed job, or nullptr.
+  std::shared_ptr<const ResidentTable> table(JobId id) const;
+
+  // ---- point-query front end (never touches Spark) ----
+  double query_dist(JobId id, std::size_t u, std::size_t v) const;
+  bool query_reachable(JobId id, std::size_t u, std::size_t v) const;
+  std::vector<std::int64_t> query_path(JobId id, std::size_t u,
+                                       std::size_t v) const;
+
+  /// Drop a resident table and refund its bytes to the tenant budget.
+  bool evict(JobId id);
+
+  ServerStats stats() const;
+
+  /// Graceful shutdown: drains the queue, joins the workers. Subsequent
+  /// submit() calls throw; queries against resident tables keep working.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  int num_contexts() const { return static_cast<int>(contexts_.size()); }
+
+ private:
+  struct Pending {
+    std::shared_ptr<detail::JobState> state;
+    SolveRequest req;
+  };
+
+  void worker_loop(int slot);
+  static void finish(const std::shared_ptr<detail::JobState>& state,
+                     JobStatus status, std::string error);
+  std::size_t tenant_budget(const std::string& tenant) const;
+
+  ServerConfig cfg_;
+  std::vector<std::unique_ptr<sparklet::SparkContext>> contexts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool stop_ = false;
+  std::unordered_map<std::string, std::deque<Pending>> queues_;
+  std::vector<std::string> tenant_ring_;  ///< first-seen order, RR walked
+  std::size_t rr_cursor_ = 0;
+  int queued_ = 0;
+  int running_ = 0;
+  std::unordered_map<std::string, std::size_t> tenant_bytes_;
+  std::unordered_map<JobId, std::shared_ptr<const ResidentTable>> registry_;
+  JobId next_job_ = 1;
+  std::int64_t submitted_ = 0, completed_ = 0, cancelled_ = 0, failed_ = 0,
+               rejected_ = 0;
+  std::vector<JobId> completion_order_;
+
+  std::vector<std::thread> workers_;  ///< last: started after all state
+};
+
+/// Execute one request synchronously on a caller-owned context — the exact
+/// code path the server's workers run, so the result is bit-identical to
+/// submitting the same request and awaiting the ticket.
+std::shared_ptr<const ResidentTable> solve_now(sparklet::SparkContext& sc,
+                                               const SolveRequest& req);
+
+}  // namespace serve

@@ -1,0 +1,129 @@
+// pred.hpp — predecessor tracking for served shortest-path tables.
+//
+// Path reconstruction needs more than the distance matrix: it needs, for
+// every (u, v), the predecessor of v on a shortest u→v path. Rather than
+// teach the kernels a side table, we run Floyd–Warshall over a *pair-valued*
+// semiring: each cell carries {distance, predecessor} and the GEP update
+//
+//     f(x, u, v) = (u.d + v.d < x.d) ? {u.d + v.d, v.p} : x
+//
+// relaxes exactly like min-plus FW on the .d component (ties keep x, the
+// same tie-break as std::min — so the distance half is bit-identical to the
+// plain FW solve) while the predecessor rides along for free. Every layer —
+// tile grid, kernels (iterative/recursive/fused-D scalar), codec, storage
+// tiers, chaos recovery, both schedulers — is generic over the value type,
+// so FwPredSpec runs through completely unchanged machinery; the SIMD base
+// auto-falls back to scalar because no SimdSpecOps specialization exists.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "grid/matrix.hpp"
+#include "semiring/gep_spec.hpp"
+
+namespace serve {
+
+/// One DP cell of a predecessor-tracked FW solve. 16 bytes, no implicit
+/// padding (the explicit pad keeps the byte image deterministic for the
+/// serialized tier's codec + checksums).
+struct PredValue {
+  double d = 0.0;        ///< shortest distance u→v so far
+  std::int32_t p = -1;   ///< predecessor of v on that path; -1 = none
+  std::int32_t pad = 0;  ///< keep sizeof == 16 with zero padding bytes
+};
+static_assert(sizeof(PredValue) == 16);
+
+inline bool operator==(const PredValue& a, const PredValue& b) {
+  return a.d == b.d && a.p == b.p;
+}
+
+/// Floyd–Warshall over the pair-valued min-plus semiring (see file header).
+struct FwPredSpec {
+  using value_type = PredValue;
+
+  static constexpr bool kStrictSigma = false;
+  static constexpr bool kUsesW = false;
+
+  static value_type update(value_type x, value_type u, value_type v,
+                           value_type /*w*/) {
+    const double cand = u.d + v.d;
+    // Strict < keeps x on ties — matching std::min(x, u + v) in the plain
+    // FW spec, so the .d half of the table is bit-identical to it.
+    return cand < x.d ? value_type{cand, v.p, 0} : x;
+  }
+
+  /// Padding: an isolated virtual vertex. The diagonal pad {0, -1} is a ⊙/⊕
+  /// identity under strict <: u.d + 0 < u.d never holds, so hoisting through
+  /// padded cells stays exact (same argument as plain FW).
+  static constexpr value_type pad_diag() { return {0.0, -1, 0}; }
+  static constexpr value_type pad_off() {
+    return {std::numeric_limits<double>::infinity(), -1, 0};
+  }
+
+  static constexpr const char* name() { return "fw-pred"; }
+};
+static_assert(gs::GepSpecType<FwPredSpec>);
+
+/// Byte size of one cell for sparklet's accounting (found by ADL).
+inline std::size_t item_bytes(const PredValue&) { return sizeof(PredValue); }
+
+/// Lift an adjacency matrix (weights, +inf = no edge, 0 diagonal) into the
+/// pair-valued input: p(i,j) = i for every real edge — "the last hop of the
+/// one-edge path i→j is i" — and -1 on the diagonal / non-edges.
+inline gs::Matrix<PredValue> make_pred_input(
+    const gs::Matrix<double>& adjacency) {
+  gs::Matrix<PredValue> out(adjacency.rows(), adjacency.cols());
+  for (std::size_t i = 0; i < adjacency.rows(); ++i) {
+    for (std::size_t j = 0; j < adjacency.cols(); ++j) {
+      const double w = adjacency(i, j);
+      const bool edge =
+          i != j && w != std::numeric_limits<double>::infinity();
+      out(i, j) = {w, edge ? static_cast<std::int32_t>(i) : -1, 0};
+    }
+  }
+  return out;
+}
+
+/// Split a solved pair-valued table into its distance and predecessor halves
+/// (the resident-table layout: point queries read plain doubles).
+inline void split_pred_table(const gs::Matrix<PredValue>& table,
+                             gs::Matrix<double>* dist,
+                             gs::Matrix<std::int32_t>* pred) {
+  *dist = gs::Matrix<double>(table.rows(), table.cols());
+  *pred = gs::Matrix<std::int32_t>(table.rows(), table.cols());
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    for (std::size_t j = 0; j < table.cols(); ++j) {
+      (*dist)(i, j) = table(i, j).d;
+      (*pred)(i, j) = table(i, j).p;
+    }
+  }
+}
+
+/// Walk the predecessor matrix back from v to u. Returns the full vertex
+/// sequence u..v, or empty when v is unreachable from u. O(path length),
+/// no Spark involvement — this is the sub-millisecond serving hot path.
+inline std::vector<std::int64_t> reconstruct_path(
+    const gs::Matrix<double>& dist, const gs::Matrix<std::int32_t>& pred,
+    std::size_t u, std::size_t v) {
+  std::vector<std::int64_t> path;
+  if (u >= dist.rows() || v >= dist.cols()) return path;
+  if (dist(u, v) == std::numeric_limits<double>::infinity()) return path;
+  path.push_back(static_cast<std::int64_t>(v));
+  std::size_t cur = v;
+  // A shortest path visits each vertex at most once; the bound catches a
+  // corrupt predecessor cycle instead of spinning.
+  for (std::size_t steps = 0; cur != u && steps < dist.rows(); ++steps) {
+    const std::int32_t prev = pred(u, cur);
+    if (prev < 0) return {};  // broken chain — treat as unreachable
+    cur = static_cast<std::size_t>(prev);
+    path.push_back(static_cast<std::int64_t>(cur));
+  }
+  if (cur != u) return {};
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace serve

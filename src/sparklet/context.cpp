@@ -324,9 +324,17 @@ void SparkContext::materialize_with_recovery(RddBase& node) {
   }
 }
 
+void SparkContext::check_cancelled(const char* where) const {
+  if (cancel_requested()) {
+    throw gs::JobCancelledError(
+        gs::strfmt("job cancelled (checked at %s)", where));
+  }
+}
+
 void SparkContext::run_job(const std::shared_ptr<RddBase>& target,
                            const std::string& action_name) {
   GS_CHECK(target != nullptr);
+  check_cancelled("run_job");
 
   // Shield the job's full lineage from memory-pressure eviction while it
   // runs; anything outside it is fair game (and recomputable on demand).
@@ -400,6 +408,7 @@ void SparkContext::run_job(const std::shared_ptr<RddBase>& target,
   gs::Stopwatch job_sw;
   int stages_run = 0;
   for (int s = 0; s <= max_stage; ++s) {
+    check_cancelled("stage-boundary");
     std::vector<RddBase*> nodes;
     for (RddBase* n : order) {
       if (stage_of[n] == s) nodes.push_back(n);
@@ -533,6 +542,7 @@ void SparkContext::run_tasks_internal(RddBase& node,
     // Wall-clock-only span on the pool thread; parents to the open stage
     // span via the tracer's cross-thread hint.
     obs::ScopedSpan task_span(&tracer_, obs::SpanLevel::kTask, node.label(), p);
+    check_cancelled("task-launch");
     gs::Stopwatch sw;
     for (int attempt = 1;; ++attempt) {
       if (chaos_.task_failure_prob > 0.0) {
@@ -712,6 +722,10 @@ TaskGraphResult SparkContext::run_task_graph(
     try {
       obs::ScopedSpan task_span(&tracer_, obs::SpanLevel::kTask,
                                 tasks[i].label, ti);
+      // Cooperative cancellation: polled at every task release, so a cancel
+      // lands within one task's latency. The throw takes the stop/error
+      // drain path below — in-flight tasks finish, nothing new launches.
+      check_cancelled("task-release");
       // Vector-clock attribution: joins dependency clocks (their writes were
       // published by the completion lock below before this task launched)
       // and routes instrumented accesses on this thread to task ti.

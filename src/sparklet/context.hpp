@@ -223,6 +223,28 @@ class SparkContext {
   /// Total injected task failures observed so far.
   int injected_failures() const { return injected_failures_.load(); }
 
+  // ------- cooperative cancellation (serve layer) -------
+
+  /// Install a per-job abort flag (owned by the caller, e.g. the JobServer's
+  /// ticket). The scheduler polls it at task-release points in
+  /// run_task_graph, per task in the barrier stage runner, and at stage
+  /// boundaries in run_job; when the flag is set the current action drains
+  /// its in-flight tasks and throws gs::JobCancelledError. Pass nullptr to
+  /// detach. The flag must outlive the solve it governs.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+  const std::atomic<bool>* cancel_flag() const { return cancel_flag_; }
+
+  /// True when a cancel flag is installed and set.
+  bool cancel_requested() const {
+    const std::atomic<bool>* f = cancel_flag_;
+    return f != nullptr && f->load(std::memory_order_relaxed);
+  }
+
+  /// Throw gs::JobCancelledError if cancellation was requested. Called from
+  /// scheduler checkpoints; safe from task threads (the flag is atomic and
+  /// the throw unwinds through the normal task-failure drain paths).
+  void check_cancelled(const char* where) const;
+
   /// Budgeted checkpoint-corruption decision, pure in (a, b, c) under the
   /// current plan. Exposed so alternative drivers (task-graph checkpointing)
   /// draw from the same corruption budget as checkpoint_node().
@@ -398,6 +420,10 @@ class SparkContext {
 
   obs::Tracer tracer_;
   analysis::HbDetector* race_detector_ = nullptr;
+  /// Per-job abort flag (serve layer); nullptr when no job is cancellable.
+  /// Atomic pointer: the serve worker installs it driver-side, but task
+  /// threads read through it inside run_task_graph/run_tasks_internal.
+  std::atomic<const std::atomic<bool>*> cancel_flag_{nullptr};
   ChaosPlan chaos_;
   SpeculationPolicy spec_;
   std::atomic<int> injected_failures_{0};

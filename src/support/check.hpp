@@ -33,6 +33,16 @@ class JobAbortedError : public std::runtime_error {
   explicit JobAbortedError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a job is cancelled cooperatively (serve-layer cancel(), or a
+/// SparkContext cancel flag flipped mid-solve). The scheduler polls the flag
+/// at task-release points and stage boundaries, drains in-flight tasks, and
+/// rethrows — so cancellation never leaves half-registered blocks behind.
+class JobCancelledError : public std::runtime_error {
+ public:
+  explicit JobCancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Thrown when a task reads a partition whose backing data is gone (executor
 /// loss, eviction, injected reducer-side fetch failure). The stage scheduler
 /// catches it, resubmits the parent stage to regenerate the lost outputs via
@@ -72,6 +82,20 @@ class FetchFailedError : public std::runtime_error {
   do {                                    \
     if (cond) throw ExType(msg);          \
   } while (0)
+
+// GS_PUSH/POP_IGNORE_DEPRECATED — scoped suppression of
+// -Wdeprecated-declarations, for the shim bodies that forward to their own
+// deprecated siblings and for the tests that exercise the shims on purpose
+// (the build is -Werror, so an unsuppressed warning is a build break).
+#if defined(__GNUC__) || defined(__clang__)
+#define GS_PUSH_IGNORE_DEPRECATED \
+  _Pragma("GCC diagnostic push")  \
+  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+#define GS_POP_IGNORE_DEPRECATED _Pragma("GCC diagnostic pop")
+#else
+#define GS_PUSH_IGNORE_DEPRECATED
+#define GS_POP_IGNORE_DEPRECATED
+#endif
 
 // GS_RESTRICT — portable `restrict` qualifier for hot-loop row pointers.
 // Kernels apply it only where operands are provably disjoint (e.g. row i vs

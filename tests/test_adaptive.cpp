@@ -56,7 +56,7 @@ TEST(Adaptive, AdaptKernelInstallsWinnerAndSolvesCorrectly) {
   auto expected =
       gs::testutil::reference_solution<gs::FloydWarshallSpec>(input);
   auto got = spark_floyd_warshall(sc, input, opt);
-  EXPECT_LE(gs::max_abs_diff(got, expected), 1e-9);
+  EXPECT_LE(gs::max_abs_diff(got.matrix, expected), 1e-9);
 }
 
 TEST(Adaptive, WinnerIsNeverPathological) {

@@ -612,7 +612,7 @@ TEST(AnalysisEndToEnd, DataflowSolveIsRaceFreeAndSound) {
   opt.validate_schedule = true;  // driver-side static check runs too
 
   auto input = gs::testutil::random_input<gs::FloydWarshallSpec>(64);
-  auto result = gepspark::spark_floyd_warshall(sc, input, opt);
+  auto result = gepspark::spark_floyd_warshall(sc, input, opt).matrix;
   auto ref = input;
   gs::baseline::reference_floyd_warshall(ref);
   EXPECT_LE(gs::max_abs_diff(result, ref), 1e-9);
@@ -646,7 +646,7 @@ TEST(AnalysisEndToEnd, ChaosRecoveryPathsAreRaceFree) {
   opt.validate_schedule = true;
 
   auto input = gs::testutil::random_input<gs::FloydWarshallSpec>(80);
-  auto result = gepspark::spark_floyd_warshall(sc, input, opt);
+  auto result = gepspark::spark_floyd_warshall(sc, input, opt).matrix;
   auto ref = input;
   gs::baseline::reference_floyd_warshall(ref);
   EXPECT_LE(gs::max_abs_diff(result, ref), 1e-9);

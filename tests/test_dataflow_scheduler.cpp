@@ -340,13 +340,13 @@ TEST(Lookahead, EveryDepthBitIdenticalToBarrier) {
   opt.checkpoint_interval = 0;
 
   SparkContext ref_sc(ClusterConfig::local(3, 2));
-  auto expected = gepspark::spark_floyd_warshall(ref_sc, input, opt);
+  auto expected = gepspark::spark_floyd_warshall(ref_sc, input, opt).matrix;
 
   opt.schedule = gepspark::ScheduleMode::kDataflow;
   for (int depth : {0, 1, 2, 3, 4}) {
     SparkContext sc(ClusterConfig::local(3, 2));
     opt.lookahead = depth;
-    auto got = gepspark::spark_floyd_warshall(sc, input, opt);
+    auto got = gepspark::spark_floyd_warshall(sc, input, opt).matrix;
     EXPECT_TRUE(got == expected) << "lookahead " << depth;
   }
 }
@@ -360,8 +360,7 @@ TEST(Lookahead, DataflowBeatsBarrierMakespan) {
     opt.schedule = mode;
     opt.lookahead = depth;
     opt.checkpoint_interval = 0;
-    auto res = gepspark::spark_gaussian_elimination(sc, input, opt,
-                                                    gepspark::with_profile);
+    auto res = gepspark::spark_gaussian_elimination(sc, input, opt);
     return res.profile.virtual_seconds;
   };
   const double barrier = virt(gepspark::ScheduleMode::kBarrier, 0);
@@ -380,8 +379,7 @@ TEST(Lookahead, DeeperPipelineDoesNotRegressMakespan) {
     opt.schedule = gepspark::ScheduleMode::kDataflow;
     opt.lookahead = depth;
     opt.checkpoint_interval = 0;
-    auto res = gepspark::spark_floyd_warshall(sc, input, opt,
-                                              gepspark::with_profile);
+    auto res = gepspark::spark_floyd_warshall(sc, input, opt);
     return res.profile.virtual_seconds;
   };
   // Wall-clock task durations vary run to run, so compare with generous

@@ -58,9 +58,9 @@ TEST_P(Differential, FloydWarshallAllPathsAgree) {
   opt.kernel = kernel();
   opt.use_grid_partitioner = (seed % 2) == 0;
   opt.strategy = Strategy::kInMemory;
-  auto im = gepspark::spark_floyd_warshall(ctx(), input, opt);
+  auto im = gepspark::spark_floyd_warshall(ctx(), input, opt).matrix;
   opt.strategy = Strategy::kCollectBroadcast;
-  auto cb = gepspark::spark_floyd_warshall(ctx(), input, opt);
+  auto cb = gepspark::spark_floyd_warshall(ctx(), input, opt).matrix;
 
   EXPECT_TRUE(im == blocked);  // identical update order → identical bits
   EXPECT_TRUE(cb == blocked);
@@ -83,7 +83,8 @@ TEST_P(Differential, GaussianEliminationAllPathsAgree) {
   opt.kernel = kernel();
   opt.strategy = (seed % 2) ? Strategy::kInMemory
                             : Strategy::kCollectBroadcast;
-  auto spark = gepspark::spark_gaussian_elimination(ctx(), input, opt);
+  auto spark =
+      gepspark::spark_gaussian_elimination(ctx(), input, opt).matrix;
   EXPECT_TRUE(spark == expected);
   EXPECT_LE(baseline::lu_residual(input, spark), 1e-8);
 }
@@ -98,7 +99,7 @@ TEST_P(Differential, TransitiveClosureAllPathsAgree) {
   opt.kernel = kernel();
   opt.strategy = (seed % 2) ? Strategy::kCollectBroadcast
                             : Strategy::kInMemory;
-  auto spark = gepspark::spark_transitive_closure(ctx(), input, opt);
+  auto spark = gepspark::spark_transitive_closure(ctx(), input, opt).matrix;
   EXPECT_TRUE(spark == expected);
 }
 

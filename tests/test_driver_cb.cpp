@@ -43,7 +43,7 @@ TEST_P(CbSolver, FloydWarshall) {
   auto expected = reference_solution<FloydWarshallSpec>(input);
   auto opt = cb_options(p.block, p.recursive ? KernelConfig::recursive(2, 2, 8)
                                              : KernelConfig::iterative());
-  auto got = gepspark::spark_floyd_warshall(sc_, input, opt);
+  auto got = gepspark::spark_floyd_warshall(sc_, input, opt).matrix;
   EXPECT_LE(max_abs_diff(got, expected), 1e-9);
 }
 
@@ -53,7 +53,7 @@ TEST_P(CbSolver, GaussianElimination) {
   auto expected = reference_solution<GaussianEliminationSpec>(input);
   auto opt = cb_options(p.block, p.recursive ? KernelConfig::recursive(4, 1, 4)
                                              : KernelConfig::iterative());
-  auto got = gepspark::spark_gaussian_elimination(sc_, input, opt);
+  auto got = gepspark::spark_gaussian_elimination(sc_, input, opt).matrix;
   EXPECT_LE(max_abs_diff(got, expected), 1e-9);
 }
 
@@ -63,7 +63,7 @@ TEST_P(CbSolver, TransitiveClosure) {
   auto expected = reference_solution<TransitiveClosureSpec>(input);
   auto opt = cb_options(p.block, p.recursive ? KernelConfig::recursive(2, 1, 4)
                                              : KernelConfig::iterative());
-  auto got = gepspark::spark_transitive_closure(sc_, input, opt);
+  auto got = gepspark::spark_transitive_closure(sc_, input, opt).matrix;
   EXPECT_EQ(max_abs_diff(got, expected), 0.0);
 }
 
@@ -73,7 +73,7 @@ TEST_P(CbSolver, WidestPath) {
   auto expected = reference_solution<WidestPathSpec>(input);
   auto opt = cb_options(p.block, p.recursive ? KernelConfig::recursive(2, 1, 4)
                                              : KernelConfig::iterative());
-  auto got = gepspark::spark_widest_path(sc_, input, opt);
+  auto got = gepspark::spark_widest_path(sc_, input, opt).matrix;
   EXPECT_EQ(max_abs_diff(got, expected), 0.0);
 }
 
@@ -98,10 +98,8 @@ TEST(CbStructure, CollectBytesMatchMoveFormulas) {
   const std::size_t n = 64, block = 16;
   const int r = 4;
   auto input = random_input<FloydWarshallSpec>(n, 65);
-  SolveStats stats;
-  gepspark::spark_floyd_warshall(sc, input,
-                                 cb_options(block, KernelConfig::iterative()),
-                                 &stats);
+    const auto stats = gepspark::spark_floyd_warshall(sc, input,
+                                 cb_options(block, KernelConfig::iterative())).stats;
   const std::size_t tile_item =
       sizeof(gs::TileKey) + block * block * sizeof(double) + 64;
   GridRanges ranges(r, false);
@@ -119,10 +117,8 @@ TEST(CbStructure, RepartitionShufflesWholeGridEachIteration) {
   const std::size_t n = 48, block = 16;
   const int r = 3;
   auto input = random_input<FloydWarshallSpec>(n, 66);
-  SolveStats stats;
-  gepspark::spark_floyd_warshall(sc, input,
-                                 cb_options(block, KernelConfig::iterative()),
-                                 &stats);
+    const auto stats = gepspark::spark_floyd_warshall(sc, input,
+                                 cb_options(block, KernelConfig::iterative())).stats;
   const std::size_t tile_item =
       sizeof(gs::TileKey) + block * block * sizeof(double) + 64;
   // Listing 2's maps drop the partitioner → every iteration's final
@@ -134,9 +130,8 @@ TEST(CbStructure, BroadcastVolumesScaleWithExecutors) {
   auto run = [&](int nodes) {
     sparklet::SparkContext sc(sparklet::ClusterConfig::local(nodes, 1));
     auto input = random_input<FloydWarshallSpec>(48, 67);
-    SolveStats stats;
-    gepspark::spark_floyd_warshall(
-        sc, input, cb_options(16, KernelConfig::iterative()), &stats);
+        const auto stats = gepspark::spark_floyd_warshall(
+        sc, input, cb_options(16, KernelConfig::iterative())).stats;
     return stats.broadcast_bytes;
   };
   const auto two = run(2);
@@ -150,9 +145,8 @@ TEST(CbStructure, StrictLastIterationSkipsBroadcastOfRowCol) {
   // and broadcast in that iteration.
   sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
   auto input = random_input<GaussianEliminationSpec>(32, 68);
-  SolveStats stats;
-  gepspark::spark_gaussian_elimination(
-      sc, input, cb_options(16, KernelConfig::iterative()), &stats);
+    const auto stats = gepspark::spark_gaussian_elimination(
+      sc, input, cb_options(16, KernelConfig::iterative())).stats;
   GridRanges ranges(2, true);
   std::size_t tiles = 0;
   for (int k = 0; k < 2; ++k) {
@@ -171,9 +165,9 @@ TEST(CbStructure, ImAndCbProduceBitwiseIdenticalResults) {
   sparklet::SparkContext sc(sparklet::ClusterConfig::local(3, 2));
   auto input = random_input<GaussianEliminationSpec>(64, 69);
   auto im = gepspark::spark_gaussian_elimination(
-      sc, input, {.block_size = 16, .strategy = Strategy::kInMemory});
+      sc, input, {.block_size = 16, .strategy = Strategy::kInMemory}).matrix;
   auto cb = gepspark::spark_gaussian_elimination(
-      sc, input, {.block_size = 16, .strategy = Strategy::kCollectBroadcast});
+      sc, input, {.block_size = 16, .strategy = Strategy::kCollectBroadcast}).matrix;
   EXPECT_TRUE(im == cb);
 }
 

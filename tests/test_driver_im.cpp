@@ -45,7 +45,7 @@ TEST_P(ImSolver, FloydWarshall) {
   auto expected = reference_solution<FloydWarshallSpec>(input);
   auto opt = im_options(p.block, p.recursive ? KernelConfig::recursive(2, 2, 8)
                                              : KernelConfig::iterative());
-  auto got = gepspark::spark_floyd_warshall(sc_, input, opt);
+  auto got = gepspark::spark_floyd_warshall(sc_, input, opt).matrix;
   EXPECT_LE(max_abs_diff(got, expected), 1e-9);
 }
 
@@ -55,7 +55,7 @@ TEST_P(ImSolver, GaussianElimination) {
   auto expected = reference_solution<GaussianEliminationSpec>(input);
   auto opt = im_options(p.block, p.recursive ? KernelConfig::recursive(4, 1, 4)
                                              : KernelConfig::iterative());
-  auto got = gepspark::spark_gaussian_elimination(sc_, input, opt);
+  auto got = gepspark::spark_gaussian_elimination(sc_, input, opt).matrix;
   EXPECT_LE(max_abs_diff(got, expected), 1e-9);
 }
 
@@ -65,7 +65,7 @@ TEST_P(ImSolver, TransitiveClosure) {
   auto expected = reference_solution<TransitiveClosureSpec>(input);
   auto opt = im_options(p.block, p.recursive ? KernelConfig::recursive(2, 1, 4)
                                              : KernelConfig::iterative());
-  auto got = gepspark::spark_transitive_closure(sc_, input, opt);
+  auto got = gepspark::spark_transitive_closure(sc_, input, opt).matrix;
   EXPECT_EQ(max_abs_diff(got, expected), 0.0);
 }
 
@@ -75,7 +75,7 @@ TEST_P(ImSolver, WidestPath) {
   auto expected = reference_solution<WidestPathSpec>(input);
   auto opt = im_options(p.block, p.recursive ? KernelConfig::recursive(2, 1, 4)
                                              : KernelConfig::iterative());
-  auto got = gepspark::spark_widest_path(sc_, input, opt);
+  auto got = gepspark::spark_widest_path(sc_, input, opt).matrix;
   EXPECT_EQ(max_abs_diff(got, expected), 0.0);
 }
 
@@ -129,13 +129,15 @@ TEST(ImStructure, ShuffleBytesMatchMoveCountFormulas) {
     std::size_t tagged_bytes;
     if (strict_spec) {
       auto input = random_input<GaussianEliminationSpec>(n, 57);
-      gepspark::spark_gaussian_elimination(
-          sc, input, im_options(block, KernelConfig::iterative()), &stats);
+      stats = gepspark::spark_gaussian_elimination(
+                  sc, input, im_options(block, KernelConfig::iterative()))
+                  .stats;
       tagged_bytes = 0;
     } else {
       auto input = random_input<FloydWarshallSpec>(n, 57);
-      gepspark::spark_floyd_warshall(
-          sc, input, im_options(block, KernelConfig::iterative()), &stats);
+      stats = gepspark::spark_floyd_warshall(
+                  sc, input, im_options(block, KernelConfig::iterative()))
+                  .stats;
       tagged_bytes = 0;
     }
     // One shuffled record: pair<TileKey, TaggedTile> = 8 + (payload+64) + 1.
@@ -156,10 +158,8 @@ TEST(ImStructure, ShuffleBytesMatchMoveCountFormulas) {
 TEST(ImStructure, NoCollectNoBroadcastDuringIterations) {
   sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
   auto input = random_input<FloydWarshallSpec>(48, 58);
-  SolveStats stats;
-  gepspark::spark_floyd_warshall(sc, input,
-                                 im_options(16, KernelConfig::iterative()),
-                                 &stats);
+    const auto stats = gepspark::spark_floyd_warshall(sc, input,
+                                 im_options(16, KernelConfig::iterative())).stats;
   EXPECT_EQ(stats.broadcast_bytes, 0u);
   // Only the final gather collects.
   const std::size_t grid_bytes =
@@ -173,7 +173,7 @@ TEST(ImStructure, GridPartitionerVariantIsCorrectAndBalanced) {
   auto expected = reference_solution<FloydWarshallSpec>(input);
   auto opt = im_options(16, KernelConfig::iterative());
   opt.use_grid_partitioner = true;
-  auto got = gepspark::spark_floyd_warshall(sc, input, opt);
+  auto got = gepspark::spark_floyd_warshall(sc, input, opt).matrix;
   EXPECT_LE(max_abs_diff(got, expected), 1e-9);
 }
 
@@ -182,10 +182,9 @@ TEST(ImStructure, ExplicitPartitionCountIsRespected) {
   auto input = random_input<FloydWarshallSpec>(32, 60);
   auto opt = im_options(16, KernelConfig::iterative());
   opt.num_partitions = 3;
-  SolveStats stats;
-  auto got = gepspark::spark_floyd_warshall(sc, input, opt, &stats);
+  auto got = gepspark::spark_floyd_warshall(sc, input, opt);
   auto expected = reference_solution<FloydWarshallSpec>(input);
-  EXPECT_LE(max_abs_diff(got, expected), 1e-9);
+  EXPECT_LE(max_abs_diff(got.matrix, expected), 1e-9);
   for (const auto& s : sc.metrics().stages()) {
     EXPECT_EQ(s.num_tasks, 3) << s.name;
   }

@@ -247,12 +247,10 @@ TEST_P(AttributionTest, AtLeast95PercentOfVirtualTimeIsBucketed) {
 
   obs::JobProfile p;
   if (std::string(c.bench) == "fw") {
-    auto res = gepspark::spark_floyd_warshall(sc, fw_input(128), opt,
-                                              gepspark::with_profile);
+    auto res = gepspark::spark_floyd_warshall(sc, fw_input(128), opt);
     p = std::move(res.profile);
   } else {
-    auto res = gepspark::spark_gaussian_elimination(sc, ge_input(128), opt,
-                                                    gepspark::with_profile);
+    auto res = gepspark::spark_gaussian_elimination(sc, ge_input(128), opt);
     p = std::move(res.profile);
   }
 
@@ -309,18 +307,23 @@ INSTANTIATE_TEST_SUITE_P(
              (info.param.strategy == Strategy::kInMemory ? "_im" : "_cb");
     });
 
+// Deliberate coverage of the deprecated SolveStats* shim: it must keep
+// returning the same answer and counters as the SolveOutcome API until it
+// is removed.
 TEST(JobProfile, SolveStatsWrapperAgreesWithProfile) {
   auto input = fw_input(96);
   const SolverOptions opt = options_for(Strategy::kInMemory);
 
   SparkContext sc1(ClusterConfig::local(4, 2));
-  auto res = gepspark::spark_floyd_warshall(sc1, input, opt,
-                                            gepspark::with_profile);
-  const gepspark::SolveStats from_profile = gepspark::to_solve_stats(res.profile);
+  auto res = gepspark::spark_floyd_warshall(sc1, input, opt);
+  const gepspark::SolveStats from_profile =
+      gepspark::to_solve_stats(res.profile);
 
   SparkContext sc2(ClusterConfig::local(4, 2));
   gepspark::SolveStats legacy;
+  GS_PUSH_IGNORE_DEPRECATED
   auto out = gepspark::spark_floyd_warshall(sc2, input, opt, &legacy);
+  GS_POP_IGNORE_DEPRECATED
 
   EXPECT_EQ(out, res.matrix);  // same answer through both APIs
   // Counters are deterministic across fresh contexts; virtual time feeds on
@@ -339,8 +342,7 @@ TEST(JobProfile, TracingDisabledStillAttributesButNoIterations) {
   SparkContext sc(ClusterConfig::local(4, 2));
   ASSERT_FALSE(sc.tracer().enabled());
   auto res = gepspark::spark_floyd_warshall(sc, fw_input(96),
-                                            options_for(Strategy::kInMemory),
-                                            gepspark::with_profile);
+                                            options_for(Strategy::kInMemory));
   EXPECT_EQ(sc.tracer().recorded(), 0u);
   EXPECT_TRUE(res.profile.iterations.empty());
   EXPECT_EQ(res.profile.spans_recorded, 0u);
@@ -355,8 +357,7 @@ TEST(JobProfile, SpanTreeUnderChaosStaysWellFormed) {
   sc.set_chaos_plan({.task_failure_prob = 0.2, .max_task_attempts = 12,
                      .seed = 11});
   auto res = gepspark::spark_floyd_warshall(sc, fw_input(128),
-                                            options_for(Strategy::kInMemory),
-                                            gepspark::with_profile);
+                                            options_for(Strategy::kInMemory));
   EXPECT_GT(sc.metrics().recovery().task_retries, 0);
   EXPECT_GT(res.profile.buckets.recovery_s, 0.0);
 
@@ -415,8 +416,7 @@ obs::JobProfile sample_profile() {
   SparkContext sc(ClusterConfig::local(4, 2));
   sc.tracer().set_enabled(true);
   auto res = gepspark::spark_floyd_warshall(sc, fw_input(96),
-                                            options_for(Strategy::kInMemory),
-                                            gepspark::with_profile);
+                                            options_for(Strategy::kInMemory));
   return res.profile;
 }
 
@@ -485,8 +485,7 @@ TEST(Exporters, ChromeTraceContainsScheduleAndSpans) {
   SparkContext sc(ClusterConfig::local(2, 2));
   sc.tracer().set_enabled(true);
   (void)gepspark::spark_floyd_warshall(sc, fw_input(64),
-                                       options_for(Strategy::kInMemory),
-                                       gepspark::with_profile);
+                                       options_for(Strategy::kInMemory));
   const std::string path = ::testing::TempDir() + "obs_trace.json";
   obs::write_chrome_trace(sc.timeline(), &sc.tracer(), path);
   std::ifstream f(path);
@@ -511,8 +510,7 @@ TEST(Exporters, ChromeTraceContainsScheduleAndSpans) {
 TEST(CriticalPath, WindowedReportCoversProfileWindow) {
   SparkContext sc(ClusterConfig::local(4, 2));
   auto res = gepspark::spark_floyd_warshall(sc, fw_input(128),
-                                            options_for(Strategy::kInMemory),
-                                            gepspark::with_profile);
+                                            options_for(Strategy::kInMemory));
   const obs::JobProfile& p = res.profile;
   const obs::CriticalPathReport cp = obs::analyze_critical_path(
       sc.timeline(), p.record_begin, p.record_end);

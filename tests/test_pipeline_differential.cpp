@@ -106,7 +106,7 @@ TEST(PipelineDifferential, CheckpointIntervalsAgreeUnderDataflow) {
   opt.block_size = 16;
 
   SparkContext clean(ClusterConfig::local(3, 2));
-  const auto expected = gepspark::spark_gaussian_elimination(clean, input, opt);
+  const auto expected = gepspark::spark_gaussian_elimination(clean, input, opt).matrix;
 
   opt.schedule = gepspark::ScheduleMode::kDataflow;
   opt.lookahead = 2;
@@ -115,7 +115,7 @@ TEST(PipelineDifferential, CheckpointIntervalsAgreeUnderDataflow) {
       SparkContext sc(ClusterConfig::local(3, 2));
       if (chaos) sc.set_chaos_plan(differential_chaos(17));
       opt.checkpoint_interval = interval;
-      const auto got = gepspark::spark_gaussian_elimination(sc, input, opt);
+      const auto got = gepspark::spark_gaussian_elimination(sc, input, opt).matrix;
       EXPECT_TRUE(got == expected)
           << "interval " << interval << (chaos ? " chaos" : "");
     }
@@ -230,10 +230,11 @@ TEST(PipelineDifferential, WidestPathDataflowMatchesBarrier) {
   gepspark::SolverOptions opt;
   opt.block_size = 16;
   SparkContext a(ClusterConfig::local(3, 2));
-  const auto expected = gepspark::solve_gep<gs::WidestPathSpec>(a, input, opt);
+  const auto expected =
+      gepspark::solve_gep<gs::WidestPathSpec>(a, input, opt).matrix;
   opt.schedule = gepspark::ScheduleMode::kDataflow;
   SparkContext b(ClusterConfig::local(3, 2));
-  const auto got = gepspark::solve_gep<gs::WidestPathSpec>(b, input, opt);
+  const auto got = gepspark::solve_gep<gs::WidestPathSpec>(b, input, opt).matrix;
   EXPECT_TRUE(got == expected);
 }
 

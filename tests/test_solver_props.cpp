@@ -24,7 +24,7 @@ TEST(SolverInvariance, ResultIndependentOfBlockSize) {
   for (std::size_t block : {8u, 12u, 16u, 20u, 30u, 60u, 64u}) {
     SolverOptions opt;
     opt.block_size = block;
-    auto got = gepspark::spark_floyd_warshall(sc, input, opt);
+    auto got = gepspark::spark_floyd_warshall(sc, input, opt).matrix;
     EXPECT_LE(max_abs_diff(got, expected), 1e-9) << "block=" << block;
   }
 }
@@ -36,7 +36,7 @@ TEST(SolverInvariance, ResultIndependentOfClusterShape) {
     sparklet::SparkContext sc(sparklet::ClusterConfig::local(nodes, cores));
     SolverOptions opt;
     opt.block_size = 16;
-    auto got = gepspark::spark_gaussian_elimination(sc, input, opt);
+    auto got = gepspark::spark_gaussian_elimination(sc, input, opt).matrix;
     if (first.empty()) {
       first = got;
     } else {
@@ -50,11 +50,11 @@ TEST(SolverInvariance, ResultIndependentOfKernelFlavour) {
   auto input = random_input<GaussianEliminationSpec>(64, 73);
   SolverOptions opt;
   opt.block_size = 16;
-  auto iter = gepspark::spark_gaussian_elimination(sc, input, opt);
+  auto iter = gepspark::spark_gaussian_elimination(sc, input, opt).matrix;
   for (std::size_t rs : {2u, 4u, 8u}) {
     for (int omp : {1, 3}) {
       opt.kernel = KernelConfig::recursive(rs, omp, 4);
-      auto rec = gepspark::spark_gaussian_elimination(sc, input, opt);
+      auto rec = gepspark::spark_gaussian_elimination(sc, input, opt).matrix;
       EXPECT_TRUE(rec == iter) << "rs=" << rs << " omp=" << omp;
     }
   }
@@ -67,8 +67,8 @@ TEST(SolverInvariance, ResultIndependentOfPartitioner) {
   hash_opt.block_size = 16;
   SolverOptions grid_opt = hash_opt;
   grid_opt.use_grid_partitioner = true;
-  auto a = gepspark::spark_floyd_warshall(sc, input, hash_opt);
-  auto b = gepspark::spark_floyd_warshall(sc, input, grid_opt);
+  auto a = gepspark::spark_floyd_warshall(sc, input, hash_opt).matrix;
+  auto b = gepspark::spark_floyd_warshall(sc, input, grid_opt).matrix;
   EXPECT_TRUE(a == b);
 }
 
@@ -81,18 +81,18 @@ TEST(SolverInvariance, ImEqualsCbForEverySpec) {
 
   {
     auto in = random_input<FloydWarshallSpec>(48, 75);
-    EXPECT_TRUE(gepspark::spark_floyd_warshall(sc, in, im) ==
-                gepspark::spark_floyd_warshall(sc, in, cb));
+    EXPECT_TRUE(gepspark::spark_floyd_warshall(sc, in, im).matrix ==
+                gepspark::spark_floyd_warshall(sc, in, cb).matrix);
   }
   {
     auto in = random_input<TransitiveClosureSpec>(48, 76);
-    EXPECT_TRUE(gepspark::spark_transitive_closure(sc, in, im) ==
-                gepspark::spark_transitive_closure(sc, in, cb));
+    EXPECT_TRUE(gepspark::spark_transitive_closure(sc, in, im).matrix ==
+                gepspark::spark_transitive_closure(sc, in, cb).matrix);
   }
   {
     auto in = random_input<WidestPathSpec>(48, 77);
-    EXPECT_TRUE(gepspark::spark_widest_path(sc, in, im) ==
-                gepspark::spark_widest_path(sc, in, cb));
+    EXPECT_TRUE(gepspark::spark_widest_path(sc, in, im).matrix ==
+                gepspark::spark_widest_path(sc, in, cb).matrix);
   }
 }
 
@@ -103,7 +103,7 @@ TEST(CrossValidation, SolverMatchesZolaBaseline) {
   auto input = random_input<FloydWarshallSpec>(56, 78);
   SolverOptions opt;
   opt.block_size = 16;
-  auto ours = gepspark::spark_floyd_warshall(sc, input, opt);
+  auto ours = gepspark::spark_floyd_warshall(sc, input, opt).matrix;
   auto zola = baseline::zola_blocked_fw(sc, input, 16);
   EXPECT_LE(max_abs_diff(ours, zola), 1e-9);
 }
@@ -126,7 +126,7 @@ TEST(CrossValidation, SolverMatchesDijkstra) {
   SolverOptions opt;
   opt.block_size = 16;
   opt.kernel = KernelConfig::recursive(4, 2, 4);
-  auto ours = gepspark::spark_floyd_warshall(sc, input, opt);
+  auto ours = gepspark::spark_floyd_warshall(sc, input, opt).matrix;
   auto dij = baseline::dijkstra_apsp(input);
   EXPECT_LE(max_abs_diff(ours, dij), 1e-9);
 }
@@ -137,7 +137,7 @@ TEST(CrossValidation, LinearSystemSolvedThroughCluster) {
   SolverOptions opt;
   opt.block_size = 16;
   opt.strategy = Strategy::kCollectBroadcast;
-  auto elim = gepspark::spark_gaussian_elimination(sc, a, opt);
+  auto elim = gepspark::spark_gaussian_elimination(sc, a, opt).matrix;
   EXPECT_LE(baseline::lu_residual(a, elim), 1e-9);
 }
 
@@ -148,7 +148,7 @@ TEST(SolverEdges, OneByOneProblem) {
   Matrix<double> one(1, 1, 0.0);
   SolverOptions opt;
   opt.block_size = 4;
-  auto out = gepspark::spark_floyd_warshall(sc, one, opt);
+  auto out = gepspark::spark_floyd_warshall(sc, one, opt).matrix;
   EXPECT_EQ(out(0, 0), 0.0);
 }
 
@@ -158,7 +158,7 @@ TEST(SolverEdges, BlockSizeOne) {
   auto expected = reference_solution<FloydWarshallSpec>(input);
   SolverOptions opt;
   opt.block_size = 1;  // r = 9: every cell its own tile
-  auto got = gepspark::spark_floyd_warshall(sc, input, opt);
+  auto got = gepspark::spark_floyd_warshall(sc, input, opt).matrix;
   EXPECT_LE(max_abs_diff(got, expected), 1e-9);
 }
 
@@ -182,8 +182,7 @@ TEST(SolverEdges, StatsArePopulated) {
   auto input = random_input<FloydWarshallSpec>(48, 83);
   SolverOptions opt;
   opt.block_size = 16;
-  gepspark::SolveStats stats;
-  gepspark::spark_floyd_warshall(sc, input, opt, &stats);
+    const auto stats = gepspark::spark_floyd_warshall(sc, input, opt).stats;
   EXPECT_EQ(stats.grid_r, 3);
   EXPECT_GT(stats.stages, 0);
   EXPECT_GT(stats.tasks, 0);
@@ -199,9 +198,9 @@ TEST(SolverEdges, SequentialReuseOfOneContext) {
   opt.block_size = 16;
   auto g1 = random_input<FloydWarshallSpec>(32, 84);
   auto g2 = random_input<FloydWarshallSpec>(32, 85);
-  auto d1 = gepspark::spark_floyd_warshall(sc, g1, opt);
-  auto d2 = gepspark::spark_floyd_warshall(sc, g2, opt);
-  auto d1_again = gepspark::spark_floyd_warshall(sc, g1, opt);
+  auto d1 = gepspark::spark_floyd_warshall(sc, g1, opt).matrix;
+  auto d2 = gepspark::spark_floyd_warshall(sc, g2, opt).matrix;
+  auto d1_again = gepspark::spark_floyd_warshall(sc, g1, opt).matrix;
   EXPECT_TRUE(d1 == d1_again);
   EXPECT_FALSE(d1 == d2);
 }

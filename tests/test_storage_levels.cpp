@@ -497,7 +497,7 @@ auto run_solve(const gs::Matrix<typename Spec::value_type>& input,
   if (markers != nullptr) {
     for (const auto& m : sc.timeline().markers()) markers->push_back(m.name);
   }
-  return out;
+  return std::move(out.matrix);
 }
 
 TEST(OutOfCore, CappedFwSolveBitIdenticalWithSpillTraffic) {

@@ -60,7 +60,7 @@ TEST(Workloads, BandedDominantRespectsBandAndDominance) {
   sparklet::SparkContext sc(sparklet::ClusterConfig::local(2, 2));
   gepspark::SolverOptions opt;
   opt.block_size = 16;
-  auto elim = gepspark::spark_gaussian_elimination(sc, m, opt);
+  auto elim = gepspark::spark_gaussian_elimination(sc, m, opt).matrix;
   EXPECT_LE(baseline::lu_residual(m, elim), 1e-9);
 }
 
@@ -90,7 +90,7 @@ TEST(Workloads, ScaleFreeGraphHasHubs) {
     for (std::size_t j = 0; j < 64; ++j) sub(i, j) = m(i, j);
   gepspark::SolverOptions opt;
   opt.block_size = 16;
-  auto dist = gepspark::spark_floyd_warshall(sc, sub, opt);
+  auto dist = gepspark::spark_floyd_warshall(sc, sub, opt).matrix;
   auto ref = sub;
   baseline::reference_floyd_warshall(ref);
   EXPECT_LE(max_abs_diff(dist, ref), 1e-9);
