@@ -19,9 +19,11 @@
 
 #include "align/align_driver.hpp"
 #include "analysis/hb_detector.hpp"
+#include "baseline/nested_reference.hpp"
 #include "baseline/reference.hpp"
 #include "gepspark/solver.hpp"
 #include "gepspark/workload.hpp"
+#include "nested/nested_driver.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "paren/paren_driver.hpp"
@@ -32,6 +34,7 @@ namespace {
 
 struct CliArgs {
   std::string benchmark = "fw";  // fw | ge | tc | paren | align
+                                 // | gap | accordion | viterbi
   std::size_t n = 256;
   std::size_t block = 64;
   std::string strategy = "im";   // im | cb
@@ -68,7 +71,12 @@ void usage() {
       "gepspark_cli — run a DP benchmark on the in-process Spark-style "
       "engine\n"
       "\nsolve\n"
-      "  --benchmark fw|ge|tc|paren|align   (default fw)\n"
+      "  --benchmark fw|ge|tc|paren|align|   (default fw)\n"
+      "              gap|accordion|viterbi   nested-dataflow wavefronts: GAP\n"
+      "                                      problem, protein accordion\n"
+      "                                      folding, Viterbi decoding (for\n"
+      "                                      viterbi, --n = states and the\n"
+      "                                      horizon is n/2)\n"
       "  --n <size>                          problem size (default 256)\n"
       "  --block <b>                         tile side (default 64)\n"
       "  --strategy im|cb                    GEP distribution (default im)\n"
@@ -429,6 +437,86 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
   return a.verify && diff > 1e-8 ? 1 : 0;
 }
 
+// The nested-dataflow wavefronts (GAP / accordion folding / Viterbi) share
+// SolverOptions with the GEP specs; the GEP-only knobs (fused_d, strassen_d,
+// track_predecessors) are rejected by nested_solve itself.
+int run_nested(sparklet::SparkContext& sc, const CliArgs& a) {
+  gepspark::SolverOptions opt;
+  opt.block_size = a.block;
+  opt.strategy = a.strategy == "cb" ? gepspark::Strategy::kCollectBroadcast
+                                    : gepspark::Strategy::kInMemory;
+  opt.checkpoint_interval = a.checkpoint_interval;
+  if (a.schedule == "dataflow") {
+    opt.schedule = gepspark::ScheduleMode::kDataflow;
+  } else if (a.schedule != "barrier") {
+    throw gs::ConfigError("unknown schedule: " + a.schedule +
+                          " (want barrier|dataflow)");
+  }
+  opt.lookahead = a.lookahead;
+  opt.validate_schedule = a.validate_schedule;
+  const auto level = sparklet::parse_storage_level(a.storage_level);
+  GS_THROW_IF(!level, gs::ConfigError,
+              "unknown storage level: " + a.storage_level);
+  opt.storage_level = *level;
+  opt.memory_cap = static_cast<std::size_t>(a.memory_cap);
+  opt.validate();
+
+  gepspark::SolveOutcome<double> res;
+  double diff = 0.0;
+  std::string extra;
+  if (a.benchmark == "gap") {
+    const nested::GapProblem prob{a.n, 1};
+    res = nested::nested_solve(sc, nested::GapPlan(prob, a.block), opt);
+    if (a.verify) {
+      diff = gs::max_abs_diff(res.matrix, gs::baseline::reference_gap(prob));
+    }
+    extra = gs::strfmt(" | G(0,%zu) = %.3f", a.n, res.matrix(0, a.n));
+  } else if (a.benchmark == "accordion") {
+    const nested::AccordionProblem prob{a.n, 1};
+    res = nested::nested_solve(sc, nested::AccordionPlan(prob, a.block), opt);
+    if (a.verify) {
+      diff = gs::max_abs_diff(res.matrix,
+                              gs::baseline::reference_accordion(prob));
+    }
+    extra = gs::strfmt(" | folding optimum %.3f",
+                       nested::accordion_best(res.matrix, a.n));
+  } else {  // viterbi: --n = states, horizon = n/2 for a non-square trellis
+    const nested::ViterbiProblem prob{a.n, std::max<std::size_t>(4, a.n / 2),
+                                      8, 1};
+    res = nested::nested_solve(sc, nested::ViterbiPlan(prob, a.block), opt);
+    if (a.verify) {
+      diff = gs::max_abs_diff(res.matrix,
+                              gs::baseline::reference_viterbi(prob));
+    }
+    extra = gs::strfmt(" | %zu-step trellis", prob.rows());
+  }
+
+  obs::JobProfile& prof = res.profile;
+  std::printf(
+      "%s n=%zu %s: wall %.3fs | %d stages / %d tasks%s\n"
+      "  shuffle %s, collect %s, broadcast %s%s\n",
+      a.benchmark.c_str(), a.n, opt.describe().c_str(), prof.wall_seconds,
+      prof.stages, prof.tasks, extra.c_str(),
+      gs::human_bytes(double(prof.shuffle_bytes)).c_str(),
+      gs::human_bytes(double(prof.collect_bytes)).c_str(),
+      gs::human_bytes(double(prof.broadcast_bytes)).c_str(),
+      a.verify ? gs::strfmt(" | verified (max err %.2e)", diff).c_str() : "");
+  if (a.validate_schedule) {
+    std::printf("  schedule check: SOUND (every emitted task graph matches "
+                "the symbolic %s footprints)\n", a.benchmark.c_str());
+  }
+  prof.print(std::cout);
+  if (!a.profile_json.empty()) {
+    obs::write_profile_json(prof, a.profile_json);
+    std::printf("  profile JSON written to %s\n", a.profile_json.c_str());
+  }
+  if (!a.profile_csv.empty()) {
+    obs::write_profile_csv(prof, a.profile_csv);
+    std::printf("  profile CSV written to %s\n", a.profile_csv.c_str());
+  }
+  return a.verify && diff != 0.0 ? 1 : 0;
+}
+
 int run_paren(sparklet::SparkContext& sc, const CliArgs& a) {
   std::vector<double> dims(a.n + 1);
   gs::Rng rng(1);
@@ -601,6 +689,9 @@ int main(int argc, char** argv) {
       rc = run_paren(sc, args);
     } else if (args.benchmark == "align") {
       rc = run_align(sc, args);
+    } else if (args.benchmark == "gap" || args.benchmark == "accordion" ||
+               args.benchmark == "viterbi") {
+      rc = run_nested(sc, args);
     } else if (args.benchmark == "fw" || args.benchmark == "ge" ||
                args.benchmark == "tc") {
       rc = run_gep(sc, args);

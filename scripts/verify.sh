@@ -53,6 +53,20 @@ run_tree() {
     (cd "${dir}" && ctest --output-on-failure --timeout "${timeout}" \
       -R 'FusedD|FusedDifferential|ScheduleCheckFused')
   fi
+  # Nested-dataflow gate: the GAP / accordion / Viterbi wavefronts must stay
+  # bit-identical to their serial references across both barrier drivers and
+  # the dataflow engine. Under TSan the randomized suite is too slow, so that
+  # tree runs one real verified dataflow solve per Spec instead.
+  if [[ "${dir}" == *tsan* ]]; then
+    echo "== nested solves (TSan) ${dir} =="
+    for bench in gap accordion viterbi; do
+      "./${dir}/examples/gepspark_cli" --benchmark "${bench}" --n 96 \
+        --block 24 --strategy im --schedule dataflow --lookahead 1 >/dev/null
+    done
+  else
+    echo "== nested suite ${dir} =="
+    (cd "${dir}" && ctest --output-on-failure --timeout "${timeout}" -L nested)
+  fi
 }
 
 run_tree build
@@ -94,7 +108,7 @@ profile_smoke cb dataflow
 # race detector must come back clean on real dataflow runs — including a
 # chaos run that exercises the recovery paths' driver-era accesses.
 echo "== analysis: schedule soundness sweep =="
-for bench in fw ge tc; do
+for bench in fw ge tc gap accordion viterbi; do
   for strategy in im cb; do
     for lookahead in 0 1 2 3; do
       ./build/examples/gepspark_cli --benchmark "${bench}" --n 128 --block 32 \
@@ -104,7 +118,7 @@ for bench in fw ge tc; do
     done
   done
 done
-echo "analysis: 24 schedules sound (fw/ge/tc x im/cb x lookahead 0-3)"
+echo "analysis: 48 schedules sound (fw/ge/tc/gap/accordion/viterbi x im/cb x lookahead 0-3)"
 
 # Batched variants of the same sweep: fused D emits one task per
 # (executor, k) whose footprint the checker derives as the union of the

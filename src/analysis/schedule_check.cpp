@@ -83,10 +83,28 @@ const char* kind_str(char kind) {
     case 'B': return "B";
     case 'C': return "C";
     case 'D': return "D";
+    case 'G': return "G";
+    case 'E': return "E";
+    case 'P': return "P";
+    case 'V': return "V";
     case 'F': return "fence";
     case 'X': return "transfer";
   }
   return "?";
+}
+
+/// Which compute-task kinds a dependency shape may emit. A kind from the
+/// wrong shape is bad metadata, not merely an unexpected task — the engine
+/// stamped a kernel identity the workload cannot contain.
+bool kind_in_shape(DepShape shape, char kind) {
+  switch (shape) {
+    case DepShape::kGep:
+      return kind == 'A' || kind == 'B' || kind == 'C' || kind == 'D';
+    case DepShape::kGap: return kind == 'G';
+    case DepShape::kAccordion: return kind == 'E' || kind == 'P';
+    case DepShape::kViterbi: return kind == 'V';
+  }
+  return false;
 }
 
 std::string task_desc(const std::vector<sparklet::DataflowTaskSpec>& tasks,
@@ -110,6 +128,8 @@ ScheduleChecker::ScheduleChecker(const ScheduleWorkload& workload,
                                  const ScheduleCheckOptions& opt)
     : w_(workload), opt_(opt) {
   GS_THROW_IF(w_.r < 1, gs::ConfigError, "schedule workload: r must be >= 1");
+  GS_THROW_IF(w_.rows < 0, gs::ConfigError,
+              "schedule workload: rows must be >= 0");
   GS_THROW_IF(opt_.lookahead < 0, gs::ConfigError,
               "schedule options: lookahead must be >= 0");
 }
@@ -151,7 +171,19 @@ void ScheduleChecker::check_segment(
       case 'A':
       case 'B':
       case 'C':
-      case 'D': {
+      case 'D':
+      case 'G':
+      case 'E':
+      case 'P':
+      case 'V': {
+        if (!kind_in_shape(w_.shape, t.gep_kind)) {
+          add(ViolationKind::kBadMetadata, static_cast<int>(i), -1,
+              gs::strfmt("%s carries kernel kind %s which this workload's "
+                         "dependency shape cannot emit",
+                         task_desc(tasks, static_cast<int>(i)).c_str(),
+                         kind_str(t.gep_kind)));
+          break;
+        }
         if (!t.batch.empty()) {
           // Batched task (fused D): its footprint is the union of the member
           // tiles' read/write sets. Each member registers as the writer of
@@ -200,12 +232,12 @@ void ScheduleChecker::check_segment(
           break;
         }
         if (t.gep_k < seg_begin || t.gep_k >= seg_end || t.tile_i < 0 ||
-            t.tile_i >= w_.r || t.tile_j < 0 || t.tile_j >= w_.r) {
+            t.tile_i >= w_.grid_rows() || t.tile_j < 0 || t.tile_j >= w_.r) {
           add(ViolationKind::kBadMetadata, static_cast<int>(i), -1,
               gs::strfmt("%s carries iteration/tile metadata outside the "
                          "segment [%d,%d) or grid %dx%d",
                          task_desc(tasks, static_cast<int>(i)).c_str(),
-                         seg_begin, seg_end, w_.r, w_.r));
+                         seg_begin, seg_end, w_.grid_rows(), w_.r));
           break;
         }
         const auto id = std::make_pair(std::make_pair(t.tile_i, t.tile_j),
@@ -375,24 +407,89 @@ void ScheduleChecker::check_segment(
     return ti;
   };
 
-  for (int k = seg_begin; k < seg_end; ++k) {
-    const gs::TileKey pivot{k, k};
-    const int pivot_v = version_at(pivot);
-    expect_task('A', k, pivot, {{pivot, pivot_v}});
-    for (const auto& key : ranges.b_keys(k)) {
-      // B(k,j): self + u = pivot (w identical to u when f reads it).
-      expect_task('B', k, key, {{key, version_at(key)}, {pivot, k}});
-    }
-    for (const auto& key : ranges.c_keys(k)) {
-      expect_task('C', k, key, {{key, version_at(key)}, {pivot, k}});
-    }
-    for (const auto& key : ranges.d_keys(k)) {
-      std::vector<SymRead> reads{{key, version_at(key)},
-                                 {{key.i, k}, k},   // u: post-C pivot column
-                                 {{k, key.j}, k}};  // v: post-B pivot row
-      if (w_.uses_w) reads.push_back({pivot, k});
-      expect_task('D', k, key, reads);
-    }
+  // Look up a tile at its CURRENT symbolic version — for the wavefront
+  // shapes every tile is written exactly once, so this is either the wave
+  // that produced it (possibly earlier in this very segment: expect_task
+  // advances version_ immediately, which is what lets the accordion panels
+  // see their same-wave diagonal) or a carried version from a past segment.
+  auto read_now = [&](int bi, int bj) {
+    const gs::TileKey key{bi, bj};
+    return SymRead{key, version_at(key)};
+  };
+
+  switch (w_.shape) {
+    case DepShape::kGep:
+      for (int k = seg_begin; k < seg_end; ++k) {
+        const gs::TileKey pivot{k, k};
+        const int pivot_v = version_at(pivot);
+        expect_task('A', k, pivot, {{pivot, pivot_v}});
+        for (const auto& key : ranges.b_keys(k)) {
+          // B(k,j): self + u = pivot (w identical to u when f reads it).
+          expect_task('B', k, key, {{key, version_at(key)}, {pivot, k}});
+        }
+        for (const auto& key : ranges.c_keys(k)) {
+          expect_task('C', k, key, {{key, version_at(key)}, {pivot, k}});
+        }
+        for (const auto& key : ranges.d_keys(k)) {
+          std::vector<SymRead> reads{{key, version_at(key)},
+                                     {{key.i, k}, k},  // u: post-C pivot column
+                                     {{k, key.j}, k}};  // v: post-B pivot row
+          if (w_.uses_w) reads.push_back({pivot, k});
+          expect_task('D', k, key, reads);
+        }
+      }
+      break;
+
+    case DepShape::kGap:
+      // Anti-diagonal wavefront: wave wv holds every tile with bi+bj == wv;
+      // each reads its row prefix, column prefix, and diagonal neighbour.
+      for (int wv = seg_begin; wv < seg_end; ++wv) {
+        const int lo = std::max(0, wv - (w_.r - 1));
+        const int hi = std::min(wv, w_.r - 1);
+        for (int bi = lo; bi <= hi; ++bi) {
+          const int bj = wv - bi;
+          std::vector<SymRead> reads;
+          for (int q = 0; q < bj; ++q) reads.push_back(read_now(bi, q));
+          for (int p = 0; p < bi; ++p) reads.push_back(read_now(p, bj));
+          if (bi > 0 && bj > 0) reads.push_back(read_now(bi - 1, bj - 1));
+          expect_task('G', wv, gs::TileKey{bi, bj}, reads);
+        }
+      }
+      break;
+
+    case DepShape::kAccordion:
+      // Column wavefront over the lower triangle: wave bj computes column
+      // bj — diagonal tile first (it feeds the panels' sweep rows), then
+      // every panel below it. Both read the previous column's source rows
+      // (tile-rows bj-1 and bj up to the diagonal); panels additionally
+      // read the same-wave diagonal.
+      for (int bj = seg_begin; bj < seg_end; ++bj) {
+        auto column_reads = [&](bool include_diag) {
+          std::vector<SymRead> reads;
+          for (int q = 0; q < bj; ++q) reads.push_back(read_now(bj - 1, q));
+          for (int q = 0; q < bj; ++q) reads.push_back(read_now(bj, q));
+          if (include_diag) reads.push_back(read_now(bj, bj));
+          return reads;
+        };
+        expect_task('E', bj, gs::TileKey{bj, bj}, column_reads(false));
+        for (int bi = bj + 1; bi < w_.grid_rows(); ++bi) {
+          expect_task('P', bj, gs::TileKey{bi, bj}, column_reads(true));
+        }
+      }
+      break;
+
+    case DepShape::kViterbi:
+      // Row wavefront: trellis step t reads EVERY row segment of step t-1.
+      for (int t = seg_begin; t < seg_end; ++t) {
+        for (int bs = 0; bs < w_.r; ++bs) {
+          std::vector<SymRead> reads;
+          if (t > 0) {
+            for (int q = 0; q < w_.r; ++q) reads.push_back(read_now(t - 1, q));
+          }
+          expect_task('V', t, gs::TileKey{t, bs}, reads);
+        }
+      }
+      break;
   }
 
   // Any writer not demanded by the schedule is an unexpected task. Batched
@@ -413,11 +510,26 @@ void ScheduleChecker::check_segment(
       continue;
     }
     const gs::TileKey key{t.tile_i, t.tile_j};
-    const bool demanded =
-        (t.gep_kind == 'A' && ranges.is_a(key, t.gep_k)) ||
-        (t.gep_kind == 'B' && ranges.is_b(key, t.gep_k)) ||
-        (t.gep_kind == 'C' && ranges.is_c(key, t.gep_k)) ||
-        (t.gep_kind == 'D' && ranges.is_d(key, t.gep_k));
+    bool demanded = false;
+    switch (w_.shape) {
+      case DepShape::kGep:
+        demanded = (t.gep_kind == 'A' && ranges.is_a(key, t.gep_k)) ||
+                   (t.gep_kind == 'B' && ranges.is_b(key, t.gep_k)) ||
+                   (t.gep_kind == 'C' && ranges.is_c(key, t.gep_k)) ||
+                   (t.gep_kind == 'D' && ranges.is_d(key, t.gep_k));
+        break;
+      case DepShape::kGap:
+        demanded = t.gep_kind == 'G' && key.i + key.j == t.gep_k;
+        break;
+      case DepShape::kAccordion:
+        demanded = (t.gep_kind == 'E' && key.i == t.gep_k &&
+                    key.j == t.gep_k) ||
+                   (t.gep_kind == 'P' && key.j == t.gep_k && key.i > t.gep_k);
+        break;
+      case DepShape::kViterbi:
+        demanded = t.gep_kind == 'V' && key.i == t.gep_k;
+        break;
+    }
     if (!demanded) {
       add(ViolationKind::kUnexpectedTask, ti, -1,
           gs::strfmt("%s is not part of the symbolic schedule for "
@@ -472,12 +584,12 @@ ScheduleCheckReport check_dataflow_schedule(
     const ScheduleWorkload& workload, const ScheduleCheckOptions& opt,
     const std::vector<std::vector<sparklet::DataflowTaskSpec>>& segments) {
   ScheduleChecker checker(workload, opt);
-  const int r = workload.r;
+  const int waves = workload.waves();
   const int interval = opt.checkpoint_interval;
-  const int seg_len = interval > 0 ? interval : r;
+  const int seg_len = interval > 0 ? interval : waves;
   std::size_t seg = 0;
-  for (int s = 0; s < r; s += seg_len, ++seg) {
-    const int e = std::min(s + seg_len, r);
+  for (int s = 0; s < waves; s += seg_len, ++seg) {
+    const int e = std::min(s + seg_len, waves);
     GS_THROW_IF(seg >= segments.size(), gs::ConfigError,
                 gs::strfmt("schedule check: engine log has %zu segment "
                            "graph(s) but the checkpoint interval implies "

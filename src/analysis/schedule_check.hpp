@@ -49,17 +49,71 @@
 
 namespace analysis {
 
-/// The schedule-shaping facts of a GEP workload, normally derived from a
-/// GepSpec: `make_schedule_workload<Spec>(r)`.
+/// Dependency shape of a tiled DP schedule. GEP is the paper's
+/// pivot-mediated A/B/C/D family; the other three are the nested-dataflow
+/// workloads whose cells have non-O(1) fan-in (row sweeps, column sweeps,
+/// full previous-row reads), scheduled as wavefronts:
+///   kGap       — anti-diagonal wavefront, task 'G' per tile (bi,bj) at wave
+///                bi+bj reading the tile-row prefix, tile-column prefix, and
+///                the diagonal neighbour;
+///   kAccordion — column wavefront over the lower triangle, same-wave phases
+///                diagonal 'E' then panels 'P', reading the previous column's
+///                source row up to the diagonal;
+///   kViterbi   — row wavefront over a rows×r trellis, task 'V' per row
+///                segment reading EVERY tile of the previous row.
+enum class DepShape : std::uint8_t {
+  kGep = 0,
+  kGap = 1,
+  kAccordion = 2,
+  kViterbi = 3,
+};
+
+/// The schedule-shaping facts of a workload, normally derived from a
+/// GepSpec (`make_schedule_workload<Spec>(r)`) or one of the nested-shape
+/// factories below.
 struct ScheduleWorkload {
-  int r = 0;               ///< grid side (outer iterations 0..r-1)
+  int r = 0;               ///< grid side / tile columns (GEP: iterations 0..r-1)
   bool strict_sigma = false;  ///< Σ_G = {i>k ∧ j>k} (GE) vs all triples
   bool uses_w = false;        ///< f reads c[k,k] → D also consumes the pivot
+  DepShape shape = DepShape::kGep;
+  int rows = 0;  ///< tile rows when the grid is not square (0 = square: r)
+
+  int grid_rows() const { return rows > 0 ? rows : r; }
+  /// Wavefront count — the outer-loop trip count the engine segments over.
+  int waves() const {
+    switch (shape) {
+      case DepShape::kGap: return 2 * r - 1;
+      case DepShape::kViterbi: return grid_rows();
+      default: return r;  // GEP iterations / accordion columns
+    }
+  }
 };
 
 template <typename Spec>
 ScheduleWorkload make_schedule_workload(int r) {
   return ScheduleWorkload{r, Spec::kStrictSigma, Spec::kUsesW};
+}
+
+inline ScheduleWorkload make_gap_workload(int r) {
+  ScheduleWorkload w;
+  w.r = r;
+  w.shape = DepShape::kGap;
+  return w;
+}
+
+inline ScheduleWorkload make_accordion_workload(int r) {
+  ScheduleWorkload w;
+  w.r = r;
+  w.shape = DepShape::kAccordion;
+  return w;
+}
+
+inline ScheduleWorkload make_viterbi_workload(int time_rows, int r) {
+  ScheduleWorkload w;
+  w.r = r;
+  w.rows = time_rows;
+  w.shape = DepShape::kViterbi;
+  return w;
 }
 
 struct ScheduleCheckOptions {

@@ -1,0 +1,489 @@
+// nested_dataflow.hpp — tile-level dataflow scheduler for the nested
+// workloads (GAP / accordion / Viterbi). Structurally a sibling of
+// gepspark::DataflowEngine: one task graph per checkpoint segment through
+// SparkContext::run_task_graph (per-attempt chaos, stragglers, kills,
+// speculation), IM cross-executor edges mediated by modeled transfer tasks,
+// CB charging per-wave driver collect/broadcast, per-wave fences anchoring
+// the lookahead gate, carried tiles living as unpinned blocks in the
+// executor store between segments, and checksummed checkpoint snapshots
+// with corruption heal.
+//
+// The big structural difference from GEP: these wavefront schedules are
+// SINGLE-ASSIGNMENT — every tile is written exactly once, at a statically
+// known wave. There are no tile versions, no source nodes (wave-0 tasks have
+// no reads; the recurrences are pure functions of the problem instance), and
+// no stale outputs to truncate. Lineage recomputation recurses through the
+// one producing task per tile and bottoms out at wave 0 or at a pinned
+// checkpoint snapshot.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/hb_detector.hpp"
+#include "gepspark/options.hpp"
+#include "grid/matrix.hpp"
+#include "nested/nested_plan.hpp"
+#include "obs/span.hpp"
+#include "sparklet/context.hpp"
+#include "sparklet/item_codec.hpp"
+#include "sparklet/partitioner.hpp"
+#include "sparklet/storage_level.hpp"
+#include "support/check.hpp"
+#include "support/format.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace nested {
+
+template <typename Plan>
+class NestedEngine : public sparklet::BlockSource {
+ public:
+  NestedEngine(sparklet::SparkContext& sc, const gepspark::SolverOptions& opt,
+               const Plan& plan, sparklet::PartitionerPtr part)
+      : sc_(sc),
+        opt_(opt),
+        plan_(plan),
+        part_(std::move(part)),
+        store_rdd_(sc_.next_rdd_id()),
+        cols_(plan.grid_cols()) {
+    sc_.set_block_source(store_rdd_, this);
+  }
+
+  ~NestedEngine() override {
+    sc_.clear_block_source(store_rdd_);  // also removes executor-store blocks
+    sc_.shared_fs().remove_rdd_blocks(store_rdd_);
+  }
+
+  NestedEngine(const NestedEngine&) = delete;
+  NestedEngine& operator=(const NestedEngine&) = delete;
+
+  /// Test hook: mirror of DataflowEngine::set_graph_log.
+  void set_graph_log(std::vector<std::vector<sparklet::DataflowTaskSpec>>* log) {
+    graph_log_ = log;
+  }
+
+  /// Run the full wavefront computation and assemble the result table.
+  gs::Matrix<double> solve() {
+    const int waves = plan_.waves();
+    const int interval = opt_.checkpoint_interval;
+    const int seg_len = interval > 0 ? interval : waves;
+    int seg_index = 0;
+    for (int s = 0; s < waves; s += seg_len, ++seg_index) {
+      const int e = std::min(s + seg_len, waves);
+      if (seg_index > 0) recover_carried(seg_index);
+      run_segment(s, e);
+      if (interval > 0 && e % interval == 0) {
+        checkpoint_snapshot();
+      } else {
+        register_carried_blocks();
+      }
+    }
+
+    restore_all_outs();
+    std::size_t total_bytes = 0;
+    for (const Node& nd : nodes_) total_bytes += nd.bytes;
+    sc_.charge_collect(total_bytes);  // gatherResult
+    return plan_.assemble([&](gs::TileKey key) { return out_of(key); });
+  }
+
+ private:
+  /// One tile plus its lineage: the single task that produces it.
+  struct Node {
+    NestedTask task;
+    int wave = -1;
+    std::vector<int> deps;  ///< producing node ids of task.reads
+    TileR out;              ///< materialized tile; empty = lost, recomputable
+    bool pinned = false;    ///< checkpoint snapshot — survives anything
+    std::size_t bytes = 0;
+    int executor = 0;
+  };
+
+  int node_id(gs::TileKey key) const { return node_of_.at(key); }
+
+  TileR out_of(gs::TileKey key) const {
+    const Node& nd = nodes_[static_cast<std::size_t>(node_id(key))];
+    GS_CHECK_MSG(nd.out != nullptr, "nested tile missing");
+    return nd.out;
+  }
+
+  int executor_of_key(gs::TileKey key) const {
+    return sc_.executor_of(part_->partition_of(sparklet::key_hash(key)));
+  }
+
+  sparklet::BlockId block_id(gs::TileKey key) const {
+    return {store_rdd_, key.i * cols_ + key.j};
+  }
+
+  gs::TileKey key_of_block(const sparklet::BlockId& id) const {
+    return {id.partition / cols_, id.partition % cols_};
+  }
+
+  // --------------------- storage-tier block source ---------------------
+
+  std::optional<std::vector<std::uint8_t>> encode_block(
+      const sparklet::BlockId& id) const override {
+    auto it = node_of_.find(key_of_block(id));
+    if (it == node_of_.end()) return std::nullopt;
+    const Node& nd = nodes_[static_cast<std::size_t>(it->second)];
+    if (nd.out == nullptr) return std::nullopt;
+    sparklet::ByteBuffer raw;
+    sparklet::encode_item(raw, nd.out);
+    return sparklet::pack_payload(std::move(raw));
+  }
+
+  bool restore_block(const sparklet::BlockId& id,
+                     const std::vector<std::uint8_t>& payload) override {
+    auto it = node_of_.find(key_of_block(id));
+    if (it == node_of_.end()) return false;
+    Node& nd = nodes_[static_cast<std::size_t>(it->second)];
+    if (nd.out != nullptr) return true;  // idempotent (concurrent readback)
+    auto raw = sparklet::unpack_payload(payload);
+    if (!raw) return false;
+    sparklet::DecodeCursor cur{raw->data(), raw->data() + raw->size()};
+    TileR tile;
+    if (!sparklet::decode_item(cur, tile) || cur.remaining() != 0) return false;
+    nd.out = std::move(tile);
+    return true;
+  }
+
+  void release_block(const sparklet::BlockId& id) override {
+    auto it = node_of_.find(key_of_block(id));
+    if (it == node_of_.end()) return;
+    Node& nd = nodes_[static_cast<std::size_t>(it->second)];
+    if (!nd.pinned) nd.out.reset();
+  }
+
+  // ------------------------- segment execution -------------------------
+
+  void run_segment(int s, int e) {
+    const int num_exec = sc_.config().num_executors();
+    const bool im = opt_.strategy == gepspark::Strategy::kInMemory;
+
+    std::vector<sparklet::DataflowTaskSpec> specs;
+    std::vector<int> spec_node;  // node id per graph task, -1 for xfer/fence
+    std::unordered_map<int, int> task_of_node;
+    std::unordered_map<int, int> xfer_memo;  // producer*num_exec+dest → task
+    std::vector<int> fences;  // fence task per wave offset (wv - s)
+    std::size_t shuffle_bytes = 0;
+    std::vector<std::size_t> wave_bytes(static_cast<std::size_t>(e - s), 0);
+    std::vector<int> wave_tasks;
+
+    // Route one data edge (producer node → consumer executor). Tiles carried
+    // from earlier segments are already resident — no edge needed.
+    auto route = [&](int nid, int consumer_exec, std::vector<int>& deps) {
+      auto it = task_of_node.find(nid);
+      if (it == task_of_node.end()) return;
+      const int producer = it->second;
+      if (!im || specs[static_cast<std::size_t>(producer)].executor ==
+                     consumer_exec) {
+        deps.push_back(producer);
+        return;
+      }
+      const int memo_key = producer * num_exec + consumer_exec;
+      auto mit = xfer_memo.find(memo_key);
+      if (mit != xfer_memo.end()) {
+        deps.push_back(mit->second);
+        return;
+      }
+      const Node& src = nodes_[static_cast<std::size_t>(nid)];
+      const std::size_t bytes = src.bytes;
+      sparklet::DataflowTaskSpec t;
+      t.label = "shuffleXfer";
+      t.deps = {producer};
+      t.executor = consumer_exec;
+      t.category = sparklet::TimeCategory::kShuffle;
+      t.transfer = true;
+      t.gep_kind = 'X';
+      t.gep_k = src.wave;
+      t.tile_i = src.task.out.i;
+      t.tile_j = src.task.out.j;
+      t.model_s = sc_.config().network.latency_s +
+                  static_cast<double>(bytes) /
+                      sc_.config().network.bandwidth_Bps;
+      shuffle_bytes += bytes;
+      specs.push_back(std::move(t));
+      spec_node.push_back(-1);
+      const int idx = static_cast<int>(specs.size() - 1);
+      wave_tasks.push_back(idx);
+      xfer_memo.emplace(memo_key, idx);
+      deps.push_back(idx);
+    };
+
+    for (int wv = s; wv < e; ++wv) {
+      wave_tasks.clear();
+      for (const auto& phase : plan_.wave_phases(wv)) {
+        for (const NestedTask& task : phase) {
+          Node nd;
+          nd.task = task;
+          nd.wave = wv;
+          nd.bytes = plan_.tile_bytes(task.out);
+          nd.executor = executor_of_key(task.out);
+          nd.deps.reserve(task.reads.size());
+          for (const gs::TileKey& rd : task.reads) {
+            nd.deps.push_back(node_id(rd));
+          }
+          const int nid = add_node(std::move(nd));
+          node_of_.emplace(task.out, nid);
+          wave_bytes[static_cast<std::size_t>(wv - s)] +=
+              nodes_[static_cast<std::size_t>(nid)].bytes;
+
+          const Node& added = nodes_[static_cast<std::size_t>(nid)];
+          sparklet::DataflowTaskSpec t;
+          t.label = gs::strfmt("%sWave", Plan::name());
+          t.executor = added.executor;
+          t.gep_kind = task.kind;
+          t.gep_k = wv;
+          t.tile_i = task.out.i;
+          t.tile_j = task.out.j;
+          for (int dep : added.deps) route(dep, added.executor, t.deps);
+          // Wavefront lookahead: wave wv may not start before the fence of
+          // wave wv - lookahead - 1 (when that fence is in this segment).
+          const int gate = wv - opt_.effective_lookahead() - 1;
+          if (gate >= s) {
+            t.deps.push_back(fences[static_cast<std::size_t>(gate - s)]);
+          }
+          specs.push_back(std::move(t));
+          spec_node.push_back(nid);
+          const int idx = static_cast<int>(specs.size() - 1);
+          task_of_node.emplace(nid, idx);
+          wave_tasks.push_back(idx);
+        }
+      }
+
+      // Zero-cost fence summarizing wave wv, the lookahead anchor.
+      sparklet::DataflowTaskSpec f;
+      f.label = "fence";
+      f.deps = wave_tasks;
+      f.transfer = true;  // exempt from chaos/metrics, zero modeled cost
+      f.gep_kind = 'F';
+      f.gep_k = wv;
+      specs.push_back(std::move(f));
+      spec_node.push_back(-1);
+      fences.push_back(static_cast<int>(specs.size() - 1));
+    }
+
+    obs::Tracer* tr = &sc_.tracer();
+    auto body = [&](int ti) {
+      const int nid = spec_node[static_cast<std::size_t>(ti)];
+      if (nid < 0) return;  // transfer or fence
+      Node& nd = nodes_[static_cast<std::size_t>(nid)];
+      obs::ScopedSpan kernel_span(tr, obs::SpanLevel::kKernel,
+                                  std::string(1, nd.task.kind).c_str(),
+                                  nd.wave);
+      run_node(nd, nid);
+    };
+    if (graph_log_ != nullptr) graph_log_->push_back(specs);
+    sc_.run_task_graph(
+        gs::strfmt("nested-%s(w=%d..%d)", Plan::name(), s, e - 1), specs, body,
+        im ? shuffle_bytes : 0);
+
+    if (!im) {
+      // CB ships each wave's outputs through the driver: collect + broadcast
+      // per wave, exactly like the barrier CB loop it replaces.
+      for (int wv = s; wv < e; ++wv) {
+        const std::size_t wb = wave_bytes[static_cast<std::size_t>(wv - s)];
+        if (wb > 0) {
+          sc_.charge_collect(wb);
+          sc_.charge_broadcast(wb);
+        }
+      }
+    }
+  }
+
+  int add_node(Node nd) {
+    nodes_.push_back(std::move(nd));
+    return static_cast<int>(nodes_.size() - 1);
+  }
+
+  /// Execute one node's kernel with race-detector footprints.
+  void run_node(Node& nd, int nid) {
+    if (analysis::HbDetector* det = sc_.race_detector()) {
+      for (int dep : nd.deps) {
+        det->on_read(analysis::HbDetector::tile_location(store_rdd_, dep),
+                     "tile");
+      }
+    }
+    nd.out = plan_.compute(
+        nd.task, [&](gs::TileKey key) { return out_of(key); });
+    if (analysis::HbDetector* det = sc_.race_detector()) {
+      det->on_write(analysis::HbDetector::tile_location(store_rdd_, nid),
+                    "tile");
+    }
+  }
+
+  // ------------------------- recovery & snapshots -------------------------
+
+  /// Segment entry: chaos may have lost carried tiles since the last graph
+  /// ran. Anything missing is recomputed through the per-tile lineage.
+  void recover_carried(int seg_index) {
+    const sparklet::ChaosPlan& chaos = sc_.chaos_plan();
+    std::vector<int> unpinned;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (!nodes_[i].pinned) unpinned.push_back(static_cast<int>(i));
+    }
+    if (chaos.fetch_failure_prob > 0.0 && !unpinned.empty()) {
+      gs::Rng rng(sparklet::chaos_event_seed(
+          chaos.seed, sparklet::kChaosFetch,
+          static_cast<std::uint64_t>(store_rdd_),
+          static_cast<std::uint64_t>(seg_index), 0));
+      if (rng.bernoulli(chaos.fetch_failure_prob)) {
+        Node& nd = nodes_[static_cast<std::size_t>(
+            unpinned[rng.uniform_u64(unpinned.size())])];
+        nd.out.reset();
+        sc_.executor_store().remove_block(block_id(nd.task.out));
+        sc_.metrics().note_fetch_failure();
+        sc_.metrics().note_partitions_dropped(1);
+        sc_.timeline().add_marker("fetch-failure");
+        sc_.timeline().add_serial("stage-retry-backoff",
+                                  sc_.config().stage_overhead_s,
+                                  sparklet::TimeCategory::kRecovery);
+      }
+    }
+    for (int id : unpinned) {
+      Node& nd = nodes_[static_cast<std::size_t>(id)];
+      if (nd.out != nullptr &&
+          !sc_.executor_store().has_block(block_id(nd.task.out))) {
+        nd.out.reset();  // lost to a kill or an eviction
+        sc_.metrics().note_partitions_dropped(1);
+      }
+    }
+    restore_all_outs();
+  }
+
+  /// Bring every tile back in memory: readback first (a demoted copy on the
+  /// serialized or disk tier restores it without touching lineage),
+  /// recomputation for anything genuinely lost.
+  void restore_all_outs() {
+    gs::Stopwatch sw;
+    int recomputed = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].out == nullptr) {
+        sc_.try_block_readback(block_id(nodes_[i].task.out));
+      }
+      recomputed += recompute_now(static_cast<int>(i));
+    }
+    sc_.flush_storage_charges();
+    if (recomputed > 0) {
+      sc_.metrics().note_partitions_recomputed(recomputed);
+      sc_.timeline().add_serial(
+          "recompute",
+          sw.seconds() + recomputed * sc_.config().task_overhead_s,
+          sparklet::TimeCategory::kRecovery);
+    }
+  }
+
+  /// Re-run the pure kernel chain for a lost tile. Inputs recurse; the chain
+  /// bottoms out at wave-0 tasks (no reads — the recurrence seeds itself
+  /// from the problem instance) or pinned snapshots. Purity ⇒ bit-identical.
+  int recompute_now(int id) {
+    Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.out != nullptr) return 0;
+    int count = 0;
+    for (int dep : nd.deps) count += recompute_now(dep);
+    if (analysis::HbDetector* det = sc_.race_detector()) {
+      // Driver-side lineage recomputation between graphs, current driver era.
+      for (int dep : nd.deps) {
+        det->on_read(analysis::HbDetector::tile_location(store_rdd_, dep),
+                     "tile");
+      }
+    }
+    nd.out = plan_.compute(
+        nd.task, [&](gs::TileKey key) { return out_of(key); });
+    if (analysis::HbDetector* det = sc_.race_detector()) {
+      det->on_write(analysis::HbDetector::tile_location(store_rdd_, id),
+                    "tile");
+    }
+    return count + 1;
+  }
+
+  /// Non-checkpoint segment boundary: every computed tile becomes an
+  /// unpinned cached block in the executor store, giving kills and memory
+  /// pressure something concrete to lose.
+  void register_carried_blocks() {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& nd = nodes_[i];
+      if (nd.pinned) continue;
+      try {
+        sc_.executor_store().put_block(nd.executor, block_id(nd.task.out),
+                                       nd.bytes, /*checksum=*/0,
+                                       /*pinned=*/false, opt_.storage_level);
+      } catch (const gs::CapacityError&) {
+        // Executor memory full even after demotion: the tile goes untracked
+        // and will be recomputed next segment (graceful degradation).
+      }
+    }
+    sc_.flush_storage_charges();
+  }
+
+  /// Checkpoint boundary: write every tile checksummed + pinned into the
+  /// shared store, healing injected corruption through lineage, then make
+  /// the snapshot the new recomputation floor.
+  void checkpoint_snapshot() {
+    obs::ScopedSpan span(&sc_.tracer(), obs::SpanLevel::kStage, "checkpoint",
+                         store_rdd_);
+    const sparklet::ChaosPlan& chaos = sc_.chaos_plan();
+    const int max_attempts = std::max(1, chaos.max_stage_attempts);
+    double io_s = 0.0;
+    int recomputed = 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const int id = static_cast<int>(i);
+      Node& nd = nodes_[i];
+      if (nd.pinned) continue;  // already snapshotted
+      const sparklet::BlockId bid = block_id(nd.task.out);
+      std::uint64_t sum_state = static_cast<std::uint64_t>(id) ^
+                                (static_cast<std::uint64_t>(store_rdd_) << 32);
+      const std::uint64_t sum = gs::splitmix64(sum_state);
+      for (int attempt = 1;; ++attempt) {
+        std::uint64_t stored = sum;
+        if (sc_.chaos_corrupt_block(static_cast<std::uint64_t>(store_rdd_),
+                                    static_cast<std::uint64_t>(bid.partition),
+                                    static_cast<std::uint64_t>(attempt))) {
+          stored ^= 0xbad0bad0bad0bad0ULL;
+        }
+        io_s += sc_.shared_fs().put_block(0, bid, nd.bytes, stored,
+                                          /*pinned=*/true);
+        io_s += sc_.shared_fs().read(0, nd.bytes);  // verification read-back
+        if (sc_.shared_fs().verify_block(bid, sum)) {
+          sc_.metrics().note_checkpoint_block(nd.bytes);
+          break;
+        }
+        sc_.metrics().note_corrupted_block();
+        sc_.timeline().add_marker("checkpoint-corruption");
+        sc_.shared_fs().remove_block(bid);
+        GS_THROW_IF(attempt >= max_attempts, gs::JobAbortedError,
+                    gs::strfmt("checkpoint block (%d,%d) failed "
+                               "verification %d times",
+                               store_rdd_, bid.partition, attempt));
+        nd.out.reset();
+        sc_.metrics().note_partitions_dropped(1);
+        recomputed += recompute_now(id);
+      }
+      nd.pinned = true;
+    }
+    sc_.timeline().add_serial("checkpoint", io_s,
+                              sparklet::TimeCategory::kRecovery);
+    if (recomputed > 0) sc_.metrics().note_partitions_recomputed(recomputed);
+    sc_.executor_store().remove_rdd_blocks(store_rdd_);
+  }
+
+  sparklet::SparkContext& sc_;
+  const gepspark::SolverOptions& opt_;
+  const Plan& plan_;
+  sparklet::PartitionerPtr part_;
+  const int store_rdd_;  ///< block/chaos namespace for this engine
+  const int cols_;
+
+  std::vector<Node> nodes_;
+  std::unordered_map<gs::TileKey, int, gs::TileKeyHash> node_of_;
+  std::vector<std::vector<sparklet::DataflowTaskSpec>>* graph_log_ = nullptr;
+};
+
+}  // namespace nested

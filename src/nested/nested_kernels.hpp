@@ -1,0 +1,98 @@
+// nested_kernels.hpp — tiled kernels for the nested-dataflow workloads. Each
+// kernel computes one output tile by running the shared per-cell recurrence
+// from nested_spec.hpp over the tile's global index range, resolving reads
+// either from the tile under construction (in-tile dependencies) or through a
+// TileLookup over finished tiles (the wavefront's cross-tile fan-in).
+//
+// Padding: tiles on the grid fringe cover indices past the real table. The
+// recurrences are pure index functions, so padded cells are simply evaluated
+// too — real cells only ever read indices no larger than their own, so the
+// real region is unaffected and no clamping or masking is needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "grid/tile.hpp"
+#include "nested/nested_spec.hpp"
+#include "support/check.hpp"
+
+namespace nested {
+
+using TileR = gs::TileRef<double>;
+
+/// Lookup of a finished tile by grid key. Kernels read their own in-progress
+/// tile locally and everything else through this.
+using TileLookup = std::function<TileR(gs::TileKey)>;
+
+/// GAP tile (bi,bj) at wave bi+bj: b×b cells in row-major order. Reads the
+/// tile-row prefix {(bi,q): q<bj}, the tile-column prefix {(p,bj): p<bi},
+/// and the diagonal neighbour (bi-1,bj-1).
+inline TileR gap_tile_kernel(const GapProblem& p, std::size_t b,
+                             gs::TileKey key, const TileLookup& at) {
+  auto out = std::make_shared<gs::Tile<double>>(b, b);
+  const std::size_t row0 = static_cast<std::size_t>(key.i) * b;
+  const std::size_t col0 = static_cast<std::size_t>(key.j) * b;
+  auto cell = [&](std::size_t gi, std::size_t gj) -> double {
+    const auto bi = static_cast<std::int32_t>(gi / b);
+    const auto bj = static_cast<std::int32_t>(gj / b);
+    if (bi == key.i && bj == key.j) return (*out)(gi - row0, gj - col0);
+    return (*at({bi, bj}))(gi % b, gj % b);
+  };
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      (*out)(i, j) = gap_cell(p, row0 + i, col0 + j, cell);
+    }
+  }
+  return out;
+}
+
+/// Accordion tile (bi,bj) at wave bj: column-major over valid cells
+/// (global j < global i), zero elsewhere. Reads tile-row bj-1 up to the
+/// diagonal plus tile-row bj's prefix — including, for panels (bi > bj),
+/// the same-wave diagonal tile (bj,bj).
+inline TileR accordion_tile_kernel(const AccordionProblem& p, std::size_t b,
+                                   gs::TileKey key, const TileLookup& at) {
+  auto out = std::make_shared<gs::Tile<double>>(b, b);
+  const std::size_t row0 = static_cast<std::size_t>(key.i) * b;
+  const std::size_t col0 = static_cast<std::size_t>(key.j) * b;
+  auto cell = [&](std::size_t gi, std::size_t gj) -> double {
+    const auto bi = static_cast<std::int32_t>(gi / b);
+    const auto bj = static_cast<std::int32_t>(gj / b);
+    if (bi == key.i && bj == key.j) return (*out)(gi - row0, gj - col0);
+    return (*at({bi, bj}))(gi % b, gj % b);
+  };
+  for (std::size_t j = 0; j < b; ++j) {
+    for (std::size_t i = 0; i < b; ++i) {
+      const std::size_t gi = row0 + i;
+      const std::size_t gj = col0 + j;
+      (*out)(i, j) = gj < gi ? accordion_cell(p, gi, gj, cell) : 0.0;
+    }
+  }
+  return out;
+}
+
+/// Viterbi tile (t,bs): a 1×b row segment of trellis step t covering states
+/// [bs*b, bs*b+b). Reads every tile of step t-1. Padded states past
+/// num_states are evaluated like any other (pure index functions), but the
+/// max over predecessors only ranges over REAL states, so padded values
+/// never feed a real cell.
+inline TileR viterbi_tile_kernel(const ViterbiProblem& p, std::size_t b,
+                                 gs::TileKey key, const TileLookup& at) {
+  auto out = std::make_shared<gs::Tile<double>>(1, b);
+  const auto t = static_cast<std::size_t>(key.i);
+  const std::size_t state0 = static_cast<std::size_t>(key.j) * b;
+  auto cell = [&](std::size_t tt, std::size_t q) -> double {
+    GS_DCHECK(tt + 1 == t);
+    return (*at({static_cast<std::int32_t>(tt),
+                 static_cast<std::int32_t>(q / b)}))(0, q % b);
+  };
+  for (std::size_t s0 = 0; s0 < b; ++s0) {
+    (*out)(0, s0) = viterbi_cell(p, t, state0 + s0, cell);
+  }
+  return out;
+}
+
+}  // namespace nested

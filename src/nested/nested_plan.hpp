@@ -1,0 +1,254 @@
+// nested_plan.hpp — tile schedules for the nested-dataflow workloads. A plan
+// turns a problem instance into a wavefront schedule: `wave_phases(wv)` lists
+// the tile tasks of wave `wv` grouped into phases that must run in order
+// (the accordion's diagonal→panel split; the other shapes have one phase per
+// wave), with each task naming its exact cross-tile read set. The SAME
+// tile-level footprint formulas live in ScheduleChecker's symbolic
+// enumeration — the checker re-derives them independently from
+// `plan.workload()`, so an engine that drops an edge cannot hide.
+//
+// Plans are cheap to copy (a problem struct + block size) and are the single
+// source of truth for all three execution modes: the barrier IM/CB drivers
+// and the NestedEngine all execute plan.compute() over plan.wave_phases().
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "analysis/schedule_check.hpp"
+#include "grid/matrix.hpp"
+#include "nested/nested_kernels.hpp"
+#include "support/check.hpp"
+
+namespace nested {
+
+/// One tile task of a wavefront schedule: kernel kind, output tile, and the
+/// finished tiles it reads (grid keys; exact, not a superset of what the
+/// kernel may touch).
+struct NestedTask {
+  char kind = '?';
+  gs::TileKey out{0, 0};
+  std::vector<gs::TileKey> reads;
+};
+
+/// Phases of one wave, in execution order. Tasks within a phase are
+/// independent; a later phase may read outputs of an earlier one.
+using WavePhases = std::vector<std::vector<NestedTask>>;
+
+namespace detail {
+inline int tiles_for(std::size_t n, std::size_t block) {
+  GS_THROW_IF(block == 0, gs::ConfigError, "block_size must be > 0");
+  return static_cast<int>((n + block - 1) / block);
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------- GAP
+
+/// GAP: r×r grid over the padded (n+1)×(n+1) table, anti-diagonal wavefront
+/// of 2r-1 waves; tile (bi,bj) runs at wave bi+bj.
+class GapPlan {
+ public:
+  using value_type = double;
+
+  GapPlan(const GapProblem& prob, std::size_t block)
+      : prob_(prob), b_(block), r_(detail::tiles_for(prob.table_n(), block)) {}
+
+  static const char* name() { return "gap"; }
+  int grid_rows() const { return r_; }
+  int grid_cols() const { return r_; }
+  int waves() const { return 2 * r_ - 1; }
+  std::size_t block() const { return b_; }
+  const GapProblem& problem() const { return prob_; }
+  std::size_t tile_bytes(gs::TileKey) const {
+    return b_ * b_ * sizeof(double) + 64;
+  }
+  analysis::ScheduleWorkload workload() const {
+    return analysis::make_gap_workload(r_);
+  }
+
+  WavePhases wave_phases(int wv) const {
+    std::vector<NestedTask> tasks;
+    const int lo = std::max(0, wv - (r_ - 1));
+    const int hi = std::min(wv, r_ - 1);
+    for (int bi = lo; bi <= hi; ++bi) {
+      const int bj = wv - bi;
+      NestedTask t{'G', gs::TileKey{bi, bj}, {}};
+      for (int q = 0; q < bj; ++q) t.reads.push_back({bi, q});
+      for (int p = 0; p < bi; ++p) t.reads.push_back({p, bj});
+      if (bi > 0 && bj > 0) t.reads.push_back({bi - 1, bj - 1});
+      tasks.push_back(std::move(t));
+    }
+    return {std::move(tasks)};
+  }
+
+  TileR compute(const NestedTask& t, const TileLookup& at) const {
+    return gap_tile_kernel(prob_, b_, t.out, at);
+  }
+
+  gs::Matrix<double> assemble(const TileLookup& at) const {
+    const std::size_t N = prob_.table_n();
+    gs::Matrix<double> m(N, N, 0.0);
+    for (int bi = 0; bi < r_; ++bi) {
+      for (int bj = 0; bj < r_; ++bj) {
+        copy_real_cells(m, *at({bi, bj}), bi, bj, b_);
+      }
+    }
+    return m;
+  }
+
+ private:
+  static void copy_real_cells(gs::Matrix<double>& m, const gs::Tile<double>& t,
+                              int bi, int bj, std::size_t b) {
+    const std::size_t row0 = static_cast<std::size_t>(bi) * b;
+    const std::size_t col0 = static_cast<std::size_t>(bj) * b;
+    for (std::size_t i = 0; i < b && row0 + i < m.rows(); ++i) {
+      for (std::size_t j = 0; j < b && col0 + j < m.cols(); ++j) {
+        m(row0 + i, col0 + j) = t(i, j);
+      }
+    }
+  }
+
+  GapProblem prob_;
+  std::size_t b_;
+  int r_;
+};
+
+// ---------------------------------------------------- accordion folding
+
+/// Accordion folding: lower-triangular r×r grid over the n×n table, column
+/// wavefront of r waves; wave bj runs the diagonal tile (bj,bj) first, then
+/// the panels (bi,bj) below it.
+class AccordionPlan {
+ public:
+  using value_type = double;
+
+  AccordionPlan(const AccordionProblem& prob, std::size_t block)
+      : prob_(prob), b_(block), r_(detail::tiles_for(prob.n, block)) {}
+
+  static const char* name() { return "accordion"; }
+  int grid_rows() const { return r_; }
+  int grid_cols() const { return r_; }
+  int waves() const { return r_; }
+  std::size_t block() const { return b_; }
+  const AccordionProblem& problem() const { return prob_; }
+  std::size_t tile_bytes(gs::TileKey) const {
+    return b_ * b_ * sizeof(double) + 64;
+  }
+  analysis::ScheduleWorkload workload() const {
+    return analysis::make_accordion_workload(r_);
+  }
+
+  WavePhases wave_phases(int wv) const {
+    const int bj = wv;
+    auto column_reads = [&](bool include_diag) {
+      std::vector<gs::TileKey> reads;
+      for (int q = 0; q < bj; ++q) reads.push_back({bj - 1, q});
+      for (int q = 0; q < bj; ++q) reads.push_back({bj, q});
+      if (include_diag) reads.push_back({bj, bj});
+      return reads;
+    };
+    WavePhases phases;
+    phases.push_back({NestedTask{'E', gs::TileKey{bj, bj},
+                                 column_reads(false)}});
+    std::vector<NestedTask> panels;
+    for (int bi = bj + 1; bi < r_; ++bi) {
+      panels.push_back(NestedTask{'P', gs::TileKey{bi, bj},
+                                  column_reads(true)});
+    }
+    if (!panels.empty()) phases.push_back(std::move(panels));
+    return phases;
+  }
+
+  TileR compute(const NestedTask& t, const TileLookup& at) const {
+    return accordion_tile_kernel(prob_, b_, t.out, at);
+  }
+
+  gs::Matrix<double> assemble(const TileLookup& at) const {
+    gs::Matrix<double> m(prob_.n, prob_.n, 0.0);
+    for (int bj = 0; bj < r_; ++bj) {
+      for (int bi = bj; bi < r_; ++bi) {
+        const auto& t = *at({bi, bj});
+        const std::size_t row0 = static_cast<std::size_t>(bi) * b_;
+        const std::size_t col0 = static_cast<std::size_t>(bj) * b_;
+        for (std::size_t i = 0; i < b_ && row0 + i < m.rows(); ++i) {
+          for (std::size_t j = 0; j < b_ && col0 + j < m.cols(); ++j) {
+            m(row0 + i, col0 + j) = t(i, j);
+          }
+        }
+      }
+    }
+    return m;
+  }
+
+ private:
+  AccordionProblem prob_;
+  std::size_t b_;
+  int r_;
+};
+
+// ------------------------------------------------------------- Viterbi
+
+/// Viterbi: (horizon+1) trellis rows × r state-tile columns of 1×b row
+/// segments; wave t computes every segment of step t from ALL of step t-1.
+class ViterbiPlan {
+ public:
+  using value_type = double;
+
+  ViterbiPlan(const ViterbiProblem& prob, std::size_t block)
+      : prob_(prob), b_(block),
+        r_(detail::tiles_for(prob.num_states, block)),
+        rows_(static_cast<int>(prob.rows())) {}
+
+  static const char* name() { return "viterbi"; }
+  int grid_rows() const { return rows_; }
+  int grid_cols() const { return r_; }
+  int waves() const { return rows_; }
+  std::size_t block() const { return b_; }
+  const ViterbiProblem& problem() const { return prob_; }
+  std::size_t tile_bytes(gs::TileKey) const {
+    return b_ * sizeof(double) + 64;
+  }
+  analysis::ScheduleWorkload workload() const {
+    return analysis::make_viterbi_workload(rows_, r_);
+  }
+
+  WavePhases wave_phases(int wv) const {
+    std::vector<NestedTask> tasks;
+    for (int bs = 0; bs < r_; ++bs) {
+      NestedTask t{'V', gs::TileKey{wv, bs}, {}};
+      if (wv > 0) {
+        for (int q = 0; q < r_; ++q) t.reads.push_back({wv - 1, q});
+      }
+      tasks.push_back(std::move(t));
+    }
+    return {std::move(tasks)};
+  }
+
+  TileR compute(const NestedTask& t, const TileLookup& at) const {
+    return viterbi_tile_kernel(prob_, b_, t.out, at);
+  }
+
+  gs::Matrix<double> assemble(const TileLookup& at) const {
+    gs::Matrix<double> m(prob_.rows(), prob_.num_states, 0.0);
+    for (int t = 0; t < rows_; ++t) {
+      for (int bs = 0; bs < r_; ++bs) {
+        const auto& seg = *at({t, bs});
+        const std::size_t col0 = static_cast<std::size_t>(bs) * b_;
+        for (std::size_t j = 0; j < b_ && col0 + j < m.cols(); ++j) {
+          m(static_cast<std::size_t>(t), col0 + j) = seg(0, j);
+        }
+      }
+    }
+    return m;
+  }
+
+ private:
+  ViterbiProblem prob_;
+  std::size_t b_;
+  int r_;
+  int rows_;
+};
+
+}  // namespace nested

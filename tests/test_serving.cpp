@@ -58,6 +58,16 @@ void expect_throws_with(const std::string& needle,
   }
 }
 
+void expect_throws_exact(const std::string& golden,
+                         const std::function<void()>& fn) {
+  try {
+    fn();
+    FAIL() << "expected gs::ConfigError \"" << golden << "\"";
+  } catch (const gs::ConfigError& e) {
+    EXPECT_EQ(std::string(e.what()), golden);
+  }
+}
+
 void wait_for(const std::function<bool()>& pred) {
   for (int i = 0; i < 20000 && !pred(); ++i) {
     std::this_thread::sleep_for(std::chrono::microseconds(500));
@@ -101,6 +111,65 @@ TEST(OptionsValidate, RejectsEveryIncoherentCombination) {
     opt.storage_level = sparklet::StorageLevel::kMemoryOnly;
     opt.validate();
   });
+}
+
+// Golden copies of every SolverOptions::validate() message. Clients (the
+// job server, the CLI, scripted harnesses) match on these strings; substring
+// checks alone would let a reworded or truncated message drift silently.
+TEST(OptionsValidate, ErrorMessagesAreExactlyTheDocumentedStrings) {
+  expect_throws_exact("block_size must be > 0", [] {
+    SolverOptions opt;
+    opt.block_size = 0;
+    opt.validate();
+  });
+  expect_throws_exact("num_partitions must be >= 0", [] {
+    SolverOptions opt;
+    opt.num_partitions = -1;
+    opt.validate();
+  });
+  expect_throws_exact("checkpoint_interval must be >= 0", [] {
+    SolverOptions opt;
+    opt.checkpoint_interval = -1;
+    opt.validate();
+  });
+  expect_throws_exact("lookahead must be >= 0 (or -1 for auto)", [] {
+    SolverOptions opt;
+    opt.lookahead = -2;
+    opt.validate();
+  });
+  expect_throws_exact(
+      "lookahead > 0 requires the dataflow schedule (the barrier loop cannot "
+      "overlap iterations)",
+      [] {
+        SolverOptions opt;
+        opt.schedule = gepspark::ScheduleMode::kBarrier;
+        opt.lookahead = 2;
+        opt.validate();
+      });
+  expect_throws_exact("validate_schedule requires the dataflow schedule", [] {
+    SolverOptions opt;
+    opt.validate_schedule = true;
+    opt.validate();
+  });
+  expect_throws_exact(
+      "strassen_d requires fused_d (the Strassen split only exists inside "
+      "the batched D backend)",
+      [] {
+        SolverOptions opt;
+        opt.kernel.strassen_d = true;
+        opt.fused_d = false;
+        opt.validate();
+      });
+  expect_throws_exact(
+      "memory_cap requires a disk-backed storage level (MEMORY_ONLY evicts "
+      "under pressure instead of spilling; use memory_and_disk[_ser] or "
+      "disk_only)",
+      [] {
+        SolverOptions opt;
+        opt.memory_cap = 1 << 20;
+        opt.storage_level = sparklet::StorageLevel::kMemoryOnly;
+        opt.validate();
+      });
 }
 
 TEST(OptionsValidate, AutoLookaheadResolvesPerSchedule) {

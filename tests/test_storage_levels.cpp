@@ -808,6 +808,50 @@ TEST(DiskChaos, SpillFilesSurviveExecutorKills) {
   EXPECT_GT(rc.spill_readbacks, 0);  // spilled tiles were read back post-kill
 }
 
+TEST(DiskChaos, StrassenBatchedBackendBitIdenticalOnDiskTiersUnderChaos) {
+  // Coverage gap: --strassen-d was exercised under chaos and the disk tiers
+  // were exercised under chaos, but never TOGETHER. The Strassen split's
+  // panel buffers ride the same spill ladder as plain tiles, so a capped
+  // disk-faulted run must still match the fault-free uncapped batched run
+  // bit for bit — on both schedulers and both disk-backed levels.
+  auto input = gs::testutil::random_input<gs::GaussianEliminationSpec>(64, 7);
+  gepspark::SolverOptions opt;
+  opt.block_size = 16;
+  opt.strategy = gepspark::Strategy::kInMemory;
+  opt.fused_d = true;
+  opt.kernel.strassen_d = true;
+  opt.storage_level = StorageLevel::kMemoryAndDisk;
+  auto expected = run_solve<gs::GaussianEliminationSpec>(input, opt, 0.0,
+                                                         nullptr, nullptr);
+
+  RecoveryCounters total;
+  for (auto schedule : {gepspark::ScheduleMode::kBarrier,
+                        gepspark::ScheduleMode::kDataflow}) {
+    for (auto level : {StorageLevel::kMemoryAndDisk,
+                       StorageLevel::kMemoryAndDiskSer}) {
+      opt.schedule = schedule;
+      opt.storage_level = level;
+      opt.checkpoint_interval =
+          schedule == gepspark::ScheduleMode::kDataflow ? 0 : 1;
+      const ChaosPlan plan = disk_chaos(47);
+      RecoveryCounters rc;
+      auto got = run_solve<gs::GaussianEliminationSpec>(input, opt, 8 * kKiB,
+                                                        &plan, &rc);
+      EXPECT_TRUE(got == expected)
+          << gepspark::schedule_name(schedule) << " "
+          << storage_level_name(level);
+      total.spilled_blocks += rc.spilled_blocks;
+      total.spill_readbacks += rc.spill_readbacks;
+      total.corrupt_spills += rc.corrupt_spills;
+      total.task_failures += rc.task_failures;
+    }
+  }
+  EXPECT_GT(total.spilled_blocks, 0);
+  EXPECT_GT(total.spill_readbacks, 0);
+  EXPECT_GT(total.corrupt_spills, 0);
+  EXPECT_GT(total.task_failures, 0);
+}
+
 TEST(DiskChaos, FaultDecisionsIndependentOfPhysicalThreads) {
   // Disk-fault decisions are pure in (seed, tag, rdd, partition, attempt) —
   // never in scheduling order — so radically different host parallelism must

@@ -1,8 +1,10 @@
-// Shared helpers for the test suite: canonical random inputs per spec and a
-// driver-independent blocked GEP harness used to validate kernels.
+// Shared helpers for the test suite: canonical random inputs per spec, a
+// driver-independent blocked GEP harness used to validate kernels, and a
+// seeded property-based instance generator for the nested-dataflow suites.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "baseline/reference.hpp"
 #include "gepspark/workload.hpp"
@@ -11,6 +13,7 @@
 #include "kernels/iterative.hpp"
 #include "kernels/tile_ops.hpp"
 #include "semiring/gep_spec.hpp"
+#include "support/rng.hpp"
 
 namespace gs::testutil {
 
@@ -93,6 +96,39 @@ Matrix<typename Spec::value_type> blocked_solve(
     }
   }
   return g.gather();
+}
+
+/// One randomized nested-workload instance: problem size, tile size, and the
+/// seed that derives its weights. `n` maps to the GAP string length, the
+/// accordion chain length, or the Viterbi state count.
+struct NestedCase {
+  std::size_t n = 0;
+  std::size_t block = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Seeded property-based generator: deterministic degenerate edges first
+/// (1x1 table inside one tile, a single partial tile, an exact tile
+/// multiple, block larger than the problem), then `random_count` drawn
+/// instances. Sizes stay small enough that the O(n^3) GAP reference is
+/// cheap, but large enough to cross several tile boundaries.
+inline std::vector<NestedCase> nested_cases(std::uint64_t seed,
+                                            int random_count = 4) {
+  std::vector<NestedCase> cases = {
+      {1, 8, seed ^ 0x11},   // degenerate: one cell, one tile
+      {5, 8, seed ^ 0x22},   // single partial tile
+      {16, 8, seed ^ 0x33},  // exact tile multiple
+      {7, 32, seed ^ 0x44},  // block larger than the whole problem
+  };
+  Rng rng(seed);
+  for (int c = 0; c < random_count; ++c) {
+    NestedCase nc;
+    nc.n = 9 + rng.uniform_u64(40);      // 9..48
+    nc.block = 3 + rng.uniform_u64(11);  // 3..13: partial edge tiles likely
+    nc.seed = rng() | 1;
+    cases.push_back(nc);
+  }
+  return cases;
 }
 
 }  // namespace gs::testutil
