@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -56,6 +57,8 @@ struct CliArgs {
   bool speculate = false;        // enable speculative execution
   bool validate_schedule = false;  // static schedule soundness checker
   bool race_check = false;         // happens-before race detector
+  int model_check = 0;             // >0: interleaving-exploration budget
+  bool audit_recovery = false;     // lineage-recovery closure audit
   bool fused_d = false;            // batched fused D phase (panel packing)
   bool strassen_d = false;         // one-level Strassen split (fields only)
   std::string storage_level = "memory_only";  // persist() level for DP tiles
@@ -138,6 +141,18 @@ void usage() {
       "                                      GEP footprints (dataflow only)\n"
       "  --race-check                        happens-before race detection\n"
       "                                      over the executed task graphs\n"
+      "  --model-check[=N]                   systematically explore the\n"
+      "                                      distinct interleavings of the\n"
+      "                                      dataflow task graphs (DPOR-\n"
+      "                                      pruned to conflicting reorders,\n"
+      "                                      budget N, default 64); every\n"
+      "                                      order must be bit-identical\n"
+      "                                      with clean analysis verdicts\n"
+      "  --audit-recovery                    statically audit each checkpoint\n"
+      "                                      segment's lineage: every live\n"
+      "                                      block's recompute closure must\n"
+      "                                      be complete, acyclic, and\n"
+      "                                      k-monotone (dataflow only)\n"
       "\nserve\n"
       "  --serve                             DP-as-a-service quickstart: a\n"
       "                                      JobServer solves one job per\n"
@@ -219,6 +234,12 @@ bool parse(int argc, char** argv, CliArgs& a) {
       a.validate_schedule = true;
     } else if (flag == "--race-check") {
       a.race_check = true;
+    } else if (flag == "--model-check") {
+      a.model_check = 64;
+    } else if (flag.rfind("--model-check=", 0) == 0) {
+      a.model_check = std::stoi(flag.substr(std::strlen("--model-check=")));
+    } else if (flag == "--audit-recovery") {
+      a.audit_recovery = true;
     } else if (flag == "--fused-d") {
       a.fused_d = true;
     } else if (flag == "--strassen-d") {
@@ -355,7 +376,13 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
   opt.storage_level = *level;
   opt.memory_cap = static_cast<std::size_t>(a.memory_cap);
   opt.track_predecessors = a.track_predecessors && a.benchmark == "fw";
+  opt.audit_recovery = a.audit_recovery;
+  opt.model_check = a.model_check;
   opt.validate();
+
+  analysis::ModelCheckOptions mc_opt;
+  mc_opt.max_schedules = a.model_check;
+  std::function<analysis::ModelCheckReport()> mc_run;
 
   obs::JobProfile prof;
   double diff = 0.0;
@@ -364,6 +391,10 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
     req.kind = serve::ProblemKind::kFloydWarshall;
     req.matrix = gs::workload::random_digraph({.n = a.n, .seed = 1});
     req.options = opt;
+    mc_run = [&sc, input = req.matrix, opt, mc_opt] {
+      return gepspark::model_check_gep<gs::FloydWarshallSpec>(sc, input, opt,
+                                                              mc_opt);
+    };
     auto table = serve::solve_now(sc, req);
     prof = table->profile;
     if (a.verify) {
@@ -386,6 +417,10 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
     }
   } else if (a.benchmark == "fw") {
     auto input = gs::workload::random_digraph({.n = a.n, .seed = 1});
+    mc_run = [&sc, input, opt, mc_opt] {
+      return gepspark::model_check_gep<gs::FloydWarshallSpec>(sc, input, opt,
+                                                              mc_opt);
+    };
     auto res = gepspark::spark_floyd_warshall(sc, input, opt);
     prof = std::move(res.profile);
     if (a.verify) {
@@ -395,11 +430,19 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
     }
   } else if (a.benchmark == "ge") {
     auto input = gs::workload::diagonally_dominant_matrix(a.n, 1);
+    mc_run = [&sc, input, opt, mc_opt] {
+      return gepspark::model_check_gep<gs::GaussianEliminationSpec>(sc, input,
+                                                                    opt, mc_opt);
+    };
     auto res = gepspark::spark_gaussian_elimination(sc, input, opt);
     prof = std::move(res.profile);
     if (a.verify) diff = gs::baseline::lu_residual(input, res.matrix);
   } else {  // tc
     auto input = gs::workload::random_bool_digraph(a.n, 0.05, 1);
+    mc_run = [&sc, input, opt, mc_opt] {
+      return gepspark::model_check_gep<gs::TransitiveClosureSpec>(sc, input,
+                                                                  opt, mc_opt);
+    };
     auto res = gepspark::spark_transitive_closure(sc, input, opt);
     prof = std::move(res.profile);
     if (a.verify) {
@@ -421,6 +464,15 @@ int run_gep(sparklet::SparkContext& sc, const CliArgs& a) {
   if (a.validate_schedule) {
     std::printf("  schedule check: SOUND (every emitted task graph matches "
                 "the symbolic GEP footprints)\n");
+  }
+  if (a.audit_recovery) {
+    std::printf("  recovery audit: PASS (every live block's recompute "
+                "closure is complete, acyclic, and k-monotone)\n");
+  }
+  if (a.model_check > 0) {
+    const analysis::ModelCheckReport rep = mc_run();
+    std::printf("  %s\n", rep.summary().c_str());
+    if (!rep.ok()) return 1;
   }
   prof.print(std::cout);
   const obs::CriticalPathReport cp = obs::analyze_critical_path(
@@ -459,13 +511,23 @@ int run_nested(sparklet::SparkContext& sc, const CliArgs& a) {
               "unknown storage level: " + a.storage_level);
   opt.storage_level = *level;
   opt.memory_cap = static_cast<std::size_t>(a.memory_cap);
+  opt.audit_recovery = a.audit_recovery;
+  opt.model_check = a.model_check;
   opt.validate();
+
+  analysis::ModelCheckOptions mc_opt;
+  mc_opt.max_schedules = a.model_check;
+  std::function<analysis::ModelCheckReport()> mc_run;
 
   gepspark::SolveOutcome<double> res;
   double diff = 0.0;
   std::string extra;
   if (a.benchmark == "gap") {
     const nested::GapProblem prob{a.n, 1};
+    mc_run = [&sc, prob, block = a.block, opt, mc_opt] {
+      return nested::model_check_nested(sc, nested::GapPlan(prob, block), opt,
+                                        mc_opt);
+    };
     res = nested::nested_solve(sc, nested::GapPlan(prob, a.block), opt);
     if (a.verify) {
       diff = gs::max_abs_diff(res.matrix, gs::baseline::reference_gap(prob));
@@ -473,6 +535,10 @@ int run_nested(sparklet::SparkContext& sc, const CliArgs& a) {
     extra = gs::strfmt(" | G(0,%zu) = %.3f", a.n, res.matrix(0, a.n));
   } else if (a.benchmark == "accordion") {
     const nested::AccordionProblem prob{a.n, 1};
+    mc_run = [&sc, prob, block = a.block, opt, mc_opt] {
+      return nested::model_check_nested(sc, nested::AccordionPlan(prob, block),
+                                        opt, mc_opt);
+    };
     res = nested::nested_solve(sc, nested::AccordionPlan(prob, a.block), opt);
     if (a.verify) {
       diff = gs::max_abs_diff(res.matrix,
@@ -483,6 +549,10 @@ int run_nested(sparklet::SparkContext& sc, const CliArgs& a) {
   } else {  // viterbi: --n = states, horizon = n/2 for a non-square trellis
     const nested::ViterbiProblem prob{a.n, std::max<std::size_t>(4, a.n / 2),
                                       8, 1};
+    mc_run = [&sc, prob, block = a.block, opt, mc_opt] {
+      return nested::model_check_nested(sc, nested::ViterbiPlan(prob, block),
+                                        opt, mc_opt);
+    };
     res = nested::nested_solve(sc, nested::ViterbiPlan(prob, a.block), opt);
     if (a.verify) {
       diff = gs::max_abs_diff(res.matrix,
@@ -504,6 +574,15 @@ int run_nested(sparklet::SparkContext& sc, const CliArgs& a) {
   if (a.validate_schedule) {
     std::printf("  schedule check: SOUND (every emitted task graph matches "
                 "the symbolic %s footprints)\n", a.benchmark.c_str());
+  }
+  if (a.audit_recovery) {
+    std::printf("  recovery audit: PASS (every live block's recompute "
+                "closure is complete, acyclic, and k-monotone)\n");
+  }
+  if (a.model_check > 0) {
+    const analysis::ModelCheckReport rep = mc_run();
+    std::printf("  %s\n", rep.summary().c_str());
+    if (!rep.ok()) return 1;
   }
   prof.print(std::cout);
   if (!a.profile_json.empty()) {

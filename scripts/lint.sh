@@ -50,10 +50,14 @@ if [[ ${#FILES[@]} -eq 0 ]]; then
   exit 0
 fi
 
+# --warnings-as-errors promotes every finding to an error so this script is
+# a hard gate when clang-tidy exists: any diagnostic fails the pipeline
+# (set -e propagates the non-zero exit) instead of scrolling past.
 echo "== clang-tidy (${#FILES[@]} files, -p ${BUILD_DIR}) =="
 if command -v run-clang-tidy >/dev/null 2>&1; then
-  run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet "${FILES[@]}"
+  run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet \
+    -warnings-as-errors='*' "${FILES[@]}"
 else
-  clang-tidy -p "${BUILD_DIR}" --quiet "${FILES[@]}"
+  clang-tidy -p "${BUILD_DIR}" --quiet --warnings-as-errors='*' "${FILES[@]}"
 fi
 echo "lint: clean"

@@ -71,6 +71,12 @@ run_tree() {
 
 run_tree build
 
+# Lint stage: a hard gate whenever clang-tidy is installed (lint.sh promotes
+# every finding to an error); on toolchains without clang-tidy it reports and
+# passes so the pipeline stays runnable.
+echo "== lint =="
+scripts/lint.sh
+
 # Profile-export smoke: a real FW solve per strategy and scheduler must
 # produce a JSON profile that parses, carries the versioned schema, moves
 # bytes, and attributes >=95% of virtual time to the six buckets.
@@ -114,11 +120,11 @@ for bench in fw ge tc gap accordion viterbi; do
       ./build/examples/gepspark_cli --benchmark "${bench}" --n 128 --block 32 \
         --strategy "${strategy}" --schedule dataflow \
         --lookahead "${lookahead}" --kernel iter --no-verify \
-        --validate-schedule >/dev/null
+        --validate-schedule --audit-recovery >/dev/null
     done
   done
 done
-echo "analysis: 48 schedules sound (fw/ge/tc/gap/accordion/viterbi x im/cb x lookahead 0-3)"
+echo "analysis: 48 schedules sound + recovery-closure audited (fw/ge/tc/gap/accordion/viterbi x im/cb x lookahead 0-3)"
 
 # Batched variants of the same sweep: fused D emits one task per
 # (executor, k) whose footprint the checker derives as the union of the
@@ -142,6 +148,20 @@ echo "== analysis: race detection on dataflow runs =="
   --checkpoint-interval 2 --race-check \
   --chaos tasks=0.05,killp=0.3,kills=1,fetch=0.2,seed=7 --no-verify >/dev/null
 echo "analysis: race detector clean (incl. chaos recovery paths)"
+
+# Model-check stage: the ctest label runs the DPOR explorer's unit suite
+# (including the seeded-bug regressions); the CLI runs then exhaustively
+# explore a small FW plan and a small GAP plan for real, asserting every
+# interleaving is bit-identical with clean verdicts.
+echo "== model check: interleaving exploration =="
+(cd build && ctest --output-on-failure -j "${JOBS}" --timeout 300 -L modelcheck)
+./build/examples/gepspark_cli --benchmark fw --n 96 --block 32 \
+  --strategy im --schedule dataflow --lookahead 1 --kernel iter \
+  --no-verify --model-check=64 | grep 'model check:'
+./build/examples/gepspark_cli --benchmark gap --n 64 --block 32 \
+  --strategy im --schedule dataflow --lookahead 1 \
+  --no-verify --model-check=64 | grep 'model check:'
+echo "model check: FW + GAP interleavings bit-identical and clean"
 
 # Storage-level stage: a hard --memory-cap forces the DP tiles down the
 # storage ladder (serialize in place, then spill to real per-node files); the
@@ -200,12 +220,33 @@ serve_stage() {
 serve_stage build
 
 if [[ "${FAST}" == "0" ]]; then
+  # UBSan-only tree: without ASan's shadow memory it is cheap enough to run
+  # full solves — one GEP and one nested dataflow smoke catch undefined
+  # behavior (overflow, misaligned access, bad shifts) on the hot paths.
+  echo "== configure build-ubsan (UBSan) =="
+  cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=Release -DGS_SANITIZE=undefined
+  echo "== build build-ubsan =="
+  cmake --build build-ubsan -j "${JOBS}" --target gepspark_cli
+  echo "== UBSan solver smokes =="
+  ./build-ubsan/examples/gepspark_cli --benchmark fw --n 256 --block 64 \
+    --strategy im --schedule dataflow --lookahead 1 --kernel iter >/dev/null
+  ./build-ubsan/examples/gepspark_cli --benchmark gap --n 96 --block 24 \
+    --strategy im --schedule dataflow --lookahead 1 >/dev/null
+  echo "ubsan: fw + gap solves clean"
+
   run_tree build-asan -DGS_SANITIZE=address
   storage_stage build-asan
   serve_stage build-asan
   # TSan slows tests 10-20x; the tree also applies tsan.supp (libgomp is
   # un-annotated) through the GS_TEST_ENVIRONMENT property.
   run_tree build-tsan --timeout=900 -DGS_SANITIZE=thread
+  # One model-check exploration under TSan: the serial replay path plus the
+  # surrounding pool machinery stay data-race-free.
+  echo "== model check (TSan) =="
+  ./build-tsan/examples/gepspark_cli --benchmark fw --n 96 --block 32 \
+    --strategy im --schedule dataflow --lookahead 1 --kernel iter \
+    --no-verify --model-check=8 >/dev/null
+  echo "model check (TSan): clean"
 fi
 
 echo "verify: all suites passed"

@@ -1,0 +1,372 @@
+#include "analysis/model_check.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/format.hpp"
+
+namespace analysis {
+
+// ---------------------------------------------------------------------------
+// Digests.
+
+std::uint64_t digest_bytes(const void* data, std::size_t len,
+                           std::uint64_t seed) {
+  // FNV-1a: deterministic, byte-exact, and cheap — collisions are not a
+  // concern for equality checks between a handful of replays.
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// ReplayHook.
+
+void ReplayHook::begin_graph(
+    const std::string& /*name*/,
+    const std::vector<sparklet::DataflowTaskSpec>& tasks) {
+  graphs_.push_back(tasks);
+}
+
+int ReplayHook::pick(const std::vector<int>& ready) {
+  Step step;
+  step.graph = static_cast<int>(graphs_.size()) - 1;
+  step.ready = ready;
+  if (cursor_ < prefix_.size()) {
+    const int want = prefix_[cursor_++];
+    if (std::binary_search(ready.begin(), ready.end(), want)) {
+      step.chosen = want;
+    } else {
+      // The ready set at this step differs from the run that recorded the
+      // prefix — scheduling is no longer deterministic. Fall back to the
+      // default so the run completes; the checker reports the divergence.
+      diverged_ = true;
+      step.chosen = ready.front();
+    }
+  } else {
+    step.chosen = ready.front();
+  }
+  trace_.push_back(step);
+  return trace_.back().chosen;
+}
+
+// ---------------------------------------------------------------------------
+// Footprints.
+
+namespace {
+
+void sort_unique(std::vector<std::pair<int, int>>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+bool sorted_intersects(const std::vector<std::pair<int, int>>& a,
+                       const std::vector<std::pair<int, int>>& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<TaskFootprint> derive_footprints(
+    const std::vector<sparklet::DataflowTaskSpec>& tasks) {
+  std::vector<TaskFootprint> fp(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const sparklet::DataflowTaskSpec& t = tasks[i];
+    TaskFootprint& f = fp[i];
+    const bool has_tile = t.tile_i >= 0 && t.tile_j >= 0;
+    if (!t.batch.empty()) {
+      f.writes = t.batch;
+    } else if (t.gep_kind == 'X' || t.transfer) {
+      // A transfer materializes an existing version elsewhere: it reads the
+      // tile but produces no new version.
+      if (has_tile) f.reads.emplace_back(t.tile_i, t.tile_j);
+    } else if (t.gep_kind == 'F') {
+      // Fences are ordering-only; they touch no data.
+    } else if (t.gep_kind != 0 && has_tile) {
+      f.writes.emplace_back(t.tile_i, t.tile_j);
+    } else {
+      // No analysis metadata (e.g. synthetic stress graphs): assume the
+      // worst — this task conflicts with every other task.
+      f.opaque = true;
+    }
+    // Reads flow along dependency edges: a task consumes what its deps
+    // produced, and transfers forward the version they carried. Fences are
+    // excluded — they order their deps but consume no data, and giving them
+    // reads would manufacture conflicts with tasks the fence itself orders.
+    if (t.gep_kind != 'F') {
+      for (int d : t.deps) {
+        const TaskFootprint& df = fp[static_cast<std::size_t>(d)];
+        f.reads.insert(f.reads.end(), df.writes.begin(), df.writes.end());
+        if (tasks[static_cast<std::size_t>(d)].transfer ||
+            tasks[static_cast<std::size_t>(d)].gep_kind == 'X') {
+          f.reads.insert(f.reads.end(), df.reads.begin(), df.reads.end());
+        }
+      }
+    }
+    sort_unique(f.writes);
+    sort_unique(f.reads);
+  }
+  return fp;
+}
+
+bool footprints_conflict(const TaskFootprint& a, const TaskFootprint& b) {
+  if (a.opaque || b.opaque) return true;
+  if (sorted_intersects(a.writes, b.writes)) return true;
+  if (sorted_intersects(a.writes, b.reads)) return true;
+  if (sorted_intersects(b.writes, a.reads)) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Exploration.
+
+std::string ModelCheckReport::summary() const {
+  std::string out = gs::strfmt(
+      "model check: %d interleaving(s) explored, %lld pruned (independent), "
+      "%lld deduped, %lld branch point(s), %d step(s)%s — %s",
+      explored, pruned, deduped, branch_points, steps,
+      budget_exhausted ? ", budget exhausted" : "",
+      ok() ? "all orders bit-identical and clean"
+           : gs::strfmt("%zu error(s)", errors.size()).c_str());
+  for (const std::string& e : errors) {
+    out += "\n  - ";
+    out += e;
+  }
+  return out;
+}
+
+ModelCheckReport ModelChecker::explore(const RunFn& run,
+                                       const ModelCheckOptions& opt) {
+  ModelCheckReport report;
+  struct Pending {
+    std::vector<int> prefix;
+    std::string cause;  ///< the forced reordering that spawned this prefix
+  };
+  constexpr std::size_t kMaxErrors = 8;
+  std::vector<Pending> frontier;
+  frontier.push_back({{}, "default order"});
+  std::set<std::vector<int>> seen;
+  seen.insert({});
+
+  // Footprints per graph, computed once — the graph sequence is identical
+  // across replays (graph construction never depends on pop order).
+  std::vector<std::vector<TaskFootprint>> graph_fp;
+
+  bool have_baseline = false;
+  std::uint64_t baseline = 0;
+
+  while (!frontier.empty()) {
+    if (report.explored >= opt.max_schedules) {
+      report.budget_exhausted = true;
+      break;
+    }
+    Pending p = std::move(frontier.back());
+    frontier.pop_back();
+
+    ReplayHook hook(p.prefix);
+    RunObservation obs;
+    try {
+      obs = run(hook);
+    } catch (const std::exception& e) {
+      report.errors.push_back(gs::strfmt("interleaving (%s) threw: %s",
+                                         p.cause.c_str(), e.what()));
+      break;  // the failed run may have left partial state behind
+    }
+    ++report.explored;
+    if (hook.diverged()) {
+      report.errors.push_back(gs::strfmt(
+          "interleaving (%s): ready set diverged from the recording run — "
+          "graph construction is not schedule-deterministic",
+          p.cause.c_str()));
+    }
+    if (!have_baseline) {
+      baseline = obs.digest;
+      have_baseline = true;
+    } else if (obs.digest != baseline) {
+      report.errors.push_back(gs::strfmt(
+          "result digest diverged under reordering (%s): %016llx != baseline "
+          "%016llx — the schedule is order-sensitive",
+          p.cause.c_str(), static_cast<unsigned long long>(obs.digest),
+          static_cast<unsigned long long>(baseline)));
+    }
+    if (!obs.checks_ok) {
+      report.errors.push_back(gs::strfmt("interleaving (%s): %s",
+                                         p.cause.c_str(), obs.detail.c_str()));
+    }
+    if (report.errors.size() >= kMaxErrors) break;
+
+    const std::vector<ReplayHook::Step>& trace = hook.trace();
+    report.steps = std::max(report.steps, static_cast<int>(trace.size()));
+    for (std::size_t g = graph_fp.size(); g < hook.graphs().size(); ++g) {
+      graph_fp.push_back(derive_footprints(hook.graphs()[g]));
+    }
+
+    // DPOR expansion: branch only at steps this run chose freely (>= the
+    // prefix), and only toward alternatives whose footprint conflicts with
+    // the chosen task — independent pairs commute, so permuting them cannot
+    // reach a new state.
+    for (std::size_t s = p.prefix.size(); s < trace.size(); ++s) {
+      const ReplayHook::Step& step = trace[s];
+      const std::vector<TaskFootprint>& fp =
+          graph_fp[static_cast<std::size_t>(step.graph)];
+      const std::vector<sparklet::DataflowTaskSpec>& tasks =
+          hook.graphs()[static_cast<std::size_t>(step.graph)];
+      for (int u : step.ready) {
+        if (u == step.chosen) continue;
+        if (!footprints_conflict(fp[static_cast<std::size_t>(u)],
+                                 fp[static_cast<std::size_t>(step.chosen)])) {
+          ++report.pruned;
+          continue;
+        }
+        std::vector<int> np;
+        np.reserve(s + 1);
+        for (std::size_t i = 0; i < s; ++i) np.push_back(trace[i].chosen);
+        np.push_back(u);
+        if (!seen.insert(np).second) {
+          ++report.deduped;
+          continue;
+        }
+        ++report.branch_points;
+        frontier.push_back(
+            {std::move(np),
+             gs::strfmt("graph %d step %zu: ran '%s' (task %d) before '%s' "
+                        "(task %d)",
+                        step.graph, s,
+                        tasks[static_cast<std::size_t>(u)].label.c_str(), u,
+                        tasks[static_cast<std::size_t>(step.chosen)]
+                            .label.c_str(),
+                        step.chosen)});
+      }
+    }
+  }
+  if (!frontier.empty() && report.errors.empty() &&
+      report.explored >= opt.max_schedules) {
+    report.budget_exhausted = true;
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Lineage-recovery closure audit.
+
+std::string RecoveryAuditReport::summary() const {
+  std::string out = gs::strfmt(
+      "recovery audit: %d snapshot(s), %lld node(s), %lld edge(s), %lld "
+      "closure(s) walked — %s",
+      snapshots, nodes, edges, closures,
+      ok() ? "complete, acyclic, k-monotone"
+           : gs::strfmt("%zu error(s)", errors.size()).c_str());
+  for (const std::string& e : errors) {
+    out += "\n  - ";
+    out += e;
+  }
+  return out;
+}
+
+RecoveryAuditReport audit_recovery_closure(
+    const std::vector<LineageSnapshot>& log) {
+  RecoveryAuditReport rep;
+  constexpr std::size_t kMaxErrors = 16;
+  const auto note = [&rep](std::string msg) {
+    if (rep.errors.size() < kMaxErrors) rep.errors.push_back(std::move(msg));
+  };
+
+  for (const LineageSnapshot& snap : log) {
+    ++rep.snapshots;
+    const std::vector<LineageRecord>& nodes = snap.nodes;
+    rep.nodes += static_cast<long long>(nodes.size());
+
+    // Pass 1: structural — deps strictly precede their node (acyclicity by
+    // construction) and never point at a NEWER iteration (recovery of a
+    // version-k block must not read anything produced after k).
+    std::vector<char> valid(nodes.size(), 1);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (int d : nodes[i].deps) {
+        ++rep.edges;
+        if (d < 0 || static_cast<std::size_t>(d) >= i) {
+          note(gs::strfmt(
+              "segment %d: lineage of '%s' is cyclic or malformed — dep %d "
+              "does not precede node %zu",
+              snap.segment, nodes[i].label.c_str(), d, i));
+          valid[i] = 0;
+          continue;
+        }
+        if (nodes[static_cast<std::size_t>(d)].k > nodes[i].k) {
+          note(gs::strfmt(
+              "segment %d: recovery of '%s' (k=%d) would read '%s' (k=%d), "
+              "newer than its producing iteration",
+              snap.segment, nodes[i].label.c_str(), nodes[i].k,
+              nodes[static_cast<std::size_t>(d)].label.c_str(),
+              nodes[static_cast<std::size_t>(d)].k));
+        }
+      }
+    }
+
+    // Pass 2: completeness — grounded(i) iff recomputing i bottoms out at
+    // pinned checkpoints or source inputs. Deps precede nodes, so one
+    // forward sweep is a full fixpoint.
+    std::vector<char> grounded(nodes.size(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].pinned || nodes[i].source) {
+        grounded[i] = 1;
+        continue;
+      }
+      if (!valid[i] || nodes[i].deps.empty()) continue;  // leaf: ungrounded
+      bool all = true;
+      for (int d : nodes[i].deps) {
+        if (!grounded[static_cast<std::size_t>(d)]) {
+          all = false;
+          break;
+        }
+      }
+      grounded[i] = all ? 1 : 0;
+    }
+
+    // Pass 3: every live block — exactly the set a ChaosPlan could lose —
+    // must be grounded. Name the ungrounded leaf the closure reaches.
+    for (int live : snap.live) {
+      ++rep.closures;
+      if (live < 0 || static_cast<std::size_t>(live) >= nodes.size()) {
+        note(gs::strfmt("segment %d: live block id %d out of range",
+                        snap.segment, live));
+        continue;
+      }
+      std::size_t i = static_cast<std::size_t>(live);
+      if (grounded[i]) continue;
+      // Descend along ungrounded deps to a witness leaf.
+      std::size_t leaf = i;
+      while (valid[leaf] && !nodes[leaf].deps.empty()) {
+        std::size_t next = leaf;
+        for (int d : nodes[leaf].deps) {
+          if (!grounded[static_cast<std::size_t>(d)]) {
+            next = static_cast<std::size_t>(d);
+            break;
+          }
+        }
+        if (next == leaf) break;  // invalid structure already reported
+        leaf = next;
+      }
+      note(gs::strfmt(
+          "segment %d: recompute closure of live block '%s' is incomplete — "
+          "reaches '%s', which is neither pinned, a source, nor recomputable",
+          snap.segment, nodes[i].label.c_str(), nodes[leaf].label.c_str()));
+    }
+  }
+  return rep;
+}
+
+}  // namespace analysis

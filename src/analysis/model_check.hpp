@@ -1,0 +1,252 @@
+// model_check.hpp — schedule-space model checker for dataflow task graphs,
+// plus the static lineage-recovery closure auditor.
+//
+// The analysis layer so far audits ONE emitted graph (ScheduleChecker) and
+// ONE observed interleaving (HbDetector). Correctness of the tiled GEP /
+// nested recurrences, however, is an order-insensitive claim: every
+// topological order of every emitted graph must compute the same bits. The
+// ModelChecker makes that claim checkable the way systematic concurrency
+// testers do:
+//
+//   * SparkContext::set_scheduler_hook gives external control of every
+//     ready-queue pop; run_task_graph then executes serially on the driver
+//     thread, so an interleaving is a replayable sequence of choices.
+//   * ReplayHook replays a prescribed choice prefix and records the ready
+//     set at every subsequent step (default policy: lowest ready index).
+//   * ModelChecker::explore runs the solve under an empty prefix, then
+//     DFS-expands branch points with DPOR-style pruning: an alternative
+//     ready task u is only worth permuting against the chosen task c when
+//     their derived tile footprints CONFLICT (one writes what the other
+//     reads or writes). Independent pairs commute by construction — the
+//     interleavings reach identical states — so they are pruned, which is
+//     what makes exhaustive exploration of real plans tractable.
+//   * Every explored order must produce a bit-identical result digest and
+//     clean analysis verdicts (the run callback decides what "clean" means:
+//     the drivers wire ScheduleChecker + HbDetector + reference checks).
+//
+// Footprints are derived from the DataflowTaskSpec analysis metadata the
+// engines already stamp (gep_kind / tile_i / tile_j / batch): a compute
+// task writes its tile(s) and reads its dependencies' writes; transfers
+// forward the version they materialize; tasks without metadata are
+// conservatively assumed to conflict with everything.
+//
+// The recovery closure auditor is the static half of the chaos story: the
+// engines log a LineageSnapshot per checkpoint segment (node = one tile
+// version with its recompute deps, pinned = checkpointed, source = input),
+// and audit_recovery_closure verifies — without losing any block — that for
+// every block a ChaosPlan could take away, the recomputation closure is
+// complete (terminates at pinned/source nodes) and acyclic, and never reads
+// a version newer than the producing iteration. A dropped checkpoint edge
+// or a stale dependency is thus caught before any failure is injected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "grid/matrix.hpp"
+#include "sparklet/context.hpp"
+#include "sparklet/task_graph.hpp"
+
+namespace analysis {
+
+class HbDetector;
+
+// ---------------------------------------------------------------------------
+// Result digests: exploration asserts bit-identity across interleavings.
+
+/// FNV-1a over raw bytes; seedable so digests chain across matrices.
+std::uint64_t digest_bytes(const void* data, std::size_t len,
+                           std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Digest of a DP table (contiguous row-major storage, exact bytes — two
+/// digests are equal iff the matrices are bit-identical).
+template <typename T>
+std::uint64_t digest_matrix(const gs::Matrix<T>& m) {
+  return digest_bytes(m.data(), m.rows() * m.cols() * sizeof(T));
+}
+
+// ---------------------------------------------------------------------------
+// Interleaving replay.
+
+/// SchedulerHook that replays a prescribed prefix of ready-queue choices,
+/// then falls back to the deterministic default (lowest ready index), while
+/// recording the ready set and choice of EVERY step plus each graph's specs.
+/// The choice sequence is global across the graphs of one solve — graph
+/// construction does not depend on pop order, so the graph sequence is
+/// identical across replays and a flat prefix addresses steps unambiguously.
+class ReplayHook : public sparklet::SchedulerHook {
+ public:
+  struct Step {
+    int graph = -1;          ///< index into graphs() of the owning graph
+    std::vector<int> ready;  ///< ready set presented (ascending)
+    int chosen = -1;         ///< task executed
+  };
+
+  ReplayHook() = default;
+  explicit ReplayHook(std::vector<int> prefix) : prefix_(std::move(prefix)) {}
+
+  void begin_graph(const std::string& name,
+                   const std::vector<sparklet::DataflowTaskSpec>& tasks) override;
+  int pick(const std::vector<int>& ready) override;
+
+  const std::vector<Step>& trace() const { return trace_; }
+  const std::vector<std::vector<sparklet::DataflowTaskSpec>>& graphs() const {
+    return graphs_;
+  }
+  /// True when a prefix choice was not in the presented ready set — the
+  /// graph sequence diverged from the recording run (a determinism bug).
+  bool diverged() const { return diverged_; }
+
+ private:
+  std::vector<int> prefix_;
+  std::size_t cursor_ = 0;
+  bool diverged_ = false;
+  std::vector<Step> trace_;
+  std::vector<std::vector<sparklet::DataflowTaskSpec>> graphs_;
+};
+
+/// RAII: installs a ReplayHook as the context's scheduler hook plus a fresh
+/// race detector for one replayed solve, restoring the previous pair on exit
+/// (exception-safe — explore()'s catch path must not leak the hook).
+class ReplayScope {
+ public:
+  ReplayScope(sparklet::SparkContext& sc, ReplayHook& hook,
+              HbDetector& detector)
+      : sc_(sc),
+        prev_hook_(sc.scheduler_hook()),
+        prev_detector_(sc.race_detector()) {
+    sc_.set_scheduler_hook(&hook);
+    sc_.set_race_detector(&detector);
+  }
+  ~ReplayScope() {
+    sc_.set_scheduler_hook(prev_hook_);
+    sc_.set_race_detector(prev_detector_);
+  }
+  ReplayScope(const ReplayScope&) = delete;
+  ReplayScope& operator=(const ReplayScope&) = delete;
+
+ private:
+  sparklet::SparkContext& sc_;
+  sparklet::SchedulerHook* prev_hook_;
+  HbDetector* prev_detector_;
+};
+
+// ---------------------------------------------------------------------------
+// Footprint-based independence (the DPOR pruning relation).
+
+/// Read/write tile footprint of one task, derived from spec metadata.
+struct TaskFootprint {
+  std::vector<std::pair<int, int>> writes;  ///< tiles written (batch-aware)
+  std::vector<std::pair<int, int>> reads;   ///< tiles read (deps' writes)
+  bool opaque = false;  ///< no metadata — conservatively conflicts with all
+};
+
+/// Derive per-task footprints for a whole graph (reads flow along dep edges;
+/// transfer tasks forward the version they materialize).
+std::vector<TaskFootprint> derive_footprints(
+    const std::vector<sparklet::DataflowTaskSpec>& tasks);
+
+/// Do tasks a and b fail to commute (write/write or read/write overlap)?
+bool footprints_conflict(const TaskFootprint& a, const TaskFootprint& b);
+
+// ---------------------------------------------------------------------------
+// Exploration.
+
+struct ModelCheckOptions {
+  /// Maximum number of distinct interleavings to replay (the CLI's
+  /// --model-check[=budget]).
+  int max_schedules = 64;
+};
+
+/// What one replayed solve observed; produced by the run callback.
+struct RunObservation {
+  std::uint64_t digest = 0;  ///< result-table digest (bit-identity check)
+  bool checks_ok = true;     ///< schedule checker / race detector / invariants
+  std::string detail;        ///< verdict text when !checks_ok
+};
+
+struct ModelCheckReport {
+  int explored = 0;            ///< interleavings actually replayed
+  long long pruned = 0;        ///< alternatives skipped as independent (DPOR)
+  long long deduped = 0;       ///< alternatives skipped as already scheduled
+  long long branch_points = 0; ///< conflicting alternatives enqueued
+  int steps = 0;               ///< scheduling steps per interleaving
+  bool budget_exhausted = false;  ///< frontier remained when budget ran out
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  std::string summary() const;
+};
+
+/// Exhaustively (within budget) explores the interleavings of the solve the
+/// callback runs. The callback must perform ONE full deterministic solve
+/// under the given hook (installing it on the context for the duration) and
+/// report the result digest plus its invariant verdicts. The first
+/// interleaving sets the baseline digest; every later one must match it.
+class ModelChecker {
+ public:
+  using RunFn = std::function<RunObservation(ReplayHook&)>;
+
+  ModelCheckReport explore(const RunFn& run, const ModelCheckOptions& opt);
+};
+
+/// Thrown by driver glue when a model-check report is not ok.
+class ModelCheckError : public std::runtime_error {
+ public:
+  explicit ModelCheckError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// ---------------------------------------------------------------------------
+// Lineage-recovery closure audit.
+
+/// One tile version in a segment's lineage table.
+struct LineageRecord {
+  std::string label;      ///< human name ("D(2,3)@k=1", "input(0,0)")
+  int k = -1;             ///< producing outer iteration (-1 = input)
+  std::vector<int> deps;  ///< recompute inputs: indices into the snapshot
+  bool pinned = false;    ///< checkpointed — survives any loss
+  bool source = false;    ///< original input block — always re-derivable
+};
+
+/// The engine's lineage state at one checkpoint-segment boundary.
+struct LineageSnapshot {
+  int segment = 0;
+  std::vector<LineageRecord> nodes;
+  /// Nodes whose blocks are live (resident or carried) at the boundary —
+  /// exactly the set a ChaosPlan could take away.
+  std::vector<int> live;
+};
+
+struct RecoveryAuditReport {
+  int snapshots = 0;
+  long long nodes = 0;
+  long long edges = 0;
+  long long closures = 0;  ///< live blocks whose recompute closure was walked
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  std::string summary() const;
+};
+
+/// Thrown by driver glue (`--audit-recovery`) when the audit fails.
+class RecoveryAuditError : public std::runtime_error {
+ public:
+  explicit RecoveryAuditError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Statically verify every snapshot's recomputation closure: acyclic (deps
+/// strictly precede their node), k-monotone (recovery never reads a version
+/// newer than the producing iteration), and complete (walking any live
+/// block's closure terminates at pinned or source nodes — an unpinned,
+/// sourceless leaf means a lost block could not be re-derived).
+RecoveryAuditReport audit_recovery_closure(
+    const std::vector<LineageSnapshot>& log);
+
+}  // namespace analysis

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "analysis/hb_detector.hpp"
+#include "analysis/model_check.hpp"
 #include "gepspark/copy_plan.hpp"
 #include "gepspark/options.hpp"
 #include "grid/tile_grid.hpp"
@@ -96,6 +97,14 @@ class DataflowEngine : public sparklet::BlockSource {
     graph_log_ = log;
   }
 
+  /// Analysis hook (`--audit-recovery`): when set, the engine appends one
+  /// lineage snapshot per checkpoint segment — the node table plus the live
+  /// block set at the boundary — for analysis::audit_recovery_closure to
+  /// verify every possible loss re-derives from pinned data.
+  void set_lineage_log(std::vector<analysis::LineageSnapshot>* log) {
+    lineage_log_ = log;
+  }
+
   /// Run the full GEP computation over the scattered grid; returns the final
   /// tile entries (row-major) after charging the driver-side gather.
   std::vector<DPPair> solve(const gs::TileGrid<T>& grid,
@@ -135,6 +144,7 @@ class DataflowEngine : public sparklet::BlockSource {
         register_carried_blocks();
       }
       drop_stale_outs();
+      if (lineage_log_ != nullptr) log_lineage_snapshot(seg_index);
     }
 
     // Registering the final segment's tiles may have demoted some of them
@@ -734,6 +744,34 @@ class DataflowEngine : public sparklet::BlockSource {
     sc_.executor_store().remove_rdd_blocks(store_rdd_);
   }
 
+  /// Serialize the node table + live set for the recovery-closure auditor.
+  /// Runs at the segment boundary AFTER the checkpoint/registration step, so
+  /// the snapshot reflects exactly what a failure in the NEXT segment could
+  /// take away and what recovery would then have to stand on.
+  void log_lineage_snapshot(int seg_index) {
+    analysis::LineageSnapshot snap;
+    snap.segment = seg_index;
+    snap.nodes.reserve(nodes_.size());
+    for (const Node& nd : nodes_) {
+      analysis::LineageRecord rec;
+      rec.label = nd.source
+                      ? gs::strfmt("input(%d,%d)", nd.key.i, nd.key.j)
+                      : gs::strfmt("%s(%d,%d)@k=%d", kind_name(nd.kind),
+                                   nd.key.i, nd.key.j, nd.k);
+      rec.k = nd.k;
+      rec.pinned = nd.pinned;
+      rec.source = nd.source;
+      for (int dep : {nd.self, nd.u, nd.v, nd.w}) {
+        if (dep >= 0) rec.deps.push_back(dep);
+      }
+      snap.nodes.push_back(std::move(rec));
+    }
+    snap.live.reserve(latest_.size());
+    for (const auto& [key, id] : latest_) snap.live.push_back(id);
+    std::sort(snap.live.begin(), snap.live.end());
+    lineage_log_->push_back(std::move(snap));
+  }
+
   /// Lineage truncation: superseded, unpinned tile versions drop their
   /// payloads (recomputable from the latest snapshot if recovery ever needs
   /// them again).
@@ -757,6 +795,7 @@ class DataflowEngine : public sparklet::BlockSource {
   std::vector<Node> nodes_;
   std::unordered_map<gs::TileKey, int, gs::TileKeyHash> latest_;
   std::vector<std::vector<sparklet::DataflowTaskSpec>>* graph_log_ = nullptr;
+  std::vector<analysis::LineageSnapshot>* lineage_log_ = nullptr;
 };
 
 }  // namespace gepspark

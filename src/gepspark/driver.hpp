@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/model_check.hpp"
 #include "analysis/schedule_check.hpp"
 #include "gepspark/copy_plan.hpp"
 #include "gepspark/dataflow.hpp"
@@ -69,7 +70,7 @@ class GepDriver {
   GepDriver(sparklet::SparkContext& sc, SolverOptions opt)
       : sc_(sc), opt_(std::move(opt)),
         kernels_(std::make_shared<const gs::GepKernels<Spec>>(opt_.kernel)) {
-    opt_.validate();
+    opt_.validate<Spec>();
   }
 
   /// Run the full GEP computation on `input`, returning the processed table.
@@ -126,9 +127,17 @@ class GepDriver {
         DataflowEngine<Spec> engine(sc_, opt_, kernels_, part_);
         std::vector<std::vector<sparklet::DataflowTaskSpec>> graph_log;
         if (opt_.validate_schedule) engine.set_graph_log(&graph_log);
+        std::vector<analysis::LineageSnapshot> lineage_log;
+        if (opt_.audit_recovery) engine.set_lineage_log(&lineage_log);
         result.matrix =
             gs::TileGrid<T>::from_entries(layout, engine.solve(grid, layout))
                 .gather();
+        if (opt_.audit_recovery) {
+          const analysis::RecoveryAuditReport audit =
+              analysis::audit_recovery_closure(lineage_log);
+          GS_THROW_IF(!audit.ok(), analysis::RecoveryAuditError,
+                      audit.summary());
+        }
         if (opt_.validate_schedule) {
           analysis::ScheduleCheckOptions copt;
           copt.lookahead = opt_.effective_lookahead();

@@ -10,6 +10,7 @@
 #include "grid/matrix.hpp"
 #include "kernels/kernel_config.hpp"
 #include "obs/job_profile.hpp"
+#include "semiring/axioms.hpp"
 #include "sparklet/storage_level.hpp"
 #include "support/format.hpp"
 
@@ -118,9 +119,32 @@ struct SolverOptions {
   /// so validate() rejects that combination.
   std::size_t memory_cap = 0;
 
+  /// Statically audit the lineage-recovery closure after the solve: the
+  /// dataflow engine logs a lineage snapshot at every segment boundary and
+  /// analysis::audit_recovery_closure verifies that every block a ChaosPlan
+  /// could lose re-derives from surviving checkpoints — complete, acyclic,
+  /// and never reading anything newer than its producing k. Requires
+  /// kDataflow (the barrier drivers checkpoint whole RDDs via Spark
+  /// lineage, which the auditor has nothing to say about).
+  bool audit_recovery = false;
+
+  /// Schedule-space model-checking budget: the maximum number of distinct
+  /// interleavings analysis::ModelChecker may replay (0 = off). The CLI
+  /// maps --model-check[=budget] here; the solve itself is re-run under the
+  /// SchedulerHook rather than this knob changing the normal execution.
+  int model_check = 0;
+
   /// Reject incoherent option combinations once, at submission, with a
   /// named message — instead of failing deep inside the drivers (or worse,
   /// silently ignoring a knob). Every rejection here has a unit test.
+  ///
+  /// When instantiated with the GepSpec being solved (the drivers pass it;
+  /// plain validate() keeps the Spec-agnostic checks for callers that have
+  /// no Spec at hand), strassen_d is additionally gated on PROVEN ring
+  /// axioms: audit_strassen_ring<Spec> (semiring/axioms.hpp) must certify
+  /// the update is x + δ(u, v) with δ bilinear, replacing the old
+  /// hand-maintained eligibility trait.
+  template <typename Spec = void>
   void validate() const {
     GS_THROW_IF(block_size == 0, gs::ConfigError, "block_size must be > 0");
     GS_THROW_IF(num_partitions < 0, gs::ConfigError,
@@ -145,6 +169,26 @@ struct SolverOptions {
         "memory_cap requires a disk-backed storage level (MEMORY_ONLY evicts "
         "under pressure instead of spilling; use memory_and_disk[_ser] or "
         "disk_only)");
+    GS_THROW_IF(audit_recovery && schedule != ScheduleMode::kDataflow,
+                gs::ConfigError,
+                "audit_recovery requires the dataflow schedule (the barrier "
+                "drivers emit no lineage snapshots to audit)");
+    GS_THROW_IF(model_check < 0, gs::ConfigError,
+                "model_check budget must be >= 0");
+    if constexpr (!std::is_void_v<Spec>) {
+      if (kernel.strassen_d) {
+        bool ring = false;
+        if constexpr (std::is_same_v<typename Spec::value_type, double>) {
+          ring = gs::audit_strassen_ring<Spec>().ring;
+        }
+        GS_THROW_IF(
+            !ring, gs::ConfigError,
+            gs::strfmt("strassen_d requires proven ring axioms: "
+                       "audit_strassen_ring rejected Spec '%s' (update is "
+                       "not x + δ(u,v) with δ bilinear)",
+                       Spec::name()));
+      }
+    }
     kernel.validate();
   }
 

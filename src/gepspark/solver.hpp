@@ -20,10 +20,48 @@
 // execution share GepDriver, so results are bit-identical either way.
 #pragma once
 
+#include "analysis/hb_detector.hpp"
+#include "analysis/model_check.hpp"
 #include "gepspark/driver.hpp"
 #include "gepspark/options.hpp"
 
 namespace gepspark {
+
+/// Model-check the dataflow schedule of a GEP solve (`--model-check`):
+/// systematically explore the distinct interleavings of the emitted task
+/// graphs (DPOR-pruned to conflicting reorderings) and require every order
+/// to produce a bit-identical table with a clean ScheduleChecker and
+/// HbDetector verdict. Runs solves serially under a ReplayHook, so it is
+/// deterministic regardless of the context's executor pool.
+template <gs::GepSpecType Spec>
+analysis::ModelCheckReport model_check_gep(
+    sparklet::SparkContext& sc,
+    const gs::Matrix<typename Spec::value_type>& input,
+    const SolverOptions& opt,
+    const analysis::ModelCheckOptions& mc = analysis::ModelCheckOptions{}) {
+  SolverOptions run_opt = opt;
+  run_opt.schedule = ScheduleMode::kDataflow;  // hooks drive run_task_graph
+  run_opt.validate_schedule = true;  // verdicts at every explored order
+  run_opt.model_check = 0;
+  run_opt.audit_recovery = false;  // one static audit elsewhere, not per run
+  analysis::ModelChecker checker;
+  return checker.explore(
+      [&sc, &input, &run_opt](analysis::ReplayHook& hook) {
+        analysis::HbDetector detector;
+        analysis::RunObservation obs;
+        {
+          analysis::ReplayScope scope(sc, hook, detector);
+          GepDriver<Spec> driver(sc, run_opt);
+          obs.digest = analysis::digest_matrix(driver.solve(input));
+        }
+        if (detector.races_found() > 0) {
+          obs.checks_ok = false;
+          obs.detail = detector.summary();
+        }
+        return obs;
+      },
+      mc);
+}
 
 /// Run the GEP computation for `Spec` on `input` over the given Spark
 /// context. Returns the fully-processed DP table (padding stripped), the

@@ -25,8 +25,10 @@
 // bit-identical — it is an opt-in experiment validated against the reference
 // within tolerance. Semirings without additive inverses (min-plus, or-and,
 // max-min) cannot express Strassen's subtractions at all; FusedFieldOps
-// gates the split per spec and everything else falls back to the standard
-// fused path, as does an odd tile side.
+// gates the split on a PROVEN ring structure — audit_strassen_ring<Spec>()
+// (semiring/axioms.hpp) probes that Spec::update has the bilinear shape
+// x + δ(u, v) over exact witness pools — and everything else falls back to
+// the standard fused path, as does an odd tile side.
 #pragma once
 
 #include <cstddef>
@@ -36,22 +38,32 @@
 #include "kernels/kernel_config.hpp"
 #include "kernels/panel_pack.hpp"
 #include "kernels/simd.hpp"
+#include "semiring/axioms.hpp"
 #include "semiring/gep_spec.hpp"
 #include "support/span2d.hpp"
 
 namespace gs {
 
-/// Specs whose update is an exact field expression x - (u·v)/w, eligible for
-/// the Strassen split of the trailing update. The primary template keeps
-/// every semiring without additive inverses on the standard fused path.
+/// Strassen-split eligibility for the trailing update. Two layers:
+///   * kCompiles — the split's double-only kernels can be instantiated for
+///     this Spec at all (compile-time, value_type == double).
+///   * enabled() — the axiom auditor proved Spec::update is a ring update
+///     x + δ(u, v) with δ bilinear (audit_strassen_ring, cached). Replaces
+///     the old hand-maintained per-Spec trait: a Spec is eligible because
+///     the property was checked, not because someone listed it.
 template <GepSpecType Spec>
 struct FusedFieldOps {
-  static constexpr bool kEnabled = false;
-};
+  static constexpr bool kCompiles =
+      std::is_same_v<typename Spec::value_type, double>;
 
-template <>
-struct FusedFieldOps<GaussianEliminationSpec> {
-  static constexpr bool kEnabled = true;
+  static bool enabled() {
+    if constexpr (!kCompiles) {
+      return false;
+    } else {
+      static const bool proven = audit_strassen_ring<Spec>().ring;
+      return proven;
+    }
+  }
 };
 
 /// One batch member: the (already copied, mutable) destination tile plus the
@@ -311,8 +323,9 @@ template <GepSpecType Spec>
 void fused_d_batch(const KernelConfig& cfg, const DPanelPack<Spec>& panels,
                    const std::vector<FusedDItem<Spec>>& items) {
   const std::size_t b = panels.b();
-  if constexpr (FusedFieldOps<Spec>::kEnabled) {
-    if (cfg.strassen_d && b % 2 == 0 && b >= 2) {
+  if constexpr (FusedFieldOps<Spec>::kCompiles) {
+    if (cfg.strassen_d && FusedFieldOps<Spec>::enabled() && b % 2 == 0 &&
+        b >= 2) {
       fused_detail::StrassenScratch scratch(b);
       for (const auto& it : items) {
         GS_CHECK_MSG(it.x.rows() == b && it.x.cols() == b,

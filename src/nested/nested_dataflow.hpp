@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "analysis/hb_detector.hpp"
+#include "analysis/model_check.hpp"
 #include "gepspark/options.hpp"
 #include "grid/matrix.hpp"
 #include "nested/nested_plan.hpp"
@@ -70,6 +71,12 @@ class NestedEngine : public sparklet::BlockSource {
     graph_log_ = log;
   }
 
+  /// Analysis hook (`--audit-recovery`): mirror of
+  /// DataflowEngine::set_lineage_log — one snapshot per checkpoint segment.
+  void set_lineage_log(std::vector<analysis::LineageSnapshot>* log) {
+    lineage_log_ = log;
+  }
+
   /// Run the full wavefront computation and assemble the result table.
   gs::Matrix<double> solve() {
     const int waves = plan_.waves();
@@ -85,6 +92,7 @@ class NestedEngine : public sparklet::BlockSource {
       } else {
         register_carried_blocks();
       }
+      if (lineage_log_ != nullptr) log_lineage_snapshot(seg_index);
     }
 
     restore_all_outs();
@@ -474,6 +482,30 @@ class NestedEngine : public sparklet::BlockSource {
     sc_.executor_store().remove_rdd_blocks(store_rdd_);
   }
 
+  /// Serialize the node table for the recovery-closure auditor. Wave-0
+  /// tasks have no reads — the recurrence seeds itself from the problem
+  /// instance — so they are the closure's sources; every node is live (the
+  /// schedule is single-assignment, nothing is superseded).
+  void log_lineage_snapshot(int seg_index) {
+    analysis::LineageSnapshot snap;
+    snap.segment = seg_index;
+    snap.nodes.reserve(nodes_.size());
+    snap.live.reserve(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const Node& nd = nodes_[i];
+      analysis::LineageRecord rec;
+      rec.label = gs::strfmt("%c(%d,%d)@w=%d", nd.task.kind, nd.task.out.i,
+                             nd.task.out.j, nd.wave);
+      rec.k = nd.wave;
+      rec.pinned = nd.pinned;
+      rec.source = nd.deps.empty();
+      rec.deps = nd.deps;
+      snap.nodes.push_back(std::move(rec));
+      snap.live.push_back(static_cast<int>(i));
+    }
+    lineage_log_->push_back(std::move(snap));
+  }
+
   sparklet::SparkContext& sc_;
   const gepspark::SolverOptions& opt_;
   const Plan& plan_;
@@ -484,6 +516,7 @@ class NestedEngine : public sparklet::BlockSource {
   std::vector<Node> nodes_;
   std::unordered_map<gs::TileKey, int, gs::TileKeyHash> node_of_;
   std::vector<std::vector<sparklet::DataflowTaskSpec>>* graph_log_ = nullptr;
+  std::vector<analysis::LineageSnapshot>* lineage_log_ = nullptr;
 };
 
 }  // namespace nested

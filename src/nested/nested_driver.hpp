@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/hb_detector.hpp"
+#include "analysis/model_check.hpp"
 #include "analysis/schedule_check.hpp"
 #include "gepspark/options.hpp"
 #include "grid/matrix.hpp"
@@ -231,7 +233,15 @@ gepspark::SolveOutcome<double> nested_solve(
       NestedEngine<Plan> engine(sc, opt, plan, part);
       std::vector<std::vector<sparklet::DataflowTaskSpec>> graph_log;
       if (opt.validate_schedule) engine.set_graph_log(&graph_log);
+      std::vector<analysis::LineageSnapshot> lineage_log;
+      if (opt.audit_recovery) engine.set_lineage_log(&lineage_log);
       outcome.matrix = engine.solve();
+      if (opt.audit_recovery) {
+        const analysis::RecoveryAuditReport audit =
+            analysis::audit_recovery_closure(lineage_log);
+        GS_THROW_IF(!audit.ok(), analysis::RecoveryAuditError,
+                    audit.summary());
+      }
       if (opt.validate_schedule) {
         analysis::ScheduleCheckOptions copt;
         copt.lookahead = opt.effective_lookahead();
@@ -256,6 +266,39 @@ gepspark::SolveOutcome<double> nested_solve(
   outcome.profile.grid_r = plan.grid_cols();
   outcome.stats = gepspark::to_solve_stats(outcome.profile);
   return outcome;
+}
+
+/// Model-check a nested plan's dataflow schedule (`--model-check`): the
+/// nested counterpart of gepspark::model_check_gep. Each explored
+/// interleaving replays a full serial solve with schedule validation on and
+/// a fresh race detector, and must produce a bit-identical table.
+template <typename Plan>
+analysis::ModelCheckReport model_check_nested(
+    sparklet::SparkContext& sc, const Plan& plan,
+    const gepspark::SolverOptions& opt,
+    const analysis::ModelCheckOptions& mc = analysis::ModelCheckOptions{}) {
+  gepspark::SolverOptions run_opt = opt;
+  run_opt.schedule = gepspark::ScheduleMode::kDataflow;
+  run_opt.validate_schedule = true;
+  run_opt.model_check = 0;
+  run_opt.audit_recovery = false;
+  analysis::ModelChecker checker;
+  return checker.explore(
+      [&sc, &plan, &run_opt](analysis::ReplayHook& hook) {
+        analysis::HbDetector detector;
+        analysis::RunObservation obs;
+        {
+          analysis::ReplayScope scope(sc, hook, detector);
+          obs.digest =
+              analysis::digest_matrix(nested_solve(sc, plan, run_opt).matrix);
+        }
+        if (detector.races_found() > 0) {
+          obs.checks_ok = false;
+          obs.detail = detector.summary();
+        }
+        return obs;
+      },
+      mc);
 }
 
 }  // namespace nested

@@ -1,0 +1,240 @@
+// axioms.hpp — sampled algebraic-axiom auditor for semirings and GEP Specs.
+//
+// Two auditors, both exhaustive over small enumerated witness pools chosen so
+// every floating-point operation involved is exact (small integers; divisors
+// restricted to powers of two), which makes the checks bitwise — no epsilon:
+//
+//   * audit_semiring_axioms<S>(subject, pool): verifies the closed-semiring
+//     laws (⊕ associative/commutative with identity 0̄, ⊙ associative with
+//     identity 1̄ and annihilator 0̄, ⊙ distributes over ⊕) over every triple
+//     drawn from the pool.
+//
+//   * audit_strassen_ring<Spec>(): probes whether Spec::update(x, u, v, w)
+//     has the ring shape x + δ(u, v, w) with δ bilinear in (u, v) — the
+//     exact property the one-level Strassen split of the fused D backend
+//     relies on (Strassen reassociates tile-block sums, which is only sound
+//     when the trailing update distributes over addition). GE passes
+//     (δ = −u·v/w); FW / TC / widest-path fail the x-independence probe
+//     because min/∨/max updates absorb rather than accumulate.
+//
+// FusedFieldOps<Spec>::enabled() (kernels/fused_d.hpp) and the templated
+// SolverOptions::validate<Spec>() gate `--strassen-d` on the *proof*, not on
+// a hand-maintained trait.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "semiring/gep_spec.hpp"
+#include "semiring/semiring.hpp"
+#include "support/format.hpp"
+
+namespace gs {
+
+/// Outcome of one axiom audit. `failures` carries one human-readable line
+/// per violated law (capped at kMaxFailures; `samples` keeps counting).
+struct AxiomReport {
+  std::string subject;  ///< semiring / Spec name audited
+  int samples = 0;      ///< witness tuples evaluated
+  bool ring = false;    ///< audit_strassen_ring: update proven bilinear
+  std::vector<std::string> failures;
+
+  static constexpr std::size_t kMaxFailures = 8;
+
+  bool ok() const { return failures.empty(); }
+
+  std::string summary() const {
+    if (ok()) {
+      return strfmt("axioms(%s): ok — %d witness tuples, 0 violations%s",
+                    subject.c_str(), samples, ring ? " (ring)" : "");
+    }
+    std::string out = strfmt("axioms(%s): %zu violation(s) in %d tuples",
+                             subject.c_str(), failures.size(), samples);
+    for (const std::string& f : failures) {
+      out += "\n  - ";
+      out += f;
+    }
+    return out;
+  }
+};
+
+namespace detail {
+
+inline void note_failure(AxiomReport& rep, std::string msg) {
+  if (rep.failures.size() < AxiomReport::kMaxFailures) {
+    rep.failures.push_back(std::move(msg));
+  }
+}
+
+}  // namespace detail
+
+/// Exhaustively checks the closed-semiring laws over pool³. The pool must
+/// cover the semiring's domain (e.g. only nonnegative capacities for
+/// max-min) and keep every ⊕/⊙ result exactly representable.
+template <ClosedSemiring S>
+AxiomReport audit_semiring_axioms(
+    const std::string& subject,
+    const std::vector<typename S::value_type>& pool) {
+  using V = typename S::value_type;
+  AxiomReport rep;
+  rep.subject = subject;
+  const auto num = [](V v) { return static_cast<double>(v); };
+  for (V a : pool) {
+    // Unary identity laws.
+    ++rep.samples;
+    if (!(S::plus(a, S::zero()) == a)) {
+      detail::note_failure(
+          rep, strfmt("zero is not a plus identity: a⊕0̄ != a at a=%g",
+                      num(a)));
+    }
+    if (!(S::times(a, S::one()) == a) || !(S::times(S::one(), a) == a)) {
+      detail::note_failure(
+          rep, strfmt("one is not a times identity: a⊙1̄ != a at a=%g",
+                      num(a)));
+    }
+    if (!(S::times(a, S::zero()) == S::zero()) ||
+        !(S::times(S::zero(), a) == S::zero())) {
+      detail::note_failure(
+          rep, strfmt("zero does not annihilate: a⊙0̄ != 0̄ at a=%g", num(a)));
+    }
+    for (V b : pool) {
+      ++rep.samples;
+      if (!(S::plus(a, b) == S::plus(b, a))) {
+        detail::note_failure(
+            rep, strfmt("plus not commutative: a⊕b != b⊕a at a=%g b=%g",
+                        num(a), num(b)));
+      }
+      for (V c : pool) {
+        ++rep.samples;
+        if (!(S::plus(S::plus(a, b), c) == S::plus(a, S::plus(b, c)))) {
+          detail::note_failure(
+              rep,
+              strfmt("plus not associative: (a⊕b)⊕c != a⊕(b⊕c) at "
+                     "a=%g b=%g c=%g",
+                     num(a), num(b), num(c)));
+        }
+        if (!(S::times(S::times(a, b), c) == S::times(a, S::times(b, c)))) {
+          detail::note_failure(
+              rep,
+              strfmt("times not associative: (a⊙b)⊙c != a⊙(b⊙c) at "
+                     "a=%g b=%g c=%g",
+                     num(a), num(b), num(c)));
+        }
+        if (!(S::times(a, S::plus(b, c)) ==
+              S::plus(S::times(a, b), S::times(a, c)))) {
+          detail::note_failure(
+              rep,
+              strfmt("times does not left-distribute over plus at "
+                     "a=%g b=%g c=%g",
+                     num(a), num(b), num(c)));
+        }
+        if (!(S::times(S::plus(a, b), c) ==
+              S::plus(S::times(a, c), S::times(b, c)))) {
+          detail::note_failure(
+              rep,
+              strfmt("times does not right-distribute over plus at "
+                     "a=%g b=%g c=%g",
+                     num(a), num(b), num(c)));
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+/// Audits the shipped semirings over domain-appropriate exact pools.
+inline std::vector<AxiomReport> audit_shipped_semirings() {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<AxiomReport> out;
+  out.push_back(audit_semiring_axioms<MinPlusSemiring>(
+      "min-plus", {0.0, 1.0, 2.0, 5.0, -3.0, inf}));
+  out.push_back(audit_semiring_axioms<BoolSemiring>("bool-or-and", {0, 1}));
+  // Max-min is a semiring on nonnegative capacities only (0̄ = 0 must
+  // annihilate under ⊙ = min), so the pool stays in [0, +∞].
+  out.push_back(audit_semiring_axioms<MaxMinSemiring>(
+      "max-min", {0.0, 1.0, 3.0, 7.0, inf}));
+  return out;
+}
+
+/// Probes whether Spec::update(x, u, v, w) = x + δ(u, v, w) with δ bilinear
+/// in (u, v): x-independence, δ(u, 0) = δ(0, v) = 0, additivity in each
+/// argument, and sign anti-symmetry. Pools are exact-arithmetic (integers;
+/// w from nonzero powers of two so division stays exact). `ring` is true
+/// iff every probe holds bitwise — the precondition for the Strassen split.
+template <typename Spec>
+AxiomReport audit_strassen_ring() {
+  using V = typename Spec::value_type;
+  AxiomReport rep;
+  rep.subject = Spec::name();
+  const auto num = [](V v) { return static_cast<double>(v); };
+  const V xs[] = {V(0), V(1), V(5)};
+  const V us[] = {V(0), V(1), V(2), V(4)};
+  const V vs[] = {V(0), V(1), V(3)};
+  const V ws[] = {V(1), V(2), V(4)};  // powers of two: u·v/w stays exact
+  const auto delta = [](V u, V v, V w) -> V {
+    return static_cast<V>(Spec::update(V(0), u, v, w) - V(0));
+  };
+  for (V w : ws) {
+    for (V u : us) {
+      for (V v : vs) {
+        ++rep.samples;
+        // x-independence: the update must accumulate a pure (u, v) term.
+        for (V x : xs) {
+          if (!(Spec::update(x, u, v, w) ==
+                static_cast<V>(x + delta(u, v, w)))) {
+            detail::note_failure(
+                rep,
+                strfmt("update is not x + δ(u,v): depends on x at "
+                       "x=%g u=%g v=%g w=%g",
+                       num(x), num(u), num(v), num(w)));
+          }
+        }
+        // Annihilation: δ vanishes when either factor is zero.
+        if (!(delta(u, V(0), w) == V(0)) || !(delta(V(0), v, w) == V(0))) {
+          detail::note_failure(
+              rep, strfmt("δ(u,0) or δ(0,v) != 0 at u=%g v=%g w=%g", num(u),
+                          num(v), num(w)));
+        }
+        // Additivity in each argument (the bilinearity Strassen needs).
+        for (V u2 : us) {
+          ++rep.samples;
+          if (!(delta(static_cast<V>(u + u2), v, w) ==
+                static_cast<V>(delta(u, v, w) + delta(u2, v, w)))) {
+            detail::note_failure(
+                rep,
+                strfmt("δ not additive in u at u=%g u'=%g v=%g w=%g", num(u),
+                       num(u2), num(v), num(w)));
+          }
+        }
+        for (V v2 : vs) {
+          ++rep.samples;
+          if (!(delta(u, static_cast<V>(v + v2), w) ==
+                static_cast<V>(delta(u, v, w) + delta(u, v2, w)))) {
+            detail::note_failure(
+                rep,
+                strfmt("δ not additive in v at u=%g v=%g v'=%g w=%g", num(u),
+                       num(v), num(v2), num(w)));
+          }
+        }
+        // Sign anti-symmetry, only meaningful for signed value types.
+        if constexpr (std::is_signed_v<V> || std::is_floating_point_v<V>) {
+          ++rep.samples;
+          if (!(delta(static_cast<V>(-u), v, w) ==
+                static_cast<V>(-delta(u, v, w)))) {
+            detail::note_failure(
+                rep, strfmt("δ(-u,v) != -δ(u,v) at u=%g v=%g w=%g", num(u),
+                            num(v), num(w)));
+          }
+        }
+      }
+    }
+  }
+  rep.ring = rep.failures.empty();
+  return rep;
+}
+
+}  // namespace gs

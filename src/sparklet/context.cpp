@@ -717,7 +717,11 @@ TaskGraphResult SparkContext::run_task_graph(
   analysis::HbDetector* const detector = race_detector();
   if (detector != nullptr) detector->begin_graph(name, tasks);
 
-  std::function<void(int)> run_one = [&](int ti) {
+  // Executes one task — span, cancellation poll, vector-clock scope, chaos
+  // retry, body — and returns false after capturing the failure into `error`
+  // under `mu`. Shared by the pooled path and the serial hook path so both
+  // observe identical chaos streams and instrumentation.
+  auto exec_task = [&](int ti) -> bool {
     const std::size_t i = static_cast<std::size_t>(ti);
     try {
       obs::ScopedSpan task_span(&tracer_, obs::SpanLevel::kTask,
@@ -754,14 +758,23 @@ TaskGraphResult SparkContext::run_task_graph(
         break;
       }
       durations[i] = sw.seconds();
+      return true;
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu);
       if (!error) error = std::current_exception();
       stop = true;  // in-flight tasks drain; nothing new launches
+      return false;
+    }
+  };
+
+  std::function<void(int)> run_one = [&](int ti) {
+    if (!exec_task(ti)) {
+      std::lock_guard<std::mutex> lock(mu);
       ++done;
       cv.notify_all();
       return;
     }
+    const std::size_t i = static_cast<std::size_t>(ti);
     std::vector<int> newly;
     {
       std::lock_guard<std::mutex> lock(mu);
@@ -780,23 +793,62 @@ TaskGraphResult SparkContext::run_task_graph(
     }
   };
 
-  {
-    std::vector<int> roots;
+  SchedulerHook* const hook = scheduler_hook_;
+  if (hook != nullptr) {
+    // --- Serial hook-driven path: the hook picks every ready-queue pop and
+    // the chosen task runs inline on the driver thread, so any topological
+    // order is externally controlled and exactly replayable (the model
+    // checker's substrate). Chaos, spans, and the race detector behave as on
+    // the pool — decisions are pure in (seed, tag, graph, task, attempt).
+    hook->begin_graph(name, tasks);
+    std::vector<int> ready;
     for (std::size_t i = 0; i < n; ++i) {
-      if (pending[i] == 0) roots.push_back(static_cast<int>(i));
+      if (pending[i] == 0) ready.push_back(static_cast<int>(i));
     }
-    GS_CHECK_MSG(!roots.empty(), "task graph '" + name + "' has no sources");
+    GS_CHECK_MSG(!ready.empty(), "task graph '" + name + "' has no sources");
+    while (!ready.empty() && !stop) {
+      const int ti = hook->pick(ready);
+      const auto it = std::lower_bound(ready.begin(), ready.end(), ti);
+      if (it == ready.end() || *it != ti) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) {
+          error = std::make_exception_ptr(gs::ConfigError(gs::strfmt(
+              "task graph '%s': scheduler hook picked task %d which is not "
+              "in the ready set",
+              name.c_str(), ti)));
+        }
+        stop = true;
+        break;
+      }
+      ready.erase(it);
+      if (!exec_task(ti)) break;
+      order.push_back(ti);
+      for (int s : succs[static_cast<std::size_t>(ti)]) {
+        if (--pending[static_cast<std::size_t>(s)] == 0) {
+          ready.insert(std::upper_bound(ready.begin(), ready.end(), s), s);
+        }
+      }
+    }
+    hook->end_graph();
+  } else {
     {
-      std::lock_guard<std::mutex> lock(mu);
-      submitted = roots.size();
+      std::vector<int> roots;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (pending[i] == 0) roots.push_back(static_cast<int>(i));
+      }
+      GS_CHECK_MSG(!roots.empty(), "task graph '" + name + "' has no sources");
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        submitted = roots.size();
+      }
+      for (int r : roots) {
+        pool_.submit([&run_one, r] { run_one(r); });
+      }
     }
-    for (int r : roots) {
-      pool_.submit([&run_one, r] { run_one(r); });
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done == submitted; });
     }
-  }
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return done == submitted; });
   }
   if (detector != nullptr) detector->end_graph();
   if (error) std::rethrow_exception(error);

@@ -220,6 +220,14 @@ class SparkContext {
 #endif
   }
 
+  /// Install a scheduler hook (analysis/model_check.hpp): run_task_graph
+  /// executes serially on the driver thread, asking the hook to pick every
+  /// ready-queue pop, so a topological order is externally controlled and
+  /// replayable. Pass nullptr to detach and restore pooled execution. The
+  /// hook must outlive the graphs it schedules.
+  void set_scheduler_hook(SchedulerHook* hook) { scheduler_hook_ = hook; }
+  SchedulerHook* scheduler_hook() const { return scheduler_hook_; }
+
   /// Total injected task failures observed so far.
   int injected_failures() const { return injected_failures_.load(); }
 
@@ -420,6 +428,7 @@ class SparkContext {
 
   obs::Tracer tracer_;
   analysis::HbDetector* race_detector_ = nullptr;
+  SchedulerHook* scheduler_hook_ = nullptr;  // driver-side; serializes graphs
   /// Per-job abort flag (serve layer); nullptr when no job is cancellable.
   /// Atomic pointer: the serve worker installs it driver-side, but task
   /// threads read through it inside run_task_graph/run_tasks_internal.

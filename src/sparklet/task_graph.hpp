@@ -48,6 +48,28 @@ struct DataflowTaskSpec {
   std::vector<std::pair<int, int>> batch;
 };
 
+/// Externally controlled ready-queue pop order for run_task_graph().
+///
+/// When a hook is installed on the SparkContext, the graph runs serially on
+/// the calling (driver) thread: at every step the scheduler presents the set
+/// of ready task indices (ascending) and executes exactly the one the hook
+/// picks. This makes any topological order replayable deterministically —
+/// the substrate the schedule-space model checker (analysis/model_check.hpp)
+/// enumerates interleavings on. Virtual-timeline replay, chaos injection,
+/// and the race detector all run identically to the pooled path.
+class SchedulerHook {
+ public:
+  virtual ~SchedulerHook() = default;
+  /// A new graph is about to run; `tasks` is the full spec vector.
+  virtual void begin_graph(const std::string& name,
+                           const std::vector<DataflowTaskSpec>& tasks) = 0;
+  /// Choose the next task to run from `ready` (nonempty, ascending indices).
+  /// Must return a member of `ready`.
+  virtual int pick(const std::vector<int>& ready) = 0;
+  /// The graph finished (successfully or not).
+  virtual void end_graph() {}
+};
+
 /// What run_task_graph() observed and scheduled.
 struct TaskGraphResult {
   /// Task indices in the order they completed on the pool. Deterministic in

@@ -1,0 +1,119 @@
+// Semiring axiom auditor tests (ISSUE 10 satellite): every shipped semiring
+// passes the closed-semiring laws over its exact witness pool; a
+// deliberately non-associative fake is rejected with a named violation; and
+// `--strassen-d` is gated on audit_strassen_ring's proof through the
+// templated SolverOptions::validate<Spec>() instead of a hand-kept trait.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "gepspark/options.hpp"
+#include "kernels/fused_d.hpp"
+#include "semiring/axioms.hpp"
+#include "semiring/gep_spec.hpp"
+#include "support/check.hpp"
+
+namespace {
+
+bool any_failure_contains(const gs::AxiomReport& rep, const std::string& sub) {
+  return std::any_of(rep.failures.begin(), rep.failures.end(),
+                     [&](const std::string& f) {
+                       return f.find(sub) != std::string::npos;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// Shipped semirings pass.
+// ---------------------------------------------------------------------------
+
+TEST(AxiomAudit, ShippedSemiringsSatisfyClosedSemiringLaws) {
+  const auto reports = gs::audit_shipped_semirings();
+  ASSERT_EQ(reports.size(), 3u);
+  for (const auto& rep : reports) {
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_GT(rep.samples, 0) << rep.subject;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A broken semiring is rejected with the law named.
+// ---------------------------------------------------------------------------
+
+// ⊕ = arithmetic mean: commutative but not associative —
+// (a⊕b)⊕c = (a+b)/4 + c/2 while a⊕(b⊕c) = a/2 + (b+c)/4.
+struct AverageSemiring {
+  using value_type = double;
+  static constexpr value_type zero() { return 0.0; }
+  static constexpr value_type one() { return 1.0; }
+  static value_type plus(value_type a, value_type b) { return (a + b) / 2; }
+  static value_type times(value_type a, value_type b) { return a * b; }
+  static value_type closure(value_type) { return one(); }
+};
+
+TEST(AxiomAudit, NonAssociativePlusIsRejectedByName) {
+  const auto rep = gs::audit_semiring_axioms<AverageSemiring>(
+      "average-fake", {0.0, 1.0, 2.0, 4.0});
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(any_failure_contains(rep, "plus not associative"))
+      << rep.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Strassen ring probe: GE is a ring, the absorbing semirings are not.
+// ---------------------------------------------------------------------------
+
+TEST(AxiomAudit, StrassenRingProbeAcceptsGaussianElimination) {
+  const auto rep = gs::audit_strassen_ring<gs::GaussianEliminationSpec>();
+  EXPECT_TRUE(rep.ring) << rep.summary();
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+}
+
+TEST(AxiomAudit, StrassenRingProbeRejectsAbsorbingSemirings) {
+  EXPECT_FALSE(gs::audit_strassen_ring<gs::FloydWarshallSpec>().ring);
+  EXPECT_FALSE(gs::audit_strassen_ring<gs::WidestPathSpec>().ring);
+  // min/max updates absorb instead of accumulate — the x-independence probe
+  // must be what catches them.
+  EXPECT_TRUE(any_failure_contains(
+      gs::audit_strassen_ring<gs::FloydWarshallSpec>(), "not x + δ(u,v)"));
+}
+
+// ---------------------------------------------------------------------------
+// The proof gates FusedFieldOps and validate<Spec>.
+// ---------------------------------------------------------------------------
+
+TEST(AxiomAudit, FusedFieldOpsEnabledIffRingProven) {
+  EXPECT_TRUE(gs::FusedFieldOps<gs::GaussianEliminationSpec>::enabled());
+  EXPECT_FALSE(gs::FusedFieldOps<gs::FloydWarshallSpec>::enabled());
+  EXPECT_FALSE(gs::FusedFieldOps<gs::WidestPathSpec>::enabled());
+}
+
+TEST(AxiomAudit, ValidateRejectsStrassenOnNonRingSpec) {
+  gepspark::SolverOptions opt;
+  opt.fused_d = true;
+  opt.kernel.strassen_d = true;
+  try {
+    opt.validate<gs::FloydWarshallSpec>();
+    FAIL() << "strassen_d on FW must be rejected";
+  } catch (const gs::ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("proven ring axioms"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AxiomAudit, ValidateAcceptsStrassenOnProvenRingSpec) {
+  gepspark::SolverOptions opt;
+  opt.fused_d = true;
+  opt.kernel.strassen_d = true;
+  EXPECT_NO_THROW(opt.validate<gs::GaussianEliminationSpec>());
+}
+
+TEST(AxiomAudit, SpecAgnosticValidateStillChecksTheRest) {
+  gepspark::SolverOptions opt;
+  opt.kernel.strassen_d = true;  // without fused_d
+  EXPECT_THROW(opt.validate(), gs::ConfigError);
+}
+
+}  // namespace

@@ -318,13 +318,19 @@ TEST(FusedDStrassen, OddTileSideFallsBackBitIdentical) {
 }
 
 TEST(FusedDStrassen, NonRingSemiringsFallBackBitIdentical) {
-  // min-plus / or-and / max-min have no additive inverse — FusedFieldOps
-  // keeps them on the standard fused path even with the knob on, and the
-  // result stays bit-identical to per-tile D.
-  static_assert(!FusedFieldOps<FloydWarshallSpec>::kEnabled);
-  static_assert(!FusedFieldOps<TransitiveClosureSpec>::kEnabled);
-  static_assert(!FusedFieldOps<WidestPathSpec>::kEnabled);
-  static_assert(FusedFieldOps<GaussianEliminationSpec>::kEnabled);
+  // min-plus / or-and / max-min have no additive inverse — the axiom
+  // auditor refuses them a ring proof, so FusedFieldOps keeps them on the
+  // standard fused path even with the knob on, and the result stays
+  // bit-identical to per-tile D. (kCompiles only tracks value_type ==
+  // double; eligibility is the runtime proof.)
+  static_assert(FusedFieldOps<FloydWarshallSpec>::kCompiles);
+  static_assert(!FusedFieldOps<TransitiveClosureSpec>::kCompiles);
+  static_assert(FusedFieldOps<WidestPathSpec>::kCompiles);
+  static_assert(FusedFieldOps<GaussianEliminationSpec>::kCompiles);
+  EXPECT_FALSE(FusedFieldOps<FloydWarshallSpec>::enabled());
+  EXPECT_FALSE(FusedFieldOps<TransitiveClosureSpec>::enabled());
+  EXPECT_FALSE(FusedFieldOps<WidestPathSpec>::enabled());
+  EXPECT_TRUE(FusedFieldOps<GaussianEliminationSpec>::enabled());
   KernelConfig cfg;
   cfg.strassen_d = true;
   expect_fused_d_matches_per_tile<FloydWarshallSpec>(64, 91, cfg);
